@@ -1,0 +1,117 @@
+// nvmbench regenerates the paper's evaluation artifacts on the simulated
+// testbed and prints them as text tables.
+//
+// Usage:
+//
+//	nvmbench [-quick] [artifact ...]
+//
+// Artifacts: fig2 table3 fig3 fig4 fig5 table4 table5 fig6 table6 table7
+// ckpt ablations devices all (default: all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nvmalloc/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the shrunken Quick geometry instead of the default scaled evaluation")
+	flag.Parse()
+
+	o := experiments.Default()
+	if *quick {
+		o = experiments.Quick()
+	}
+
+	type runner func() error
+	show := func(rep *experiments.Report, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.String())
+		return nil
+	}
+	runners := map[string]runner{
+		"devices": func() error { return show(experiments.Devices(), nil) },
+		"fig2": func() error {
+			_, rep, err := experiments.Fig2(o)
+			return show(rep, err)
+		},
+		"table3": func() error {
+			_, rep, err := experiments.Table3(o)
+			return show(rep, err)
+		},
+		"fig3": func() error {
+			_, rep, err := experiments.Fig3(o)
+			return show(rep, err)
+		},
+		"fig4": func() error {
+			_, rep, err := experiments.Fig4(o)
+			return show(rep, err)
+		},
+		"fig5": func() error {
+			_, rep, err := experiments.Fig5(o)
+			return show(rep, err)
+		},
+		"table4": func() error {
+			_, rep, err := experiments.Table4(o)
+			return show(rep, err)
+		},
+		"table5": func() error {
+			_, rep, err := experiments.Table5(o)
+			return show(rep, err)
+		},
+		"fig6": func() error {
+			_, rep, err := experiments.Fig6(o)
+			return show(rep, err)
+		},
+		"table6": func() error {
+			_, rep, err := experiments.Table6(o)
+			return show(rep, err)
+		},
+		"table7": func() error {
+			_, rep, err := experiments.Table7(o)
+			return show(rep, err)
+		},
+		"ckpt": func() error {
+			_, rep, err := experiments.Checkpoint(o)
+			return show(rep, err)
+		},
+		"ablations": func() error {
+			for _, fn := range []func(experiments.Opts) (*experiments.Report, error){
+				experiments.AblationReadahead,
+				experiments.AblationChunkSize,
+				experiments.AblationCacheSize,
+				experiments.AblationPlacement,
+			} {
+				if err := show(fn(o)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	order := []string{"devices", "fig2", "table3", "fig3", "fig4", "fig5", "table4", "table5", "fig6", "table6", "table7", "ckpt", "ablations"}
+
+	args := flag.Args()
+	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
+		args = order
+	}
+	for _, name := range args {
+		fn, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nvmbench: unknown artifact %q (want one of %v)\n", name, order)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "nvmbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,110 @@
+// nvmctl is the command-line client for a TCP aggregate NVM store.
+//
+// Usage:
+//
+//	nvmctl -manager host:7070 status
+//	nvmctl -manager host:7070 put   <name> <local-file>
+//	nvmctl -manager host:7070 get   <name> <local-file>
+//	nvmctl -manager host:7070 stat  <name>
+//	nvmctl -manager host:7070 rm    <name>
+//	nvmctl -manager host:7070 link  <dst> <part> [part...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmalloc/internal/rpc"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvmctl:", err)
+	os.Exit(1)
+}
+
+func main() {
+	mgr := flag.String("manager", "localhost:7070", "manager address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] status|put|get|stat|rm|link ...")
+		os.Exit(2)
+	}
+	st, err := rpc.Open(*mgr)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+
+	switch args[0] {
+	case "status":
+		bens, err := st.Manager().Status()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chunk size: %d bytes\n", st.ChunkSize())
+		for _, b := range bens {
+			state := "alive"
+			if !b.Alive {
+				state = "DEAD"
+			}
+			fmt.Printf("benefactor %d @ %s node=%d used=%d/%d written=%d %s\n",
+				b.ID, b.Addr, b.Node, b.Used, b.Capacity, b.WriteVolume, state)
+		}
+	case "put":
+		if len(args) != 3 {
+			fatal(fmt.Errorf("put <name> <local-file>"))
+		}
+		data, err := os.ReadFile(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		if err := st.Put(args[1], data); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stored %q (%d bytes)\n", args[1], len(data))
+	case "get":
+		if len(args) != 3 {
+			fatal(fmt.Errorf("get <name> <local-file>"))
+		}
+		data, err := st.Get(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(args[2], data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fetched %q (%d bytes)\n", args[1], len(data))
+	case "stat":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("stat <name>"))
+		}
+		fi, err := st.Stat(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d bytes, %d chunks\n", fi.Name, fi.Size, len(fi.Chunks))
+		for i, ref := range fi.Chunks {
+			fmt.Printf("  chunk %d -> %v\n", i, ref)
+		}
+	case "rm":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("rm <name>"))
+		}
+		if err := st.Delete(args[1]); err != nil {
+			fatal(err)
+		}
+	case "link":
+		if len(args) < 3 {
+			fatal(fmt.Errorf("link <dst> <part> [part...]"))
+		}
+		fi, err := st.Manager().Link(args[1], args[2:])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s now spans %d chunks (%d bytes)\n", fi.Name, len(fi.Chunks), fi.Size)
+	default:
+		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}

@@ -1,0 +1,103 @@
+// nvmstore runs the aggregate NVM store's daemons over TCP.
+//
+// Usage:
+//
+//	nvmstore manager  -listen :7070 [-chunk 262144] [-policy rr|least|wear]
+//	nvmstore benefactor -manager host:7070 -id 0 [-listen :0] [-dir /ssd/nvm]
+//	          [-capacity 1073741824] [-chunk 262144] [-node 0] [-beat 2s]
+//
+// A benefactor contributes -capacity bytes of the file system at -dir
+// (mount the node-local SSD there) to the store managed by -manager.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"nvmalloc/internal/manager"
+	"nvmalloc/internal/rpc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "manager":
+		runManager(os.Args[2:])
+	case "benefactor":
+		runBenefactor(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: nvmstore manager|benefactor [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvmstore:", err)
+	os.Exit(1)
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+func runManager(args []string) {
+	fs := flag.NewFlagSet("manager", flag.ExitOnError)
+	listen := fs.String("listen", ":7070", "listen address")
+	chunk := fs.Int64("chunk", 256<<10, "chunk size in bytes")
+	policy := fs.String("policy", "rr", "placement policy: rr|least|wear")
+	fs.Parse(args)
+
+	pol := manager.RoundRobin
+	switch *policy {
+	case "rr":
+	case "least":
+		pol = manager.LeastLoaded
+	case "wear":
+		pol = manager.WearAware
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	srv, err := rpc.NewManagerServer(*listen, *chunk, pol)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nvmstore manager listening on %s (chunk=%d, policy=%s)\n", srv.Addr(), *chunk, *policy)
+	waitForInterrupt()
+	srv.Close()
+}
+
+func runBenefactor(args []string) {
+	fs := flag.NewFlagSet("benefactor", flag.ExitOnError)
+	listen := fs.String("listen", ":0", "listen address")
+	mgr := fs.String("manager", "localhost:7070", "manager address")
+	id := fs.Int("id", 0, "benefactor id (unique across the store)")
+	node := fs.Int("node", 0, "hosting node id")
+	dir := fs.String("dir", "./nvm-chunks", "chunk directory (node-local SSD mount)")
+	capacity := fs.Int64("capacity", 1<<30, "contributed bytes")
+	chunk := fs.Int64("chunk", 256<<10, "chunk size (must match the manager)")
+	beat := fs.Duration("beat", 2*time.Second, "heartbeat interval")
+	fs.Parse(args)
+
+	backend, err := rpc.NewFileBackend(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := rpc.NewBenefactorServer(*listen, *mgr, *id, *node, *capacity, *chunk, backend, *beat)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nvmstore benefactor %d serving %s on %s (capacity=%d)\n", *id, *dir, srv.Addr(), *capacity)
+	waitForInterrupt()
+	srv.Close()
+}

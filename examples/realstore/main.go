@@ -1,0 +1,92 @@
+// Real TCP store demo: spins up a manager and three benefactors on
+// loopback (the same daemons cmd/nvmstore runs across machines), stores a
+// striped file, takes a zero-copy linked checkpoint, and shows the
+// copy-on-write isolation — all with real sockets and real chunk files.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nvmalloc/internal/manager"
+	"nvmalloc/internal/rpc"
+)
+
+func main() {
+	const chunk = 64 << 10
+
+	mgr, err := rpc.NewManagerServer("127.0.0.1:0", chunk, manager.RoundRobin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
+	fmt.Println("manager listening on", mgr.Addr())
+
+	tmp, err := os.MkdirTemp("", "nvmalloc-realstore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	for i := 0; i < 3; i++ {
+		backend, err := rpc.NewFileBackend(filepath.Join(tmp, fmt.Sprintf("ben%d", i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bs, err := rpc.NewBenefactorServer("127.0.0.1:0", mgr.Addr(), i, i, 256*chunk, chunk, backend, time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer bs.Close()
+		fmt.Printf("benefactor %d serving %s on %s\n", i, filepath.Join(tmp, fmt.Sprintf("ben%d", i)), bs.Addr())
+	}
+
+	st, err := rpc.Open(mgr.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	// Store a striped variable.
+	payload := bytes.Repeat([]byte("out-of-core "), 40000) // ~480 KB
+	if err := st.Put("nvmvar", payload); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := st.Stat("nvmvar")
+	fmt.Printf("\nnvmvar: %d bytes striped into %d chunks across 3 benefactors\n", fi.Size, len(fi.Chunks))
+
+	// Zero-copy checkpoint: link the variable's chunks.
+	if err := st.Create("ckpt", 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := st.Manager().Link("ckpt", []string{"nvmvar"}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("checkpoint links the variable's chunks — nothing copied")
+
+	// Copy-on-write: remap chunk 0 before modifying it.
+	if _, err := st.Manager().Remap("nvmvar", 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := st.Stat("nvmvar"); err != nil { // refresh the chunk map
+		log.Fatal(err)
+	}
+	if err := st.WriteAt("nvmvar", 0, []byte("MUTATED!")); err != nil {
+		log.Fatal(err)
+	}
+	ck, err := st.Get("ckpt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nv, _ := st.Get("nvmvar")
+	fmt.Printf("after write: variable starts %q, checkpoint still starts %q\n", nv[:8], ck[:8])
+
+	bens, _ := st.Manager().Status()
+	for _, b := range bens {
+		fmt.Printf("benefactor %d: %d/%d bytes used\n", b.ID, b.Used, b.Capacity)
+	}
+}

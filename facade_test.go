@@ -1,0 +1,107 @@
+package nvmalloc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly the way the README's
+// quickstart does: build a machine, allocate from NVM and DRAM, move data,
+// checkpoint, restore.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	eng := NewEngine()
+	cfg := Config{Mode: LocalSSD, ProcsPerNode: 8, ComputeNodes: 16, Benefactors: 16}
+	m, err := NewMachine(eng, Bench(), cfg, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := m.NewClient(0)
+
+	eng.Go("app", func(p *Proc) {
+		nv, err := client.Malloc(p, 4*m.Prof.ChunkSize, WithName("state"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		v := Float64s(nv)
+		for i := int64(0); i < 100; i++ {
+			if err := v.Store(p, i, float64(i)*0.5); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		dram, err := NewDRAM(m, 0, "scratch", 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := dram.WriteAt(p, 0, []byte("dram state")); err != nil {
+			t.Error(err)
+			return
+		}
+		info, err := client.Checkpoint(p, "ck", []byte("dram state"), nv)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		restored, err := client.RestoreRegion(p, "ck", info.Regions[0], "state.restored")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		x, err := Float64s(restored).Load(p, 42)
+		if err != nil || x != 21 {
+			t.Errorf("restored[42] = %v err %v", x, err)
+		}
+		got := make([]byte, 10)
+		if err := client.ReadCheckpointDRAM(p, "ck", got); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, []byte("dram state")) {
+			t.Errorf("dram state = %q", got)
+		}
+	})
+	eng.Run()
+	if eng.Now() == 0 {
+		t.Fatal("no virtual time consumed")
+	}
+}
+
+// TestConcatBuffer verifies the hybrid DRAM+NVM composition exposed to
+// users.
+func TestConcatBuffer(t *testing.T) {
+	eng := NewEngine()
+	m, err := NewMachine(eng, Bench(), Config{Mode: LocalSSD, ProcsPerNode: 1, ComputeNodes: 1, Benefactors: 1}, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewClient(0)
+	eng.Go("app", func(p *Proc) {
+		d, err := NewDRAM(m, 0, "d", 1024)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		nv, err := c.Malloc(p, m.Prof.ChunkSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		hybrid := Concat("hybrid", d, nv)
+		if hybrid.Size() != 1024+m.Prof.ChunkSize {
+			t.Error("size wrong")
+		}
+		span := []byte("crosses the boundary")
+		if err := hybrid.WriteAt(p, 1024-8, span); err != nil {
+			t.Error(err)
+			return
+		}
+		got := make([]byte, len(span))
+		hybrid.ReadAt(p, 1024-8, got)
+		if !bytes.Equal(got, span) {
+			t.Error("boundary-crossing write lost")
+		}
+	})
+	eng.Run()
+}

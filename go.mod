@@ -1,0 +1,3 @@
+module nvmalloc
+
+go 1.22

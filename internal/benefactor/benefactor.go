@@ -1,0 +1,224 @@
+// Package benefactor implements the storage side of the aggregate NVM
+// store: each benefactor process contributes (a partition of) its
+// node-local SSD and serves chunk requests. The Store type is pure,
+// transport-agnostic logic; the simulated transport (internal/simstore)
+// and the TCP transport (internal/rpc) both wrap it.
+//
+// Chunks are fixed-size and stored as individual objects ("chunk files" in
+// the paper). PutPages applies only the dirty pages of a chunk — the
+// paper's write optimization (Table VII) — so a benefactor must support
+// sub-chunk updates.
+package benefactor
+
+import (
+	"fmt"
+
+	"nvmalloc/internal/proto"
+)
+
+// Backend stores chunk payloads. Implementations: Mem (simulation, and a
+// RAM-backed real store) and internal/rpc's file backend.
+type Backend interface {
+	// Put stores data as the payload of chunk id, replacing any prior
+	// payload.
+	Put(id proto.ChunkID, data []byte) error
+	// Get returns the payload of chunk id. The returned slice must not be
+	// modified by the caller.
+	Get(id proto.ChunkID) ([]byte, error)
+	// Delete removes chunk id. Deleting a missing chunk is an error.
+	Delete(id proto.ChunkID) error
+	// Has reports whether chunk id exists.
+	Has(id proto.ChunkID) bool
+}
+
+// Mem is an in-memory Backend.
+type Mem struct {
+	chunks map[proto.ChunkID][]byte
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem { return &Mem{chunks: make(map[proto.ChunkID][]byte)} }
+
+// Put implements Backend.
+func (m *Mem) Put(id proto.ChunkID, data []byte) error {
+	m.chunks[id] = data
+	return nil
+}
+
+// Get implements Backend.
+func (m *Mem) Get(id proto.ChunkID) ([]byte, error) {
+	d, ok := m.chunks[id]
+	if !ok {
+		return nil, proto.ErrNoSuchChunk
+	}
+	return d, nil
+}
+
+// Delete implements Backend.
+func (m *Mem) Delete(id proto.ChunkID) error {
+	if _, ok := m.chunks[id]; !ok {
+		return proto.ErrNoSuchChunk
+	}
+	delete(m.chunks, id)
+	return nil
+}
+
+// Has implements Backend.
+func (m *Mem) Has(id proto.ChunkID) bool { _, ok := m.chunks[id]; return ok }
+
+// Len returns the number of stored chunks.
+func (m *Mem) Len() int { return len(m.chunks) }
+
+// Stats are the benefactor's cumulative traffic counters.
+type Stats struct {
+	Gets         int64
+	Puts         int64
+	PagePuts     int64 // PutPages calls
+	BytesRead    int64
+	BytesWritten int64
+	// PageBytesWritten counts only the dirty-page payloads of PutPages;
+	// comparing it to whole-chunk writes quantifies the Table VII saving.
+	PageBytesWritten int64
+}
+
+// Store is one benefactor's chunk store.
+type Store struct {
+	id        int
+	node      int
+	chunkSize int64
+	capacity  int64
+	used      int64
+	backend   Backend
+	s         Stats
+}
+
+// New creates a benefactor store contributing capacity bytes of chunkSize
+// chunks from the given cluster node.
+func New(id, node int, capacity, chunkSize int64, backend Backend) *Store {
+	if capacity < chunkSize {
+		panic(fmt.Sprintf("benefactor %d: capacity %d below one chunk", id, capacity))
+	}
+	return &Store{id: id, node: node, chunkSize: chunkSize, capacity: capacity, backend: backend}
+}
+
+// ID returns the benefactor's store-wide ID.
+func (st *Store) ID() int { return st.id }
+
+// Node returns the cluster node hosting the benefactor.
+func (st *Store) Node() int { return st.node }
+
+// Capacity returns the contributed bytes.
+func (st *Store) Capacity() int64 { return st.capacity }
+
+// Used returns the bytes currently occupied by chunks.
+func (st *Store) Used() int64 { return st.used }
+
+// Stats returns a snapshot of the counters.
+func (st *Store) Stats() Stats { return st.s }
+
+// ChunkSize returns the store's striping unit.
+func (st *Store) ChunkSize() int64 { return st.chunkSize }
+
+// PutChunk stores a full chunk payload.
+func (st *Store) PutChunk(id proto.ChunkID, data []byte) error {
+	if int64(len(data)) != st.chunkSize {
+		return fmt.Errorf("benefactor %d: chunk %d payload %d bytes, want %d", st.id, id, len(data), st.chunkSize)
+	}
+	fresh := !st.backend.Has(id)
+	if fresh && st.used+st.chunkSize > st.capacity {
+		return proto.ErrNoSpace
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if err := st.backend.Put(id, cp); err != nil {
+		return err
+	}
+	if fresh {
+		st.used += st.chunkSize
+	}
+	st.s.Puts++
+	st.s.BytesWritten += int64(len(data))
+	return nil
+}
+
+// GetChunk returns the payload of chunk id. Reading a chunk that was
+// reserved but never written yields zeroes (the manager reserves space at
+// create time; data arrives lazily — paper §III-C).
+func (st *Store) GetChunk(id proto.ChunkID) ([]byte, error) {
+	d, err := st.backend.Get(id)
+	if err == proto.ErrNoSuchChunk {
+		d = make([]byte, st.chunkSize)
+	} else if err != nil {
+		return nil, err
+	}
+	st.s.Gets++
+	st.s.BytesRead += int64(len(d))
+	return d, nil
+}
+
+// PutPages applies dirty pages (parallel offset/payload slices, offsets are
+// byte offsets within the chunk) to chunk id, materializing the chunk if it
+// does not exist yet.
+func (st *Store) PutPages(id proto.ChunkID, pageOffs []int64, pages [][]byte) error {
+	if len(pageOffs) != len(pages) {
+		return fmt.Errorf("benefactor %d: %d offsets but %d pages", st.id, len(pageOffs), len(pages))
+	}
+	cur, err := st.backend.Get(id)
+	if err == proto.ErrNoSuchChunk {
+		if st.used+st.chunkSize > st.capacity {
+			return proto.ErrNoSpace
+		}
+		cur = make([]byte, st.chunkSize)
+		st.used += st.chunkSize
+	} else if err != nil {
+		return err
+	}
+	var vol int64
+	for i, off := range pageOffs {
+		pg := pages[i]
+		if off < 0 || off+int64(len(pg)) > st.chunkSize {
+			return fmt.Errorf("benefactor %d: page [%d,%d) outside chunk", st.id, off, off+int64(len(pg)))
+		}
+		copy(cur[off:], pg)
+		vol += int64(len(pg))
+	}
+	if err := st.backend.Put(id, cur); err != nil {
+		return err
+	}
+	st.s.PagePuts++
+	st.s.BytesWritten += vol
+	st.s.PageBytesWritten += vol
+	return nil
+}
+
+// CopyChunk duplicates the payload of src into dst (server-side copy used
+// by copy-on-write remapping, so the data never crosses the network).
+func (st *Store) CopyChunk(dst, src proto.ChunkID) error {
+	d, err := st.GetChunk(src)
+	if err != nil {
+		return err
+	}
+	return st.PutChunk(dst, d)
+}
+
+// DeleteChunk removes a chunk and releases its space. Deleting a chunk that
+// was reserved but never materialized is a no-op (the reservation is
+// released manager-side).
+func (st *Store) DeleteChunk(id proto.ChunkID) error {
+	if !st.backend.Has(id) {
+		return nil
+	}
+	if err := st.backend.Delete(id); err != nil {
+		return err
+	}
+	st.used -= st.chunkSize
+	return nil
+}
+
+// Info returns the benefactor's registration record.
+func (st *Store) Info() proto.BenefactorInfo {
+	return proto.BenefactorInfo{
+		ID: st.id, Node: st.node, Capacity: st.capacity, Used: st.used,
+		Alive: true, WriteVolume: st.s.BytesWritten,
+	}
+}

@@ -1,0 +1,208 @@
+package benefactor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvmalloc/internal/proto"
+)
+
+const cs = 1024 // test chunk size
+
+func newStore() *Store { return New(1, 0, 16*cs, cs, NewMem()) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st := newStore()
+	data := bytes.Repeat([]byte{0xAB}, cs)
+	if err := st.PutChunk(7, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.GetChunk(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if st.Used() != cs {
+		t.Fatalf("used = %d, want %d", st.Used(), cs)
+	}
+}
+
+func TestGetUnwrittenChunkIsZeroes(t *testing.T) {
+	st := newStore()
+	got, err := st.GetChunk(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != cs || !bytes.Equal(got, make([]byte, cs)) {
+		t.Fatal("reserved-but-unwritten chunk must read as zeroes")
+	}
+}
+
+func TestPutWrongSizeRejected(t *testing.T) {
+	st := newStore()
+	if err := st.PutChunk(1, make([]byte, cs-1)); err == nil {
+		t.Fatal("short chunk accepted")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	st := newStore()
+	data := make([]byte, cs)
+	for i := 0; i < 16; i++ {
+		if err := st.PutChunk(proto.ChunkID(i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.PutChunk(99, data); err != proto.ErrNoSpace {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	// Overwriting an existing chunk needs no new space.
+	if err := st.PutChunk(3, data); err != nil {
+		t.Fatalf("overwrite failed: %v", err)
+	}
+}
+
+func TestPutPagesAppliesDirtyPagesOnly(t *testing.T) {
+	st := newStore()
+	base := bytes.Repeat([]byte{1}, cs)
+	if err := st.PutChunk(5, base); err != nil {
+		t.Fatal(err)
+	}
+	pg := bytes.Repeat([]byte{9}, 64)
+	if err := st.PutPages(5, []int64{128, 512}, [][]byte{pg, pg}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st.GetChunk(5)
+	for i := 0; i < cs; i++ {
+		want := byte(1)
+		if (i >= 128 && i < 192) || (i >= 512 && i < 576) {
+			want = 9
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], want)
+		}
+	}
+	if st.Stats().PageBytesWritten != 128 {
+		t.Fatalf("page bytes = %d, want 128", st.Stats().PageBytesWritten)
+	}
+}
+
+func TestPutPagesMaterializesChunk(t *testing.T) {
+	st := newStore()
+	pg := bytes.Repeat([]byte{7}, 32)
+	if err := st.PutPages(11, []int64{0}, [][]byte{pg}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Used() != cs {
+		t.Fatalf("used = %d, want %d", st.Used(), cs)
+	}
+	got, _ := st.GetChunk(11)
+	if got[0] != 7 || got[31] != 7 || got[32] != 0 {
+		t.Fatal("materialized chunk content wrong")
+	}
+}
+
+func TestPutPagesBoundsChecked(t *testing.T) {
+	st := newStore()
+	if err := st.PutPages(1, []int64{cs - 8}, [][]byte{make([]byte, 16)}); err == nil {
+		t.Fatal("out-of-bounds page accepted")
+	}
+}
+
+func TestCopyChunk(t *testing.T) {
+	st := newStore()
+	data := bytes.Repeat([]byte{0x5C}, cs)
+	if err := st.PutChunk(1, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CopyChunk(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st.GetChunk(2)
+	if !bytes.Equal(got, data) {
+		t.Fatal("copy mismatch")
+	}
+	// Mutating the copy must not touch the original.
+	if err := st.PutPages(2, []int64{0}, [][]byte{{0xFF}}); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := st.GetChunk(1)
+	if orig[0] != 0x5C {
+		t.Fatal("copy aliases original")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	st := newStore()
+	if err := st.PutChunk(1, make([]byte, cs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteChunk(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Used() != 0 {
+		t.Fatalf("used = %d after delete", st.Used())
+	}
+	// Deleting a never-materialized chunk is a no-op.
+	if err := st.DeleteChunk(77); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a store behaves like a map of chunk payloads under random
+// put / put-pages / delete sequences.
+func TestStoreMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := New(1, 0, 64*cs, cs, NewMem())
+		ref := make(map[proto.ChunkID][]byte)
+		for op := 0; op < 200; op++ {
+			id := proto.ChunkID(rng.Intn(8))
+			switch rng.Intn(4) {
+			case 0: // full put
+				d := make([]byte, cs)
+				rng.Read(d)
+				if err := st.PutChunk(id, d); err != nil {
+					return false
+				}
+				ref[id] = append([]byte(nil), d...)
+			case 1: // page put
+				off := int64(rng.Intn(cs-64)) &^ 63
+				pg := make([]byte, 64)
+				rng.Read(pg)
+				if err := st.PutPages(id, []int64{off}, [][]byte{pg}); err != nil {
+					return false
+				}
+				if _, ok := ref[id]; !ok {
+					ref[id] = make([]byte, cs)
+				}
+				copy(ref[id][off:], pg)
+			case 2: // delete
+				if err := st.DeleteChunk(id); err != nil {
+					return false
+				}
+				delete(ref, id)
+			case 3: // get and compare
+				got, err := st.GetChunk(id)
+				if err != nil {
+					return false
+				}
+				want, ok := ref[id]
+				if !ok {
+					want = make([]byte, cs)
+				}
+				if !bytes.Equal(got, want) {
+					return false
+				}
+			}
+		}
+		return st.Used() == int64(len(ref))*cs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package cluster assembles the simulated machine: nodes with cores, DRAM,
+// an optional node-local SSD and a NIC, connected by a netsim.Network. It
+// also encodes the paper's x:y:z run configurations
+// (processes-per-node : compute-nodes : SSD-benefactors) used throughout
+// the evaluation section.
+package cluster
+
+import (
+	"fmt"
+
+	"nvmalloc/internal/device"
+	"nvmalloc/internal/netsim"
+	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/sysprof"
+)
+
+// Node is one compute node of the simulated machine.
+type Node struct {
+	ID   int
+	Prof sysprof.Profile
+	// Cores gates compute so a node can run at most CoresPerNode
+	// operations concurrently.
+	Cores *simtime.Resource
+	// DRAM serializes memory traffic at the node's memory bandwidth.
+	DRAM *device.Device
+	// SSD is the node-local NVM device, nil on nodes without one.
+	SSD *device.Device
+
+	dramUsed int64
+}
+
+// AllocDRAM reserves n bytes of application DRAM on the node, failing when
+// the request exceeds the node's available memory (total minus the system
+// reserve). This is what forces the paper's DRAM-only matrix multiplication
+// down to 2 processes per node.
+func (n *Node) AllocDRAM(nBytes int64) error {
+	if nBytes < 0 {
+		panic("cluster: negative DRAM allocation")
+	}
+	if n.dramUsed+nBytes > n.Prof.AvailableDRAM() {
+		return fmt.Errorf("cluster: node %d out of memory: %d used + %d requested > %d available",
+			n.ID, n.dramUsed, nBytes, n.Prof.AvailableDRAM())
+	}
+	n.dramUsed += nBytes
+	return nil
+}
+
+// FreeDRAM releases n bytes previously reserved with AllocDRAM.
+func (n *Node) FreeDRAM(nBytes int64) {
+	n.dramUsed -= nBytes
+	if n.dramUsed < 0 {
+		panic("cluster: DRAM double free")
+	}
+}
+
+// DRAMUsed returns the currently reserved application DRAM.
+func (n *Node) DRAMUsed() int64 { return n.dramUsed }
+
+// Compute charges p the virtual time of flops floating-point operations on
+// one of the node's cores.
+func (n *Node) Compute(p *simtime.Proc, flops float64) {
+	n.Cores.Use(p, n.Prof.ComputeTime(flops))
+}
+
+// MemRead charges p an n-byte DRAM read (streaming, bandwidth-bound).
+func (n *Node) MemRead(p *simtime.Proc, nBytes int64) { n.DRAM.Read(p, nBytes) }
+
+// MemWrite charges p an n-byte DRAM write.
+func (n *Node) MemWrite(p *simtime.Proc, nBytes int64) { n.DRAM.Write(p, nBytes) }
+
+// Cluster is the simulated machine.
+type Cluster struct {
+	Eng   *simtime.Engine
+	Prof  sysprof.Profile
+	Net   *netsim.Network
+	Nodes []*Node
+}
+
+// New builds a cluster with prof.Nodes nodes, each carrying a node-local
+// SSD (whether a node's SSD is *used* is decided by the run configuration's
+// benefactor placement).
+func New(e *simtime.Engine, prof sysprof.Profile) *Cluster {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{Eng: e, Prof: prof, Net: netsim.New(e, prof.Net, prof.Nodes)}
+	for i := 0; i < prof.Nodes; i++ {
+		n := &Node{
+			ID:    i,
+			Prof:  prof,
+			Cores: simtime.NewResource(e, fmt.Sprintf("node%d.cores", i), prof.CoresPerNode),
+			DRAM:  device.New(e, fmt.Sprintf("node%d.dram", i), prof.DRAM, 1),
+			SSD:   device.New(e, fmt.Sprintf("node%d.ssd", i), prof.SSD, 1),
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// Mode describes where NVM variables live in a run configuration.
+type Mode int
+
+const (
+	// DRAMOnly places everything in DRAM (the paper's baseline).
+	DRAMOnly Mode = iota
+	// LocalSSD co-locates benefactors with compute nodes ("L-SSD").
+	LocalSSD
+	// RemoteSSD places benefactors on nodes disjoint from the compute
+	// nodes ("R-SSD").
+	RemoteSSD
+)
+
+func (m Mode) String() string {
+	switch m {
+	case DRAMOnly:
+		return "DRAM"
+	case LocalSSD:
+		return "L-SSD"
+	case RemoteSSD:
+		return "R-SSD"
+	}
+	return "?"
+}
+
+// Config is one x:y:z run configuration of the evaluation:
+// x processes per compute node, y compute nodes, z SSD benefactors.
+type Config struct {
+	Mode         Mode
+	ProcsPerNode int
+	ComputeNodes int
+	Benefactors  int
+}
+
+// String renders the configuration in the paper's notation, e.g.
+// "L-SSD(8:16:16)".
+func (c Config) String() string {
+	return fmt.Sprintf("%s(%d:%d:%d)", c.Mode, c.ProcsPerNode, c.ComputeNodes, c.Benefactors)
+}
+
+// Ranks returns the total process count.
+func (c Config) Ranks() int { return c.ProcsPerNode * c.ComputeNodes }
+
+// NodesNeeded returns how many physical nodes the configuration occupies.
+func (c Config) NodesNeeded() int {
+	if c.Mode == RemoteSSD {
+		return c.ComputeNodes + c.Benefactors
+	}
+	return c.ComputeNodes
+}
+
+// Validate checks the configuration against a machine of total nodes.
+func (c Config) Validate(total int) error {
+	switch {
+	case c.ProcsPerNode <= 0 || c.ComputeNodes <= 0:
+		return fmt.Errorf("cluster: bad config %s", c)
+	case c.Mode == DRAMOnly && c.Benefactors != 0:
+		return fmt.Errorf("cluster: DRAM-only config %s must have 0 benefactors", c)
+	case c.Mode != DRAMOnly && c.Benefactors <= 0:
+		return fmt.Errorf("cluster: SSD config %s needs benefactors", c)
+	case c.Mode == LocalSSD && c.Benefactors > c.ComputeNodes:
+		return fmt.Errorf("cluster: local config %s has more benefactors than compute nodes", c)
+	case c.NodesNeeded() > total:
+		return fmt.Errorf("cluster: config %s needs %d nodes, machine has %d", c, c.NodesNeeded(), total)
+	}
+	return nil
+}
+
+// ComputeNodeIDs returns the node IDs running application ranks.
+func (c Config) ComputeNodeIDs() []int {
+	ids := make([]int, c.ComputeNodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// BenefactorNodeIDs returns the node IDs contributing SSDs. Local
+// configurations use the first z compute nodes; remote ones use the z nodes
+// immediately after the compute partition.
+func (c Config) BenefactorNodeIDs() []int {
+	ids := make([]int, c.Benefactors)
+	for i := range ids {
+		if c.Mode == RemoteSSD {
+			ids[i] = c.ComputeNodes + i
+		} else {
+			ids[i] = i
+		}
+	}
+	return ids
+}
+
+// RankNode returns the node ID hosting the given rank (block placement:
+// ranks fill node 0 first, matching mpirun's default by-node blocks).
+func (c Config) RankNode(rank int) int {
+	if rank < 0 || rank >= c.Ranks() {
+		panic(fmt.Sprintf("cluster: rank %d out of range for %s", rank, c))
+	}
+	return rank / c.ProcsPerNode
+}
+
+// NodeRanks returns the ranks hosted on the given compute node.
+func (c Config) NodeRanks(node int) []int {
+	var ranks []int
+	for r := node * c.ProcsPerNode; r < (node+1)*c.ProcsPerNode && r < c.Ranks(); r++ {
+		ranks = append(ranks, r)
+	}
+	return ranks
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/sysprof"
+)
+
+func TestNewBuildsHAL(t *testing.T) {
+	e := simtime.NewEngine()
+	c := New(e, sysprof.HAL())
+	if len(c.Nodes) != 16 {
+		t.Fatalf("nodes = %d, want 16", len(c.Nodes))
+	}
+	if c.Nodes[3].SSD == nil || c.Nodes[3].DRAM == nil {
+		t.Fatal("node devices missing")
+	}
+}
+
+func TestDRAMAccounting(t *testing.T) {
+	e := simtime.NewEngine()
+	c := New(e, sysprof.Bench())
+	n := c.Nodes[0]
+	avail := n.Prof.AvailableDRAM()
+	if err := n.AllocDRAM(avail); err != nil {
+		t.Fatalf("alloc of available DRAM failed: %v", err)
+	}
+	if err := n.AllocDRAM(1); err == nil {
+		t.Fatal("overcommit should fail")
+	}
+	n.FreeDRAM(avail)
+	if n.DRAMUsed() != 0 {
+		t.Fatalf("used = %d after free", n.DRAMUsed())
+	}
+}
+
+func TestConfigStringsMatchPaperNotation(t *testing.T) {
+	cases := map[string]Config{
+		"DRAM(2:16:0)":   {DRAMOnly, 2, 16, 0},
+		"L-SSD(8:16:16)": {LocalSSD, 8, 16, 16},
+		"R-SSD(8:8:1)":   {RemoteSSD, 8, 8, 1},
+	}
+	for want, cfg := range cases {
+		if got := cfg.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+		if err := cfg.Validate(16); err != nil {
+			t.Errorf("%s should validate on HAL: %v", want, err)
+		}
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	bad := []Config{
+		{DRAMOnly, 8, 16, 4},   // benefactors in DRAM mode
+		{LocalSSD, 8, 8, 16},   // more benefactors than compute nodes
+		{RemoteSSD, 8, 16, 16}, // 32 nodes on a 16-node machine
+		{LocalSSD, 0, 8, 8},    // zero procs
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(16); err == nil {
+			t.Errorf("config %s should be rejected", cfg)
+		}
+	}
+}
+
+func TestBenefactorPlacement(t *testing.T) {
+	l := Config{LocalSSD, 8, 16, 16}
+	if ids := l.BenefactorNodeIDs(); ids[0] != 0 || ids[15] != 15 {
+		t.Fatalf("local benefactors = %v", ids)
+	}
+	r := Config{RemoteSSD, 8, 8, 4}
+	ids := r.BenefactorNodeIDs()
+	for _, id := range ids {
+		if id < 8 || id >= 12 {
+			t.Fatalf("remote benefactors = %v must be disjoint from compute nodes 0..7", ids)
+		}
+	}
+}
+
+func TestRankPlacement(t *testing.T) {
+	cfg := Config{LocalSSD, 8, 16, 16}
+	if cfg.Ranks() != 128 {
+		t.Fatalf("ranks = %d, want 128", cfg.Ranks())
+	}
+	if cfg.RankNode(0) != 0 || cfg.RankNode(7) != 0 || cfg.RankNode(8) != 1 || cfg.RankNode(127) != 15 {
+		t.Fatal("block rank placement broken")
+	}
+	if rk := cfg.NodeRanks(1); len(rk) != 8 || rk[0] != 8 {
+		t.Fatalf("node 1 ranks = %v", rk)
+	}
+}
+
+// Property: every rank maps to a valid compute node and node/rank mappings
+// are mutually consistent.
+func TestRankNodeConsistencyProperty(t *testing.T) {
+	f := func(px, nx uint8) bool {
+		cfg := Config{LocalSSD, int(px%8) + 1, int(nx%16) + 1, 1}
+		for r := 0; r < cfg.Ranks(); r++ {
+			node := cfg.RankNode(r)
+			if node < 0 || node >= cfg.ComputeNodes {
+				return false
+			}
+			found := false
+			for _, rr := range cfg.NodeRanks(node) {
+				if rr == r {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range []Mode{DRAMOnly, LocalSSD, RemoteSSD} {
+		if strings.Contains(m.String(), "?") {
+			t.Fatalf("mode %d has no name", m)
+		}
+	}
+}

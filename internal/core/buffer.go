@@ -1,0 +1,210 @@
+// Package core implements the NVMalloc library — the paper's primary
+// contribution. Applications obtain a per-rank Client and explicitly
+// allocate memory regions from the aggregate NVM store with Malloc
+// (= ssdmalloc), release them with Region.Free (= ssdfree), and snapshot
+// DRAM state together with NVM variables using Client.Checkpoint
+// (= ssdcheckpoint). NVM regions are accessed through the same Buffer
+// interface as plain DRAM allocations, so applications can move individual
+// data structures between DRAM and NVM by changing one allocation call —
+// the explicit-placement model the paper argues for.
+package core
+
+import (
+	"fmt"
+
+	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/simtime"
+)
+
+// AppStats counts application-level access volume to one buffer — the
+// "aggregated accesses" row of Table IV.
+type AppStats struct {
+	ReadBytes  int64
+	WriteBytes int64
+	Reads      int64
+	Writes     int64
+}
+
+// Buffer is a byte-addressable allocation; both DRAM buffers and
+// NVM-backed Regions implement it, so workload kernels are placement-
+// agnostic.
+type Buffer interface {
+	// Name identifies the buffer for diagnostics.
+	Name() string
+	// Size returns the allocation length in bytes.
+	Size() int64
+	// ReadAt copies [off, off+len(buf)) into buf, charging p the access
+	// cost of the underlying medium.
+	ReadAt(p *simtime.Proc, off int64, buf []byte) error
+	// WriteAt stores data at off.
+	WriteAt(p *simtime.Proc, off int64, data []byte) error
+	// Sync makes all writes durable/visible at the backing medium.
+	Sync(p *simtime.Proc) error
+	// Free releases the allocation.
+	Free(p *simtime.Proc) error
+	// AppStats returns application-level access counters.
+	AppStats() AppStats
+}
+
+// DRAMBuffer is a plain main-memory allocation, accounted against the
+// node's physical DRAM and charged at DRAM bandwidth.
+type DRAMBuffer struct {
+	node  *cluster.Node
+	name  string
+	data  []byte
+	freed bool
+	s     AppStats
+}
+
+// NewDRAM allocates size bytes of node-local DRAM. It fails when the node
+// is out of memory — on the paper's testbed this is what limits DRAM-only
+// matrix multiplication to 2 processes per node.
+func NewDRAM(node *cluster.Node, name string, size int64) (*DRAMBuffer, error) {
+	if err := node.AllocDRAM(size); err != nil {
+		return nil, err
+	}
+	return &DRAMBuffer{node: node, name: name, data: make([]byte, size)}, nil
+}
+
+// Name implements Buffer.
+func (b *DRAMBuffer) Name() string { return b.name }
+
+// Size implements Buffer.
+func (b *DRAMBuffer) Size() int64 { return int64(len(b.data)) }
+
+func (b *DRAMBuffer) check(off, n int64) error {
+	if b.freed {
+		return fmt.Errorf("core: use of freed DRAM buffer %q", b.name)
+	}
+	if off < 0 || off+n > int64(len(b.data)) {
+		return fmt.Errorf("core: access [%d,%d) outside DRAM buffer %q of %d bytes", off, off+n, b.name, len(b.data))
+	}
+	return nil
+}
+
+// ReadAt implements Buffer, charging DRAM bandwidth.
+func (b *DRAMBuffer) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
+	if err := b.check(off, int64(len(buf))); err != nil {
+		return err
+	}
+	b.node.MemRead(p, int64(len(buf)))
+	copy(buf, b.data[off:])
+	b.s.Reads++
+	b.s.ReadBytes += int64(len(buf))
+	return nil
+}
+
+// WriteAt implements Buffer, charging DRAM bandwidth.
+func (b *DRAMBuffer) WriteAt(p *simtime.Proc, off int64, data []byte) error {
+	if err := b.check(off, int64(len(data))); err != nil {
+		return err
+	}
+	b.node.MemWrite(p, int64(len(data)))
+	copy(b.data[off:], data)
+	b.s.Writes++
+	b.s.WriteBytes += int64(len(data))
+	return nil
+}
+
+// Sync implements Buffer (a no-op for DRAM).
+func (b *DRAMBuffer) Sync(p *simtime.Proc) error { return nil }
+
+// Free implements Buffer, returning the memory to the node's accountant.
+func (b *DRAMBuffer) Free(p *simtime.Proc) error {
+	if b.freed {
+		return fmt.Errorf("core: double free of DRAM buffer %q", b.name)
+	}
+	b.freed = true
+	b.node.FreeDRAM(int64(len(b.data)))
+	b.data = nil
+	return nil
+}
+
+// AppStats implements Buffer.
+func (b *DRAMBuffer) AppStats() AppStats { return b.s }
+
+// concatBuffer presents two buffers as one contiguous allocation — how the
+// sort workload splits one logical dataset between a DRAM half and an NVM
+// half (Table VI's hybrid configurations).
+type concatBuffer struct {
+	name string
+	a, b Buffer
+}
+
+// Concat returns a Buffer spanning a then b.
+func Concat(name string, a, b Buffer) Buffer {
+	return &concatBuffer{name: name, a: a, b: b}
+}
+
+// Name implements Buffer.
+func (c *concatBuffer) Name() string { return c.name }
+
+// Size implements Buffer.
+func (c *concatBuffer) Size() int64 { return c.a.Size() + c.b.Size() }
+
+// ReadAt implements Buffer.
+func (c *concatBuffer) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
+	na := c.a.Size()
+	if off < na {
+		n := int64(len(buf))
+		if off+n > na {
+			n = na - off
+		}
+		if err := c.a.ReadAt(p, off, buf[:n]); err != nil {
+			return err
+		}
+		buf = buf[n:]
+		off = na
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	return c.b.ReadAt(p, off-na, buf)
+}
+
+// WriteAt implements Buffer.
+func (c *concatBuffer) WriteAt(p *simtime.Proc, off int64, data []byte) error {
+	na := c.a.Size()
+	if off < na {
+		n := int64(len(data))
+		if off+n > na {
+			n = na - off
+		}
+		if err := c.a.WriteAt(p, off, data[:n]); err != nil {
+			return err
+		}
+		data = data[n:]
+		off = na
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	return c.b.WriteAt(p, off-na, data)
+}
+
+// Sync implements Buffer.
+func (c *concatBuffer) Sync(p *simtime.Proc) error {
+	if err := c.a.Sync(p); err != nil {
+		return err
+	}
+	return c.b.Sync(p)
+}
+
+// Free implements Buffer.
+func (c *concatBuffer) Free(p *simtime.Proc) error {
+	if err := c.a.Free(p); err != nil {
+		return err
+	}
+	return c.b.Free(p)
+}
+
+// AppStats implements Buffer (sums both halves).
+func (c *concatBuffer) AppStats() AppStats {
+	sa, sb := c.a.AppStats(), c.b.AppStats()
+	return AppStats{
+		ReadBytes:  sa.ReadBytes + sb.ReadBytes,
+		WriteBytes: sa.WriteBytes + sb.WriteBytes,
+		Reads:      sa.Reads + sb.Reads,
+		Writes:     sa.Writes + sb.Writes,
+	}
+}

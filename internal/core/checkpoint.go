@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nvmalloc/internal/simtime"
+)
+
+// RegionLayout records where one NVM variable's chunks sit inside a
+// checkpoint file, so it can be restored without copying.
+type RegionLayout struct {
+	Name       string // the variable's backing file name at checkpoint time
+	ChunkStart int    // first chunk index within the checkpoint file
+	Chunks     int
+	Size       int64
+}
+
+// CheckpointInfo describes one completed ssdcheckpoint.
+type CheckpointInfo struct {
+	Name      string
+	DRAMBytes int64
+	// DRAMChunks is how many chunks the DRAM dump occupies (they precede
+	// the linked variable chunks in the checkpoint file).
+	DRAMChunks int
+	// LinkedChunks is how many variable chunks were merged by reference —
+	// chunks that did NOT have to be copied (the §III-E saving).
+	LinkedChunks int
+	Regions      []RegionLayout
+}
+
+// Checkpoint implements ssdcheckpoint: it snapshots the caller's DRAM
+// state and the given NVM regions into one logical restart file on the
+// aggregate store.
+//
+// The DRAM state is streamed into fresh chunks; each region is flushed
+// (so its store-resident chunks are current) and then *linked* into the
+// checkpoint file — chunk references are appended and refcounts bumped,
+// with no data movement. Finally each region is armed copy-on-write so
+// compute-phase writes between checkpoints cannot disturb the snapshot.
+// Because unmodified chunks stay shared between consecutive checkpoints,
+// incremental checkpointing falls out automatically (§III-E).
+//
+// The order of the regions argument is the layout of the restart file
+// (§III-E's user-specified layout): regions are linked after the DRAM
+// dump in exactly the order given, and the returned CheckpointInfo
+// records each one's chunk range.
+func (c *Client) Checkpoint(p *simtime.Proc, name string, dramState []byte, regions ...*Region) (CheckpointInfo, error) {
+	if c.cc == nil {
+		return CheckpointInfo{}, errors.New("core: this configuration has no NVM store (DRAM-only)")
+	}
+	store := c.cc.Store()
+	info := CheckpointInfo{Name: name, DRAMBytes: int64(len(dramState))}
+
+	// 1. Create the checkpoint file sized for the DRAM dump.
+	fi, err := store.Create(p, name, int64(len(dramState)))
+	if err != nil {
+		return info, fmt.Errorf("core: checkpoint create: %w", err)
+	}
+	c.cc.MarkFresh(fi)
+	info.DRAMChunks = len(fi.Chunks)
+
+	// 2. Stream the DRAM state through the FUSE layer and push it out.
+	if len(dramState) > 0 {
+		if err := c.cc.WriteRange(p, name, 0, dramState); err != nil {
+			return info, fmt.Errorf("core: checkpoint dram dump: %w", err)
+		}
+		if err := c.cc.Flush(p, name); err != nil {
+			return info, fmt.Errorf("core: checkpoint dram flush: %w", err)
+		}
+	}
+
+	// 3. Flush each region so its store-resident chunks are current, then
+	// link them into the checkpoint and arm copy-on-write.
+	chunkAt := info.DRAMChunks
+	var parts []string
+	for _, r := range regions {
+		if r.freed {
+			return info, fmt.Errorf("core: checkpoint of freed region %q", r.name)
+		}
+		if err := r.Sync(p); err != nil {
+			return info, fmt.Errorf("core: checkpoint flush of %q: %w", r.name, err)
+		}
+		parts = append(parts, r.name)
+		n := int((r.size + c.m.Prof.ChunkSize - 1) / c.m.Prof.ChunkSize)
+		info.Regions = append(info.Regions, RegionLayout{
+			Name: r.name, ChunkStart: chunkAt, Chunks: n, Size: r.size,
+		})
+		chunkAt += n
+		info.LinkedChunks += n
+	}
+	if len(parts) > 0 {
+		if _, err := store.Link(p, name, parts); err != nil {
+			return info, fmt.Errorf("core: checkpoint link: %w", err)
+		}
+		// The checkpoint's cached chunk map is stale after the link.
+		c.cc.InvalidateMeta(name)
+		for _, r := range regions {
+			c.cc.ArmCOW(r.name)
+		}
+	}
+	return info, nil
+}
+
+// ReadCheckpointDRAM reads the DRAM-state prefix of a checkpoint into buf
+// (restart path).
+func (c *Client) ReadCheckpointDRAM(p *simtime.Proc, name string, buf []byte) error {
+	if c.cc == nil {
+		return errors.New("core: this configuration has no NVM store (DRAM-only)")
+	}
+	return c.cc.ReadRange(p, name, 0, buf)
+}
+
+// RestoreRegion re-creates an NVM variable from a checkpoint without
+// copying data: the new region's backing file references the checkpoint's
+// chunks (refcounted, copy-on-write). layout comes from the
+// CheckpointInfo written at checkpoint time; newName names the restored
+// variable's backing file.
+func (c *Client) RestoreRegion(p *simtime.Proc, ckpt string, layout RegionLayout, newName string) (*Region, error) {
+	if c.cc == nil {
+		return nil, errors.New("core: this configuration has no NVM store (DRAM-only)")
+	}
+	fi, err := c.cc.Store().Derive(p, newName, ckpt, layout.ChunkStart, layout.Chunks, layout.Size)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore of %q from %q: %w", layout.Name, ckpt, err)
+	}
+	c.cc.RegisterMeta(fi)
+	// The restored region shares chunks with the checkpoint: writes must
+	// go copy-on-write immediately.
+	c.cc.ArmCOW(newName)
+	return &Region{c: c, name: newName, size: layout.Size}, nil
+}
+
+// DeleteCheckpoint removes a checkpoint file; chunks shared with live
+// variables or other checkpoints survive.
+func (c *Client) DeleteCheckpoint(p *simtime.Proc, name string) error {
+	if c.cc == nil {
+		return errors.New("core: this configuration has no NVM store (DRAM-only)")
+	}
+	c.cc.Drop(name)
+	return c.cc.Store().Delete(p, name)
+}
+
+// DrainToPFS streams a checkpoint (or any store file) to the parallel file
+// system in the background — the paper's staging pattern where the fast
+// NVM store absorbs the checkpoint and drains to disk asynchronously. The
+// returned WaitGroup completes when the drain finishes.
+func (c *Client) DrainToPFS(name string, pfsName string) (*simtime.WaitGroup, error) {
+	if c.cc == nil {
+		return nil, errors.New("core: this configuration has no NVM store (DRAM-only)")
+	}
+	store := c.cc.Store()
+	wg := &simtime.WaitGroup{}
+	wg.Add(1)
+	pr := c.m.Eng.Go("drain "+name, func(p *simtime.Proc) {
+		fi, err := store.Lookup(p, name)
+		if err != nil {
+			return
+		}
+		c.m.PFS.Create(p, pfsName)
+		buf := make([]byte, c.m.Prof.ChunkSize)
+		for i, ref := range fi.Chunks {
+			data, err := store.GetChunk(p, ref)
+			if err != nil {
+				return
+			}
+			copy(buf, data)
+			n := int64(len(buf))
+			off := int64(i) * c.m.Prof.ChunkSize
+			if off+n > fi.Size {
+				n = fi.Size - off
+			}
+			if n <= 0 {
+				break
+			}
+			if err := c.m.PFS.WriteAt(p, pfsName, off, buf[:n]); err != nil {
+				return
+			}
+		}
+	})
+	pr.OnDone(func() { wg.Done(pr) })
+	return wg, nil
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/fusecache"
+	"nvmalloc/internal/proto"
+	"nvmalloc/internal/simtime"
+)
+
+// Client is the per-rank NVMalloc handle: ssdmalloc/ssdfree/ssdcheckpoint
+// live here. Ranks on the same node share the node's FUSE chunk cache;
+// each rank owns a private page cache (its "kernel page cache").
+type Client struct {
+	m    *Machine
+	rank int
+	node *cluster.Node
+	cc   *fusecache.ChunkCache
+	pc   *fusecache.PageCache
+	seq  int
+}
+
+// Rank returns the client's application rank.
+func (c *Client) Rank() int { return c.rank }
+
+// Node returns the cluster node the client runs on.
+func (c *Client) Node() *cluster.Node { return c.node }
+
+// Machine returns the machine the client belongs to.
+func (c *Client) Machine() *Machine { return c.m }
+
+// PageCache exposes the rank's page cache (for stats).
+func (c *Client) PageCache() *fusecache.PageCache { return c.pc }
+
+// ChunkCache exposes the node's FUSE cache (for stats).
+func (c *Client) ChunkCache() *fusecache.ChunkCache { return c.cc }
+
+// allocCfg collects Malloc options.
+type allocCfg struct {
+	name   string
+	shared bool
+}
+
+// AllocOption customizes Malloc.
+type AllocOption func(*allocCfg)
+
+// WithName gives the backing store file an explicit name, making the
+// variable nameable across ranks (shared mappings) and across application
+// runs (persistent variables, the lifetime extension of §III-C).
+func WithName(name string) AllocOption {
+	return func(a *allocCfg) { a.name = name }
+}
+
+// Shared requests the paper's shared-mapping mode: every rank that
+// allocates the same name — across all nodes — maps one backing file,
+// saving storage space, I/O and network traffic (Fig. 4). The first
+// allocator creates the file; the rest attach. Writers must Sync before
+// readers on other nodes observe their data (mmap MAP_SHARED across nodes
+// offers no stronger coherence either).
+func Shared() AllocOption {
+	return func(a *allocCfg) { a.shared = true }
+}
+
+// Region is a memory region allocated from the aggregate NVM store — the
+// nvmvar of the paper. All accesses flow through the rank's page cache and
+// the node's FUSE chunk cache, exactly like mmap traffic over FUSE.
+type Region struct {
+	c      *Client
+	name   string
+	size   int64
+	shared bool
+	freed  bool
+	s      AppStats
+}
+
+// Malloc allocates size bytes from the aggregate NVM store (ssdmalloc).
+// The client need not know where the backing chunks live; local and remote
+// benefactors are transparent.
+func (c *Client) Malloc(p *simtime.Proc, size int64, opts ...AllocOption) (*Region, error) {
+	if c.cc == nil {
+		return nil, errors.New("core: this configuration has no NVM store (DRAM-only)")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("core: ssdmalloc of %d bytes", size)
+	}
+	var a allocCfg
+	for _, o := range opts {
+		o(&a)
+	}
+	name := a.name
+	switch {
+	case a.shared:
+		if name == "" {
+			return nil, errors.New("core: shared allocation requires WithName")
+		}
+	case name == "":
+		c.seq++
+		name = fmt.Sprintf("nvmvar.r%d.%d", c.rank, c.seq)
+	}
+	fi, err := c.cc.Store().Create(p, name, size)
+	switch {
+	case err == nil && !a.shared:
+		// Private file: its chunks are known-zero to this node until we
+		// write them, so the cache can write-allocate without fetching.
+		// Shared files cannot use this — a rank on another node may write
+		// a chunk at any time, invalidating the known-zero assumption.
+		c.cc.MarkFresh(fi)
+	case err == nil:
+		c.cc.RegisterMeta(fi)
+	case errors.Is(err, proto.ErrFileExists) && a.shared:
+		// Another rank created the shared mapping first; attach.
+		if fi, err = c.cc.Store().Lookup(p, name); err != nil {
+			return nil, err
+		}
+		c.cc.RegisterMeta(fi)
+	default:
+		return nil, err
+	}
+	return &Region{c: c, name: name, size: size, shared: a.shared}, nil
+}
+
+// Attach opens an existing named variable (persistent variables shared
+// between jobs of a workflow, §III-C).
+func (c *Client) Attach(p *simtime.Proc, name string) (*Region, error) {
+	if c.cc == nil {
+		return nil, errors.New("core: this configuration has no NVM store (DRAM-only)")
+	}
+	fi, err := c.cc.Store().Lookup(p, name)
+	if err != nil {
+		return nil, err
+	}
+	c.cc.RegisterMeta(fi)
+	return &Region{c: c, name: name, size: fi.Size, shared: true}, nil
+}
+
+// Name implements Buffer.
+func (r *Region) Name() string { return r.name }
+
+// Size implements Buffer.
+func (r *Region) Size() int64 { return r.size }
+
+// Shared reports whether this is a shared mapping.
+func (r *Region) Shared() bool { return r.shared }
+
+func (r *Region) check(off, n int64) error {
+	if r.freed {
+		return fmt.Errorf("core: use of freed region %q", r.name)
+	}
+	if off < 0 || off+n > r.size {
+		return fmt.Errorf("core: access [%d,%d) outside region %q of %d bytes", off, off+n, r.name, r.size)
+	}
+	return nil
+}
+
+// ReadAt implements Buffer: a byte-addressable load served through the
+// page and chunk caches.
+func (r *Region) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
+	if err := r.check(off, int64(len(buf))); err != nil {
+		return err
+	}
+	r.s.Reads++
+	r.s.ReadBytes += int64(len(buf))
+	return r.c.pc.Read(p, r.name, off, buf)
+}
+
+// WriteAt implements Buffer.
+func (r *Region) WriteAt(p *simtime.Proc, off int64, data []byte) error {
+	if err := r.check(off, int64(len(data))); err != nil {
+		return err
+	}
+	r.s.Writes++
+	r.s.WriteBytes += int64(len(data))
+	return r.c.pc.Write(p, r.name, off, data)
+}
+
+// Sync implements Buffer: dirty pages reach the FUSE layer, dirty chunks
+// reach the benefactors (msync + fsync semantics).
+func (r *Region) Sync(p *simtime.Proc) error {
+	if r.freed {
+		return fmt.Errorf("core: sync of freed region %q", r.name)
+	}
+	return r.c.pc.Sync(p, r.name, true)
+}
+
+// Free implements Buffer (ssdfree): the mapping is dropped and the backing
+// file deleted. Chunks still referenced by a checkpoint survive (§III-E);
+// everything else is physically released. Freeing a shared mapping deletes
+// the per-node file — callers coordinate, as with any shared resource.
+func (r *Region) Free(p *simtime.Proc) error {
+	if r.freed {
+		return fmt.Errorf("core: double free of region %q", r.name)
+	}
+	r.freed = true
+	r.c.pc.Drop(r.name)
+	r.c.cc.Drop(r.name)
+	err := r.c.cc.Store().Delete(p, r.name)
+	if errors.Is(err, proto.ErrNoSuchFile) && r.shared {
+		return nil // another rank freed the shared mapping first
+	}
+	return err
+}
+
+// ttlSetter is implemented by store clients that support variable
+// lifetimes.
+type ttlSetter interface {
+	SetTTL(p *simtime.Proc, name string, expiresAt time.Duration) error
+}
+
+// SetLifetime gives the variable a lifetime of d from now (§III-C: a
+// persistent variable outliving its job is reclaimed automatically once
+// its lifetime passes — workflow data sharing without leaks). The store's
+// expiry sweep performs the reclamation.
+func (r *Region) SetLifetime(p *simtime.Proc, d time.Duration) error {
+	if r.freed {
+		return fmt.Errorf("core: lifetime on freed region %q", r.name)
+	}
+	ts, ok := r.c.cc.Store().(ttlSetter)
+	if !ok {
+		return errors.New("core: this store does not support lifetimes")
+	}
+	return ts.SetTTL(p, r.name, time.Duration(p.Now())+d)
+}
+
+// Detach drops the rank's caches for the region without deleting the
+// backing file — the variable persists on the store for a later Attach
+// (possibly by a different job).
+func (r *Region) Detach(p *simtime.Proc) error {
+	if r.freed {
+		return fmt.Errorf("core: detach of freed region %q", r.name)
+	}
+	if err := r.Sync(p); err != nil {
+		return err
+	}
+	r.freed = true
+	r.c.pc.Drop(r.name)
+	return nil
+}
+
+// AppStats implements Buffer.
+func (r *Region) AppStats() AppStats { return r.s }

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/manager"
+	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/sysprof"
+)
+
+func newMachine(t *testing.T, cfg cluster.Config) *Machine {
+	t.Helper()
+	e := simtime.NewEngine()
+	m, err := NewMachine(e, sysprof.Bench(), cfg, manager.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func localCfg() cluster.Config {
+	return cluster.Config{Mode: cluster.LocalSSD, ProcsPerNode: 8, ComputeNodes: 16, Benefactors: 16}
+}
+
+func run(t *testing.T, m *Machine, fn func(p *simtime.Proc)) {
+	t.Helper()
+	m.Eng.Go("test", fn)
+	m.Eng.Run()
+}
+
+func TestMallocWriteReadFree(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		r, err := c.Malloc(p, 3*m.Prof.ChunkSize+100)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		v := Float64s(r)
+		for i := int64(0); i < 32; i++ {
+			if err := v.Store(p, i, float64(i)*1.5); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for i := int64(0); i < 32; i++ {
+			x, err := v.Load(p, i)
+			if err != nil || x != float64(i)*1.5 {
+				t.Errorf("elem %d = %v err %v", i, x, err)
+				return
+			}
+		}
+		if err := r.Free(p); err != nil {
+			t.Error(err)
+		}
+		if err := r.Free(p); err == nil {
+			t.Error("double free not caught")
+		}
+	})
+	if m.Eng.Now() == 0 {
+		t.Fatal("NVM accesses must consume virtual time")
+	}
+}
+
+func TestVectorViews(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		r, _ := c.Malloc(p, 8*1024)
+		v := Float64s(r)
+		src := make([]float64, 100)
+		for i := range src {
+			src[i] = float64(i) * 0.25
+		}
+		if err := v.StoreVec(p, 17, src); err != nil {
+			t.Error(err)
+			return
+		}
+		dst := make([]float64, 100)
+		if err := v.LoadVec(p, 17, dst); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range src {
+			if dst[i] != src[i] {
+				t.Errorf("vec elem %d = %v, want %v", i, dst[i], src[i])
+				return
+			}
+		}
+		iv := Int64s(r)
+		if err := iv.StoreVec(p, 500, []int64{-1, 2, -3}); err != nil {
+			t.Error(err)
+			return
+		}
+		got := make([]int64, 3)
+		iv.LoadVec(p, 500, got)
+		if got[0] != -1 || got[2] != -3 {
+			t.Errorf("int64 vec = %v", got)
+		}
+	})
+}
+
+func TestSharedMappingOneGlobalFile(t *testing.T) {
+	m := newMachine(t, localCfg())
+	run(t, m, func(p *simtime.Proc) {
+		// Ranks 0 and 1 share node 0; rank 8 is on node 1.
+		r0, err := m.NewClient(0).Malloc(p, 4*m.Prof.ChunkSize, WithName("B"), Shared())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r1, err := m.NewClient(1).Malloc(p, 4*m.Prof.ChunkSize, WithName("B"), Shared())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r8, err := m.NewClient(8).Malloc(p, 4*m.Prof.ChunkSize, WithName("B"), Shared())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if r0.Name() != r1.Name() || r0.Name() != r8.Name() {
+			t.Errorf("shared mappings differ: %q / %q / %q", r0.Name(), r1.Name(), r8.Name())
+		}
+		// Writes by rank 0 are visible to a same-node rank immediately
+		// (shared node cache)...
+		want := []byte("shared-data")
+		r0.WriteAt(p, 128, want)
+		got := make([]byte, len(want))
+		r1.ReadAt(p, 128, got)
+		if !bytes.Equal(got, want) {
+			t.Error("shared mapping not coherent within a node")
+		}
+		// ...and to other nodes after a Sync.
+		if err := r0.Sync(p); err != nil {
+			t.Error(err)
+			return
+		}
+		got8 := make([]byte, len(want))
+		r8.ReadAt(p, 128, got8)
+		if !bytes.Equal(got8, want) {
+			t.Error("shared mapping not visible across nodes after sync")
+		}
+	})
+}
+
+func TestIndividualMappingsBurnMoreStoreSpace(t *testing.T) {
+	m := newMachine(t, localCfg())
+	run(t, m, func(p *simtime.Proc) {
+		size := 4 * m.Prof.ChunkSize
+		for rank := 0; rank < 4; rank++ {
+			if _, err := m.NewClient(rank).Malloc(p, size); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if got := m.Store.Mgr.TotalChunks(); got != 16 {
+		t.Fatalf("individual mappings allocated %d chunks, want 16", got)
+	}
+
+	m2 := newMachine(t, localCfg())
+	run(t, m2, func(p *simtime.Proc) {
+		size := 4 * m2.Prof.ChunkSize
+		for rank := 0; rank < 32; rank += 8 { // one rank on each of 4 nodes
+			if _, err := m2.NewClient(rank).Malloc(p, size, WithName("B"), Shared()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if got := m2.Store.Mgr.TotalChunks(); got != 4 {
+		t.Fatalf("global shared mapping allocated %d chunks, want 4", got)
+	}
+}
+
+func TestDRAMBufferAccountsMemory(t *testing.T) {
+	m := newMachine(t, localCfg())
+	node := m.Cluster.Nodes[0]
+	avail := m.Prof.AvailableDRAM()
+	b, err := NewDRAM(node, "a", avail-1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDRAM(node, "b", 2048); err == nil {
+		t.Fatal("DRAM overcommit must fail — it is what forces out-of-core")
+	}
+	run(t, m, func(p *simtime.Proc) {
+		b.Free(p)
+	})
+	if node.DRAMUsed() != 0 {
+		t.Fatal("free did not release DRAM")
+	}
+}
+
+func TestCheckpointLinksWithoutCopy(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		r, _ := c.Malloc(p, 4*m.Prof.ChunkSize, WithName("var"))
+		payload := bytes.Repeat([]byte{0xAA}, int(r.Size()))
+		r.WriteAt(p, 0, payload)
+
+		chunksBefore := m.Store.Mgr.TotalChunks()
+		dram := bytes.Repeat([]byte{0x11}, int(2*m.Prof.ChunkSize))
+		info, err := c.Checkpoint(p, "ckpt.t0", dram, r)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Only the DRAM dump allocated chunks; the variable was linked.
+		if got := m.Store.Mgr.TotalChunks() - chunksBefore; got != info.DRAMChunks {
+			t.Errorf("checkpoint allocated %d chunks, want %d (DRAM only)", got, info.DRAMChunks)
+		}
+		if info.LinkedChunks != 4 {
+			t.Errorf("linked %d chunks, want 4", info.LinkedChunks)
+		}
+		// Post-checkpoint writes must not disturb the checkpoint (COW).
+		r.WriteAt(p, 0, bytes.Repeat([]byte{0xBB}, 256))
+		r.Sync(p)
+		got := make([]byte, 256)
+		start := int64(info.Regions[0].ChunkStart) * m.Prof.ChunkSize
+		c.cc.Drop("ckpt.t0") // force a store read
+		if err := c.cc.ReadRange(p, "ckpt.t0", start, got); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, x := range got {
+			if x != 0xAA {
+				t.Error("checkpoint content changed by post-checkpoint write")
+				return
+			}
+		}
+		// The variable itself sees the new data.
+		vg := make([]byte, 256)
+		r.ReadAt(p, 0, vg)
+		if vg[0] != 0xBB {
+			t.Error("variable lost post-checkpoint write")
+		}
+	})
+}
+
+func TestIncrementalCheckpointSharesUnmodifiedChunks(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		r, _ := c.Malloc(p, 8*m.Prof.ChunkSize, WithName("var"))
+		r.WriteAt(p, 0, bytes.Repeat([]byte{1}, int(r.Size())))
+		if _, err := c.Checkpoint(p, "ck.t0", nil, r); err != nil {
+			t.Error(err)
+			return
+		}
+		after0 := m.Store.Mgr.TotalChunks()
+		// Modify only chunk 3.
+		r.WriteAt(p, 3*m.Prof.ChunkSize+10, []byte{9, 9, 9})
+		if _, err := c.Checkpoint(p, "ck.t1", nil, r); err != nil {
+			t.Error(err)
+			return
+		}
+		// Exactly one new chunk: the COW copy of chunk 3. Checkpoint t1
+		// shares the other 7 with t0 and the live variable.
+		if got := m.Store.Mgr.TotalChunks() - after0; got != 1 {
+			t.Errorf("incremental checkpoint allocated %d chunks, want 1", got)
+		}
+	})
+}
+
+func TestRestoreRegionFromCheckpoint(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		r, _ := c.Malloc(p, 2*m.Prof.ChunkSize, WithName("var"))
+		want := bytes.Repeat([]byte{0x77}, int(r.Size()))
+		r.WriteAt(p, 0, want)
+		dram := []byte("process state blob")
+		info, err := c.Checkpoint(p, "ck", dram, r)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Simulate failure: the variable is gone.
+		r.Free(p)
+
+		// Restart: recover DRAM state and the variable.
+		gotDRAM := make([]byte, len(dram))
+		if err := c.ReadCheckpointDRAM(p, "ck", gotDRAM); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(gotDRAM, dram) {
+			t.Error("DRAM state corrupted")
+		}
+		chunksBefore := m.Store.Mgr.TotalChunks()
+		r2, err := c.RestoreRegion(p, "ck", info.Regions[0], "var.restored")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if m.Store.Mgr.TotalChunks() != chunksBefore {
+			t.Error("restore must not copy chunks")
+		}
+		got := make([]byte, r2.Size())
+		r2.ReadAt(p, 0, got)
+		if !bytes.Equal(got, want) {
+			t.Error("restored region content wrong")
+		}
+		// Writing the restored region must not corrupt the checkpoint.
+		r2.WriteAt(p, 0, []byte{0x01})
+		r2.Sync(p)
+		ck := make([]byte, 1)
+		c.cc.Drop("ck")
+		c.cc.ReadRange(p, "ck", int64(info.Regions[0].ChunkStart)*m.Prof.ChunkSize, ck)
+		if ck[0] != 0x77 {
+			t.Error("restored-region write leaked into checkpoint")
+		}
+	})
+}
+
+func TestAttachDetachPersistence(t *testing.T) {
+	m := newMachine(t, localCfg())
+	run(t, m, func(p *simtime.Proc) {
+		producer := m.NewClient(0)
+		r, err := producer.Malloc(p, m.Prof.ChunkSize, WithName("workflow.stage1"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r.WriteAt(p, 0, []byte("in-situ analysis input"))
+		if err := r.Detach(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// A different rank (a later job in the workflow) attaches.
+		consumer := m.NewClient(9)
+		r2, err := consumer.Attach(p, "workflow.stage1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got := make([]byte, 22)
+		r2.ReadAt(p, 0, got)
+		if string(got) != "in-situ analysis input" {
+			t.Errorf("attached data = %q", got)
+		}
+		r2.Free(p)
+	})
+}
+
+func TestDrainToPFS(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		r, _ := c.Malloc(p, 2*m.Prof.ChunkSize, WithName("var"))
+		r.WriteAt(p, 0, bytes.Repeat([]byte{5}, int(r.Size())))
+		info, _ := c.Checkpoint(p, "ck", []byte("dram"), r)
+		_ = info
+		wg, err := c.DrainToPFS("ck", "scratch/ck")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wg.Wait(p)
+		size, err := m.PFS.Size("scratch/ck")
+		if err != nil || size == 0 {
+			t.Errorf("drained file size %d err %v", size, err)
+		}
+		buf := make([]byte, 4)
+		m.PFS.ReadAt(p, "scratch/ck", 0, buf)
+		if string(buf) != "dram" {
+			t.Errorf("PFS copy corrupt: %q", buf)
+		}
+	})
+}
+
+func TestDRAMOnlyMachineRejectsMalloc(t *testing.T) {
+	m := newMachine(t, cluster.Config{Mode: cluster.DRAMOnly, ProcsPerNode: 2, ComputeNodes: 16})
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		if _, err := c.Malloc(p, 1024); err == nil {
+			t.Error("Malloc must fail without an NVM store")
+		}
+	})
+}
+
+// Property: a Region and a DRAMBuffer given the same random operation
+// sequence end up byte-identical (the Buffer abstraction is placement-
+// transparent, the paper's central usability claim).
+func TestRegionMatchesDRAMProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewMachine(simtime.NewEngine(), sysprof.Bench(), localCfg(), manager.RoundRobin)
+		if err != nil {
+			return false
+		}
+		ok := true
+		m.Eng.Go("t", func(p *simtime.Proc) {
+			c := m.NewClient(0)
+			size := 3 * m.Prof.ChunkSize
+			r, err := c.Malloc(p, size)
+			if err != nil {
+				ok = false
+				return
+			}
+			d, err := NewDRAM(m.Cluster.Nodes[0], "ref", size)
+			if err != nil {
+				ok = false
+				return
+			}
+			for op := 0; op < 60; op++ {
+				off := rng.Int63n(size - 1)
+				n := rng.Int63n(min64(1025, size-off)) + 1
+				if rng.Intn(2) == 0 {
+					data := make([]byte, n)
+					rng.Read(data)
+					if r.WriteAt(p, off, data) != nil || d.WriteAt(p, off, data) != nil {
+						ok = false
+						return
+					}
+				} else {
+					g1 := make([]byte, n)
+					g2 := make([]byte, n)
+					if r.ReadAt(p, off, g1) != nil || d.ReadAt(p, off, g2) != nil {
+						ok = false
+						return
+					}
+					if !bytes.Equal(g1, g2) {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		m.Eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

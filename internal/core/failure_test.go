@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nvmalloc/internal/proto"
+	"nvmalloc/internal/simtime"
+)
+
+// TestBenefactorDeathSurfacesErrors injects a benefactor failure and
+// checks that uncached reads fail cleanly with the sentinel error rather
+// than hanging or corrupting data.
+func TestBenefactorDeathSurfacesErrors(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		r, err := c.Malloc(p, 8*m.Prof.ChunkSize, WithName("v"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		data := make([]byte, r.Size())
+		for i := range data {
+			data[i] = byte(i)
+		}
+		r.WriteAt(p, 0, data)
+		r.Sync(p)
+		c.pc.Drop("v") // drop the page cache...
+		c.cc.Drop("v") // ...and the chunk cache, forcing store reads
+
+		// Kill the benefactor holding chunk 0.
+		fi, _ := c.cc.Store().Lookup(p, "v")
+		m.Store.Kill(fi.Chunks[0].Benefactor)
+
+		buf := make([]byte, 16)
+		err = r.ReadAt(p, 0, buf)
+		if !errors.Is(err, proto.ErrBenefactorDead) {
+			t.Errorf("read from dead benefactor: %v, want ErrBenefactorDead", err)
+		}
+
+		// Chunks on surviving benefactors remain readable.
+		var okChunk int = -1
+		for i, ref := range fi.Chunks {
+			if ref.Benefactor != fi.Chunks[0].Benefactor {
+				okChunk = i
+				break
+			}
+		}
+		if okChunk < 0 {
+			t.Error("test needs striping across >1 benefactor")
+			return
+		}
+		if err := r.ReadAt(p, int64(okChunk)*m.Prof.ChunkSize, buf); err != nil {
+			t.Errorf("surviving chunk unreadable: %v", err)
+		}
+
+		// Revival restores access.
+		m.Store.Revive(fi.Chunks[0].Benefactor)
+		if err := r.ReadAt(p, 0, buf); err != nil {
+			t.Errorf("read after revival: %v", err)
+		}
+		if buf[0] != 0 || buf[1] != 1 {
+			t.Error("data corrupted across failure")
+		}
+	})
+}
+
+// TestManagerAvoidsDeadBenefactorForNewAllocations checks that after a
+// failure, new variables land only on live benefactors.
+func TestManagerAvoidsDeadBenefactorForNewAllocations(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		m.Store.Kill(3)
+		r, err := c.Malloc(p, 32*m.Prof.ChunkSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fi, _ := c.cc.Store().Lookup(p, r.Name())
+		for _, ref := range fi.Chunks {
+			if ref.Benefactor == 3 {
+				t.Error("chunk placed on dead benefactor")
+				return
+			}
+		}
+	})
+}
+
+// TestHeartbeatTimeoutDetection drives the manager's sweep directly with
+// virtual timestamps.
+func TestHeartbeatTimeoutDetection(t *testing.T) {
+	m := newMachine(t, localCfg())
+	mgr := m.Store.Mgr
+	mgr.HeartbeatTimeout = 3 * time.Second
+	for _, id := range m.Store.Benefactors() {
+		mgr.Heartbeat(id, 0, time.Second)
+	}
+	// Benefactor 7 goes silent.
+	for _, id := range m.Store.Benefactors() {
+		if id != 7 {
+			mgr.Heartbeat(id, 0, 6*time.Second)
+		}
+	}
+	died := mgr.Sweep(7 * time.Second)
+	if len(died) != 1 || died[0] != 7 {
+		t.Fatalf("sweep found %v, want [7]", died)
+	}
+	if mgr.Alive(7) {
+		t.Fatal("7 should be dead")
+	}
+}
+
+// TestCheckpointSurvivesVariableLossAfterFailure: the restart story —
+// after the variable's node dies, the checkpoint (on surviving
+// benefactors) still restores.
+func TestCheckpointChunksIndependentOfClientFailure(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		r, _ := c.Malloc(p, 2*m.Prof.ChunkSize, WithName("v"))
+		r.WriteAt(p, 0, []byte{42})
+		info, err := c.Checkpoint(p, "ck", []byte("s"), r)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// The "client" crashes: drop every cache, attach from another rank
+		// on a different node.
+		c.cc.Drop("v")
+		c.cc.Drop("ck")
+		other := m.NewClient(9)
+		r2, err := other.RestoreRegion(p, "ck", info.Regions[0], "v2")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got := make([]byte, 1)
+		r2.ReadAt(p, 0, got)
+		if got[0] != 42 {
+			t.Error("restore after client failure lost data")
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nvmalloc/internal/proto"
+	"nvmalloc/internal/simtime"
+)
+
+// TestVariableLifetimeExpiry: a detached persistent variable with a
+// lifetime is reclaimed by the expiry sweep; one without persists.
+func TestVariableLifetimeExpiry(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		short, err := c.Malloc(p, m.Prof.ChunkSize, WithName("ephemeral"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		short.WriteAt(p, 0, []byte{1})
+		if err := short.SetLifetime(p, 10*time.Millisecond); err != nil {
+			t.Error(err)
+			return
+		}
+		short.Detach(p)
+
+		forever, _ := c.Malloc(p, m.Prof.ChunkSize, WithName("durable"))
+		forever.WriteAt(p, 0, []byte{2})
+		forever.Detach(p)
+
+		// Before the deadline both exist.
+		if expired, _ := m.Store.ExpireSweep(p); len(expired) != 0 {
+			t.Errorf("premature expiry: %v", expired)
+		}
+		p.Sleep(20 * time.Millisecond)
+		expired, err := m.Store.ExpireSweep(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(expired) != 1 || expired[0] != "ephemeral" {
+			t.Errorf("expired = %v, want [ephemeral]", expired)
+		}
+		if _, err := c.Attach(p, "ephemeral"); !errors.Is(err, proto.ErrNoSuchFile) {
+			t.Errorf("attach to expired variable: %v", err)
+		}
+		if _, err := c.Attach(p, "durable"); err != nil {
+			t.Errorf("durable variable lost: %v", err)
+		}
+	})
+	// Space from the expired variable is back.
+	total := int64(0)
+	for _, id := range m.Store.Benefactors() {
+		total += m.Store.Benefactor(id).Used()
+	}
+	if total != m.Prof.ChunkSize {
+		t.Fatalf("store holds %d bytes, want exactly the durable variable's chunk", total)
+	}
+}
+
+// TestLifetimeOnFreedRegionRejected guards the API.
+func TestLifetimeOnFreedRegionRejected(t *testing.T) {
+	m := newMachine(t, localCfg())
+	c := m.NewClient(0)
+	run(t, m, func(p *simtime.Proc) {
+		r, _ := c.Malloc(p, m.Prof.ChunkSize)
+		r.Free(p)
+		if err := r.SetLifetime(p, time.Second); err == nil {
+			t.Error("lifetime on freed region accepted")
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/fusecache"
+	"nvmalloc/internal/manager"
+	"nvmalloc/internal/pfs"
+	"nvmalloc/internal/simstore"
+	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/sysprof"
+)
+
+// Machine wires the full simulated system for one run configuration: the
+// cluster, the aggregate NVM store with benefactors placed per the
+// configuration (local or remote to the compute partition), the shared
+// PFS, and the per-node FUSE caches.
+type Machine struct {
+	Eng     *simtime.Engine
+	Prof    sysprof.Profile
+	Cfg     cluster.Config
+	Cluster *cluster.Cluster
+	Store   *simstore.Store // nil in DRAM-only configurations
+	PFS     *pfs.PFS
+
+	ccs map[int]*fusecache.ChunkCache
+}
+
+// NewMachine builds a machine for cfg on a cluster described by prof.
+func NewMachine(e *simtime.Engine, prof sysprof.Profile, cfg cluster.Config, policy manager.PlacementPolicy) (*Machine, error) {
+	if err := cfg.Validate(prof.Nodes); err != nil {
+		return nil, err
+	}
+	// The FUSE chunk cache and the per-process page caches live in the
+	// node's system reserve (the paper mlock()s application memory and
+	// leaves 1.25 GB "for the system, including the file system
+	// cache/buffer").
+	sysNeed := prof.FUSECacheSize + int64(cfg.ProcsPerNode)*prof.PageCacheSize
+	if cfg.Mode != cluster.DRAMOnly && sysNeed > prof.SystemReserve {
+		return nil, fmt.Errorf("core: FUSE cache %d + %d page caches of %d exceed the system reserve %d",
+			prof.FUSECacheSize, cfg.ProcsPerNode, prof.PageCacheSize, prof.SystemReserve)
+	}
+	m := &Machine{
+		Eng:     e,
+		Prof:    prof,
+		Cfg:     cfg,
+		Cluster: cluster.New(e, prof),
+		PFS:     pfs.New(e, prof.PFSAggregateBW, prof.PFSOpenLatency),
+		ccs:     make(map[int]*fusecache.ChunkCache),
+	}
+	if cfg.Mode != cluster.DRAMOnly {
+		benNodes := cfg.BenefactorNodeIDs()
+		contribution := m.ssdContribution()
+		m.Store = simstore.New(m.Cluster, benNodes[0], benNodes, contribution, policy)
+		if prof.Replication > 1 {
+			m.Store.Mgr.Replication = prof.Replication
+		}
+	}
+	return m, nil
+}
+
+// ssdContribution returns how much SSD space each benefactor contributes:
+// the device capacity scaled with the profile, floored at 16 chunks.
+func (m *Machine) ssdContribution() int64 {
+	c := int64(float64(m.Prof.SSD.Capacity()) * m.Prof.Scale)
+	if min := 16 * m.Prof.ChunkSize; c < min {
+		c = min
+	}
+	return c
+}
+
+// ChunkCache returns (lazily creating) the FUSE-layer cache of a node.
+func (m *Machine) ChunkCache(node int) *fusecache.ChunkCache {
+	if m.Store == nil {
+		panic("core: DRAM-only machine has no NVM store")
+	}
+	cc, ok := m.ccs[node]
+	if !ok {
+		cc = fusecache.NewChunkCache(m.Eng, m.Store.Client(node), fusecache.Config{
+			ChunkSize:       m.Prof.ChunkSize,
+			PageSize:        m.Prof.PageSize,
+			CacheBytes:      m.Prof.FUSECacheSize,
+			ReadAheadChunks: m.Prof.ReadAheadChunks,
+			WriteFullChunks: m.Prof.WriteFullChunks,
+			FuseConcurrency: m.Prof.FuseConcurrency,
+		})
+		m.ccs[node] = cc
+	}
+	return cc
+}
+
+// Node returns the cluster node hosting a rank.
+func (m *Machine) Node(rank int) *cluster.Node {
+	return m.Cluster.Nodes[m.Cfg.RankNode(rank)]
+}
+
+// NewClient creates the NVMalloc client for one application rank.
+func (m *Machine) NewClient(rank int) *Client {
+	node := m.Node(rank)
+	c := &Client{m: m, rank: rank, node: node}
+	if m.Store != nil {
+		c.cc = m.ChunkCache(node.ID)
+		c.pc = fusecache.NewPageCache(c.cc, m.Prof.PageCacheSize)
+	}
+	return c
+}
+
+// CacheStats sums the FUSE-layer counters across all nodes.
+func (m *Machine) CacheStats() fusecache.Stats {
+	var total fusecache.Stats
+	for node := 0; node < m.Prof.Nodes; node++ {
+		cc, ok := m.ccs[node]
+		if !ok {
+			continue
+		}
+		s := cc.Stats()
+		total.FuseReadBytes += s.FuseReadBytes
+		total.FuseWriteBytes += s.FuseWriteBytes
+		total.SSDReadBytes += s.SSDReadBytes
+		total.SSDWriteBytes += s.SSDWriteBytes
+		total.PrefetchBytes += s.PrefetchBytes
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Waits += s.Waits
+		total.Evictions += s.Evictions
+		total.DirtyEvictions += s.DirtyEvictions
+		total.Remaps += s.Remaps
+		total.Flushes += s.Flushes
+	}
+	return total
+}
+
+// ResetCacheStats zeroes every node's FUSE-layer counters.
+func (m *Machine) ResetCacheStats() {
+	for _, cc := range m.ccs {
+		cc.ResetStats()
+	}
+}

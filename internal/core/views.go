@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"nvmalloc/internal/simtime"
+)
+
+// Float64View presents a Buffer as a dense float64 array — the typed
+// accessor applications use in place of `double *nvmvar = ssdmalloc(...)`.
+// Element loads/stores are byte-addressable accesses that fault pages like
+// mmap would; the vector operations move contiguous runs and are the
+// idiomatic way to stream tiles.
+type Float64View struct {
+	b       Buffer
+	scratch []byte
+}
+
+// Float64s wraps b as a float64 array view.
+func Float64s(b Buffer) *Float64View { return &Float64View{b: b} }
+
+// Buffer returns the underlying buffer.
+func (v *Float64View) Buffer() Buffer { return v.b }
+
+// Len returns the element count.
+func (v *Float64View) Len() int64 { return v.b.Size() / 8 }
+
+func (v *Float64View) grow(n int) []byte {
+	if cap(v.scratch) < n {
+		v.scratch = make([]byte, n)
+	}
+	return v.scratch[:n]
+}
+
+// Load returns element i.
+func (v *Float64View) Load(p *simtime.Proc, i int64) (float64, error) {
+	buf := v.grow(8)
+	if err := v.b.ReadAt(p, i*8, buf); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf)), nil
+}
+
+// Store writes element i.
+func (v *Float64View) Store(p *simtime.Proc, i int64, x float64) error {
+	buf := v.grow(8)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+	return v.b.WriteAt(p, i*8, buf)
+}
+
+// LoadVec fills dst with elements [i, i+len(dst)).
+func (v *Float64View) LoadVec(p *simtime.Proc, i int64, dst []float64) error {
+	buf := v.grow(len(dst) * 8)
+	if err := v.b.ReadAt(p, i*8, buf); err != nil {
+		return err
+	}
+	for k := range dst {
+		dst[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[k*8:]))
+	}
+	return nil
+}
+
+// StoreVec writes src to elements [i, i+len(src)).
+func (v *Float64View) StoreVec(p *simtime.Proc, i int64, src []float64) error {
+	buf := v.grow(len(src) * 8)
+	for k, x := range src {
+		binary.LittleEndian.PutUint64(buf[k*8:], math.Float64bits(x))
+	}
+	return v.b.WriteAt(p, i*8, buf)
+}
+
+// Int64View presents a Buffer as a dense int64 array (the sort workload's
+// element type).
+type Int64View struct {
+	b       Buffer
+	scratch []byte
+}
+
+// Int64s wraps b as an int64 array view.
+func Int64s(b Buffer) *Int64View { return &Int64View{b: b} }
+
+// Buffer returns the underlying buffer.
+func (v *Int64View) Buffer() Buffer { return v.b }
+
+// Len returns the element count.
+func (v *Int64View) Len() int64 { return v.b.Size() / 8 }
+
+func (v *Int64View) grow(n int) []byte {
+	if cap(v.scratch) < n {
+		v.scratch = make([]byte, n)
+	}
+	return v.scratch[:n]
+}
+
+// Load returns element i.
+func (v *Int64View) Load(p *simtime.Proc, i int64) (int64, error) {
+	buf := v.grow(8)
+	if err := v.b.ReadAt(p, i*8, buf); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf)), nil
+}
+
+// Store writes element i.
+func (v *Int64View) Store(p *simtime.Proc, i int64, x int64) error {
+	buf := v.grow(8)
+	binary.LittleEndian.PutUint64(buf, uint64(x))
+	return v.b.WriteAt(p, i*8, buf)
+}
+
+// LoadVec fills dst with elements [i, i+len(dst)).
+func (v *Int64View) LoadVec(p *simtime.Proc, i int64, dst []int64) error {
+	buf := v.grow(len(dst) * 8)
+	if err := v.b.ReadAt(p, i*8, buf); err != nil {
+		return err
+	}
+	for k := range dst {
+		dst[k] = int64(binary.LittleEndian.Uint64(buf[k*8:]))
+	}
+	return nil
+}
+
+// StoreVec writes src to elements [i, i+len(src)).
+func (v *Int64View) StoreVec(p *simtime.Proc, i int64, src []int64) error {
+	buf := v.grow(len(src) * 8)
+	for k, x := range src {
+		binary.LittleEndian.PutUint64(buf[k*8:], uint64(x))
+	}
+	return v.b.WriteAt(p, i*8, buf)
+}

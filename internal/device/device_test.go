@@ -1,0 +1,126 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/sysprof"
+)
+
+func TestReadTimeMatchesProfile(t *testing.T) {
+	e := simtime.NewEngine()
+	d := New(e, "ssd", sysprof.IntelX25E, 1)
+	var took simtime.Time
+	e.Go("r", func(p *simtime.Proc) {
+		d.Read(p, 256*sysprof.KiB)
+		took = p.Now()
+	})
+	e.Run()
+	// 75us latency + 256KiB at 250 MB/s ≈ 75us + 1048us.
+	want := 75*time.Microsecond + time.Duration(float64(256*sysprof.KiB)/250e6*float64(time.Second))
+	if simtime.Time(want) != took {
+		t.Fatalf("read took %v, want %v", took, want)
+	}
+	if s := d.Stats(); s.Reads != 1 || s.BytesRead != 256*sysprof.KiB {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestWritesSerialize(t *testing.T) {
+	e := simtime.NewEngine()
+	d := New(e, "ssd", sysprof.IntelX25E, 1)
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *simtime.Proc) { d.Write(p, 1*sysprof.MiB) })
+	}
+	e.Run()
+	mib := float64(sysprof.MiB)
+	one := 85*time.Microsecond + time.Duration(mib/170e6*float64(time.Second))
+	if e.Now() != simtime.Time(4*one) {
+		t.Fatalf("makespan %v, want %v", e.Now(), 4*one)
+	}
+}
+
+func TestQueueDepthParallelism(t *testing.T) {
+	e := simtime.NewEngine()
+	d := New(e, "dram", sysprof.DDR3, 4)
+	for i := 0; i < 4; i++ {
+		e.Go("r", func(p *simtime.Proc) { d.Read(p, 64*sysprof.MiB) })
+	}
+	e.Run()
+	one := 12*time.Nanosecond + time.Duration(float64(64*sysprof.MiB)/12.8e9*float64(time.Second))
+	if e.Now() != simtime.Time(one) {
+		t.Fatalf("makespan %v, want %v (fully parallel)", e.Now(), one)
+	}
+}
+
+func TestVecChargesOneLatency(t *testing.T) {
+	e := simtime.NewEngine()
+	d := New(e, "ssd", sysprof.IntelX25E, 1)
+	var vecT, seqT simtime.Duration
+	e.Go("vec", func(p *simtime.Proc) {
+		start := p.Now()
+		d.WriteVec(p, []int64{4096, 4096, 4096, 4096})
+		vecT = p.Now().Sub(start)
+	})
+	e.Run()
+	e2 := simtime.NewEngine()
+	d2 := New(e2, "ssd", sysprof.IntelX25E, 1)
+	e2.Go("seq", func(p *simtime.Proc) {
+		start := p.Now()
+		for i := 0; i < 4; i++ {
+			d2.Write(p, 4096)
+		}
+		seqT = p.Now().Sub(start)
+	})
+	e2.Run()
+	if vecT >= seqT {
+		t.Fatalf("vectored write %v should beat %v (one latency vs four)", vecT, seqT)
+	}
+	if d.Stats().BytesWritten != d2.Stats().BytesWritten {
+		t.Fatal("byte accounting must match")
+	}
+}
+
+func TestWearFraction(t *testing.T) {
+	e := simtime.NewEngine()
+	d := New(e, "ssd", sysprof.IntelX25E, 1)
+	e.Go("w", func(p *simtime.Proc) { d.Write(p, sysprof.IntelX25E.Capacity()) })
+	e.Run()
+	// One full-device write = 1/eraseCycles of the budget.
+	want := 1.0 / float64(sysprof.IntelX25E.EraseCycles)
+	if got := d.WearFraction(); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("wear %v, want ~%v", got, want)
+	}
+	if New(e, "dram", sysprof.DDR3, 1).WearFraction() != 0 {
+		t.Fatal("DRAM is not wear-limited")
+	}
+}
+
+// Property: total device time for k sequential reads equals the sum of the
+// per-read service times, and byte counters are exact.
+func TestAccountingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 32 {
+			sizes = sizes[:32]
+		}
+		e := simtime.NewEngine()
+		d := New(e, "ssd", sysprof.IntelX25E, 1)
+		var want time.Duration
+		var wantBytes int64
+		e.Go("r", func(p *simtime.Proc) {
+			for _, s := range sizes {
+				n := int64(s)
+				d.Read(p, n)
+				want += d.readTime(n)
+				wantBytes += n
+			}
+		})
+		e.Run()
+		return e.Now() == simtime.Time(want) && d.Stats().BytesRead == wantBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

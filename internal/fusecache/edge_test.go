@@ -1,0 +1,135 @@
+package fusecache
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmalloc/internal/simtime"
+)
+
+// TestVirginChunksSkipFetch verifies write allocation: writes to a fresh
+// file's chunks must not generate store reads.
+func TestVirginChunksSkipFetch(t *testing.T) {
+	r := newRig(8)
+	cs := r.cc.cfg.ChunkSize
+	r.run(t, func(p *simtime.Proc) {
+		fi, _ := r.cc.store.Create(p, "fresh", 4*cs)
+		r.cc.MarkFresh(fi)
+		if err := r.cc.WriteRange(p, "fresh", 100, []byte("hello")); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := r.cc.Stats().SSDReadBytes; got != 0 {
+			t.Errorf("write to virgin chunk fetched %d bytes", got)
+		}
+		// Reads of the virgin chunk see the write plus zeroes.
+		buf := make([]byte, 8)
+		r.cc.ReadRange(p, "fresh", 98, buf)
+		if !bytes.Equal(buf, []byte{0, 0, 'h', 'e', 'l', 'l', 'o', 0}) {
+			t.Errorf("virgin chunk content %q", buf)
+		}
+	})
+}
+
+// TestVirginDoesNotSurviveDrop: after a Drop, a re-read must fetch from
+// the store (the mark is gone), and unmaterialized chunks read as zeroes.
+func TestVirginDoesNotSurviveDrop(t *testing.T) {
+	r := newRig(8)
+	cs := r.cc.cfg.ChunkSize
+	r.run(t, func(p *simtime.Proc) {
+		fi, _ := r.cc.store.Create(p, "fresh", 2*cs)
+		r.cc.MarkFresh(fi)
+		r.cc.WriteRange(p, "fresh", 0, []byte{9})
+		r.cc.Flush(p, "fresh")
+		r.cc.Drop("fresh")
+		buf := make([]byte, 2)
+		if err := r.cc.ReadRange(p, "fresh", 0, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if buf[0] != 9 || buf[1] != 0 {
+			t.Errorf("content after drop %v", buf)
+		}
+		if r.cc.Stats().SSDReadBytes == 0 {
+			t.Error("post-drop read must hit the store")
+		}
+	})
+}
+
+// TestReadAheadDisabled verifies ReadAheadChunks=0 issues no prefetches.
+func TestReadAheadDisabled(t *testing.T) {
+	r := newRig(8)
+	r.cc.cfg.ReadAheadChunks = 0
+	cs := r.cc.cfg.ChunkSize
+	r.run(t, func(p *simtime.Proc) {
+		fi, _ := r.cc.store.Create(p, "v", 6*cs)
+		r.cc.RegisterMeta(fi)
+		buf := make([]byte, 32)
+		for i := 0; i < 6; i++ {
+			r.cc.ReadRange(p, "v", int64(i)*cs, buf)
+		}
+	})
+	if s := r.cc.Stats(); s.PrefetchBytes != 0 {
+		t.Fatalf("prefetched %d bytes with read-ahead off", s.PrefetchBytes)
+	}
+}
+
+// TestFuseGateBoundsConcurrency: with a gate of 1, two concurrent demand
+// misses serialize at the store; the second waits.
+func TestFuseGateBoundsConcurrency(t *testing.T) {
+	run := func(conc int) simtime.Time {
+		r := newRig(8)
+		r.cc.cfg.ReadAheadChunks = 0
+		r.cc.gate = simtime.NewResource(r.eng, "gate", conc)
+		cs := r.cc.cfg.ChunkSize
+		var setup bool
+		ready := simtime.NewFuture[struct{}](r.eng, "setup")
+		for i := 0; i < 4; i++ {
+			i := i
+			r.eng.Go("reader", func(p *simtime.Proc) {
+				if !setup {
+					setup = true
+					fi, _ := r.cc.store.Create(p, "v", 8*cs)
+					r.cc.RegisterMeta(fi)
+					ready.Set(struct{}{})
+				} else {
+					ready.Wait(p)
+				}
+				buf := make([]byte, 16)
+				r.cc.ReadRange(p, "v", int64(i*2)*cs, buf) // distinct chunks
+			})
+		}
+		r.eng.Run()
+		return r.eng.Now()
+	}
+	if serial, parallel := run(1), run(4); serial <= parallel {
+		t.Fatalf("gate=1 (%v) should be slower than gate=4 (%v)", serial, parallel)
+	}
+}
+
+// TestStatsConsistency: hits+misses accounts for every chunk-cache access
+// outcome and byte counters stay non-negative and coherent.
+func TestStatsConsistency(t *testing.T) {
+	r := newRig(4)
+	cs := r.cc.cfg.ChunkSize
+	r.run(t, func(p *simtime.Proc) {
+		fi, _ := r.cc.store.Create(p, "v", 8*cs)
+		r.cc.RegisterMeta(fi)
+		buf := make([]byte, 64)
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < 8; i++ {
+				r.cc.ReadRange(p, "v", int64(i)*cs, buf)
+			}
+		}
+	})
+	s := r.cc.Stats()
+	if s.Hits+s.Misses+s.Waits < 24 {
+		t.Fatalf("accesses unaccounted: %+v", s)
+	}
+	if s.SSDReadBytes < 8*cs {
+		t.Fatalf("cold pass must fetch all chunks: %+v", s)
+	}
+	if s.FuseReadBytes != 3*8*64 {
+		t.Fatalf("fuse bytes %d, want %d", s.FuseReadBytes, 3*8*64)
+	}
+}

@@ -1,0 +1,606 @@
+// Package manager implements the metadata service of the aggregate NVM
+// store: benefactor registration and liveness monitoring, space
+// allocation, striping of logical files into fixed-size chunks, the
+// chunk→benefactor map, and refcounted chunk sharing, which is what lets
+// ssdcheckpoint() link a variable's chunks into a checkpoint file without
+// copying them and what makes post-checkpoint writes copy-on-write
+// (paper §III-E).
+//
+// The Manager is pure, transport-agnostic logic: the simulated transport
+// (internal/simstore) and the TCP transport (internal/rpc) both wrap it.
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nvmalloc/internal/proto"
+)
+
+// PlacementPolicy selects benefactors for new chunks.
+type PlacementPolicy int
+
+const (
+	// RoundRobin stripes chunks across benefactors in registration order —
+	// the paper's striping scheme.
+	RoundRobin PlacementPolicy = iota
+	// LeastLoaded places each chunk on the benefactor with the most free
+	// space.
+	LeastLoaded
+	// WearAware places each chunk on the benefactor with the lowest
+	// cumulative write volume, spreading device wear (paper design goal
+	// §III-A "optimizing NVM performance and lifetime").
+	WearAware
+)
+
+func (p PlacementPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case WearAware:
+		return "wear-aware"
+	}
+	return "?"
+}
+
+// benefactor is the manager's record of one space contributor.
+type benefactor struct {
+	info     proto.BenefactorInfo
+	lastBeat time.Duration // virtual or wall time, supplied by the caller
+	addr     string        // TCP transport only
+}
+
+// file is a logical striped file.
+type file struct {
+	name   string
+	size   int64
+	chunks []proto.ChunkRef
+	// expiresAt is the variable's lifetime deadline (§III-C: persistent
+	// variables can carry a lifetime so workflow data is reclaimed
+	// automatically); zero means no expiry.
+	expiresAt time.Duration
+}
+
+// chunkMeta tracks a physical chunk.
+type chunkMeta struct {
+	ref  proto.ChunkRef
+	refs int // number of files referencing the chunk
+	// replicas are additional copies on other benefactors (fault-
+	// tolerance extension; the primary is ref).
+	replicas []proto.ChunkRef
+}
+
+// Manager is the aggregate store's metadata service.
+type Manager struct {
+	chunkSize int64
+	policy    PlacementPolicy
+	// HeartbeatTimeout is how stale a benefactor's heartbeat may be before
+	// Sweep declares it dead.
+	HeartbeatTimeout time.Duration
+	// Replication is how many copies of each chunk the store keeps (1 =
+	// no redundancy, the paper's baseline). Extra copies land on distinct
+	// benefactors; reads fail over and Repair restores redundancy after a
+	// benefactor death. This implements the fault-tolerance direction the
+	// paper leaves open.
+	Replication int
+
+	nextChunk proto.ChunkID
+	files     map[string]*file
+	bens      map[int]*benefactor
+	benOrder  []int // registration order, for deterministic round-robin
+	rr        int
+	chunks    map[proto.ChunkID]*chunkMeta
+}
+
+// New returns a manager striping files into chunkSize chunks.
+func New(chunkSize int64, policy PlacementPolicy) *Manager {
+	if chunkSize <= 0 {
+		panic("manager: nonpositive chunk size")
+	}
+	return &Manager{
+		chunkSize:        chunkSize,
+		policy:           policy,
+		HeartbeatTimeout: 5 * time.Second,
+		Replication:      1,
+		files:            make(map[string]*file),
+		bens:             make(map[int]*benefactor),
+		chunks:           make(map[proto.ChunkID]*chunkMeta),
+	}
+}
+
+// ChunkSize returns the striping unit.
+func (m *Manager) ChunkSize() int64 { return m.chunkSize }
+
+// Register adds (or re-registers) a benefactor.
+func (m *Manager) Register(info proto.BenefactorInfo, addr string, now time.Duration) {
+	if _, ok := m.bens[info.ID]; !ok {
+		m.benOrder = append(m.benOrder, info.ID)
+	}
+	info.Alive = true
+	info.Addr = addr
+	m.bens[info.ID] = &benefactor{info: info, lastBeat: now, addr: addr}
+}
+
+// Addr returns the registered transport address of a benefactor (TCP mode).
+func (m *Manager) Addr(benID int) (string, bool) {
+	b, ok := m.bens[benID]
+	if !ok {
+		return "", false
+	}
+	return b.addr, true
+}
+
+// Heartbeat refreshes a benefactor's liveness and wear counter.
+func (m *Manager) Heartbeat(benID int, writeVolume int64, now time.Duration) error {
+	b, ok := m.bens[benID]
+	if !ok {
+		return proto.ErrBenefactorDead
+	}
+	b.lastBeat = now
+	b.info.Alive = true
+	b.info.WriteVolume = writeVolume
+	return nil
+}
+
+// Sweep marks benefactors with stale heartbeats dead and returns their IDs.
+func (m *Manager) Sweep(now time.Duration) []int {
+	var died []int
+	for _, id := range m.benOrder {
+		b := m.bens[id]
+		if b.info.Alive && now-b.lastBeat > m.HeartbeatTimeout {
+			b.info.Alive = false
+			died = append(died, id)
+		}
+	}
+	return died
+}
+
+// MarkDead forcibly declares a benefactor dead (failure injection).
+func (m *Manager) MarkDead(benID int) {
+	if b, ok := m.bens[benID]; ok {
+		b.info.Alive = false
+	}
+}
+
+// Alive reports whether a benefactor is currently considered alive.
+func (m *Manager) Alive(benID int) bool {
+	b, ok := m.bens[benID]
+	return ok && b.info.Alive
+}
+
+// Status returns the benefactor table sorted by ID.
+func (m *Manager) Status() []proto.BenefactorInfo {
+	out := make([]proto.BenefactorInfo, 0, len(m.bens))
+	for _, id := range m.benOrder {
+		out = append(out, m.bens[id].info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// pick selects a benefactor for a new chunk according to the policy,
+// skipping benefactors in the exclude set (replica spreading).
+func (m *Manager) pick(exclude map[int]bool) (*benefactor, error) {
+	if len(m.benOrder) == 0 {
+		return nil, proto.ErrNoBenefactors
+	}
+	candidate := func(b *benefactor) bool {
+		return b.info.Alive && !exclude[b.info.ID] && b.info.Used+m.chunkSize <= b.info.Capacity
+	}
+	switch m.policy {
+	case RoundRobin:
+		for i := 0; i < len(m.benOrder); i++ {
+			b := m.bens[m.benOrder[m.rr%len(m.benOrder)]]
+			m.rr++
+			if candidate(b) {
+				return b, nil
+			}
+		}
+	case LeastLoaded:
+		var best *benefactor
+		for _, id := range m.benOrder {
+			b := m.bens[id]
+			if !candidate(b) {
+				continue
+			}
+			if best == nil || b.info.Capacity-b.info.Used > best.info.Capacity-best.info.Used {
+				best = b
+			}
+		}
+		if best != nil {
+			return best, nil
+		}
+	case WearAware:
+		var best *benefactor
+		for _, id := range m.benOrder {
+			b := m.bens[id]
+			if !candidate(b) {
+				continue
+			}
+			if best == nil || b.info.WriteVolume < best.info.WriteVolume {
+				best = b
+			}
+		}
+		if best != nil {
+			return best, nil
+		}
+	}
+	return nil, proto.ErrNoSpace
+}
+
+// allocChunk reserves one new chunk (plus replicas on distinct
+// benefactors when Replication > 1) and returns the primary ref.
+func (m *Manager) allocChunk() (proto.ChunkRef, error) {
+	b, err := m.pick(nil)
+	if err != nil {
+		return proto.ChunkRef{}, err
+	}
+	m.nextChunk++
+	ref := proto.ChunkRef{Benefactor: b.info.ID, ID: m.nextChunk}
+	b.info.Used += m.chunkSize
+	cm := &chunkMeta{ref: ref, refs: 1}
+	m.chunks[ref.ID] = cm
+	m.replicate(cm)
+	return ref, nil
+}
+
+// replicate tops a chunk up to the configured copy count, best effort
+// (fewer live benefactors than copies is a degradation, not an error).
+func (m *Manager) replicate(cm *chunkMeta) {
+	for len(cm.replicas)+1 < m.Replication {
+		exclude := map[int]bool{cm.ref.Benefactor: true}
+		for _, r := range cm.replicas {
+			exclude[r.Benefactor] = true
+		}
+		b, err := m.pick(exclude)
+		if err != nil {
+			return
+		}
+		b.info.Used += m.chunkSize
+		cm.replicas = append(cm.replicas, proto.ChunkRef{Benefactor: b.info.ID, ID: cm.ref.ID})
+	}
+}
+
+// releaseChunk decrements a chunk's refcount; when it reaches zero all its
+// copies' space is released and their refs are returned so the caller can
+// tell the benefactors to delete the payloads.
+func (m *Manager) releaseChunk(id proto.ChunkID) ([]proto.ChunkRef, bool) {
+	cm, ok := m.chunks[id]
+	if !ok {
+		panic(fmt.Sprintf("manager: releasing unknown chunk %d", id))
+	}
+	cm.refs--
+	if cm.refs > 0 {
+		return nil, false
+	}
+	delete(m.chunks, id)
+	freed := append([]proto.ChunkRef{cm.ref}, cm.replicas...)
+	for _, ref := range freed {
+		if b, ok := m.bens[ref.Benefactor]; ok {
+			b.info.Used -= m.chunkSize
+		}
+	}
+	return freed, true
+}
+
+// Replicas returns every copy of a chunk (primary first).
+func (m *Manager) Replicas(id proto.ChunkID) []proto.ChunkRef {
+	cm, ok := m.chunks[id]
+	if !ok {
+		return nil
+	}
+	return append([]proto.ChunkRef{cm.ref}, cm.replicas...)
+}
+
+// LiveRef resolves a chunk to a copy on a live benefactor (failover
+// reads).
+func (m *Manager) LiveRef(id proto.ChunkID) (proto.ChunkRef, error) {
+	cm, ok := m.chunks[id]
+	if !ok {
+		return proto.ChunkRef{}, proto.ErrNoSuchChunk
+	}
+	for _, ref := range append([]proto.ChunkRef{cm.ref}, cm.replicas...) {
+		if m.Alive(ref.Benefactor) {
+			return ref, nil
+		}
+	}
+	return proto.ChunkRef{}, proto.ErrBenefactorDead
+}
+
+// RepairOp instructs the caller to copy a chunk payload from Src to Dst to
+// restore redundancy.
+type RepairOp struct {
+	Src, Dst proto.ChunkRef
+}
+
+// Repair restores the configured replica count after benefactor deaths:
+// for every chunk short of live copies it allocates replacements on live
+// benefactors and returns the copy operations to execute. Chunks with no
+// live copy are returned in lost.
+func (m *Manager) Repair() (ops []RepairOp, lost []proto.ChunkID) {
+	ids := make([]proto.ChunkID, 0, len(m.chunks))
+	for id := range m.chunks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cm := m.chunks[id]
+		all := append([]proto.ChunkRef{cm.ref}, cm.replicas...)
+		var live []proto.ChunkRef
+		exclude := make(map[int]bool)
+		for _, ref := range all {
+			exclude[ref.Benefactor] = true
+			if m.Alive(ref.Benefactor) {
+				live = append(live, ref)
+			}
+		}
+		if len(live) == 0 {
+			lost = append(lost, id)
+			continue
+		}
+		for len(live) < m.Replication {
+			b, err := m.pick(exclude)
+			if err != nil {
+				break
+			}
+			b.info.Used += m.chunkSize
+			dst := proto.ChunkRef{Benefactor: b.info.ID, ID: id}
+			cm.replicas = append(cm.replicas, dst)
+			exclude[b.info.ID] = true
+			live = append(live, dst)
+			ops = append(ops, RepairOp{Src: live[0], Dst: dst})
+		}
+	}
+	return ops, lost
+}
+
+// Create reserves a file of the given size: space is allocated (the
+// posix_fallocate analog of paper §III-C) but no data moves until clients
+// write chunks.
+func (m *Manager) Create(name string, size int64) (proto.FileInfo, error) {
+	if _, ok := m.files[name]; ok {
+		return proto.FileInfo{}, proto.ErrFileExists
+	}
+	if size < 0 {
+		return proto.FileInfo{}, fmt.Errorf("manager: negative size for %q", name)
+	}
+	n := int((size + m.chunkSize - 1) / m.chunkSize)
+	f := &file{name: name, size: size}
+	for i := 0; i < n; i++ {
+		ref, err := m.allocChunk()
+		if err != nil {
+			// Roll back the partial allocation.
+			for _, r := range f.chunks {
+				m.releaseChunk(r.ID)
+			}
+			return proto.FileInfo{}, err
+		}
+		f.chunks = append(f.chunks, ref)
+	}
+	m.files[name] = f
+	return m.info(f), nil
+}
+
+func (m *Manager) info(f *file) proto.FileInfo {
+	return proto.FileInfo{Name: f.name, Size: f.size, Chunks: append([]proto.ChunkRef(nil), f.chunks...)}
+}
+
+// Lookup returns the file's chunk map.
+func (m *Manager) Lookup(name string) (proto.FileInfo, error) {
+	f, ok := m.files[name]
+	if !ok {
+		return proto.FileInfo{}, proto.ErrNoSuchFile
+	}
+	return m.info(f), nil
+}
+
+// Exists reports whether a file exists.
+func (m *Manager) Exists(name string) bool { _, ok := m.files[name]; return ok }
+
+// Delete removes a file and returns the chunks whose payloads should be
+// physically deleted (refcount reached zero). Chunks still referenced by
+// other files — e.g. a checkpoint that linked them — survive.
+func (m *Manager) Delete(name string) ([]proto.ChunkRef, error) {
+	f, ok := m.files[name]
+	if !ok {
+		return nil, proto.ErrNoSuchFile
+	}
+	var freed []proto.ChunkRef
+	for _, r := range f.chunks {
+		if refs, gone := m.releaseChunk(r.ID); gone {
+			freed = append(freed, refs...)
+		}
+	}
+	delete(m.files, name)
+	return freed, nil
+}
+
+// SetTTL gives a file a lifetime deadline; ExpireSweep reclaims it once
+// the deadline passes. A zero deadline clears the lifetime.
+func (m *Manager) SetTTL(name string, expiresAt time.Duration) error {
+	f, ok := m.files[name]
+	if !ok {
+		return proto.ErrNoSuchFile
+	}
+	f.expiresAt = expiresAt
+	return nil
+}
+
+// ExpireSweep deletes every file whose lifetime has passed, returning the
+// expired names and the physically freed chunks.
+func (m *Manager) ExpireSweep(now time.Duration) (expired []string, freed []proto.ChunkRef) {
+	var names []string
+	for n, f := range m.files {
+		if f.expiresAt != 0 && now > f.expiresAt {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fr, err := m.Delete(n)
+		if err == nil {
+			expired = append(expired, n)
+			freed = append(freed, fr...)
+		}
+	}
+	return expired, freed
+}
+
+// Link appends the chunks of each part file to dst, incrementing their
+// refcounts — the zero-copy merge that ssdcheckpoint() uses to include
+// NVM-resident variables in a checkpoint file (paper §III-E).
+func (m *Manager) Link(dst string, parts []string) (proto.FileInfo, error) {
+	d, ok := m.files[dst]
+	if !ok {
+		return proto.FileInfo{}, proto.ErrNoSuchFile
+	}
+	for _, pn := range parts {
+		p, ok := m.files[pn]
+		if !ok {
+			return proto.FileInfo{}, fmt.Errorf("%w: link part %q", proto.ErrNoSuchFile, pn)
+		}
+		for _, r := range p.chunks {
+			m.chunks[r.ID].refs++
+			d.chunks = append(d.chunks, r)
+		}
+		d.size += p.size
+	}
+	return m.info(d), nil
+}
+
+// Derive creates a new file whose chunks are a sub-range of src's chunks
+// (shared, refcounted). Restoring an NVM variable from a checkpoint uses
+// this: the restored variable references the checkpoint's chunks without
+// copying them, and goes copy-on-write from there.
+func (m *Manager) Derive(name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+	if _, ok := m.files[name]; ok {
+		return proto.FileInfo{}, proto.ErrFileExists
+	}
+	s, ok := m.files[src]
+	if !ok {
+		return proto.FileInfo{}, proto.ErrNoSuchFile
+	}
+	if fromChunk < 0 || nChunks < 0 || fromChunk+nChunks > len(s.chunks) {
+		return proto.FileInfo{}, proto.ErrChunkOutOfRange
+	}
+	f := &file{name: name, size: size}
+	for _, r := range s.chunks[fromChunk : fromChunk+nChunks] {
+		m.chunks[r.ID].refs++
+		f.chunks = append(f.chunks, r)
+	}
+	m.files[name] = f
+	return m.info(f), nil
+}
+
+// Remap implements copy-on-write: called before modifying chunk chunkIdx of
+// a file whose chunk is shared (refcount > 1), it allocates a fresh chunk
+// on the same benefactor (so the payload can be copied server-side),
+// installs it in the file, and returns both refs. If the chunk is
+// unshared, Remap reports shared=false and the caller writes in place.
+func (m *Manager) Remap(name string, chunkIdx int) (old, fresh proto.ChunkRef, shared bool, err error) {
+	f, ok := m.files[name]
+	if !ok {
+		return old, fresh, false, proto.ErrNoSuchFile
+	}
+	if chunkIdx < 0 || chunkIdx >= len(f.chunks) {
+		return old, fresh, false, proto.ErrChunkOutOfRange
+	}
+	old = f.chunks[chunkIdx]
+	cm := m.chunks[old.ID]
+	if cm.refs == 1 {
+		return old, old, false, nil
+	}
+	// Allocate on the same benefactor for a server-side copy; fall back to
+	// policy placement if it is full or dead.
+	b := m.bens[old.Benefactor]
+	if b != nil && b.info.Alive && b.info.Used+m.chunkSize <= b.info.Capacity {
+		m.nextChunk++
+		fresh = proto.ChunkRef{Benefactor: b.info.ID, ID: m.nextChunk}
+		b.info.Used += m.chunkSize
+		cm := &chunkMeta{ref: fresh, refs: 1}
+		m.chunks[fresh.ID] = cm
+		m.replicate(cm)
+	} else {
+		fresh, err = m.allocChunk()
+		if err != nil {
+			return old, fresh, false, err
+		}
+	}
+	cm.refs--
+	f.chunks[chunkIdx] = fresh
+	return old, fresh, true, nil
+}
+
+// Refcount returns a chunk's current reference count (0 if unknown).
+func (m *Manager) Refcount(id proto.ChunkID) int {
+	if cm, ok := m.chunks[id]; ok {
+		return cm.refs
+	}
+	return 0
+}
+
+// Files returns all file names, sorted.
+func (m *Manager) Files() []string {
+	out := make([]string, 0, len(m.files))
+	for n := range m.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalChunks returns the number of live physical chunks.
+func (m *Manager) TotalChunks() int { return len(m.chunks) }
+
+// CheckInvariants verifies internal consistency: every file chunk exists
+// with a positive refcount, refcounts equal the number of referencing file
+// entries, and per-benefactor usage equals chunkSize times its chunk count.
+// Tests call it after random operation sequences.
+func (m *Manager) CheckInvariants() error {
+	refs := make(map[proto.ChunkID]int)
+	for _, f := range m.files {
+		for _, r := range f.chunks {
+			cm, ok := m.chunks[r.ID]
+			if !ok {
+				return fmt.Errorf("file %q references missing chunk %d", f.name, r.ID)
+			}
+			if cm.ref != r {
+				return fmt.Errorf("chunk %d ref mismatch: file says %v, meta says %v", r.ID, r, cm.ref)
+			}
+			refs[r.ID]++
+		}
+	}
+	for id, cm := range m.chunks {
+		if refs[id] != cm.refs {
+			return fmt.Errorf("chunk %d refcount %d but %d file references", id, cm.refs, refs[id])
+		}
+		if cm.refs <= 0 {
+			return fmt.Errorf("chunk %d has nonpositive refcount", id)
+		}
+	}
+	used := make(map[int]int64)
+	for _, cm := range m.chunks {
+		used[cm.ref.Benefactor] += m.chunkSize
+		seen := map[int]bool{cm.ref.Benefactor: true}
+		for _, rep := range cm.replicas {
+			if rep.ID != cm.ref.ID {
+				return fmt.Errorf("chunk %d replica carries ID %d", cm.ref.ID, rep.ID)
+			}
+			if seen[rep.Benefactor] {
+				return fmt.Errorf("chunk %d has two copies on benefactor %d", cm.ref.ID, rep.Benefactor)
+			}
+			seen[rep.Benefactor] = true
+			used[rep.Benefactor] += m.chunkSize
+		}
+	}
+	for _, id := range m.benOrder {
+		b := m.bens[id]
+		if b.info.Used != used[id] {
+			return fmt.Errorf("benefactor %d used=%d but chunks account for %d", id, b.info.Used, used[id])
+		}
+	}
+	return nil
+}

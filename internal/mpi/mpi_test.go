@@ -1,0 +1,194 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/netsim"
+	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/sysprof"
+)
+
+func newComm(procsPerNode, nodes int) (*simtime.Engine, *Comm) {
+	e := simtime.NewEngine()
+	net := netsim.New(e, sysprof.BondedDualGigE, nodes)
+	cfg := cluster.Config{Mode: cluster.DRAMOnly, ProcsPerNode: procsPerNode, ComputeNodes: nodes}
+	return e, New(e, net, cfg)
+}
+
+func TestSendRecv(t *testing.T) {
+	e, c := newComm(2, 2)
+	var got []byte
+	RunRanks(e, c.Config(), func(p *simtime.Proc, rank int) {
+		switch rank {
+		case 0:
+			c.Send(p, 0, 3, 7, []byte("hello"))
+		case 3:
+			got = c.Recv(p, 0, 3, 7)
+		}
+	})
+	e.Run()
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	e, c := newComm(2, 1)
+	data := []byte{1, 2, 3}
+	var got []byte
+	RunRanks(e, c.Config(), func(p *simtime.Proc, rank int) {
+		if rank == 0 {
+			c.Send(p, 0, 1, 0, data)
+			data[0] = 99 // mutate after send
+		} else {
+			got = c.Recv(p, 0, 1, 0)
+		}
+	})
+	e.Run()
+	if got[0] != 1 {
+		t.Fatal("send must copy the payload")
+	}
+}
+
+func TestBcastAllRootsAllShapes(t *testing.T) {
+	for _, shape := range [][2]int{{1, 4}, {2, 3}, {8, 16}} {
+		for root := 0; root < shape[0]*shape[1]; root += 5 {
+			e, c := newComm(shape[0], shape[1])
+			payload := bytes.Repeat([]byte{0xAB}, 1000)
+			results := make([][]byte, c.Ranks())
+			RunRanks(e, c.Config(), func(p *simtime.Proc, rank int) {
+				var in []byte
+				if rank == root {
+					in = payload
+				}
+				results[rank] = c.Bcast(p, rank, root, in)
+			})
+			e.Run()
+			for r, got := range results {
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("shape %v root %d: rank %d got %d bytes", shape, root, r, len(got))
+				}
+			}
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	e, c := newComm(4, 4)
+	n := c.Ranks()
+	parts := make([][]byte, n)
+	for i := range parts {
+		parts[i] = []byte(fmt.Sprintf("part-%02d", i))
+	}
+	gathered := make([][]byte, 0)
+	RunRanks(e, c.Config(), func(p *simtime.Proc, rank int) {
+		var mine []byte
+		if rank == 0 {
+			mine = c.Scatterv(p, rank, 0, parts)
+		} else {
+			mine = c.Scatterv(p, rank, 0, nil)
+		}
+		out := c.Gatherv(p, rank, 0, mine)
+		if rank == 0 {
+			gathered = out
+		}
+	})
+	e.Run()
+	if len(gathered) != n {
+		t.Fatalf("gathered %d parts", len(gathered))
+	}
+	for i, g := range gathered {
+		if !bytes.Equal(g, parts[i]) {
+			t.Fatalf("part %d = %q, want %q", i, g, parts[i])
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	e, c := newComm(4, 2)
+	var before, after simtime.Time
+	RunRanks(e, c.Config(), func(p *simtime.Proc, rank int) {
+		// Rank 0 sleeps long; everyone else hits the barrier early.
+		if rank == 0 {
+			p.Sleep(1_000_000_000)
+			before = p.Now()
+		}
+		c.Barrier(p, rank)
+		if rank == 3 {
+			after = p.Now()
+		}
+	})
+	e.Run()
+	if after < before {
+		t.Fatalf("rank 3 left the barrier at %v before rank 0 arrived at %v", after, before)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e, c := newComm(2, 2)
+	counts := make([]int, 3)
+	RunRanks(e, c.Config(), func(p *simtime.Proc, rank int) {
+		for round := 0; round < 3; round++ {
+			c.Barrier(p, rank)
+			if rank == 0 {
+				counts[round]++
+			}
+		}
+	})
+	e.Run()
+	for i, n := range counts {
+		if n != 1 {
+			t.Fatalf("round %d count %d", i, n)
+		}
+	}
+}
+
+func TestIntraNodeBcastCheaperThanInterNode(t *testing.T) {
+	timeIt := func(procsPerNode, nodes int) simtime.Time {
+		e, c := newComm(procsPerNode, nodes)
+		data := make([]byte, 4<<20)
+		RunRanks(e, c.Config(), func(p *simtime.Proc, rank int) {
+			var in []byte
+			if rank == 0 {
+				in = data
+			}
+			c.Bcast(p, rank, 0, in)
+		})
+		e.Run()
+		return e.Now()
+	}
+	intra := timeIt(8, 1) // 8 ranks on one node
+	inter := timeIt(1, 8) // 8 ranks on 8 nodes
+	if intra >= inter {
+		t.Fatalf("intra-node bcast %v should beat inter-node %v", intra, inter)
+	}
+}
+
+// Property: Bcast delivers identical bytes to all ranks for arbitrary
+// payloads and roots.
+func TestBcastProperty(t *testing.T) {
+	f := func(payload []byte, rootSeed uint8) bool {
+		e, c := newComm(3, 3)
+		root := int(rootSeed) % c.Ranks()
+		ok := true
+		RunRanks(e, c.Config(), func(p *simtime.Proc, rank int) {
+			var in []byte
+			if rank == root {
+				in = payload
+			}
+			out := c.Bcast(p, rank, root, in)
+			if !bytes.Equal(out, payload) {
+				ok = false
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

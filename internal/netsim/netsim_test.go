@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/sysprof"
+)
+
+func net4(e *simtime.Engine) *Network {
+	return New(e, sysprof.BondedDualGigE, 4)
+}
+
+func TestTransferTime(t *testing.T) {
+	e := simtime.NewEngine()
+	n := net4(e)
+	var took simtime.Time
+	e.Go("x", func(p *simtime.Proc) {
+		// A single flow rides one of the two bonded lanes: 117 MB/s, so
+		// 117 MB takes 1 s end to end (cut-through) plus latency.
+		n.Transfer(p, 0, 1, 117_000_000)
+		took = p.Now()
+	})
+	e.Run()
+	want := simtime.Time(time.Second + 60*time.Microsecond)
+	if took != want {
+		t.Fatalf("transfer took %v, want %v", took, want)
+	}
+}
+
+func TestBondedLanesShareAggregate(t *testing.T) {
+	// Two concurrent flows from one sender use both lanes: the makespan
+	// matches a single flow's, so the aggregate is 234 MB/s.
+	e := simtime.NewEngine()
+	n := net4(e)
+	wg := e.GoEach("x", 2, func(p *simtime.Proc, i int) {
+		n.Transfer(p, 0, i+1, 117_000_000)
+	})
+	e.Go("join", func(p *simtime.Proc) { wg.Wait(p) })
+	e.Run()
+	want := simtime.Time(time.Second + 60*time.Microsecond)
+	if e.Now() != want {
+		t.Fatalf("two-flow makespan %v, want %v", e.Now(), want)
+	}
+}
+
+func TestLocalTransferBypassesNIC(t *testing.T) {
+	e := simtime.NewEngine()
+	n := net4(e)
+	e.Go("x", func(p *simtime.Proc) { n.Transfer(p, 2, 2, 4_000_000_000) })
+	e.Run()
+	if e.Now() != simtime.Time(time.Second) {
+		t.Fatalf("local copy of 4GB at 4GB/s should take 1s, got %v", e.Now())
+	}
+	if s := n.Stats(); s.Messages != 0 || s.LocalMessages != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if n.TXBusy(2) != 0 {
+		t.Fatal("local transfer must not touch the NIC")
+	}
+}
+
+func TestSenderLinkContention(t *testing.T) {
+	// Four transfers from node 0 exceed its two TX lanes and must queue:
+	// two waves of ~1s each.
+	e := simtime.NewEngine()
+	n := net4(e)
+	size := int64(117_000_000) // 1s of lane time
+	wg := e.GoEach("x", 4, func(p *simtime.Proc, i int) {
+		n.Transfer(p, 0, i%3+1, size)
+	})
+	e.Go("join", func(p *simtime.Proc) { wg.Wait(p) })
+	e.Run()
+	if e.Now() < simtime.Time(2*time.Second) {
+		t.Fatalf("makespan %v, want >= 2s (TX lanes serialized)", e.Now())
+	}
+}
+
+func TestReceiverLinkContention(t *testing.T) {
+	// Incast: four senders to one receiver queue on the RX lanes.
+	e := simtime.NewEngine()
+	n := net4(e)
+	size := int64(117_000_000)
+	wg := e.GoEach("x", 4, func(p *simtime.Proc, i int) {
+		n.Transfer(p, i%3+1, 0, size)
+	})
+	e.Go("join", func(p *simtime.Proc) { wg.Wait(p) })
+	e.Run()
+	if e.Now() < simtime.Time(2*time.Second) {
+		t.Fatalf("makespan %v, want >= 2s (RX lanes serialized)", e.Now())
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	e := simtime.NewEngine()
+	n := net4(e)
+	served := false
+	e.Go("rpc", func(p *simtime.Proc) {
+		n.Request(p, 0, 1, 128, 65536, func(sp *simtime.Proc) {
+			served = true
+			sp.Sleep(time.Millisecond)
+		})
+	})
+	e.Run()
+	if !served {
+		t.Fatal("server closure did not run")
+	}
+	if e.Now() <= simtime.Time(time.Millisecond+2*60*time.Microsecond) {
+		t.Fatalf("round trip %v too fast", e.Now())
+	}
+}
+
+// Property: bytes accounting equals the sum of transfer sizes, and disjoint
+// node pairs proceed fully in parallel.
+func TestDisjointPairsParallelProperty(t *testing.T) {
+	f := func(s uint32) bool {
+		size := int64(s%1_000_000) + 1
+		e := simtime.NewEngine()
+		n := net4(e)
+		e.Go("a", func(p *simtime.Proc) { n.Transfer(p, 0, 1, size) })
+		e.Go("b", func(p *simtime.Proc) { n.Transfer(p, 2, 3, size) })
+		e.Run()
+		one := n.xferTime(size) + sysprof.BondedDualGigE.MsgLatency
+		return e.Now() == simtime.Time(one) && n.Stats().Bytes == 2*size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

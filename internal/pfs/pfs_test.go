@@ -1,0 +1,180 @@
+package pfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nvmalloc/internal/simtime"
+)
+
+func newPFS(e *simtime.Engine) *PFS {
+	return New(e, 300e6, 2*time.Millisecond)
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	e := simtime.NewEngine()
+	f := newPFS(e)
+	want := []byte("hello parallel file system")
+	e.Go("c", func(p *simtime.Proc) {
+		f.Create(p, "a/b")
+		if err := f.WriteAt(p, "a/b", 0, want); err != nil {
+			t.Error(err)
+			return
+		}
+		got := make([]byte, len(want))
+		if err := f.ReadAt(p, "a/b", 0, got); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("round trip mismatch")
+		}
+	})
+	e.Run()
+	if e.Now() < simtime.Time(2*time.Millisecond) {
+		t.Fatal("open latency not charged")
+	}
+	if s := f.Stats(); s.Opens != 1 || s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSparseGrowthAndBounds(t *testing.T) {
+	e := simtime.NewEngine()
+	f := newPFS(e)
+	e.Go("c", func(p *simtime.Proc) {
+		f.Create(p, "x")
+		if err := f.WriteAt(p, "x", 1000, []byte{1, 2, 3}); err != nil {
+			t.Error(err)
+			return
+		}
+		if sz, _ := f.Size("x"); sz != 1003 {
+			t.Errorf("size %d, want 1003", sz)
+		}
+		// The gap reads as zeroes.
+		got := make([]byte, 4)
+		f.ReadAt(p, "x", 500, got)
+		if got[0] != 0 {
+			t.Error("hole not zero")
+		}
+		// Reads past EOF fail.
+		if err := f.ReadAt(p, "x", 1000, make([]byte, 10)); err == nil {
+			t.Error("read past EOF accepted")
+		}
+	})
+	e.Run()
+}
+
+func TestMissingFileErrors(t *testing.T) {
+	e := simtime.NewEngine()
+	f := newPFS(e)
+	e.Go("c", func(p *simtime.Proc) {
+		if err := f.WriteAt(p, "ghost", 0, []byte{1}); err == nil {
+			t.Error("write to missing file accepted")
+		}
+		if err := f.ReadAt(p, "ghost", 0, make([]byte, 1)); err == nil {
+			t.Error("read of missing file accepted")
+		}
+	})
+	e.Run()
+	if _, err := f.Size("ghost"); err == nil {
+		t.Fatal("size of missing file accepted")
+	}
+}
+
+func TestSharedPipeContention(t *testing.T) {
+	// Two concurrent 150 MB reads through a 300 MB/s pipe cannot finish in
+	// 0.5 s each; the aggregate is the bottleneck.
+	e := simtime.NewEngine()
+	f := New(e, 300e6, 0)
+	e.Go("setup", func(p *simtime.Proc) {
+		f.Preload("big", make([]byte, 150_000_000))
+		wg := e.GoEach("r", 2, func(rp *simtime.Proc, i int) {
+			buf := make([]byte, 150_000_000)
+			f.ReadAt(rp, "big", 0, buf)
+		})
+		wg.Wait(p)
+	})
+	e.Run()
+	if e.Now() < simtime.Time(time.Second) {
+		t.Fatalf("makespan %v, want >= 1s (300MB through a 300MB/s pipe)", e.Now())
+	}
+}
+
+func TestSingleStreamCap(t *testing.T) {
+	// One client alone is limited to half the aggregate bandwidth.
+	e := simtime.NewEngine()
+	f := New(e, 300e6, 0)
+	e.Go("r", func(p *simtime.Proc) {
+		f.Preload("big", make([]byte, 150_000_000))
+		buf := make([]byte, 150_000_000)
+		f.ReadAt(p, "big", 0, buf)
+	})
+	e.Run()
+	if e.Now() < simtime.Time(time.Second) {
+		t.Fatalf("single stream took %v, want >= 1s at the 150MB/s cap", e.Now())
+	}
+}
+
+func TestPreloadAndSnapshotChargeNothing(t *testing.T) {
+	e := simtime.NewEngine()
+	f := newPFS(e)
+	f.Preload("in", []byte("input data"))
+	got, err := f.Snapshot("in")
+	if err != nil || string(got) != "input data" {
+		t.Fatalf("snapshot %q err %v", got, err)
+	}
+	if e.Now() != 0 {
+		t.Fatal("setup helpers must not consume virtual time")
+	}
+	// Snapshot returns a copy.
+	got[0] = 'X'
+	again, _ := f.Snapshot("in")
+	if again[0] != 'i' {
+		t.Fatal("snapshot aliases the file")
+	}
+}
+
+// Property: the PFS behaves as a flat growable byte array under random
+// writes.
+func TestPFSMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := simtime.NewEngine()
+		fs := newPFS(e)
+		ref := make([]byte, 0)
+		ok := true
+		e.Go("w", func(p *simtime.Proc) {
+			fs.Create(p, "f")
+			for i := 0; i < 40; i++ {
+				off := rng.Int63n(4096)
+				data := make([]byte, rng.Intn(512)+1)
+				rng.Read(data)
+				if err := fs.WriteAt(p, "f", off, data); err != nil {
+					ok = false
+					return
+				}
+				if need := off + int64(len(data)); int64(len(ref)) < need {
+					nr := make([]byte, need)
+					copy(nr, ref)
+					ref = nr
+				}
+				copy(ref[off:], data)
+			}
+			got := make([]byte, len(ref))
+			if err := fs.ReadAt(p, "f", 0, got); err != nil {
+				ok = false
+				return
+			}
+			ok = bytes.Equal(got, ref)
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package proto defines the wire-level types shared by the aggregate NVM
+// store's manager, benefactors, and clients. The same types serve both the
+// simulated transport (internal/simstore) and the real TCP transport
+// (internal/rpc, cmd/nvmstore).
+package proto
+
+import "fmt"
+
+// ChunkID is a store-wide unique chunk handle assigned by the manager.
+type ChunkID uint64
+
+// ChunkRef locates one chunk: which benefactor holds it and its ID there.
+type ChunkRef struct {
+	Benefactor int
+	ID         ChunkID
+}
+
+func (r ChunkRef) String() string { return fmt.Sprintf("b%d/c%d", r.Benefactor, r.ID) }
+
+// FileInfo describes a logical file striped across the store.
+type FileInfo struct {
+	Name   string
+	Size   int64
+	Chunks []ChunkRef
+}
+
+// BenefactorInfo is the manager's view of one space contributor.
+type BenefactorInfo struct {
+	ID       int
+	Node     int   // cluster node hosting the benefactor
+	Capacity int64 // bytes contributed
+	Used     int64 // bytes reserved by the manager
+	Alive    bool
+	// WriteVolume is the cumulative bytes written to the benefactor's
+	// device, used by the wear-aware placement policy.
+	WriteVolume int64
+	// Addr is the benefactor's transport address (TCP deployments only;
+	// clients connect to it directly for chunk data, §III-D).
+	Addr string
+}
+
+// Errors shared across transports. They are sentinel values so both the
+// simulated and the TCP paths report identical failures.
+var (
+	ErrNoSuchFile      = fmt.Errorf("nvm store: no such file")
+	ErrFileExists      = fmt.Errorf("nvm store: file exists")
+	ErrNoSpace         = fmt.Errorf("nvm store: insufficient space")
+	ErrNoSuchChunk     = fmt.Errorf("nvm store: no such chunk")
+	ErrBenefactorDead  = fmt.Errorf("nvm store: benefactor unavailable")
+	ErrNoBenefactors   = fmt.Errorf("nvm store: no registered benefactors")
+	ErrChunkOutOfRange = fmt.Errorf("nvm store: chunk index out of range")
+)
+
+// Request/response messages for the TCP transport. Every request carries an
+// Op discriminant; responses carry Err as a string because error values do
+// not cross gob.
+
+// Op enumerates the store RPCs.
+type Op string
+
+// Manager ops.
+const (
+	OpRegister Op = "register"
+	OpCreate   Op = "create"
+	OpLookup   Op = "lookup"
+	OpDelete   Op = "delete"
+	OpLink     Op = "link"
+	OpDerive   Op = "derive"
+	OpRemap    Op = "remap"
+	OpSetTTL   Op = "setttl"
+	OpExpire   Op = "expire"
+	OpBeat     Op = "heartbeat"
+	OpStatus   Op = "status"
+)
+
+// Benefactor ops.
+const (
+	OpGetChunk    Op = "get"
+	OpPutChunk    Op = "put"
+	OpPutPages    Op = "putpages"
+	OpDeleteChunk Op = "delchunk"
+	OpCopyChunk   Op = "copychunk"
+)
+
+// ManagerReq is the manager-side request envelope.
+type ManagerReq struct {
+	Op Op
+	// Register
+	BenID    int
+	BenNode  int
+	BenAddr  string // TCP transport only
+	Capacity int64
+	// Create/Lookup/Delete/Link/Derive/Remap/SetTTL
+	Name     string
+	Size     int64
+	Parts    []string // Link: source files whose chunks are appended to Name
+	ChunkIdx int      // Remap
+	// Derive
+	Src       string
+	FromChunk int
+	NChunks   int
+	// SetTTL: lifetime deadline in nanoseconds since the manager started.
+	ExpiresAtNanos int64
+	// Heartbeat
+	WriteVolume int64
+}
+
+// ManagerResp is the manager-side response envelope.
+type ManagerResp struct {
+	Err       string
+	File      FileInfo
+	OldRef    ChunkRef // Remap: the chunk the caller may copy from
+	NewRef    ChunkRef // Remap: the freshly allocated chunk
+	Bens      []BenefactorInfo
+	ChunkSize int64    // Status: the store's striping unit
+	Expired   []string // Expire: reclaimed file names
+}
+
+// ChunkReq is the benefactor-side request envelope.
+type ChunkReq struct {
+	Op    Op
+	ID    ChunkID
+	SrcID ChunkID // CopyChunk
+	Data  []byte
+	// PutPages: parallel slices of page offsets within the chunk and page
+	// payloads.
+	PageOffs  []int64
+	PageData  [][]byte
+	ChunkSize int64
+}
+
+// ChunkResp is the benefactor-side response envelope.
+type ChunkResp struct {
+	Err  string
+	Data []byte
+}

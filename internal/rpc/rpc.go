@@ -1,0 +1,488 @@
+// Package rpc runs the aggregate NVM store over real TCP: the same
+// manager and benefactor logic the simulation uses (internal/manager,
+// internal/benefactor) served with gob-encoded request/response envelopes
+// (internal/proto). cmd/nvmstore wraps the servers as daemons and
+// cmd/nvmctl is a client; examples/realstore drives the whole stack
+// in-process.
+//
+// Chunks live as individual files under the benefactor's directory — the
+// "chunks as individual files" layout of paper §III-D — standing in for
+// the node-local SSD.
+package rpc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"nvmalloc/internal/benefactor"
+	"nvmalloc/internal/manager"
+	"nvmalloc/internal/proto"
+)
+
+// FileBackend stores chunk payloads as files in a directory.
+type FileBackend struct {
+	dir string
+}
+
+// NewFileBackend creates (if needed) and uses dir for chunk files.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileBackend{dir: dir}, nil
+}
+
+func (f *FileBackend) path(id proto.ChunkID) string {
+	return filepath.Join(f.dir, fmt.Sprintf("chunk-%016x", uint64(id)))
+}
+
+// Put implements benefactor.Backend.
+func (f *FileBackend) Put(id proto.ChunkID, data []byte) error {
+	return os.WriteFile(f.path(id), data, 0o644)
+}
+
+// Get implements benefactor.Backend.
+func (f *FileBackend) Get(id proto.ChunkID) ([]byte, error) {
+	d, err := os.ReadFile(f.path(id))
+	if os.IsNotExist(err) {
+		return nil, proto.ErrNoSuchChunk
+	}
+	return d, err
+}
+
+// Delete implements benefactor.Backend.
+func (f *FileBackend) Delete(id proto.ChunkID) error {
+	err := os.Remove(f.path(id))
+	if os.IsNotExist(err) {
+		return proto.ErrNoSuchChunk
+	}
+	return err
+}
+
+// Has implements benefactor.Backend.
+func (f *FileBackend) Has(id proto.ChunkID) bool {
+	_, err := os.Stat(f.path(id))
+	return err == nil
+}
+
+// serve accepts connections and dispatches each on its own goroutine.
+func serve(l net.Listener, handle func(dec *gob.Decoder, enc *gob.Encoder) error) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				if err := handle(dec, enc); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// wireErr maps a response error string back to a sentinel where possible.
+func wireErr(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, sentinel := range []error{
+		proto.ErrNoSuchFile, proto.ErrFileExists, proto.ErrNoSpace,
+		proto.ErrNoSuchChunk, proto.ErrBenefactorDead, proto.ErrNoBenefactors,
+		proto.ErrChunkOutOfRange,
+	} {
+		if s == sentinel.Error() {
+			return sentinel
+		}
+	}
+	return fmt.Errorf("%s", s)
+}
+
+// ManagerServer serves the metadata service over TCP.
+type ManagerServer struct {
+	mu  sync.Mutex
+	mgr *manager.Manager
+	l   net.Listener
+	// benConns caches client connections to benefactors for server-driven
+	// operations (chunk deletion, COW copies).
+	benConns map[int]*chunkConn
+	start    time.Time
+}
+
+// NewManagerServer starts a manager on addr (e.g. "127.0.0.1:0").
+func NewManagerServer(addr string, chunkSize int64, policy manager.PlacementPolicy) (*ManagerServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &ManagerServer{
+		mgr:      manager.New(chunkSize, policy),
+		l:        l,
+		benConns: make(map[int]*chunkConn),
+		start:    time.Now(),
+	}
+	go serve(l, s.handle)
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *ManagerServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server.
+func (s *ManagerServer) Close() error { return s.l.Close() }
+
+func (s *ManagerServer) now() time.Duration { return time.Since(s.start) }
+
+// benConn returns (dialing if needed) a connection to a benefactor.
+// Callers hold s.mu.
+func (s *ManagerServer) benConn(id int) (*chunkConn, error) {
+	if c, ok := s.benConns[id]; ok {
+		return c, nil
+	}
+	addr, ok := s.mgr.Addr(id)
+	if !ok || addr == "" {
+		return nil, proto.ErrBenefactorDead
+	}
+	c, err := dialChunk(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.benConns[id] = c
+	return c, nil
+}
+
+func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
+	var req proto.ManagerReq
+	if err := dec.Decode(&req); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	var resp proto.ManagerResp
+	switch req.Op {
+	case proto.OpRegister:
+		s.mgr.Register(proto.BenefactorInfo{
+			ID: req.BenID, Node: req.BenNode, Capacity: req.Capacity,
+		}, req.BenAddr, s.now())
+		delete(s.benConns, req.BenID) // re-registration may change the address
+	case proto.OpBeat:
+		resp.Err = errStr(s.mgr.Heartbeat(req.BenID, req.WriteVolume, s.now()))
+	case proto.OpCreate:
+		fi, err := s.mgr.Create(req.Name, req.Size)
+		resp.File, resp.Err = fi, errStr(err)
+	case proto.OpLookup:
+		fi, err := s.mgr.Lookup(req.Name)
+		resp.File, resp.Err = fi, errStr(err)
+	case proto.OpDelete:
+		freed, err := s.mgr.Delete(req.Name)
+		if err == nil {
+			err = s.deleteChunks(freed)
+		}
+		resp.Err = errStr(err)
+	case proto.OpLink:
+		fi, err := s.mgr.Link(req.Name, req.Parts)
+		resp.File, resp.Err = fi, errStr(err)
+	case proto.OpDerive:
+		fi, err := s.mgr.Derive(req.Name, req.Src, req.FromChunk, req.NChunks, req.Size)
+		resp.File, resp.Err = fi, errStr(err)
+	case proto.OpSetTTL:
+		resp.Err = errStr(s.mgr.SetTTL(req.Name, time.Duration(req.ExpiresAtNanos)))
+	case proto.OpExpire:
+		expired, freed := s.mgr.ExpireSweep(s.now())
+		resp.Expired = expired
+		resp.Err = errStr(s.deleteChunks(freed))
+	case proto.OpRemap:
+		old, fresh, shared, err := s.mgr.Remap(req.Name, req.ChunkIdx)
+		if err == nil && shared {
+			err = s.copyChunk(old, fresh)
+		}
+		resp.OldRef, resp.NewRef, resp.Err = old, fresh, errStr(err)
+	case proto.OpStatus:
+		s.mgr.Sweep(s.now())
+		resp.Bens = s.mgr.Status()
+		resp.ChunkSize = s.mgr.ChunkSize()
+	default:
+		resp.Err = fmt.Sprintf("manager: unknown op %q", req.Op)
+	}
+	s.mu.Unlock()
+	return enc.Encode(&resp)
+}
+
+// deleteChunks physically removes freed chunks on their benefactors.
+func (s *ManagerServer) deleteChunks(freed []proto.ChunkRef) error {
+	for _, ref := range freed {
+		c, err := s.benConn(ref.Benefactor)
+		if err != nil {
+			continue // dead benefactor: nothing to clean
+		}
+		if _, err := c.call(proto.ChunkReq{Op: proto.OpDeleteChunk, ID: ref.ID}); err != nil {
+			delete(s.benConns, ref.Benefactor)
+		}
+	}
+	return nil
+}
+
+// copyChunk performs the server-side COW copy.
+func (s *ManagerServer) copyChunk(old, fresh proto.ChunkRef) error {
+	if old.Benefactor == fresh.Benefactor {
+		c, err := s.benConn(fresh.Benefactor)
+		if err != nil {
+			return err
+		}
+		_, err = c.call(proto.ChunkReq{Op: proto.OpCopyChunk, ID: fresh.ID, SrcID: old.ID})
+		return err
+	}
+	src, err := s.benConn(old.Benefactor)
+	if err != nil {
+		return err
+	}
+	data, err := src.call(proto.ChunkReq{Op: proto.OpGetChunk, ID: old.ID})
+	if err != nil {
+		return err
+	}
+	dst, err := s.benConn(fresh.Benefactor)
+	if err != nil {
+		return err
+	}
+	_, err = dst.call(proto.ChunkReq{Op: proto.OpPutChunk, ID: fresh.ID, Data: data.Data})
+	return err
+}
+
+// BenefactorServer serves one benefactor's chunks over TCP.
+type BenefactorServer struct {
+	mu sync.Mutex
+	st *benefactor.Store
+	l  net.Listener
+	// stop terminates the heartbeat loop.
+	stop chan struct{}
+}
+
+// NewBenefactorServer starts a benefactor on addr, registers it with the
+// manager, and begins heartbeating.
+func NewBenefactorServer(addr, managerAddr string, id, node int, capacity, chunkSize int64, backend benefactor.Backend, beat time.Duration) (*BenefactorServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &BenefactorServer{
+		st:   benefactor.New(id, node, capacity, chunkSize, backend),
+		l:    l,
+		stop: make(chan struct{}),
+	}
+	go serve(l, s.handle)
+
+	mc, err := DialManager(managerAddr)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	if err := mc.Register(id, node, s.l.Addr().String(), capacity); err != nil {
+		l.Close()
+		return nil, err
+	}
+	if beat > 0 {
+		go func() {
+			t := time.NewTicker(beat)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.mu.Lock()
+					vol := s.st.Stats().BytesWritten
+					s.mu.Unlock()
+					_ = mc.Heartbeat(id, vol)
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *BenefactorServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server and its heartbeats.
+func (s *BenefactorServer) Close() error {
+	close(s.stop)
+	return s.l.Close()
+}
+
+// Store exposes the underlying chunk store (for stats).
+func (s *BenefactorServer) Store() *benefactor.Store { return s.st }
+
+func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
+	var req proto.ChunkReq
+	if err := dec.Decode(&req); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	var resp proto.ChunkResp
+	switch req.Op {
+	case proto.OpGetChunk:
+		d, err := s.st.GetChunk(req.ID)
+		resp.Data, resp.Err = d, errStr(err)
+	case proto.OpPutChunk:
+		resp.Err = errStr(s.st.PutChunk(req.ID, req.Data))
+	case proto.OpPutPages:
+		resp.Err = errStr(s.st.PutPages(req.ID, req.PageOffs, req.PageData))
+	case proto.OpDeleteChunk:
+		resp.Err = errStr(s.st.DeleteChunk(req.ID))
+	case proto.OpCopyChunk:
+		resp.Err = errStr(s.st.CopyChunk(req.ID, req.SrcID))
+	default:
+		resp.Err = fmt.Sprintf("benefactor: unknown op %q", req.Op)
+	}
+	s.mu.Unlock()
+	return enc.Encode(&resp)
+}
+
+// chunkConn is a client connection to one benefactor.
+type chunkConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+func dialChunk(addr string) (*chunkConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &chunkConn{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+}
+
+func (c *chunkConn) call(req proto.ChunkReq) (proto.ChunkResp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var resp proto.ChunkResp
+	if err := c.enc.Encode(&req); err != nil {
+		return resp, err
+	}
+	if err := c.dec.Decode(&resp); err != nil {
+		return resp, err
+	}
+	return resp, wireErr(resp.Err)
+}
+
+// ManagerClient is a client connection to the manager.
+type ManagerClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+// DialManager connects to a manager server.
+func DialManager(addr string) (*ManagerClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ManagerClient{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *ManagerClient) Close() error { return c.conn.Close() }
+
+func (c *ManagerClient) call(req proto.ManagerReq) (proto.ManagerResp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var resp proto.ManagerResp
+	if err := c.enc.Encode(&req); err != nil {
+		return resp, err
+	}
+	if err := c.dec.Decode(&resp); err != nil {
+		return resp, err
+	}
+	return resp, wireErr(resp.Err)
+}
+
+// Register announces a benefactor to the manager.
+func (c *ManagerClient) Register(id, node int, addr string, capacity int64) error {
+	_, err := c.call(proto.ManagerReq{Op: proto.OpRegister, BenID: id, BenNode: node, BenAddr: addr, Capacity: capacity})
+	return err
+}
+
+// Heartbeat refreshes a benefactor's liveness.
+func (c *ManagerClient) Heartbeat(id int, writeVolume int64) error {
+	_, err := c.call(proto.ManagerReq{Op: proto.OpBeat, BenID: id, WriteVolume: writeVolume})
+	return err
+}
+
+// Create reserves a striped file.
+func (c *ManagerClient) Create(name string, size int64) (proto.FileInfo, error) {
+	resp, err := c.call(proto.ManagerReq{Op: proto.OpCreate, Name: name, Size: size})
+	return resp.File, err
+}
+
+// Lookup fetches a file's chunk map.
+func (c *ManagerClient) Lookup(name string) (proto.FileInfo, error) {
+	resp, err := c.call(proto.ManagerReq{Op: proto.OpLookup, Name: name})
+	return resp.File, err
+}
+
+// Delete removes a file (and its unshared chunks, benefactor-side).
+func (c *ManagerClient) Delete(name string) error {
+	_, err := c.call(proto.ManagerReq{Op: proto.OpDelete, Name: name})
+	return err
+}
+
+// Link appends part files' chunks to dst (zero-copy checkpoint merge).
+func (c *ManagerClient) Link(dst string, parts []string) (proto.FileInfo, error) {
+	resp, err := c.call(proto.ManagerReq{Op: proto.OpLink, Name: dst, Parts: parts})
+	return resp.File, err
+}
+
+// Remap performs the copy-on-write remap of one chunk.
+func (c *ManagerClient) Remap(name string, chunkIdx int) (proto.ChunkRef, error) {
+	resp, err := c.call(proto.ManagerReq{Op: proto.OpRemap, Name: name, ChunkIdx: chunkIdx})
+	return resp.NewRef, err
+}
+
+// Derive creates a file sharing a chunk sub-range of src (checkpoint
+// restore without data movement).
+func (c *ManagerClient) Derive(name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+	resp, err := c.call(proto.ManagerReq{
+		Op: proto.OpDerive, Name: name, Src: src,
+		FromChunk: fromChunk, NChunks: nChunks, Size: size,
+	})
+	return resp.File, err
+}
+
+// SetTTL assigns a lifetime deadline to a file, measured from the
+// manager's start.
+func (c *ManagerClient) SetTTL(name string, expiresAt time.Duration) error {
+	_, err := c.call(proto.ManagerReq{Op: proto.OpSetTTL, Name: name, ExpiresAtNanos: int64(expiresAt)})
+	return err
+}
+
+// Expire reclaims every file whose lifetime has passed and returns their
+// names.
+func (c *ManagerClient) Expire() ([]string, error) {
+	resp, err := c.call(proto.ManagerReq{Op: proto.OpExpire})
+	return resp.Expired, err
+}
+
+// Status returns the benefactor table.
+func (c *ManagerClient) Status() ([]proto.BenefactorInfo, error) {
+	resp, err := c.call(proto.ManagerReq{Op: proto.OpStatus})
+	return resp.Bens, err
+}

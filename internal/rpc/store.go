@@ -1,0 +1,247 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+
+	"nvmalloc/internal/proto"
+)
+
+// Store is a data-path client for the TCP aggregate store: it resolves
+// files through the manager and moves chunk payloads directly between the
+// application and the benefactors, with read-modify-write at chunk
+// granularity for unaligned writes.
+type Store struct {
+	mgr       *ManagerClient
+	mu        sync.Mutex
+	chunkSize int64
+	benAddrs  map[int]string
+	conns     map[int]*chunkConn
+	meta      map[string]proto.FileInfo
+}
+
+// Open connects to the manager at addr and discovers the store's
+// geometry and benefactors.
+func Open(addr string) (*Store, error) {
+	mc, err := DialManager(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		mgr:      mc,
+		benAddrs: make(map[int]string),
+		conns:    make(map[int]*chunkConn),
+		meta:     make(map[string]proto.FileInfo),
+	}
+	if err := s.Refresh(); err != nil {
+		mc.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Refresh re-fetches the benefactor table (picking up new registrations).
+func (s *Store) Refresh() error {
+	resp, err := s.mgr.call(proto.ManagerReq{Op: proto.OpStatus})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chunkSize = resp.ChunkSize
+	for _, b := range resp.Bens {
+		if prev, ok := s.benAddrs[b.ID]; ok && prev != b.Addr {
+			delete(s.conns, b.ID)
+		}
+		s.benAddrs[b.ID] = b.Addr
+	}
+	return nil
+}
+
+// Close drops every connection.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		c.conn.Close()
+	}
+	return s.mgr.Close()
+}
+
+// ChunkSize returns the striping unit.
+func (s *Store) ChunkSize() int64 { return s.chunkSize }
+
+// Manager exposes the metadata client.
+func (s *Store) Manager() *ManagerClient { return s.mgr }
+
+// ben returns a connection to the benefactor holding ref.
+func (s *Store) ben(ref proto.ChunkRef) (*chunkConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.conns[ref.Benefactor]; ok {
+		return c, nil
+	}
+	addr, ok := s.benAddrs[ref.Benefactor]
+	if !ok || addr == "" {
+		return nil, fmt.Errorf("%w: benefactor %d has no address", proto.ErrBenefactorDead, ref.Benefactor)
+	}
+	c, err := dialChunk(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.conns[ref.Benefactor] = c
+	return c, nil
+}
+
+// fileInfo returns (caching) a file's chunk map.
+func (s *Store) fileInfo(name string) (proto.FileInfo, error) {
+	s.mu.Lock()
+	fi, ok := s.meta[name]
+	s.mu.Unlock()
+	if ok {
+		return fi, nil
+	}
+	fi, err := s.mgr.Lookup(name)
+	if err != nil {
+		return fi, err
+	}
+	s.mu.Lock()
+	s.meta[name] = fi
+	s.mu.Unlock()
+	return fi, nil
+}
+
+// Create reserves a file of the given size.
+func (s *Store) Create(name string, size int64) error {
+	fi, err := s.mgr.Create(name, size)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.meta[name] = fi
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete removes a file.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	delete(s.meta, name)
+	s.mu.Unlock()
+	return s.mgr.Delete(name)
+}
+
+// Stat returns a file's metadata.
+func (s *Store) Stat(name string) (proto.FileInfo, error) {
+	// Always consult the manager: another client may have remapped
+	// chunks.
+	s.mu.Lock()
+	delete(s.meta, name)
+	s.mu.Unlock()
+	return s.fileInfo(name)
+}
+
+// getChunk fetches one chunk payload.
+func (s *Store) getChunk(ref proto.ChunkRef) ([]byte, error) {
+	c, err := s.ben(ref)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.call(proto.ChunkReq{Op: proto.OpGetChunk, ID: ref.ID})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// putChunk stores one full chunk payload.
+func (s *Store) putChunk(ref proto.ChunkRef, data []byte) error {
+	c, err := s.ben(ref)
+	if err != nil {
+		return err
+	}
+	_, err = c.call(proto.ChunkReq{Op: proto.OpPutChunk, ID: ref.ID, Data: data})
+	return err
+}
+
+// ReadAt fills buf from the file at off.
+func (s *Store) ReadAt(name string, off int64, buf []byte) error {
+	fi, err := s.fileInfo(name)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+int64(len(buf)) > fi.Size {
+		return fmt.Errorf("%w: read [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(buf)), name, fi.Size)
+	}
+	for len(buf) > 0 {
+		idx := int(off / s.chunkSize)
+		coff := off % s.chunkSize
+		data, err := s.getChunk(fi.Chunks[idx])
+		if err != nil {
+			return err
+		}
+		n := copy(buf, data[coff:])
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// WriteAt stores data into the file at off (read-modify-write for
+// partial chunks).
+func (s *Store) WriteAt(name string, off int64, data []byte) error {
+	fi, err := s.fileInfo(name)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+int64(len(data)) > fi.Size {
+		return fmt.Errorf("%w: write [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(data)), name, fi.Size)
+	}
+	for len(data) > 0 {
+		idx := int(off / s.chunkSize)
+		coff := off % s.chunkSize
+		n := s.chunkSize - coff
+		if int64(len(data)) < n {
+			n = int64(len(data))
+		}
+		ref := fi.Chunks[idx]
+		if coff == 0 && n == s.chunkSize {
+			if err := s.putChunk(ref, data[:n]); err != nil {
+				return err
+			}
+		} else {
+			cur, err := s.getChunk(ref)
+			if err != nil {
+				return err
+			}
+			copy(cur[coff:], data[:n])
+			if err := s.putChunk(ref, cur); err != nil {
+				return err
+			}
+		}
+		data = data[n:]
+		off += n
+	}
+	return nil
+}
+
+// Put uploads a whole payload as a (new) file.
+func (s *Store) Put(name string, data []byte) error {
+	if err := s.Create(name, int64(len(data))); err != nil {
+		return err
+	}
+	return s.WriteAt(name, 0, data)
+}
+
+// Get downloads a whole file.
+func (s *Store) Get(name string) ([]byte, error) {
+	fi, err := s.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, fi.Size)
+	if err := s.ReadAt(name, 0, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,404 @@
+// Package simstore runs the aggregate NVM store (manager + benefactors)
+// inside the simulated cluster: every store operation is charged its
+// network round trip on the cluster interconnect, its device time on the
+// benefactor's SSD, and a fixed software (RPC/FUSE crossing) overhead.
+// The metadata and chunk logic is the transport-agnostic code in
+// internal/manager and internal/benefactor — the same code the real TCP
+// transport uses.
+package simstore
+
+import (
+	"fmt"
+	"time"
+
+	"nvmalloc/internal/benefactor"
+	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/manager"
+	"nvmalloc/internal/proto"
+	"nvmalloc/internal/simtime"
+)
+
+// Wire-size constants for RPC cost accounting.
+const (
+	reqHeaderBytes  = 64 // request envelope
+	respHeaderBytes = 64 // response envelope
+	chunkRefBytes   = 16 // per-chunk entry in a lookup response
+	pageHdrBytes    = 8  // per-page entry in a put-pages request
+)
+
+// ben is one running benefactor inside the simulation.
+type ben struct {
+	st    *benefactor.Store
+	node  int
+	alive bool
+}
+
+// Store is a running aggregate NVM store.
+type Store struct {
+	Cl          *cluster.Cluster
+	Mgr         *manager.Manager
+	ManagerNode int
+	bens        map[int]*ben
+	benOrder    []int
+}
+
+// New assembles a store on cl with one benefactor per entry of benNodes
+// (benefactor i lives on cluster node benNodes[i] and contributes capacity
+// bytes of its node-local SSD). The manager runs on managerNode.
+func New(cl *cluster.Cluster, managerNode int, benNodes []int, capacity int64, policy manager.PlacementPolicy) *Store {
+	s := &Store{
+		Cl:          cl,
+		Mgr:         manager.New(cl.Prof.ChunkSize, policy),
+		ManagerNode: managerNode,
+		bens:        make(map[int]*ben),
+	}
+	for i, node := range benNodes {
+		bst := benefactor.New(i, node, capacity, cl.Prof.ChunkSize, benefactor.NewMem())
+		s.bens[i] = &ben{st: bst, node: node, alive: true}
+		s.benOrder = append(s.benOrder, i)
+		s.Mgr.Register(bst.Info(), "", 0)
+	}
+	return s
+}
+
+// Benefactor returns benefactor i's store (for stats and tests).
+func (s *Store) Benefactor(i int) *benefactor.Store { return s.bens[i].st }
+
+// Benefactors returns the benefactor IDs in registration order.
+func (s *Store) Benefactors() []int { return append([]int(nil), s.benOrder...) }
+
+// Kill simulates the death of a benefactor process: subsequent chunk
+// operations against it fail and the manager is informed (as its liveness
+// sweep eventually would).
+func (s *Store) Kill(benID int) {
+	if b, ok := s.bens[benID]; ok {
+		b.alive = false
+		s.Mgr.MarkDead(benID)
+	}
+}
+
+// Revive brings a killed benefactor back (its chunks intact).
+func (s *Store) Revive(benID int) {
+	if b, ok := s.bens[benID]; ok {
+		b.alive = true
+		s.Mgr.Register(b.st.Info(), "", time.Duration(s.Cl.Eng.Now()))
+	}
+}
+
+// Repair restores the configured replica count after failures, executing
+// the manager's copy plan (read from a live copy, write to the
+// replacement) and charging all device and network time. It returns how
+// many chunks were re-replicated and how many are unrecoverable.
+func (s *Store) Repair(p *simtime.Proc) (repaired int, lost int, err error) {
+	ops, lostIDs := s.Mgr.Repair()
+	c := s.Client(s.ManagerNode)
+	for _, op := range ops {
+		data, gerr := c.GetChunk(p, op.Src)
+		if gerr != nil {
+			return repaired, len(lostIDs), gerr
+		}
+		dst, derr := c.liveBen(op.Dst)
+		if derr != nil {
+			return repaired, len(lostIDs), derr
+		}
+		s.overhead(p)
+		s.Cl.Net.Transfer(p, s.ManagerNode, dst.node, reqHeaderBytes+int64(len(data)))
+		s.Cl.Nodes[dst.node].SSD.Write(p, int64(len(data)))
+		if perr := dst.st.PutChunk(op.Dst.ID, data); perr != nil {
+			return repaired, len(lostIDs), perr
+		}
+		repaired++
+	}
+	return repaired, len(lostIDs), nil
+}
+
+// overhead charges the fixed software cost of one RPC.
+func (s *Store) overhead(p *simtime.Proc) { p.Sleep(s.Cl.Prof.RPCOverhead) }
+
+// mgrRPC charges a metadata round trip from clientNode to the manager.
+func (s *Store) mgrRPC(p *simtime.Proc, clientNode int, reqExtra, respExtra int64) {
+	s.overhead(p)
+	s.Cl.Net.Request(p, clientNode, s.ManagerNode, reqHeaderBytes+reqExtra, respHeaderBytes+respExtra, nil)
+}
+
+// Client returns a node-bound handle used by the cache layer on that node.
+func (s *Store) Client(node int) *Client { return &Client{s: s, node: node} }
+
+// Client is a per-compute-node handle to the store. It implements the
+// StoreClient interface consumed by internal/fusecache.
+type Client struct {
+	s    *Store
+	node int
+}
+
+// Node returns the cluster node this client is bound to.
+func (c *Client) Node() int { return c.node }
+
+// ChunkSize returns the store's striping unit.
+func (c *Client) ChunkSize() int64 { return c.s.Mgr.ChunkSize() }
+
+// Create reserves a file of the given size (posix_fallocate analog).
+func (c *Client) Create(p *simtime.Proc, name string, size int64) (proto.FileInfo, error) {
+	fi, err := c.s.Mgr.Create(name, size)
+	c.s.mgrRPC(p, c.node, int64(len(name)), int64(len(fi.Chunks))*chunkRefBytes)
+	return fi, err
+}
+
+// Lookup fetches a file's chunk map from the manager.
+func (c *Client) Lookup(p *simtime.Proc, name string) (proto.FileInfo, error) {
+	fi, err := c.s.Mgr.Lookup(name)
+	c.s.mgrRPC(p, c.node, int64(len(name)), int64(len(fi.Chunks))*chunkRefBytes)
+	return fi, err
+}
+
+// Exists asks the manager whether a file exists.
+func (c *Client) Exists(p *simtime.Proc, name string) bool {
+	ok := c.s.Mgr.Exists(name)
+	c.s.mgrRPC(p, c.node, int64(len(name)), 8)
+	return ok
+}
+
+// Delete removes a file; chunks whose refcount reaches zero are physically
+// deleted on their benefactors.
+func (c *Client) Delete(p *simtime.Proc, name string) error {
+	freed, err := c.s.Mgr.Delete(name)
+	c.s.mgrRPC(p, c.node, int64(len(name)), 8)
+	if err != nil {
+		return err
+	}
+	// The manager issues deletions to benefactors; charge one small RPC per
+	// affected benefactor (batched per benefactor, as a real manager would).
+	byBen := make(map[int][]proto.ChunkID)
+	for _, ref := range freed {
+		byBen[ref.Benefactor] = append(byBen[ref.Benefactor], ref.ID)
+	}
+	for _, id := range c.s.benOrder {
+		ids, ok := byBen[id]
+		if !ok {
+			continue
+		}
+		b := c.s.bens[id]
+		if !b.alive {
+			continue // dead benefactor: its space is already lost
+		}
+		c.s.overhead(p)
+		c.s.Cl.Net.Request(p, c.s.ManagerNode, b.node, reqHeaderBytes+int64(len(ids))*8, respHeaderBytes, nil)
+		for _, cid := range ids {
+			if err := b.st.DeleteChunk(cid); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Link appends the chunks of the part files to dst (zero-copy checkpoint
+// merge).
+func (c *Client) Link(p *simtime.Proc, dst string, parts []string) (proto.FileInfo, error) {
+	var extra int64
+	for _, pn := range parts {
+		extra += int64(len(pn))
+	}
+	fi, err := c.s.Mgr.Link(dst, parts)
+	c.s.mgrRPC(p, c.node, int64(len(dst))+extra, int64(len(fi.Chunks))*chunkRefBytes)
+	return fi, err
+}
+
+// SetTTL assigns a lifetime deadline (in virtual time) to a file.
+func (c *Client) SetTTL(p *simtime.Proc, name string, expiresAt time.Duration) error {
+	err := c.s.Mgr.SetTTL(name, expiresAt)
+	c.s.mgrRPC(p, c.node, int64(len(name))+8, 8)
+	return err
+}
+
+// ExpireSweep reclaims expired variables (and their benefactor space).
+func (s *Store) ExpireSweep(p *simtime.Proc) ([]string, error) {
+	expired, freed := s.Mgr.ExpireSweep(time.Duration(s.Cl.Eng.Now()))
+	byBen := make(map[int][]proto.ChunkID)
+	for _, ref := range freed {
+		byBen[ref.Benefactor] = append(byBen[ref.Benefactor], ref.ID)
+	}
+	for _, id := range s.benOrder {
+		ids, ok := byBen[id]
+		if !ok {
+			continue
+		}
+		b := s.bens[id]
+		if !b.alive {
+			continue
+		}
+		s.overhead(p)
+		s.Cl.Net.Request(p, s.ManagerNode, b.node, reqHeaderBytes+int64(len(ids))*8, respHeaderBytes, nil)
+		for _, cid := range ids {
+			if err := b.st.DeleteChunk(cid); err != nil {
+				return expired, err
+			}
+		}
+	}
+	return expired, nil
+}
+
+// Derive creates a file sharing a chunk sub-range of src (checkpoint
+// restore without data movement).
+func (c *Client) Derive(p *simtime.Proc, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+	fi, err := c.s.Mgr.Derive(name, src, fromChunk, nChunks, size)
+	c.s.mgrRPC(p, c.node, int64(len(name)+len(src))+24, int64(len(fi.Chunks))*chunkRefBytes)
+	return fi, err
+}
+
+// Remap performs the copy-on-write remapping of one chunk, including the
+// server-side payload copy when the chunk was shared.
+func (c *Client) Remap(p *simtime.Proc, name string, chunkIdx int) (proto.ChunkRef, error) {
+	old, fresh, shared, err := c.s.Mgr.Remap(name, chunkIdx)
+	c.s.mgrRPC(p, c.node, int64(len(name))+8, 2*chunkRefBytes)
+	if err != nil {
+		return proto.ChunkRef{}, err
+	}
+	if shared && fresh.Benefactor == old.Benefactor {
+		// Server-side copy: manager instructs the benefactor directly.
+		b := c.s.bens[fresh.Benefactor]
+		if !b.alive {
+			return proto.ChunkRef{}, proto.ErrBenefactorDead
+		}
+		c.s.overhead(p)
+		c.s.Cl.Net.Request(p, c.s.ManagerNode, b.node, reqHeaderBytes, respHeaderBytes, func(sp *simtime.Proc) {
+			cs := c.s.Mgr.ChunkSize()
+			c.s.Cl.Nodes[b.node].SSD.Read(sp, cs)
+			c.s.Cl.Nodes[b.node].SSD.Write(sp, cs)
+		})
+		if err := b.st.CopyChunk(fresh.ID, old.ID); err != nil {
+			return proto.ChunkRef{}, err
+		}
+	} else if shared {
+		// Cross-benefactor copy: pull then push.
+		data, err := c.GetChunk(p, old)
+		if err != nil {
+			return proto.ChunkRef{}, err
+		}
+		if err := c.PutChunk(p, fresh, data); err != nil {
+			return proto.ChunkRef{}, err
+		}
+	}
+	return fresh, nil
+}
+
+// Status fetches the benefactor table.
+func (c *Client) Status(p *simtime.Proc) []proto.BenefactorInfo {
+	st := c.s.Mgr.Status()
+	c.s.mgrRPC(p, c.node, 0, int64(len(st))*48)
+	return st
+}
+
+// liveBen resolves a chunk ref to a live benefactor.
+func (c *Client) liveBen(ref proto.ChunkRef) (*ben, error) {
+	b, ok := c.s.bens[ref.Benefactor]
+	if !ok {
+		return nil, fmt.Errorf("%w: benefactor %d", proto.ErrBenefactorDead, ref.Benefactor)
+	}
+	if !b.alive {
+		return nil, proto.ErrBenefactorDead
+	}
+	return b, nil
+}
+
+// GetChunk fetches one chunk payload directly from its benefactor: small
+// request out, device read on the benefactor's SSD, chunk-size response
+// back (paper §III-D: "the FUSE client makes a direct connection to the
+// appropriate benefactor"). When the primary is dead and the store keeps
+// replicas, the read fails over via the manager.
+func (c *Client) GetChunk(p *simtime.Proc, ref proto.ChunkRef) ([]byte, error) {
+	b, err := c.liveBen(ref)
+	if err == proto.ErrBenefactorDead {
+		// Failover: ask the manager for a live copy.
+		live, lerr := c.s.Mgr.LiveRef(ref.ID)
+		c.s.mgrRPC(p, c.node, 8, chunkRefBytes)
+		if lerr != nil {
+			return nil, err
+		}
+		if b, err = c.liveBen(live); err != nil {
+			return nil, err
+		}
+		ref = live
+	} else if err != nil {
+		return nil, err
+	}
+	cs := c.s.Mgr.ChunkSize()
+	c.s.overhead(p)
+	c.s.Cl.Net.Transfer(p, c.node, b.node, reqHeaderBytes)
+	c.s.Cl.Nodes[b.node].SSD.Read(p, cs)
+	c.s.Cl.Net.Transfer(p, b.node, c.node, respHeaderBytes+cs)
+	return b.st.GetChunk(ref.ID)
+}
+
+// copies lists the locations a write must reach: the given ref plus any
+// replicas the manager tracks.
+func (c *Client) copies(ref proto.ChunkRef) []proto.ChunkRef {
+	reps := c.s.Mgr.Replicas(ref.ID)
+	if len(reps) == 0 {
+		return []proto.ChunkRef{ref}
+	}
+	return reps
+}
+
+// PutChunk stores a full chunk payload on its benefactor and every
+// replica.
+func (c *Client) PutChunk(p *simtime.Proc, ref proto.ChunkRef, data []byte) error {
+	var firstErr error
+	stored := 0
+	for _, dst := range c.copies(ref) {
+		b, err := c.liveBen(dst)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		c.s.overhead(p)
+		c.s.Cl.Net.Transfer(p, c.node, b.node, reqHeaderBytes+int64(len(data)))
+		c.s.Cl.Nodes[b.node].SSD.Write(p, int64(len(data)))
+		c.s.Cl.Net.Transfer(p, b.node, c.node, respHeaderBytes)
+		if err := b.st.PutChunk(dst.ID, data); err != nil {
+			return err
+		}
+		stored++
+	}
+	if stored == 0 {
+		return firstErr
+	}
+	return nil
+}
+
+// PutPages ships only the dirty pages of a chunk to its benefactor (and
+// every replica) — the write optimization of Table VII. The benefactor
+// applies them with a single vectored device write.
+func (c *Client) PutPages(p *simtime.Proc, ref proto.ChunkRef, pageOffs []int64, pages [][]byte) error {
+	var payload int64
+	sizes := make([]int64, len(pages))
+	for i, pg := range pages {
+		payload += int64(len(pg)) + pageHdrBytes
+		sizes[i] = int64(len(pg))
+	}
+	var firstErr error
+	stored := 0
+	for _, dst := range c.copies(ref) {
+		b, err := c.liveBen(dst)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		c.s.overhead(p)
+		c.s.Cl.Net.Transfer(p, c.node, b.node, reqHeaderBytes+payload)
+		c.s.Cl.Nodes[b.node].SSD.WriteVec(p, sizes)
+		c.s.Cl.Net.Transfer(p, b.node, c.node, respHeaderBytes)
+		if err := b.st.PutPages(dst.ID, pageOffs, pages); err != nil {
+			return err
+		}
+		stored++
+	}
+	if stored == 0 {
+		return firstErr
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package simstore
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/manager"
+	"nvmalloc/internal/proto"
+	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/sysprof"
+)
+
+func testStore(e *simtime.Engine) *Store {
+	cl := cluster.New(e, sysprof.Bench())
+	return New(cl, 0, []int{0, 1, 2, 3}, 16*sysprof.MiB, manager.RoundRobin)
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	e := simtime.NewEngine()
+	s := testStore(e)
+	cs := s.Mgr.ChunkSize()
+	var got []byte
+	e.Go("client", func(p *simtime.Proc) {
+		c := s.Client(2)
+		fi, err := c.Create(p, "v", 3*cs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		data := bytes.Repeat([]byte{0x42}, int(cs))
+		if err := c.PutChunk(p, fi.Chunks[1], data); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err = c.GetChunk(p, fi.Chunks[1])
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	if len(got) == 0 || got[0] != 0x42 {
+		t.Fatal("round trip failed")
+	}
+	if e.Now() == 0 {
+		t.Fatal("store operations must consume virtual time")
+	}
+}
+
+func TestRemoteCostsMoreThanLocal(t *testing.T) {
+	timeFor := func(clientNode int) simtime.Time {
+		e := simtime.NewEngine()
+		s := testStore(e)
+		cs := s.Mgr.ChunkSize()
+		e.Go("client", func(p *simtime.Proc) {
+			c := s.Client(clientNode)
+			fi, _ := c.Create(p, "v", cs)
+			data := make([]byte, cs)
+			c.PutChunk(p, fi.Chunks[0], data)
+			for i := 0; i < 10; i++ {
+				c.GetChunk(p, fi.Chunks[0])
+			}
+		})
+		e.Run()
+		return e.Now()
+	}
+	local := timeFor(0)   // chunk 0 round-robins to benefactor 0 on node 0
+	remote := timeFor(15) // node 15 hosts no benefactor
+	if remote <= local {
+		t.Fatalf("remote %v should cost more than local %v", remote, local)
+	}
+}
+
+func TestPutPagesCheaperThanPutChunk(t *testing.T) {
+	run := func(pages bool) simtime.Time {
+		e := simtime.NewEngine()
+		s := testStore(e)
+		cs := s.Mgr.ChunkSize()
+		e.Go("client", func(p *simtime.Proc) {
+			c := s.Client(1)
+			fi, _ := c.Create(p, "v", cs)
+			c.PutChunk(p, fi.Chunks[0], make([]byte, cs))
+			for i := 0; i < 20; i++ {
+				if pages {
+					c.PutPages(p, fi.Chunks[0], []int64{0}, [][]byte{make([]byte, 512)})
+				} else {
+					c.PutChunk(p, fi.Chunks[0], make([]byte, cs))
+				}
+			}
+		})
+		e.Run()
+		return e.Now()
+	}
+	if pp, pc := run(true), run(false); pp >= pc {
+		t.Fatalf("dirty-page put %v should beat whole-chunk put %v", pp, pc)
+	}
+}
+
+func TestKilledBenefactorFails(t *testing.T) {
+	e := simtime.NewEngine()
+	s := testStore(e)
+	cs := s.Mgr.ChunkSize()
+	var getErr error
+	e.Go("client", func(p *simtime.Proc) {
+		c := s.Client(0)
+		fi, _ := c.Create(p, "v", cs)
+		s.Kill(fi.Chunks[0].Benefactor)
+		_, getErr = c.GetChunk(p, fi.Chunks[0])
+	})
+	e.Run()
+	if getErr != proto.ErrBenefactorDead {
+		t.Fatalf("err = %v, want ErrBenefactorDead", getErr)
+	}
+}
+
+func TestDeletePhysicallyRemovesUnsharedChunks(t *testing.T) {
+	e := simtime.NewEngine()
+	s := testStore(e)
+	cs := s.Mgr.ChunkSize()
+	e.Go("client", func(p *simtime.Proc) {
+		c := s.Client(0)
+		fi, _ := c.Create(p, "v", 4*cs)
+		for _, ref := range fi.Chunks {
+			c.PutChunk(p, ref, make([]byte, cs))
+		}
+		if err := c.Delete(p, "v"); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	for _, id := range s.Benefactors() {
+		if u := s.Benefactor(id).Used(); u != 0 {
+			t.Fatalf("benefactor %d still holds %d bytes", id, u)
+		}
+	}
+}
+
+func TestRemapServerSideCopy(t *testing.T) {
+	e := simtime.NewEngine()
+	s := testStore(e)
+	cs := s.Mgr.ChunkSize()
+	var data []byte
+	e.Go("client", func(p *simtime.Proc) {
+		c := s.Client(0)
+		fi, _ := c.Create(p, "v", cs)
+		payload := bytes.Repeat([]byte{7}, int(cs))
+		c.PutChunk(p, fi.Chunks[0], payload)
+		c.Create(p, "ckpt", 0)
+		c.Link(p, "ckpt", []string{"v"})
+		netBefore := s.Cl.Net.Stats().Bytes
+		fresh, err := c.Remap(p, "v", 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if moved := s.Cl.Net.Stats().Bytes - netBefore; moved > 1024 {
+			t.Errorf("server-side copy moved %d bytes over the network", moved)
+		}
+		data, err = c.GetChunk(p, fresh)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	if len(data) == 0 || data[0] != 7 {
+		t.Fatal("remapped chunk lost its payload")
+	}
+}

@@ -1,0 +1,323 @@
+// Package simtime provides a deterministic discrete-event simulation engine
+// with cooperative actor processes ("procs") that advance a shared virtual
+// clock. It is the substrate on which the simulated cluster, devices,
+// network, and workloads of this repository run.
+//
+// Exactly one proc executes at any instant: the engine hands a scheduling
+// token to one goroutine at a time, so proc code may freely mutate shared
+// simulation state without locks, and every run is reproducible (the ready
+// queue is FIFO and timer ties break by spawn sequence).
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is an absolute virtual time in nanoseconds since the start of the run.
+type Time int64
+
+// Duration re-exports time.Duration for convenience in virtual-time APIs.
+type Duration = time.Duration
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// procState tracks where a proc is in its lifecycle.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateReady
+	stateRunning
+	stateParked // blocked on a primitive, no timer
+	stateTimer  // blocked with a pending timer wakeup
+	stateDone
+)
+
+// Proc is a cooperative simulation process. All Proc methods must be called
+// from the goroutine running the proc's body (i.e. while it holds the
+// scheduling token).
+type Proc struct {
+	eng    *Engine
+	name   string
+	seq    uint64
+	state  procState
+	resume chan struct{}
+	// blockedOn is a human-readable description of what the proc is
+	// waiting for; it is reported on deadlock.
+	blockedOn string
+	timerIdx  int // index into the timer heap while stateTimer, else -1
+	doneHook  []func()
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// timer is a scheduled wakeup in the engine's timer heap.
+type timer struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].proc.timerIdx = i
+	h[j].proc.timerIdx = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*timer)
+	t.proc.timerIdx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.proc.timerIdx = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is a deterministic discrete-event scheduler.
+type Engine struct {
+	now     Time
+	seq     uint64
+	timers  timerHeap
+	ready   []*Proc
+	parked  map[*Proc]struct{}
+	yieldCh chan struct{}
+	running bool
+	nProcs  int // live (not done) procs
+	cur     *Proc
+}
+
+// NewEngine returns an engine with the clock at zero and no procs.
+func NewEngine() *Engine {
+	return &Engine{
+		parked:  make(map[*Proc]struct{}),
+		yieldCh: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Go spawns a new proc that will begin executing fn at the current virtual
+// time. It may be called before Run or from a running proc.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	e.seq++
+	p := &Proc{
+		eng:      e,
+		name:     name,
+		seq:      e.seq,
+		state:    stateReady,
+		resume:   make(chan struct{}),
+		timerIdx: -1,
+	}
+	e.nProcs++
+	e.ready = append(e.ready, p)
+	go func() {
+		<-p.resume
+		fn(p)
+		p.state = stateDone
+		e.nProcs--
+		for _, hook := range p.doneHook {
+			hook()
+		}
+		e.yieldCh <- struct{}{}
+	}()
+	return p
+}
+
+// Run drives the simulation until every proc has finished. It panics with a
+// diagnostic if the system deadlocks (procs remain but none is runnable and
+// no timer is pending).
+func (e *Engine) Run() {
+	if e.running {
+		panic("simtime: Engine.Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		var p *Proc
+		switch {
+		case len(e.ready) > 0:
+			p = e.ready[0]
+			copy(e.ready, e.ready[1:])
+			e.ready[len(e.ready)-1] = nil
+			e.ready = e.ready[:len(e.ready)-1]
+		case len(e.timers) > 0:
+			t := heap.Pop(&e.timers).(*timer)
+			if t.at < e.now {
+				panic("simtime: clock moved backwards")
+			}
+			e.now = t.at
+			p = t.proc
+		default:
+			if e.nProcs > 0 {
+				panic("simtime: deadlock: " + e.describeParked())
+			}
+			return
+		}
+		p.state = stateRunning
+		e.cur = p
+		p.resume <- struct{}{}
+		<-e.yieldCh
+		e.cur = nil
+	}
+}
+
+// describeParked lists parked procs and what they are blocked on, for
+// deadlock diagnostics.
+func (e *Engine) describeParked() string {
+	var names []string
+	for p := range e.parked {
+		names = append(names, fmt.Sprintf("%s (on %s)", p.name, p.blockedOn))
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("%d proc(s) blocked at t=%v:", len(names), e.now)
+	for _, n := range names {
+		s += " " + n + ";"
+	}
+	return s
+}
+
+// yield gives the scheduling token back to the engine and blocks until the
+// engine resumes this proc.
+func (p *Proc) yield() {
+	p.eng.yieldCh <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Sleep suspends the proc for virtual duration d. Sleep(0) yields to other
+// procs runnable at the current time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.seq++
+	t := &timer{at: e.now.Add(d), seq: e.seq, proc: p}
+	p.state = stateTimer
+	heap.Push(&e.timers, t)
+	p.yield()
+}
+
+// Yield lets other procs runnable at the current virtual time execute.
+func (p *Proc) Yield() {
+	e := p.eng
+	p.state = stateReady
+	e.ready = append(e.ready, p)
+	p.yield()
+}
+
+// park blocks the proc with no pending timer; it must later be woken via
+// wake by another proc. reason appears in deadlock diagnostics.
+func (p *Proc) park(reason string) {
+	p.blockedOn = reason
+	p.state = stateParked
+	p.eng.parked[p] = struct{}{}
+	p.yield()
+}
+
+// wake moves a parked proc to the ready queue (it will run at the current
+// virtual time, in FIFO order).
+func (e *Engine) wake(p *Proc) {
+	if p.state != stateParked {
+		panic("simtime: waking proc " + p.name + " that is not parked")
+	}
+	delete(e.parked, p)
+	p.blockedOn = ""
+	p.state = stateReady
+	e.ready = append(e.ready, p)
+}
+
+// cancelTimer removes p's pending timer (used by timed waits that are
+// satisfied early). It is a no-op if p holds no timer.
+func (e *Engine) cancelTimer(p *Proc) {
+	if p.timerIdx >= 0 {
+		heap.Remove(&e.timers, p.timerIdx)
+	}
+}
+
+// OnDone registers a hook invoked (in the proc's goroutine, holding the
+// token) when the proc's body returns.
+func (p *Proc) OnDone(fn func()) { p.doneHook = append(p.doneHook, fn) }
+
+// WaitGroup is a virtual-time analog of sync.WaitGroup.
+type WaitGroup struct {
+	n       int
+	waiters []*Proc
+}
+
+// Add increments the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("simtime: negative WaitGroup counter")
+	}
+}
+
+// Done decrements the counter, waking waiters when it reaches zero. The
+// calling proc must hold the scheduling token.
+func (wg *WaitGroup) Done(p *Proc) {
+	wg.Add(-1)
+	if wg.n == 0 {
+		for _, w := range wg.waiters {
+			p.eng.wake(w)
+		}
+		wg.waiters = nil
+	}
+}
+
+// Wait blocks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.n != 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.park("waitgroup")
+	}
+}
+
+// GoEach spawns one proc per index in [0,n) and returns a WaitGroup that
+// completes when all of them have finished. It is the engine's parallel-for.
+func (e *Engine) GoEach(name string, n int, fn func(p *Proc, i int)) *WaitGroup {
+	wg := &WaitGroup{}
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		pr := e.Go(fmt.Sprintf("%s[%d]", name, i), func(p *Proc) {
+			fn(p, i)
+		})
+		pr.OnDone(func() { wg.Done(pr) })
+	}
+	return wg
+}

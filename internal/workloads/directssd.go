@@ -1,0 +1,175 @@
+package workloads
+
+import (
+	"container/list"
+	"fmt"
+
+	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/core"
+	"nvmalloc/internal/simtime"
+)
+
+// DirectSSD models the paper's "without NVMalloc" baseline (Table III): a
+// file on the node-local SSD accessed through plain mmap over the local
+// file system. The kernel page cache faults 4 KB pages synchronously with
+// a modest sequential read-ahead window, and dirty pages are written back
+// in small batches — no 256 KB chunking, no FUSE-level cache, no
+// asynchronous prefetch. The data lives in memory (it is a simulation);
+// only the device timing differs from NVMalloc's path.
+type DirectSSD struct {
+	node     *cluster.Node
+	name     string
+	data     []byte
+	pageSize int64
+
+	pages    map[int64]*dpage
+	lru      *list.List
+	capPages int
+	lastMiss int64
+	// readAheadPages is the kernel's sequential read-ahead window.
+	readAheadPages int
+	// writeBatch is how many dirty pages accumulate before a writeback.
+	writeBatch int
+	dirty      []int64
+
+	s core.AppStats
+}
+
+type dpage struct {
+	idx int64
+	lru *list.Element
+}
+
+// NewDirectSSD creates a direct-mmap file of size bytes on the node's
+// local SSD. cacheBudget is the page-cache memory granted to the mapping —
+// for a fair comparison, callers give it the same budget NVMalloc's page
+// cache + FUSE cache consume.
+func NewDirectSSD(node *cluster.Node, name string, size, pageSize, cacheBudget int64) *DirectSSD {
+	capPages := int(cacheBudget / pageSize)
+	if capPages < 8 {
+		capPages = 8
+	}
+	return &DirectSSD{
+		node:           node,
+		name:           name,
+		data:           make([]byte, size),
+		pageSize:       pageSize,
+		pages:          make(map[int64]*dpage),
+		lru:            list.New(),
+		capPages:       capPages,
+		lastMiss:       -1 << 30,
+		readAheadPages: 16, // ~ the kernel's default 128KB window, scaled
+		writeBatch:     32,
+	}
+}
+
+// Name implements core.Buffer.
+func (d *DirectSSD) Name() string { return d.name }
+
+// Size implements core.Buffer.
+func (d *DirectSSD) Size() int64 { return int64(len(d.data)) }
+
+// touch faults the page holding byte offset off if absent, charging SSD
+// time, and returns after the page is resident.
+func (d *DirectSSD) touch(p *simtime.Proc, idx int64, forWrite bool) {
+	if pg, ok := d.pages[idx]; ok {
+		d.lru.MoveToFront(pg.lru)
+		return
+	}
+	// Fault: synchronous read of the page, plus the kernel's sequential
+	// read-ahead window when the access pattern looks sequential (the
+	// next fault after a read-ahead batch lands at the end of the window,
+	// so anything within one window of the last miss counts).
+	n := int64(1)
+	if idx > d.lastMiss && idx <= d.lastMiss+int64(d.readAheadPages) {
+		n = int64(d.readAheadPages)
+	}
+	d.lastMiss = idx
+	last := (int64(len(d.data)) + d.pageSize - 1) / d.pageSize
+	if idx+n > last {
+		n = last - idx
+		if n < 1 {
+			n = 1
+		}
+	}
+	d.node.SSD.Read(p, n*d.pageSize)
+	for k := int64(0); k < n; k++ {
+		if _, ok := d.pages[idx+k]; ok {
+			continue
+		}
+		d.evictIfFull(p)
+		pg := &dpage{idx: idx + k}
+		pg.lru = d.lru.PushFront(pg)
+		d.pages[idx+k] = pg
+	}
+}
+
+func (d *DirectSSD) evictIfFull(p *simtime.Proc) {
+	for len(d.pages) >= d.capPages {
+		el := d.lru.Back()
+		pg := el.Value.(*dpage)
+		delete(d.pages, pg.idx)
+		d.lru.Remove(el)
+	}
+}
+
+// flushDirty writes accumulated dirty pages as one vectored request.
+func (d *DirectSSD) flushDirty(p *simtime.Proc) {
+	if len(d.dirty) == 0 {
+		return
+	}
+	sizes := make([]int64, len(d.dirty))
+	for i := range sizes {
+		sizes[i] = d.pageSize
+	}
+	d.node.SSD.WriteVec(p, sizes)
+	d.dirty = d.dirty[:0]
+}
+
+// ReadAt implements core.Buffer.
+func (d *DirectSSD) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
+	if off < 0 || off+int64(len(buf)) > int64(len(d.data)) {
+		return fmt.Errorf("workloads: direct-ssd read [%d,%d) out of range", off, off+int64(len(buf)))
+	}
+	for first, lastb := off/d.pageSize, (off+int64(len(buf))-1)/d.pageSize; first <= lastb; first++ {
+		d.touch(p, first, false)
+	}
+	copy(buf, d.data[off:])
+	d.s.Reads++
+	d.s.ReadBytes += int64(len(buf))
+	return nil
+}
+
+// WriteAt implements core.Buffer.
+func (d *DirectSSD) WriteAt(p *simtime.Proc, off int64, data []byte) error {
+	if off < 0 || off+int64(len(data)) > int64(len(d.data)) {
+		return fmt.Errorf("workloads: direct-ssd write [%d,%d) out of range", off, off+int64(len(data)))
+	}
+	for first, lastb := off/d.pageSize, (off+int64(len(data))-1)/d.pageSize; first <= lastb; first++ {
+		d.touch(p, first, true)
+		d.dirty = append(d.dirty, first)
+		if len(d.dirty) >= d.writeBatch {
+			d.flushDirty(p)
+		}
+	}
+	copy(d.data[off:], data)
+	d.s.Writes++
+	d.s.WriteBytes += int64(len(data))
+	return nil
+}
+
+// Sync implements core.Buffer.
+func (d *DirectSSD) Sync(p *simtime.Proc) error {
+	d.flushDirty(p)
+	return nil
+}
+
+// Free implements core.Buffer.
+func (d *DirectSSD) Free(p *simtime.Proc) error {
+	d.data = nil
+	d.pages = nil
+	return nil
+}
+
+// AppStats implements core.Buffer.
+func (d *DirectSSD) AppStats() core.AppStats { return d.s }

@@ -1,0 +1,139 @@
+// Package nvmalloc is the public facade of the NVMalloc reproduction: a
+// library that exposes an aggregate SSD store — built from compute-node-
+// local NVM contributed by benefactor processes and coordinated by a
+// manager — as an explicitly managed secondary memory partition.
+//
+// Applications allocate byte-addressable regions from the store with
+// Client.Malloc (the paper's ssdmalloc), release them with Region.Free
+// (ssdfree), and snapshot DRAM state together with NVM variables into one
+// logical restart file with Client.Checkpoint (ssdcheckpoint). Accesses
+// flow through a per-process page cache and a per-node FUSE-style chunk
+// cache that bridge byte addressability to the store's 256 KB chunks,
+// shipping only dirty 4 KB pages on writeback.
+//
+// Two deployments are provided:
+//
+//   - The simulated cluster (NewMachine): a deterministic virtual-time
+//     model of the paper's 128-core HAL testbed in which real data moves
+//     through the real library code while devices and network links decide
+//     how long everything takes. Every table and figure of the paper's
+//     evaluation is regenerated on it (package internal/experiments,
+//     cmd/nvmbench).
+//
+//   - A real distributed store over TCP (cmd/nvmstore manager and
+//     benefactor daemons, cmd/nvmctl client), sharing the same manager,
+//     benefactor, and protocol code.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper.
+package nvmalloc
+
+import (
+	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/core"
+	"nvmalloc/internal/manager"
+	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/sysprof"
+)
+
+// Re-exported core types. The identity of these types matches the
+// internal packages, so values flow freely between facade and internals.
+type (
+	// Machine is a fully wired simulated system: cluster, aggregate NVM
+	// store, PFS, and per-node caches.
+	Machine = core.Machine
+	// Client is the per-rank NVMalloc handle (ssdmalloc / ssdfree /
+	// ssdcheckpoint live here).
+	Client = core.Client
+	// Region is an NVM-resident memory region (the paper's nvmvar).
+	Region = core.Region
+	// Buffer is the placement-agnostic byte-addressable allocation
+	// interface implemented by both Region and DRAMBuffer.
+	Buffer = core.Buffer
+	// DRAMBuffer is a plain node-local main-memory allocation.
+	DRAMBuffer = core.DRAMBuffer
+	// CheckpointInfo describes a completed ssdcheckpoint.
+	CheckpointInfo = core.CheckpointInfo
+	// RegionLayout locates a variable inside a checkpoint file.
+	RegionLayout = core.RegionLayout
+	// AllocOption customizes Malloc.
+	AllocOption = core.AllocOption
+	// AppStats counts application-level buffer traffic.
+	AppStats = core.AppStats
+
+	// Engine is the deterministic virtual-time engine simulations run on.
+	Engine = simtime.Engine
+	// Proc is a simulation process; all time-consuming calls take one.
+	Proc = simtime.Proc
+
+	// Config is a run configuration in the paper's x:y:z notation
+	// (processes per node : compute nodes : benefactors).
+	Config = cluster.Config
+	// Profile carries every hardware/system constant of a run.
+	Profile = sysprof.Profile
+	// PlacementPolicy selects how the manager places new chunks.
+	PlacementPolicy = manager.PlacementPolicy
+)
+
+// Run-configuration modes.
+const (
+	// DRAMOnly places everything in DRAM (the paper's baseline).
+	DRAMOnly = cluster.DRAMOnly
+	// LocalSSD co-locates benefactors with compute nodes ("L-SSD").
+	LocalSSD = cluster.LocalSSD
+	// RemoteSSD uses a disjoint benefactor partition ("R-SSD").
+	RemoteSSD = cluster.RemoteSSD
+)
+
+// Chunk placement policies.
+const (
+	// RoundRobin stripes chunks across benefactors (the paper's default).
+	RoundRobin = manager.RoundRobin
+	// LeastLoaded prefers the emptiest benefactor.
+	LeastLoaded = manager.LeastLoaded
+	// WearAware prefers the least-written benefactor (lifetime goal of
+	// §III-A).
+	WearAware = manager.WearAware
+)
+
+// NewEngine returns a fresh deterministic virtual-time engine.
+func NewEngine() *Engine { return simtime.NewEngine() }
+
+// HAL returns the paper's full-scale testbed profile (Table II): 16 nodes
+// × 8 cores, 8 GB DRAM/node, Intel X25-E SSDs, bonded dual GigE, 256 KB
+// chunks, 64 MB FUSE cache.
+func HAL() Profile { return sysprof.HAL() }
+
+// Bench returns the 1/256-scaled profile used by this repository's tests
+// and benchmarks (capacities scaled, device physics preserved; see
+// DESIGN.md §2).
+func Bench() Profile { return sysprof.Bench() }
+
+// NewMachine wires a simulated system for the given run configuration.
+func NewMachine(e *Engine, prof Profile, cfg Config, policy PlacementPolicy) (*Machine, error) {
+	return core.NewMachine(e, prof, cfg, policy)
+}
+
+// NewDRAM allocates a plain node-local DRAM buffer, failing when the node
+// is out of physical memory — the condition that motivates NVMalloc.
+func NewDRAM(m *Machine, rank int, name string, size int64) (*DRAMBuffer, error) {
+	return core.NewDRAM(m.Node(rank), name, size)
+}
+
+// WithName names a variable's backing file, making it shareable and
+// persistent across jobs.
+func WithName(name string) AllocOption { return core.WithName(name) }
+
+// Shared requests one cluster-wide backing file shared by every rank that
+// allocates the same name (the paper's shared-mapping mode, Fig. 4).
+func Shared() AllocOption { return core.Shared() }
+
+// Float64s wraps a buffer as a dense float64 array view.
+func Float64s(b Buffer) *core.Float64View { return core.Float64s(b) }
+
+// Int64s wraps a buffer as a dense int64 array view.
+func Int64s(b Buffer) *core.Int64View { return core.Int64s(b) }
+
+// Concat presents two buffers as one contiguous allocation (hybrid
+// DRAM+NVM datasets, Table VI).
+func Concat(name string, a, b Buffer) Buffer { return core.Concat(name, a, b) }
