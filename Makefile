@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# Tier-1 gate: formatting, vet, build, and the full suite under the race
+# detector (the TCP data path is exercised by genuinely concurrent tests).
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The deterministic simulation suites are CPU-heavy; under the race
+# detector they need more than the default 10m per-package timeout.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+bench:
+	$(GO) test -bench=RPCStore -benchmem ./internal/rpc

@@ -8,6 +8,13 @@
 //	nvmctl -manager host:7070 stat  <name>
 //	nvmctl -manager host:7070 rm    <name>
 //	nvmctl -manager host:7070 link  <dst> <part> [part...]
+//
+// Data-path flags:
+//
+//	-pool N      connections per benefactor (default 4)
+//	-parallel N  chunk transfers in flight per command (default 8)
+//	-cache BYTES client chunk cache; 0 disables (default 64 MB for get/put)
+//	-stats       print data-path and cache counters after the command
 package main
 
 import (
@@ -25,17 +32,47 @@ func fatal(err error) {
 
 func main() {
 	mgr := flag.String("manager", "localhost:7070", "manager address")
+	pool := flag.Int("pool", rpc.DefaultPoolSize, "connections per benefactor")
+	parallel := flag.Int("parallel", rpc.DefaultParallelism, "chunk transfers in flight")
+	cacheBytes := flag.Int64("cache", 64<<20, "client chunk cache bytes (0 disables)")
+	showStats := flag.Bool("stats", false, "print data-path counters after the command")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] status|put|get|stat|rm|link ...")
+		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-stats] status|put|get|stat|rm|link ...")
 		os.Exit(2)
 	}
-	st, err := rpc.Open(*mgr)
+	st, err := rpc.OpenWith(*mgr, rpc.Options{PoolSize: *pool, Parallelism: *parallel})
 	if err != nil {
 		fatal(err)
 	}
 	defer st.Close()
+
+	// The data commands run behind the client chunk cache when enabled, so
+	// a partial overwrite ships only dirty pages (paper Table VII).
+	var cache *rpc.CachedStore
+	if *cacheBytes > 0 {
+		cache, err = rpc.NewCachedStore(st, rpc.CacheConfig{CacheBytes: *cacheBytes, ReadAheadChunks: 2})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	put := func(name string, data []byte) error {
+		if cache != nil {
+			if err := cache.Put(name, data); err != nil {
+				return err
+			}
+			return cache.Flush(name)
+		}
+		return st.Put(name, data)
+	}
+	get := func(name string) ([]byte, error) {
+		if cache != nil {
+			return cache.Get(name)
+		}
+		return st.Get(name)
+	}
 
 	switch args[0] {
 	case "status":
@@ -60,7 +97,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := st.Put(args[1], data); err != nil {
+		if err := put(args[1], data); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("stored %q (%d bytes)\n", args[1], len(data))
@@ -68,7 +105,7 @@ func main() {
 		if len(args) != 3 {
 			fatal(fmt.Errorf("get <name> <local-file>"))
 		}
-		data, err := st.Get(args[1])
+		data, err := get(args[1])
 		if err != nil {
 			fatal(err)
 		}
@@ -106,5 +143,16 @@ func main() {
 		fmt.Printf("%s now spans %d chunks (%d bytes)\n", fi.Name, len(fi.Chunks), fi.Size)
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+
+	if *showStats {
+		s := st.Stats()
+		fmt.Printf("data path: gets=%d puts=%d pagePuts=%d ssdRead=%dB ssdWrite=%dB inflightPeak=%d metaRetries=%d\n",
+			s.ChunkGets, s.ChunkPuts, s.PagePuts, s.SSDReadBytes, s.SSDWriteBytes, s.InFlightPeak, s.MetaRetries)
+		if cache != nil {
+			c := cache.Stats()
+			fmt.Printf("cache: hits=%d misses=%d evictions=%d dirtyEvictions=%d flushes=%d readAhead=%dB\n",
+				c.Hits, c.Misses, c.Evictions, c.DirtyEvictions, c.Flushes, c.PrefetchBytes)
+		}
 	}
 }

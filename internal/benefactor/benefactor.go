@@ -12,6 +12,7 @@ package benefactor
 
 import (
 	"fmt"
+	"sync"
 
 	"nvmalloc/internal/proto"
 )
@@ -31,8 +32,10 @@ type Backend interface {
 	Has(id proto.ChunkID) bool
 }
 
-// Mem is an in-memory Backend.
+// Mem is an in-memory Backend. It is safe for concurrent use: the TCP
+// transport serves each connection on its own goroutine.
 type Mem struct {
+	mu     sync.Mutex
 	chunks map[proto.ChunkID][]byte
 }
 
@@ -41,12 +44,16 @@ func NewMem() *Mem { return &Mem{chunks: make(map[proto.ChunkID][]byte)} }
 
 // Put implements Backend.
 func (m *Mem) Put(id proto.ChunkID, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.chunks[id] = data
 	return nil
 }
 
 // Get implements Backend.
 func (m *Mem) Get(id proto.ChunkID) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, ok := m.chunks[id]
 	if !ok {
 		return nil, proto.ErrNoSuchChunk
@@ -56,6 +63,8 @@ func (m *Mem) Get(id proto.ChunkID) ([]byte, error) {
 
 // Delete implements Backend.
 func (m *Mem) Delete(id proto.ChunkID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.chunks[id]; !ok {
 		return proto.ErrNoSuchChunk
 	}
@@ -64,10 +73,19 @@ func (m *Mem) Delete(id proto.ChunkID) error {
 }
 
 // Has implements Backend.
-func (m *Mem) Has(id proto.ChunkID) bool { _, ok := m.chunks[id]; return ok }
+func (m *Mem) Has(id proto.ChunkID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.chunks[id]
+	return ok
+}
 
 // Len returns the number of stored chunks.
-func (m *Mem) Len() int { return len(m.chunks) }
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.chunks)
+}
 
 // Stats are the benefactor's cumulative traffic counters.
 type Stats struct {
@@ -81,15 +99,27 @@ type Stats struct {
 	PageBytesWritten int64
 }
 
-// Store is one benefactor's chunk store.
+// Store is one benefactor's chunk store. All methods are safe for
+// concurrent use; the TCP transport (internal/rpc) serves many client
+// connections against one Store.
 type Store struct {
 	id        int
 	node      int
 	chunkSize int64
-	capacity  int64
-	used      int64
 	backend   Backend
-	s         Stats
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	s        Stats
+	// strict enables tombstoning of deleted chunks: reads and sub-chunk
+	// writes of a deleted chunk fail with ErrNoSuchChunk instead of
+	// resurrecting it as zeroes. The manager never reuses chunk IDs, so in
+	// a deployment a deleted ID can only be referenced by a client holding
+	// a stale chunk map — the error lets it re-Lookup and retry. The
+	// simulation keeps the lazy zero-fill semantics (strict off).
+	strict bool
+	tombs  map[proto.ChunkID]struct{}
 }
 
 // New creates a benefactor store contributing capacity bytes of chunkSize
@@ -98,7 +128,17 @@ func New(id, node int, capacity, chunkSize int64, backend Backend) *Store {
 	if capacity < chunkSize {
 		panic(fmt.Sprintf("benefactor %d: capacity %d below one chunk", id, capacity))
 	}
-	return &Store{id: id, node: node, chunkSize: chunkSize, capacity: capacity, backend: backend}
+	return &Store{
+		id: id, node: node, chunkSize: chunkSize, capacity: capacity,
+		backend: backend, tombs: make(map[proto.ChunkID]struct{}),
+	}
+}
+
+// SetStrictDelete toggles tombstoning of deleted chunks (see Store.strict).
+func (st *Store) SetStrictDelete(on bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.strict = on
 }
 
 // ID returns the benefactor's store-wide ID.
@@ -108,21 +148,44 @@ func (st *Store) ID() int { return st.id }
 func (st *Store) Node() int { return st.node }
 
 // Capacity returns the contributed bytes.
-func (st *Store) Capacity() int64 { return st.capacity }
+func (st *Store) Capacity() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.capacity
+}
 
 // Used returns the bytes currently occupied by chunks.
-func (st *Store) Used() int64 { return st.used }
+func (st *Store) Used() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.used
+}
 
 // Stats returns a snapshot of the counters.
-func (st *Store) Stats() Stats { return st.s }
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.s
+}
 
 // ChunkSize returns the store's striping unit.
 func (st *Store) ChunkSize() int64 { return st.chunkSize }
 
 // PutChunk stores a full chunk payload.
 func (st *Store) PutChunk(id proto.ChunkID, data []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.putChunkLocked(id, data)
+}
+
+func (st *Store) putChunkLocked(id proto.ChunkID, data []byte) error {
 	if int64(len(data)) != st.chunkSize {
 		return fmt.Errorf("benefactor %d: chunk %d payload %d bytes, want %d", st.id, id, len(data), st.chunkSize)
+	}
+	if st.strict {
+		if _, dead := st.tombs[id]; dead {
+			return proto.ErrNoSuchChunk
+		}
 	}
 	fresh := !st.backend.Has(id)
 	if fresh && st.used+st.chunkSize > st.capacity {
@@ -143,8 +206,20 @@ func (st *Store) PutChunk(id proto.ChunkID, data []byte) error {
 
 // GetChunk returns the payload of chunk id. Reading a chunk that was
 // reserved but never written yields zeroes (the manager reserves space at
-// create time; data arrives lazily — paper §III-C).
+// create time; data arrives lazily — paper §III-C). In strict-delete mode
+// reading a deleted chunk fails with ErrNoSuchChunk.
 func (st *Store) GetChunk(id proto.ChunkID) ([]byte, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.getChunkLocked(id)
+}
+
+func (st *Store) getChunkLocked(id proto.ChunkID) ([]byte, error) {
+	if st.strict {
+		if _, dead := st.tombs[id]; dead {
+			return nil, proto.ErrNoSuchChunk
+		}
+	}
 	d, err := st.backend.Get(id)
 	if err == proto.ErrNoSuchChunk {
 		d = make([]byte, st.chunkSize)
@@ -160,10 +235,18 @@ func (st *Store) GetChunk(id proto.ChunkID) ([]byte, error) {
 // byte offsets within the chunk) to chunk id, materializing the chunk if it
 // does not exist yet.
 func (st *Store) PutPages(id proto.ChunkID, pageOffs []int64, pages [][]byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if len(pageOffs) != len(pages) {
 		return fmt.Errorf("benefactor %d: %d offsets but %d pages", st.id, len(pageOffs), len(pages))
 	}
-	cur, err := st.backend.Get(id)
+	if st.strict {
+		if _, dead := st.tombs[id]; dead {
+			return proto.ErrNoSuchChunk
+		}
+	}
+	prev, err := st.backend.Get(id)
+	var cur []byte
 	if err == proto.ErrNoSuchChunk {
 		if st.used+st.chunkSize > st.capacity {
 			return proto.ErrNoSpace
@@ -172,6 +255,11 @@ func (st *Store) PutPages(id proto.ChunkID, pageOffs []int64, pages [][]byte) er
 		st.used += st.chunkSize
 	} else if err != nil {
 		return err
+	} else {
+		// Never mutate the stored payload in place: concurrent readers may
+		// still be serializing the slice the backend handed out.
+		cur = make([]byte, len(prev))
+		copy(cur, prev)
 	}
 	var vol int64
 	for i, off := range pageOffs {
@@ -194,17 +282,25 @@ func (st *Store) PutPages(id proto.ChunkID, pageOffs []int64, pages [][]byte) er
 // CopyChunk duplicates the payload of src into dst (server-side copy used
 // by copy-on-write remapping, so the data never crosses the network).
 func (st *Store) CopyChunk(dst, src proto.ChunkID) error {
-	d, err := st.GetChunk(src)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	d, err := st.getChunkLocked(src)
 	if err != nil {
 		return err
 	}
-	return st.PutChunk(dst, d)
+	return st.putChunkLocked(dst, d)
 }
 
 // DeleteChunk removes a chunk and releases its space. Deleting a chunk that
 // was reserved but never materialized is a no-op (the reservation is
-// released manager-side).
+// released manager-side). In strict-delete mode the ID is tombstoned so
+// stale references fail instead of resurrecting the chunk.
 func (st *Store) DeleteChunk(id proto.ChunkID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.strict {
+		st.tombs[id] = struct{}{}
+	}
 	if !st.backend.Has(id) {
 		return nil
 	}
@@ -217,6 +313,8 @@ func (st *Store) DeleteChunk(id proto.ChunkID) error {
 
 // Info returns the benefactor's registration record.
 func (st *Store) Info() proto.BenefactorInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return proto.BenefactorInfo{
 		ID: st.id, Node: st.node, Capacity: st.capacity, Used: st.used,
 		Alive: true, WriteVolume: st.s.BytesWritten,

@@ -25,9 +25,9 @@ import (
 
 // StoreClient is the aggregate-store interface the cache consumes,
 // implemented by internal/simstore.Client. (The real TCP deployment in
-// internal/rpc exposes the same store operations without virtual-time
-// procs; its data path is chunk-granular and does not run behind this
-// cache.)
+// internal/rpc has its own wall-clock counterpart of this cache,
+// rpc.CachedStore, with the same LRU + per-page dirty bitmap +
+// dirty-page-only writeback design.)
 type StoreClient interface {
 	Node() int
 	ChunkSize() int64

@@ -1,0 +1,584 @@
+package rpc
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"nvmalloc/internal/proto"
+)
+
+// CacheConfig is the geometry of a CachedStore. It mirrors
+// fusecache.Config — the simulation's per-node cache — transplanted to
+// wall-clock time for the real TCP deployment.
+type CacheConfig struct {
+	// CacheBytes is the cache capacity (paper: 64 MB). Rounded down to
+	// whole chunks, minimum one chunk.
+	CacheBytes int64
+	// PageSize is the dirty-tracking granularity (paper: 4 KB pages).
+	// 0 defaults to 4096. Must divide the store's chunk size.
+	PageSize int64
+	// ReadAheadChunks is how many chunks to prefetch asynchronously after
+	// a sequential miss (0 disables read-ahead).
+	ReadAheadChunks int
+	// WriteFullChunks disables the dirty-page write optimization: whole
+	// chunks travel on every writeback however few pages are dirty — the
+	// "without optimization" baseline of Table VII.
+	WriteFullChunks bool
+}
+
+// CacheStats are a CachedStore's cumulative counters.
+type CacheStats struct {
+	Hits           int64
+	Misses         int64
+	Waits          int64 // accesses that waited on an in-flight fetch or flush
+	Evictions      int64
+	DirtyEvictions int64
+	Flushes        int64
+	ReadBytes      int64 // bytes served to the application
+	WriteBytes     int64 // bytes accepted from the application
+	PrefetchBytes  int64 // chunk bytes fetched by read-ahead
+}
+
+type cacheKey struct {
+	file string
+	idx  int
+}
+
+// centry is one cached chunk.
+type centry struct {
+	key    cacheKey
+	data   []byte
+	dirty  []bool // per page
+	nDirty int
+	lru    *list.Element
+	// busy is non-nil while the entry is being fetched or flushed; waiters
+	// block on it and re-examine the cache afterwards.
+	busy chan struct{}
+	// err is the fetch error, valid once busy is closed and the entry was
+	// removed from the map.
+	err      error
+	prefetch bool
+}
+
+// CachedStore puts a client-side chunk cache in front of a Store: an LRU
+// of whole chunks with per-page dirty bitmaps. Reads hit the cache; writes
+// dirty pages in place; on eviction or Flush only the dirty pages travel
+// to the benefactor via OpPutPages (the paper's Table VII write
+// optimization), and sequential read misses trigger asynchronous
+// read-ahead (why NVMalloc beats direct SSD access on STREAM, Table III).
+//
+// This is the wall-clock counterpart of the simulation's
+// fusecache.ChunkCache. All methods are safe for concurrent use.
+type CachedStore struct {
+	st  *Store
+	cfg CacheConfig
+
+	mu       sync.Mutex
+	entries  map[cacheKey]*centry
+	lru      *list.List // front = most recent
+	lastMiss map[string]int
+	// virgin marks chunks of files this client just created: they are
+	// known-zero (the manager reserves space; data arrives lazily), so a
+	// miss materializes without a fetch — no read-modify-write traffic for
+	// initial population.
+	virgin map[cacheKey]bool
+	stats  CacheStats
+
+	prefetchers sync.WaitGroup
+}
+
+// NewCachedStore wraps an open Store. Closing the CachedStore flushes the
+// cache and closes the underlying Store.
+func NewCachedStore(st *Store, cfg CacheConfig) (*CachedStore, error) {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	if st.ChunkSize()%cfg.PageSize != 0 {
+		return nil, fmt.Errorf("rpc: page size %d does not divide chunk size %d", cfg.PageSize, st.ChunkSize())
+	}
+	if cfg.CacheBytes < st.ChunkSize() {
+		cfg.CacheBytes = st.ChunkSize()
+	}
+	return &CachedStore{
+		st:       st,
+		cfg:      cfg,
+		entries:  make(map[cacheKey]*centry),
+		lru:      list.New(),
+		lastMiss: make(map[string]int),
+		virgin:   make(map[cacheKey]bool),
+	}, nil
+}
+
+// Store returns the underlying uncached client (for Manager access and
+// data-path stats).
+func (cs *CachedStore) Store() *Store { return cs.st }
+
+// ChunkSize returns the striping unit.
+func (cs *CachedStore) ChunkSize() int64 { return cs.st.ChunkSize() }
+
+// Stats returns a snapshot of the cache counters.
+func (cs *CachedStore) Stats() CacheStats {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.stats
+}
+
+// capacityChunks returns the cache capacity in chunks (at least 1).
+func (cs *CachedStore) capacityChunks() int {
+	n := int(cs.cfg.CacheBytes / cs.st.ChunkSize())
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (cs *CachedStore) pagesPerChunk() int { return int(cs.st.ChunkSize() / cs.cfg.PageSize) }
+
+// acquire returns the resident entry for (file, idx) with cs.mu held,
+// fetching on a miss. ref resolution happens through the underlying
+// store's metadata cache (with its stale-map retry).
+func (cs *CachedStore) acquire(fi proto.FileInfo, idx int, prefetch bool) (*centry, error) {
+	key := cacheKey{fi.Name, idx}
+	for {
+		if e, ok := cs.entries[key]; ok {
+			if e.busy != nil {
+				cs.stats.Waits++
+				busy := e.busy
+				cs.mu.Unlock()
+				<-busy
+				cs.mu.Lock()
+				continue // state changed; re-examine
+			}
+			if !prefetch {
+				cs.stats.Hits++
+			}
+			cs.lru.MoveToFront(e.lru)
+			return e, nil
+		}
+		if err := cs.ensureRoom(); err != nil {
+			return nil, err
+		}
+		if _, ok := cs.entries[key]; ok {
+			continue // eviction released the lock; re-examine
+		}
+		if cs.virgin[key] {
+			// Known-zero chunk of a file this client created: materialize
+			// it without store traffic.
+			delete(cs.virgin, key)
+			e := &centry{
+				key:   key,
+				data:  make([]byte, cs.st.ChunkSize()),
+				dirty: make([]bool, cs.pagesPerChunk()),
+			}
+			cs.entries[key] = e
+			e.lru = cs.lru.PushFront(e)
+			return e, nil
+		}
+		e := &centry{
+			key:      key,
+			dirty:    make([]bool, cs.pagesPerChunk()),
+			busy:     make(chan struct{}),
+			prefetch: prefetch,
+		}
+		cs.entries[key] = e
+		e.lru = cs.lru.PushFront(e)
+		if !prefetch {
+			cs.stats.Misses++
+		}
+		cs.mu.Unlock()
+		data, err := cs.st.getChunk(fi.Chunks[idx])
+		cs.mu.Lock()
+		if err != nil {
+			delete(cs.entries, key)
+			cs.lru.Remove(e.lru)
+			e.err = err
+			close(e.busy)
+			return nil, err
+		}
+		// Own a private copy sized to a full chunk.
+		e.data = make([]byte, cs.st.ChunkSize())
+		copy(e.data, data)
+		if prefetch {
+			cs.stats.PrefetchBytes += int64(len(data))
+		}
+		close(e.busy)
+		e.busy = nil
+		return e, nil
+	}
+}
+
+// ensureRoom evicts LRU entries until a new chunk fits. Called and returns
+// with cs.mu held; may release it while writing back a dirty victim.
+func (cs *CachedStore) ensureRoom() error {
+	for len(cs.entries) >= cs.capacityChunks() {
+		var victim *centry
+		for el := cs.lru.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*centry); e.busy == nil {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			// Everything resident is in flight; wait for one transition.
+			el := cs.lru.Back()
+			if el == nil {
+				return fmt.Errorf("rpc: cache wedged with %d entries", len(cs.entries))
+			}
+			busy := el.Value.(*centry).busy
+			cs.stats.Waits++
+			cs.mu.Unlock()
+			<-busy
+			cs.mu.Lock()
+			continue
+		}
+		if err := cs.evict(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evict writes back a victim's dirty pages and drops it. Called with cs.mu
+// held; releases it during the writeback.
+func (cs *CachedStore) evict(e *centry) error {
+	cs.stats.Evictions++
+	if e.nDirty > 0 {
+		cs.stats.DirtyEvictions++
+		if err := cs.writeback(e); err != nil {
+			return err
+		}
+	}
+	delete(cs.entries, e.key)
+	cs.lru.Remove(e.lru)
+	return nil
+}
+
+// writeback ships an entry's dirty pages to its benefactor. Called with
+// cs.mu held and e resident; marks e busy, releases the lock for the
+// transfer, and returns with the lock held and e clean.
+func (cs *CachedStore) writeback(e *centry) error {
+	ref, err := cs.chunkRef(e.key)
+	if err != nil {
+		return err
+	}
+	e.busy = make(chan struct{})
+	allDirty := e.nDirty == len(e.dirty) || cs.cfg.WriteFullChunks
+	var werr error
+	cs.mu.Unlock()
+	werr = cs.ship(ref, e, allDirty)
+	if errors.Is(werr, proto.ErrNoSuchChunk) {
+		// Stale chunk map: the chunk was remapped (or the file deleted) by
+		// another client. Re-resolve and retry once; a vanished file means
+		// the dirty data has nowhere to go and is discarded.
+		cs.st.invalidateMeta(e.key.file)
+		fi, lerr := cs.st.fileInfo(e.key.file)
+		switch {
+		case errors.Is(lerr, proto.ErrNoSuchFile):
+			werr = nil
+		case lerr != nil:
+			werr = lerr
+		case e.key.idx >= len(fi.Chunks):
+			werr = nil // file shrank; the chunk is gone
+		default:
+			werr = cs.ship(fi.Chunks[e.key.idx], e, allDirty)
+		}
+	}
+	cs.mu.Lock()
+	close(e.busy)
+	e.busy = nil
+	if werr != nil {
+		return werr
+	}
+	for i := range e.dirty {
+		e.dirty[i] = false
+	}
+	e.nDirty = 0
+	return nil
+}
+
+// ship transfers an entry's payload (whole chunk or dirty pages only) to
+// ref's benefactor. Called without cs.mu; e.busy guards the entry.
+func (cs *CachedStore) ship(ref proto.ChunkRef, e *centry, allDirty bool) error {
+	if allDirty {
+		return cs.st.putChunk(ref, e.data)
+	}
+	var offs []int64
+	var pages [][]byte
+	ps := cs.cfg.PageSize
+	for i, d := range e.dirty {
+		if !d {
+			continue
+		}
+		off := int64(i) * ps
+		offs = append(offs, off)
+		pages = append(pages, e.data[off:off+ps])
+	}
+	return cs.st.putPages(ref, offs, pages)
+}
+
+// chunkRef resolves a cached chunk's current benefactor ref. Called with
+// cs.mu held; releases it for the (possibly remote) lookup.
+func (cs *CachedStore) chunkRef(key cacheKey) (proto.ChunkRef, error) {
+	cs.mu.Unlock()
+	defer cs.mu.Lock()
+	fi, err := cs.st.fileInfo(key.file)
+	if err != nil {
+		return proto.ChunkRef{}, err
+	}
+	if key.idx >= len(fi.Chunks) {
+		return proto.ChunkRef{}, fmt.Errorf("%w: writeback of %q chunk %d", proto.ErrChunkOutOfRange, key.file, key.idx)
+	}
+	return fi.Chunks[key.idx], nil
+}
+
+// readAhead asynchronously warms the chunks after idx on a sequential miss.
+func (cs *CachedStore) readAhead(fi proto.FileInfo, idx int) {
+	for ahead := 1; ahead <= cs.cfg.ReadAheadChunks; ahead++ {
+		na := idx + ahead
+		if na >= len(fi.Chunks) {
+			break
+		}
+		if _, ok := cs.entries[cacheKey{fi.Name, na}]; ok {
+			continue
+		}
+		cs.prefetchers.Add(1)
+		go func(na int) {
+			defer cs.prefetchers.Done()
+			cs.mu.Lock()
+			// Best effort: the demand path will retry and report errors.
+			_, _ = cs.acquire(fi, na, true)
+			cs.mu.Unlock()
+		}(na)
+	}
+}
+
+// locate splits a byte offset into (chunk index, offset within chunk).
+func (cs *CachedStore) locate(off int64) (int, int64) {
+	c := cs.st.ChunkSize()
+	return int(off / c), off % c
+}
+
+// Create reserves a file of the given size and marks its chunks known-zero
+// so first writes skip the read-modify-write fetch.
+func (cs *CachedStore) Create(name string, size int64) error {
+	if err := cs.st.Create(name, size); err != nil {
+		return err
+	}
+	fi, err := cs.st.fileInfo(name)
+	if err != nil {
+		return err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for i := range fi.Chunks {
+		cs.virgin[cacheKey{name, i}] = true
+	}
+	return nil
+}
+
+// Stat returns a file's metadata (consulting the manager).
+func (cs *CachedStore) Stat(name string) (proto.FileInfo, error) { return cs.st.Stat(name) }
+
+// Delete flushes nothing — the file is going away — and drops its cached
+// chunks before removing it from the store.
+func (cs *CachedStore) Delete(name string) error {
+	cs.Drop(name)
+	return cs.st.Delete(name)
+}
+
+// Drop discards every cached chunk of file, dirty pages included.
+func (cs *CachedStore) Drop(name string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for k, e := range cs.entries {
+		if k.file == name && e.busy == nil {
+			delete(cs.entries, k)
+			cs.lru.Remove(e.lru)
+		}
+	}
+	for k := range cs.virgin {
+		if k.file == name {
+			delete(cs.virgin, k)
+		}
+	}
+	delete(cs.lastMiss, name)
+}
+
+// ReadAt fills buf from the file at off through the cache.
+func (cs *CachedStore) ReadAt(name string, off int64, buf []byte) error {
+	fi, err := cs.st.fileInfo(name)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+int64(len(buf)) > fi.Size {
+		return fmt.Errorf("%w: read [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(buf)), name, fi.Size)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.stats.ReadBytes += int64(len(buf))
+	for len(buf) > 0 {
+		idx, coff := cs.locate(off)
+		sequential := cs.lastMiss[name] == idx-1
+		wasMiss := cs.entries[cacheKey{name, idx}] == nil
+		e, err := cs.acquire(fi, idx, false)
+		if err != nil {
+			return err
+		}
+		if wasMiss {
+			cs.lastMiss[name] = idx
+			if sequential && cs.cfg.ReadAheadChunks > 0 {
+				cs.readAhead(fi, idx)
+			}
+		}
+		n := copy(buf, e.data[coff:])
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// WriteAt writes data into the file at off through the cache, marking the
+// touched pages dirty. No bytes reach a benefactor until eviction or
+// Flush, and then only dirty pages travel (unless WriteFullChunks).
+func (cs *CachedStore) WriteAt(name string, off int64, data []byte) error {
+	fi, err := cs.st.fileInfo(name)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+int64(len(data)) > fi.Size {
+		return fmt.Errorf("%w: write [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(data)), name, fi.Size)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.stats.WriteBytes += int64(len(data))
+	ps := cs.cfg.PageSize
+	for len(data) > 0 {
+		idx, coff := cs.locate(off)
+		e, err := cs.acquire(fi, idx, false)
+		if err != nil {
+			return err
+		}
+		n := copy(e.data[coff:], data)
+		firstPage := int(coff / ps)
+		lastPage := int((coff + int64(n) - 1) / ps)
+		for pg := firstPage; pg <= lastPage; pg++ {
+			if !e.dirty[pg] {
+				e.dirty[pg] = true
+				e.nDirty++
+			}
+		}
+		data = data[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// Flush writes back every dirty cached chunk of file, leaving the data
+// resident and clean.
+func (cs *CachedStore) Flush(name string) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.stats.Flushes++
+	for {
+		var victim *centry
+		for _, e := range cs.entries {
+			if e.key.file != name {
+				continue
+			}
+			if e.busy != nil {
+				cs.stats.Waits++
+				busy := e.busy
+				cs.mu.Unlock()
+				<-busy
+				cs.mu.Lock()
+				victim = nil
+				break // state changed; rescan
+			}
+			if e.nDirty > 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			// Either nothing left dirty, or we waited and must rescan.
+			clean := true
+			for _, e := range cs.entries {
+				if e.key.file == name && (e.busy != nil || e.nDirty > 0) {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				return nil
+			}
+			continue
+		}
+		if err := cs.writeback(victim); err != nil {
+			return err
+		}
+	}
+}
+
+// FlushAll writes back every dirty chunk in the cache.
+func (cs *CachedStore) FlushAll() error {
+	cs.mu.Lock()
+	files := make(map[string]bool)
+	for k := range cs.entries {
+		files[k.file] = true
+	}
+	cs.mu.Unlock()
+	for f := range files {
+		if err := cs.Flush(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Put uploads a whole payload as a (new) file through the cache.
+func (cs *CachedStore) Put(name string, data []byte) error {
+	if err := cs.Create(name, int64(len(data))); err != nil {
+		return err
+	}
+	return cs.WriteAt(name, 0, data)
+}
+
+// Get downloads a whole file through the cache.
+func (cs *CachedStore) Get(name string) ([]byte, error) {
+	fi, err := cs.st.fileInfo(name)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, fi.Size)
+	if err := cs.ReadAt(name, 0, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Resident returns how many chunks of file are currently cached.
+func (cs *CachedStore) Resident(name string) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n := 0
+	for k := range cs.entries {
+		if k.file == name {
+			n++
+		}
+	}
+	return n
+}
+
+// Close flushes all dirty pages, waits for read-ahead to settle, and
+// closes the underlying store.
+func (cs *CachedStore) Close() error {
+	ferr := cs.FlushAll()
+	cs.prefetchers.Wait()
+	cerr := cs.st.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -1,0 +1,69 @@
+package rpc
+
+import "nvmalloc/internal/proto"
+
+// connPool is a fixed-size pool of gob connections to one benefactor. A
+// single gob stream serializes request/response pairs, so a client that
+// fans chunk transfers out (Store.ReadAt/WriteAt) needs several streams per
+// benefactor for the transfers to actually pipeline — the paper's aggregate
+// bandwidth (§III-D, Tables III–IV) comes from keeping every contributor's
+// SSD and NIC busy at once.
+//
+// Connections are dialed lazily: the pool starts as size permits to dial,
+// and a slot whose connection broke mid-call is redialed on next use.
+type connPool struct {
+	addr string
+	// free holds the pool's slots. nil means "not dialed yet" — the taker
+	// dials. Capacity bounds the number of live connections.
+	free chan *chunkConn
+}
+
+func newConnPool(addr string, size int) *connPool {
+	if size < 1 {
+		size = 1
+	}
+	p := &connPool{addr: addr, free: make(chan *chunkConn, size)}
+	for i := 0; i < size; i++ {
+		p.free <- nil
+	}
+	return p
+}
+
+// call borrows a connection (dialing if the slot is empty), performs one
+// chunk RPC, and returns the connection to the pool. A connection whose
+// stream broke is closed and its slot reverts to "not dialed".
+func (p *connPool) call(req proto.ChunkReq) (proto.ChunkResp, error) {
+	c := <-p.free
+	if c == nil {
+		var err error
+		c, err = dialChunk(p.addr)
+		if err != nil {
+			p.free <- nil
+			return proto.ChunkResp{}, err
+		}
+	}
+	resp, err := c.call(req)
+	if c.isBroken() {
+		c.close()
+		p.free <- nil
+	} else {
+		p.free <- c
+	}
+	return resp, err
+}
+
+// close tears down every idle connection. Slots currently borrowed by
+// in-flight calls are closed by their borrowers (the pool is only closed
+// after the store's user is done issuing requests).
+func (p *connPool) close() {
+	for {
+		select {
+		case c := <-p.free:
+			if c != nil {
+				c.close()
+			}
+		default:
+			return
+		}
+	}
+}

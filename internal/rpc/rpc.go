@@ -41,9 +41,33 @@ func (f *FileBackend) path(id proto.ChunkID) string {
 	return filepath.Join(f.dir, fmt.Sprintf("chunk-%016x", uint64(id)))
 }
 
-// Put implements benefactor.Backend.
+// Put implements benefactor.Backend. The payload lands in a temp file in
+// the same directory and is renamed into place, so a benefactor that
+// crashes mid-write never leaves a torn chunk behind: readers observe
+// either the whole old payload or the whole new one.
 func (f *FileBackend) Put(id proto.ChunkID, data []byte) error {
-	return os.WriteFile(f.path(id), data, 0o644)
+	tmp, err := os.CreateTemp(f.dir, fmt.Sprintf("chunk-%016x.tmp-*", uint64(id)))
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), f.path(id)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Get implements benefactor.Backend.
@@ -263,9 +287,11 @@ func (s *ManagerServer) copyChunk(old, fresh proto.ChunkRef) error {
 	return err
 }
 
-// BenefactorServer serves one benefactor's chunks over TCP.
+// BenefactorServer serves one benefactor's chunks over TCP. Each accepted
+// connection is handled on its own goroutine and benefactor.Store is
+// internally synchronized, so requests arriving on a client's pooled
+// connections pipeline instead of serializing behind one server lock.
 type BenefactorServer struct {
-	mu sync.Mutex
 	st *benefactor.Store
 	l  net.Listener
 	// stop terminates the heartbeat loop.
@@ -284,6 +310,10 @@ func NewBenefactorServer(addr, managerAddr string, id, node int, capacity, chunk
 		l:    l,
 		stop: make(chan struct{}),
 	}
+	// The manager never reuses chunk IDs, so a deleted chunk referenced
+	// again can only be a stale client map: fail it so the client retries
+	// with fresh metadata.
+	s.st.SetStrictDelete(true)
 	go serve(l, s.handle)
 
 	mc, err := DialManager(managerAddr)
@@ -304,10 +334,7 @@ func NewBenefactorServer(addr, managerAddr string, id, node int, capacity, chunk
 				case <-s.stop:
 					return
 				case <-t.C:
-					s.mu.Lock()
-					vol := s.st.Stats().BytesWritten
-					s.mu.Unlock()
-					_ = mc.Heartbeat(id, vol)
+					_ = mc.Heartbeat(id, s.st.Stats().BytesWritten)
 				}
 			}
 		}()
@@ -332,7 +359,6 @@ func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 	if err := dec.Decode(&req); err != nil {
 		return err
 	}
-	s.mu.Lock()
 	var resp proto.ChunkResp
 	switch req.Op {
 	case proto.OpGetChunk:
@@ -349,7 +375,6 @@ func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 	default:
 		resp.Err = fmt.Sprintf("benefactor: unknown op %q", req.Op)
 	}
-	s.mu.Unlock()
 	return enc.Encode(&resp)
 }
 
@@ -359,6 +384,9 @@ type chunkConn struct {
 	conn net.Conn
 	dec  *gob.Decoder
 	enc  *gob.Encoder
+	// broken is set when the gob stream failed mid-call; the connection
+	// cannot be reused (request/response framing is lost).
+	broken bool
 }
 
 func dialChunk(addr string) (*chunkConn, error) {
@@ -374,13 +402,23 @@ func (c *chunkConn) call(req proto.ChunkReq) (proto.ChunkResp, error) {
 	defer c.mu.Unlock()
 	var resp proto.ChunkResp
 	if err := c.enc.Encode(&req); err != nil {
+		c.broken = true
 		return resp, err
 	}
 	if err := c.dec.Decode(&resp); err != nil {
+		c.broken = true
 		return resp, err
 	}
 	return resp, wireErr(resp.Err)
 }
+
+func (c *chunkConn) isBroken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+func (c *chunkConn) close() { c.conn.Close() }
 
 // ManagerClient is a client connection to the manager.
 type ManagerClient struct {

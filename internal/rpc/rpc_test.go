@@ -18,7 +18,7 @@ type rig struct {
 	bens []*BenefactorServer
 }
 
-func newRig(t *testing.T, n int) *rig {
+func newRig(t testing.TB, n int) *rig {
 	t.Helper()
 	ms, err := NewManagerServer("127.0.0.1:0", testChunk, manager.RoundRobin)
 	if err != nil {

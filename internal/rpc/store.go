@@ -1,36 +1,109 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nvmalloc/internal/proto"
 )
+
+// Options tunes the client data path.
+type Options struct {
+	// PoolSize is the number of connections kept per benefactor. One gob
+	// stream serializes its calls, so this is the per-SSD pipelining depth.
+	// 0 means DefaultPoolSize.
+	PoolSize int
+	// Parallelism bounds how many chunk transfers a single
+	// ReadAt/WriteAt/Get/Put keeps in flight. 0 means DefaultParallelism;
+	// 1 reproduces the old strictly serial path.
+	Parallelism int
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultPoolSize    = 4
+	DefaultParallelism = 8
+)
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = DefaultPoolSize
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = DefaultParallelism
+	}
+	return o
+}
+
+// Stats are a Store's cumulative data-path counters.
+type Stats struct {
+	ChunkGets     int64 // OpGetChunk calls issued
+	ChunkPuts     int64 // OpPutChunk calls issued
+	PagePuts      int64 // OpPutPages calls issued
+	SSDReadBytes  int64 // chunk payload bytes fetched from benefactors
+	SSDWriteBytes int64 // payload bytes shipped to benefactors
+	MetaRetries   int64 // ops retried after a stale chunk map
+	InFlightPeak  int64 // max simultaneous chunk RPCs observed
+}
+
+// storeCounters is the atomic backing for Stats.
+type storeCounters struct {
+	chunkGets, chunkPuts, pagePuts atomic.Int64
+	ssdReadBytes, ssdWriteBytes    atomic.Int64
+	metaRetries                    atomic.Int64
+	inFlightCur, inFlightPeak      atomic.Int64
+}
+
+func (c *storeCounters) enter() {
+	cur := c.inFlightCur.Add(1)
+	for {
+		peak := c.inFlightPeak.Load()
+		if cur <= peak || c.inFlightPeak.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+func (c *storeCounters) exit() { c.inFlightCur.Add(-1) }
 
 // Store is a data-path client for the TCP aggregate store: it resolves
 // files through the manager and moves chunk payloads directly between the
 // application and the benefactors, with read-modify-write at chunk
 // granularity for unaligned writes.
+//
+// Chunk transfers within one call fan out across a bounded worker group
+// and across a small connection pool per benefactor, so a striped file's
+// bandwidth aggregates over its contributors (paper §III-D) instead of
+// serializing on a single socket. All methods are safe for concurrent use.
 type Store struct {
 	mgr       *ManagerClient
+	opts      Options
 	mu        sync.Mutex
 	chunkSize int64
 	benAddrs  map[int]string
-	conns     map[int]*chunkConn
+	pools     map[int]*connPool
 	meta      map[string]proto.FileInfo
+
+	c storeCounters
 }
 
-// Open connects to the manager at addr and discovers the store's
+// Open connects to the manager at addr with default Options.
+func Open(addr string) (*Store, error) { return OpenWith(addr, Options{}) }
+
+// OpenWith connects to the manager at addr and discovers the store's
 // geometry and benefactors.
-func Open(addr string) (*Store, error) {
+func OpenWith(addr string, opts Options) (*Store, error) {
 	mc, err := DialManager(addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
 		mgr:      mc,
+		opts:     opts.withDefaults(),
 		benAddrs: make(map[int]string),
-		conns:    make(map[int]*chunkConn),
+		pools:    make(map[int]*connPool),
 		meta:     make(map[string]proto.FileInfo),
 	}
 	if err := s.Refresh(); err != nil {
@@ -51,7 +124,10 @@ func (s *Store) Refresh() error {
 	s.chunkSize = resp.ChunkSize
 	for _, b := range resp.Bens {
 		if prev, ok := s.benAddrs[b.ID]; ok && prev != b.Addr {
-			delete(s.conns, b.ID)
+			if p, ok := s.pools[b.ID]; ok {
+				p.close()
+				delete(s.pools, b.ID)
+			}
 		}
 		s.benAddrs[b.ID] = b.Addr
 	}
@@ -62,8 +138,8 @@ func (s *Store) Refresh() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, c := range s.conns {
-		c.conn.Close()
+	for _, p := range s.pools {
+		p.close()
 	}
 	return s.mgr.Close()
 }
@@ -74,23 +150,33 @@ func (s *Store) ChunkSize() int64 { return s.chunkSize }
 // Manager exposes the metadata client.
 func (s *Store) Manager() *ManagerClient { return s.mgr }
 
-// ben returns a connection to the benefactor holding ref.
-func (s *Store) ben(ref proto.ChunkRef) (*chunkConn, error) {
+// Stats returns a snapshot of the data-path counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		ChunkGets:     s.c.chunkGets.Load(),
+		ChunkPuts:     s.c.chunkPuts.Load(),
+		PagePuts:      s.c.pagePuts.Load(),
+		SSDReadBytes:  s.c.ssdReadBytes.Load(),
+		SSDWriteBytes: s.c.ssdWriteBytes.Load(),
+		MetaRetries:   s.c.metaRetries.Load(),
+		InFlightPeak:  s.c.inFlightPeak.Load(),
+	}
+}
+
+// pool returns the connection pool for the benefactor holding ref.
+func (s *Store) pool(ref proto.ChunkRef) (*connPool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if c, ok := s.conns[ref.Benefactor]; ok {
-		return c, nil
+	if p, ok := s.pools[ref.Benefactor]; ok {
+		return p, nil
 	}
 	addr, ok := s.benAddrs[ref.Benefactor]
 	if !ok || addr == "" {
 		return nil, fmt.Errorf("%w: benefactor %d has no address", proto.ErrBenefactorDead, ref.Benefactor)
 	}
-	c, err := dialChunk(addr)
-	if err != nil {
-		return nil, err
-	}
-	s.conns[ref.Benefactor] = c
-	return c, nil
+	p := newConnPool(addr, s.opts.PoolSize)
+	s.pools[ref.Benefactor] = p
+	return p, nil
 }
 
 // fileInfo returns (caching) a file's chunk map.
@@ -111,6 +197,13 @@ func (s *Store) fileInfo(name string) (proto.FileInfo, error) {
 	return fi, nil
 }
 
+// invalidateMeta drops the cached chunk map of a file.
+func (s *Store) invalidateMeta(name string) {
+	s.mu.Lock()
+	delete(s.meta, name)
+	s.mu.Unlock()
+}
+
 // Create reserves a file of the given size.
 func (s *Store) Create(name string, size int64) error {
 	fi, err := s.mgr.Create(name, size)
@@ -125,9 +218,7 @@ func (s *Store) Create(name string, size int64) error {
 
 // Delete removes a file.
 func (s *Store) Delete(name string) error {
-	s.mu.Lock()
-	delete(s.meta, name)
-	s.mu.Unlock()
+	s.invalidateMeta(name)
 	return s.mgr.Delete(name)
 }
 
@@ -135,94 +226,199 @@ func (s *Store) Delete(name string) error {
 func (s *Store) Stat(name string) (proto.FileInfo, error) {
 	// Always consult the manager: another client may have remapped
 	// chunks.
-	s.mu.Lock()
-	delete(s.meta, name)
-	s.mu.Unlock()
+	s.invalidateMeta(name)
 	return s.fileInfo(name)
 }
 
 // getChunk fetches one chunk payload.
 func (s *Store) getChunk(ref proto.ChunkRef) ([]byte, error) {
-	c, err := s.ben(ref)
+	p, err := s.pool(ref)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.call(proto.ChunkReq{Op: proto.OpGetChunk, ID: ref.ID})
+	s.c.enter()
+	resp, err := p.call(proto.ChunkReq{Op: proto.OpGetChunk, ID: ref.ID})
+	s.c.exit()
 	if err != nil {
 		return nil, err
 	}
+	s.c.chunkGets.Add(1)
+	s.c.ssdReadBytes.Add(int64(len(resp.Data)))
 	return resp.Data, nil
 }
 
 // putChunk stores one full chunk payload.
 func (s *Store) putChunk(ref proto.ChunkRef, data []byte) error {
-	c, err := s.ben(ref)
+	p, err := s.pool(ref)
 	if err != nil {
 		return err
 	}
-	_, err = c.call(proto.ChunkReq{Op: proto.OpPutChunk, ID: ref.ID, Data: data})
-	return err
+	s.c.enter()
+	_, err = p.call(proto.ChunkReq{Op: proto.OpPutChunk, ID: ref.ID, Data: data})
+	s.c.exit()
+	if err != nil {
+		return err
+	}
+	s.c.chunkPuts.Add(1)
+	s.c.ssdWriteBytes.Add(int64(len(data)))
+	return nil
 }
 
-// ReadAt fills buf from the file at off.
-func (s *Store) ReadAt(name string, off int64, buf []byte) error {
-	fi, err := s.fileInfo(name)
+// putPages ships only the dirty pages of a chunk (paper Table VII): the
+// benefactor applies them server-side, so a sparsely dirtied chunk costs
+// its dirty bytes, not a whole-chunk transfer.
+func (s *Store) putPages(ref proto.ChunkRef, offs []int64, pages [][]byte) error {
+	p, err := s.pool(ref)
 	if err != nil {
 		return err
 	}
-	if off < 0 || off+int64(len(buf)) > fi.Size {
-		return fmt.Errorf("%w: read [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(buf)), name, fi.Size)
+	s.c.enter()
+	_, err = p.call(proto.ChunkReq{Op: proto.OpPutPages, ID: ref.ID, PageOffs: offs, PageData: pages})
+	s.c.exit()
+	if err != nil {
+		return err
 	}
-	for len(buf) > 0 {
-		idx := int(off / s.chunkSize)
-		coff := off % s.chunkSize
-		data, err := s.getChunk(fi.Chunks[idx])
-		if err != nil {
-			return err
-		}
-		n := copy(buf, data[coff:])
-		buf = buf[n:]
-		off += int64(n)
+	s.c.pagePuts.Add(1)
+	for _, pg := range pages {
+		s.c.ssdWriteBytes.Add(int64(len(pg)))
 	}
 	return nil
 }
 
-// WriteAt stores data into the file at off (read-modify-write for
-// partial chunks).
-func (s *Store) WriteAt(name string, off int64, data []byte) error {
+// span is one chunk-aligned slice of a ReadAt/WriteAt buffer.
+type span struct {
+	idx  int   // chunk index within the file
+	coff int64 // offset within the chunk
+	buf  []byte
+}
+
+// chunkSpans splits buf (addressing file bytes starting at off) into
+// per-chunk spans.
+func chunkSpans(chunkSize, off int64, buf []byte) []span {
+	var out []span
+	for len(buf) > 0 {
+		idx := int(off / chunkSize)
+		coff := off % chunkSize
+		n := chunkSize - coff
+		if int64(len(buf)) < n {
+			n = int64(len(buf))
+		}
+		out = append(out, span{idx: idx, coff: coff, buf: buf[:n]})
+		buf = buf[n:]
+		off += n
+	}
+	return out
+}
+
+// forEach runs do(0..n-1) with at most s.opts.Parallelism calls in flight,
+// returning the first error. After an error no new work starts; transfers
+// already in flight finish (gob calls are not interruptible mid-message).
+func (s *Store) forEach(n int, do func(int) error) error {
+	par := s.opts.Parallelism
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := do(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := do(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// withMetaRetry runs fn against the file's (possibly cached) chunk map. If
+// fn fails with ErrNoSuchChunk the map was stale — a chunk was remapped or
+// the file recreated by another client — so the map is re-fetched from the
+// manager and fn retried once.
+func (s *Store) withMetaRetry(name string, fn func(proto.FileInfo) error) error {
 	fi, err := s.fileInfo(name)
 	if err != nil {
 		return err
 	}
-	if off < 0 || off+int64(len(data)) > fi.Size {
-		return fmt.Errorf("%w: write [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(data)), name, fi.Size)
+	if err = fn(fi); !errors.Is(err, proto.ErrNoSuchChunk) {
+		return err
 	}
-	for len(data) > 0 {
-		idx := int(off / s.chunkSize)
-		coff := off % s.chunkSize
-		n := s.chunkSize - coff
-		if int64(len(data)) < n {
-			n = int64(len(data))
+	s.c.metaRetries.Add(1)
+	s.invalidateMeta(name)
+	if fi, err = s.fileInfo(name); err != nil {
+		return err
+	}
+	return fn(fi)
+}
+
+// ReadAt fills buf from the file at off. Chunk fetches fan out across the
+// connection pools, bounded by Options.Parallelism.
+func (s *Store) ReadAt(name string, off int64, buf []byte) error {
+	return s.withMetaRetry(name, func(fi proto.FileInfo) error {
+		if off < 0 || off+int64(len(buf)) > fi.Size {
+			return fmt.Errorf("%w: read [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(buf)), name, fi.Size)
 		}
-		ref := fi.Chunks[idx]
-		if coff == 0 && n == s.chunkSize {
-			if err := s.putChunk(ref, data[:n]); err != nil {
+		spans := chunkSpans(s.chunkSize, off, buf)
+		return s.forEach(len(spans), func(i int) error {
+			sp := spans[i]
+			data, err := s.getChunk(fi.Chunks[sp.idx])
+			if err != nil {
 				return err
 			}
-		} else {
+			if int64(len(data)) < sp.coff+int64(len(sp.buf)) {
+				return fmt.Errorf("chunk %v: short payload %d bytes", fi.Chunks[sp.idx], len(data))
+			}
+			copy(sp.buf, data[sp.coff:])
+			return nil
+		})
+	})
+}
+
+// WriteAt stores data into the file at off (read-modify-write for partial
+// chunks). Chunk transfers fan out like ReadAt's.
+func (s *Store) WriteAt(name string, off int64, data []byte) error {
+	return s.withMetaRetry(name, func(fi proto.FileInfo) error {
+		if off < 0 || off+int64(len(data)) > fi.Size {
+			return fmt.Errorf("%w: write [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(data)), name, fi.Size)
+		}
+		spans := chunkSpans(s.chunkSize, off, data)
+		return s.forEach(len(spans), func(i int) error {
+			sp := spans[i]
+			ref := fi.Chunks[sp.idx]
+			if sp.coff == 0 && int64(len(sp.buf)) == s.chunkSize {
+				return s.putChunk(ref, sp.buf)
+			}
 			cur, err := s.getChunk(ref)
 			if err != nil {
 				return err
 			}
-			copy(cur[coff:], data[:n])
-			if err := s.putChunk(ref, cur); err != nil {
-				return err
-			}
-		}
-		data = data[n:]
-		off += n
-	}
-	return nil
+			copy(cur[sp.coff:], sp.buf)
+			return s.putChunk(ref, cur)
+		})
+	})
 }
 
 // Put uploads a whole payload as a (new) file.
