@@ -8,6 +8,8 @@
 //	nvmctl -manager host:7070 stat  <name>
 //	nvmctl -manager host:7070 rm    <name>
 //	nvmctl -manager host:7070 link  <dst> <part> [part...]
+//	nvmctl -manager host:7070 repair
+//	nvmctl -manager host:7070 kill  <benefactor-id>
 //
 // Data-path flags:
 //
@@ -21,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"nvmalloc/internal/rpc"
 )
@@ -39,7 +42,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-stats] status|put|get|stat|rm|link ...")
+		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-stats] status|put|get|stat|rm|link|repair|kill ...")
 		os.Exit(2)
 	}
 	st, err := rpc.OpenWith(*mgr, rpc.Options{PoolSize: *pool, Parallelism: *parallel})
@@ -89,6 +92,9 @@ func main() {
 			fmt.Printf("benefactor %d @ %s node=%d used=%d/%d written=%d %s\n",
 				b.ID, b.Addr, b.Node, b.Used, b.Capacity, b.WriteVolume, state)
 		}
+		if under, err := st.Manager().UnderReplicated(); err == nil && under > 0 {
+			fmt.Printf("WARNING: %d under-replicated chunks (run `nvmctl repair`)\n", under)
+		}
 	case "put":
 		if len(args) != 3 {
 			fatal(fmt.Errorf("put <name> <local-file>"))
@@ -123,7 +129,11 @@ func main() {
 		}
 		fmt.Printf("%s: %d bytes, %d chunks\n", fi.Name, fi.Size, len(fi.Chunks))
 		for i, ref := range fi.Chunks {
-			fmt.Printf("  chunk %d -> %v\n", i, ref)
+			fmt.Printf("  chunk %d -> %v", i, ref)
+			if i < len(fi.Replicas) && len(fi.Replicas[i]) > 1 {
+				fmt.Printf(" replicas=%v", fi.Replicas[i][1:])
+			}
+			fmt.Println()
 		}
 	case "rm":
 		if len(args) != 2 {
@@ -141,6 +151,30 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("%s now spans %d chunks (%d bytes)\n", fi.Name, len(fi.Chunks), fi.Size)
+	case "repair":
+		res, err := st.Manager().Repair()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("repaired %d replica copies, %d failed, backlog %d\n", res.Repaired, res.Failed, res.UnderReplicated)
+		for _, id := range res.Lost {
+			fmt.Printf("LOST: chunk %d has no surviving copy\n", id)
+		}
+		if len(res.Lost) > 0 || res.Failed > 0 {
+			os.Exit(1)
+		}
+	case "kill":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("kill <benefactor-id>"))
+		}
+		id, err := strconv.Atoi(args[1])
+		if err != nil {
+			fatal(fmt.Errorf("kill: bad benefactor id %q", args[1]))
+		}
+		if err := st.Manager().MarkDead(id); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benefactor %d marked dead; reads fail over, writes degrade until repair\n", id)
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}
@@ -149,6 +183,8 @@ func main() {
 		s := st.Stats()
 		fmt.Printf("data path: gets=%d puts=%d pagePuts=%d ssdRead=%dB ssdWrite=%dB inflightPeak=%d metaRetries=%d\n",
 			s.ChunkGets, s.ChunkPuts, s.PagePuts, s.SSDReadBytes, s.SSDWriteBytes, s.InFlightPeak, s.MetaRetries)
+		fmt.Printf("fault path: retries=%d failovers=%d degradedWrites=%d\n",
+			s.Retries, s.Failovers, s.DegradedWrites)
 		if cache != nil {
 			c := cache.Stats()
 			fmt.Printf("cache: hits=%d misses=%d evictions=%d dirtyEvictions=%d flushes=%d readAhead=%dB\n",

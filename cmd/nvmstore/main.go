@@ -3,6 +3,7 @@
 // Usage:
 //
 //	nvmstore manager  -listen :7070 [-chunk 262144] [-policy rr|least|wear]
+//	          [-replication 1] [-hbtimeout 5s] [-sweep 0]
 //	nvmstore benefactor -manager host:7070 -id 0 [-listen :0] [-dir /ssd/nvm]
 //	          [-capacity 1073741824] [-chunk 262144] [-node 0] [-beat 2s]
 //
@@ -56,6 +57,9 @@ func runManager(args []string) {
 	listen := fs.String("listen", ":7070", "listen address")
 	chunk := fs.Int64("chunk", 256<<10, "chunk size in bytes")
 	policy := fs.String("policy", "rr", "placement policy: rr|least|wear")
+	replication := fs.Int("replication", 1, "copies kept of each chunk (on distinct benefactors)")
+	hbTimeout := fs.Duration("hbtimeout", 0, "heartbeat staleness before a benefactor is declared dead (0 = 5s default)")
+	sweep := fs.Duration("sweep", 0, "death-sweep clock tick (0 = half of hbtimeout, negative disables)")
 	fs.Parse(args)
 
 	pol := manager.RoundRobin
@@ -68,11 +72,16 @@ func runManager(args []string) {
 	default:
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
-	srv, err := rpc.NewManagerServer(*listen, *chunk, pol)
+	srv, err := rpc.NewManagerServerWith(*listen, *chunk, pol, rpc.ManagerConfig{
+		Replication:      *replication,
+		HeartbeatTimeout: *hbTimeout,
+		SweepInterval:    *sweep,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("nvmstore manager listening on %s (chunk=%d, policy=%s)\n", srv.Addr(), *chunk, *policy)
+	fmt.Printf("nvmstore manager listening on %s (chunk=%d, policy=%s, replication=%d)\n",
+		srv.Addr(), *chunk, *policy, *replication)
 	waitForInterrupt()
 	srv.Close()
 }

@@ -4,6 +4,8 @@
 // update through the client chunk cache to show dirty-page-only writeback
 // (paper Table VII), takes a zero-copy linked checkpoint, and shows the
 // copy-on-write isolation — all with real sockets and real chunk files.
+// A final act runs a replicated store, kills a benefactor mid-life, reads
+// through replica failover, and repairs back to full replica count.
 package main
 
 import (
@@ -128,4 +130,79 @@ func main() {
 	for _, b := range bens {
 		fmt.Printf("benefactor %d: %d/%d bytes used, %d bytes written\n", b.ID, b.Used, b.Capacity, b.WriteVolume)
 	}
+
+	failoverDemo(tmp)
+}
+
+// failoverDemo runs the fault-tolerance path end to end on a replicated
+// store: a benefactor dies, reads fail over to the surviving copies, and a
+// repair pass re-replicates onto the survivors.
+func failoverDemo(tmp string) {
+	const chunk = 64 << 10
+	fmt.Println("\n--- failover & repair (replication=2) ---")
+
+	mgr, err := rpc.NewManagerServerWith("127.0.0.1:0", chunk, manager.RoundRobin, rpc.ManagerConfig{
+		Replication:      2,
+		HeartbeatTimeout: time.Second,
+		SweepInterval:    250 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
+
+	var bens []*rpc.BenefactorServer
+	for i := 0; i < 3; i++ {
+		backend, err := rpc.NewFileBackend(filepath.Join(tmp, fmt.Sprintf("rep%d", i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bs, err := rpc.NewBenefactorServer("127.0.0.1:0", mgr.Addr(), i, i, 256*chunk, chunk, backend, 200*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer bs.Close()
+		bens = append(bens, bs)
+	}
+
+	st, err := rpc.OpenWith(mgr.Addr(), rpc.Options{
+		CallTimeout: 2 * time.Second,
+		Retry:       rpc.RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	payload := bytes.Repeat([]byte("replicated! "), 40000) // ~480 KB
+	if err := st.Put("nvmvar", payload); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stored nvmvar with every chunk on 2 of 3 benefactors")
+
+	// Benefactor 0 crashes: its listener and live connections die.
+	bens[0].Close()
+	if err := st.Manager().MarkDead(0); err != nil {
+		log.Fatal(err)
+	}
+	got, err := st.Get("nvmvar")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := st.Stats()
+	fmt.Printf("read after crash: %d bytes intact, %d chunk reads failed over, %d retries\n",
+		len(got), s.Failovers, s.Retries)
+
+	under, _ := st.Manager().UnderReplicated()
+	fmt.Printf("under-replicated chunks: %d\n", under)
+	res, err := st.Manager().Repair()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repair: %d copies restored, %d failed, backlog %d, lost %d\n",
+		res.Repaired, res.Failed, res.UnderReplicated, len(res.Lost))
+	if !bytes.Equal(got, payload) {
+		log.Fatal("payload corrupted")
+	}
+	fmt.Println("store back at full replica count on the survivors")
 }

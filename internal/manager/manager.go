@@ -310,6 +310,26 @@ func (m *Manager) LiveRef(id proto.ChunkID) (proto.ChunkRef, error) {
 	return proto.ChunkRef{}, proto.ErrBenefactorDead
 }
 
+// UnderReplicated returns (sorted) the chunks whose live copy count is
+// below the configured replication factor — the repair backlog after
+// benefactor deaths.
+func (m *Manager) UnderReplicated() []proto.ChunkID {
+	var out []proto.ChunkID
+	for id, cm := range m.chunks {
+		live := 0
+		for _, ref := range append([]proto.ChunkRef{cm.ref}, cm.replicas...) {
+			if m.Alive(ref.Benefactor) {
+				live++
+			}
+		}
+		if live < m.Replication {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // RepairOp instructs the caller to copy a chunk payload from Src to Dst to
 // restore redundancy.
 type RepairOp struct {
@@ -357,6 +377,26 @@ func (m *Manager) Repair() (ops []RepairOp, lost []proto.ChunkID) {
 	return ops, lost
 }
 
+// DropReplica removes one (non-primary) copy of a chunk from the metadata
+// and releases its space reservation. The transport layer uses it to roll
+// back a Repair destination whose payload copy failed, so readers never
+// fail over onto a copy that was promised but not populated.
+func (m *Manager) DropReplica(id proto.ChunkID, ref proto.ChunkRef) {
+	cm, ok := m.chunks[id]
+	if !ok {
+		return
+	}
+	for i, r := range cm.replicas {
+		if r == ref {
+			cm.replicas = append(cm.replicas[:i], cm.replicas[i+1:]...)
+			if b, ok := m.bens[ref.Benefactor]; ok {
+				b.info.Used -= m.chunkSize
+			}
+			return
+		}
+	}
+}
+
 // Create reserves a file of the given size: space is allocated (the
 // posix_fallocate analog of paper §III-C) but no data moves until clients
 // write chunks.
@@ -385,7 +425,14 @@ func (m *Manager) Create(name string, size int64) (proto.FileInfo, error) {
 }
 
 func (m *Manager) info(f *file) proto.FileInfo {
-	return proto.FileInfo{Name: f.name, Size: f.size, Chunks: append([]proto.ChunkRef(nil), f.chunks...)}
+	fi := proto.FileInfo{Name: f.name, Size: f.size, Chunks: append([]proto.ChunkRef(nil), f.chunks...)}
+	// Ship the full copy set of every chunk so clients can fail reads over
+	// to a replica and write all copies without another manager round trip.
+	fi.Replicas = make([][]proto.ChunkRef, len(f.chunks))
+	for i, r := range f.chunks {
+		fi.Replicas[i] = m.Replicas(r.ID)
+	}
+	return fi
 }
 
 // Lookup returns the file's chunk map.

@@ -22,6 +22,11 @@ type FileInfo struct {
 	Name   string
 	Size   int64
 	Chunks []ChunkRef
+	// Replicas lists every copy of each chunk, primary first, so
+	// Replicas[i][0] == Chunks[i]. Clients use the extra refs for read
+	// failover and replicated writes. Nil when the store runs unreplicated
+	// (Replication == 1) metadata from an older manager.
+	Replicas [][]ChunkRef
 }
 
 // BenefactorInfo is the manager's view of one space contributor.
@@ -71,6 +76,12 @@ const (
 	OpExpire   Op = "expire"
 	OpBeat     Op = "heartbeat"
 	OpStatus   Op = "status"
+	// OpRepair re-replicates under-replicated chunks onto live benefactors
+	// and reports chunks with no surviving copy.
+	OpRepair Op = "repair"
+	// OpMarkDead forcibly declares a benefactor dead (fault injection and
+	// operator intervention ahead of heartbeat expiry).
+	OpMarkDead Op = "markdead"
 )
 
 // Benefactor ops.
@@ -114,6 +125,12 @@ type ManagerResp struct {
 	Bens      []BenefactorInfo
 	ChunkSize int64    // Status: the store's striping unit
 	Expired   []string // Expire: reclaimed file names
+	// Status: chunks currently short of the configured replica count.
+	UnderReplicated int
+	// Repair results.
+	Repaired     int       // replica copies restored
+	RepairFailed int       // copy operations that failed (still under-replicated)
+	Lost         []ChunkID // chunks with no live copy at all
 }
 
 // ChunkReq is the benefactor-side request envelope.

@@ -188,7 +188,7 @@ func (cs *CachedStore) acquire(fi proto.FileInfo, idx int, prefetch bool) (*cent
 			cs.stats.Misses++
 		}
 		cs.mu.Unlock()
-		data, err := cs.st.getChunk(fi.Chunks[idx])
+		data, err := cs.st.getChunk(replicaRefs(fi, idx))
 		cs.mu.Lock()
 		if err != nil {
 			delete(cs.entries, key)
@@ -259,7 +259,7 @@ func (cs *CachedStore) evict(e *centry) error {
 // cs.mu held and e resident; marks e busy, releases the lock for the
 // transfer, and returns with the lock held and e clean.
 func (cs *CachedStore) writeback(e *centry) error {
-	ref, err := cs.chunkRef(e.key)
+	refs, err := cs.chunkRefs(e.key)
 	if err != nil {
 		return err
 	}
@@ -267,7 +267,7 @@ func (cs *CachedStore) writeback(e *centry) error {
 	allDirty := e.nDirty == len(e.dirty) || cs.cfg.WriteFullChunks
 	var werr error
 	cs.mu.Unlock()
-	werr = cs.ship(ref, e, allDirty)
+	werr = cs.ship(refs, e, allDirty)
 	if errors.Is(werr, proto.ErrNoSuchChunk) {
 		// Stale chunk map: the chunk was remapped (or the file deleted) by
 		// another client. Re-resolve and retry once; a vanished file means
@@ -282,7 +282,7 @@ func (cs *CachedStore) writeback(e *centry) error {
 		case e.key.idx >= len(fi.Chunks):
 			werr = nil // file shrank; the chunk is gone
 		default:
-			werr = cs.ship(fi.Chunks[e.key.idx], e, allDirty)
+			werr = cs.ship(replicaRefs(fi, e.key.idx), e, allDirty)
 		}
 	}
 	cs.mu.Lock()
@@ -299,10 +299,12 @@ func (cs *CachedStore) writeback(e *centry) error {
 }
 
 // ship transfers an entry's payload (whole chunk or dirty pages only) to
-// ref's benefactor. Called without cs.mu; e.busy guards the entry.
-func (cs *CachedStore) ship(ref proto.ChunkRef, e *centry, allDirty bool) error {
+// every replica of the chunk. Called without cs.mu; e.busy guards the
+// entry. Replica failover and degraded-write accounting come from the
+// underlying Store.
+func (cs *CachedStore) ship(refs []proto.ChunkRef, e *centry, allDirty bool) error {
 	if allDirty {
-		return cs.st.putChunk(ref, e.data)
+		return cs.st.putChunk(refs, e.data)
 	}
 	var offs []int64
 	var pages [][]byte
@@ -315,22 +317,22 @@ func (cs *CachedStore) ship(ref proto.ChunkRef, e *centry, allDirty bool) error 
 		offs = append(offs, off)
 		pages = append(pages, e.data[off:off+ps])
 	}
-	return cs.st.putPages(ref, offs, pages)
+	return cs.st.putPages(refs, offs, pages)
 }
 
-// chunkRef resolves a cached chunk's current benefactor ref. Called with
-// cs.mu held; releases it for the (possibly remote) lookup.
-func (cs *CachedStore) chunkRef(key cacheKey) (proto.ChunkRef, error) {
+// chunkRefs resolves a cached chunk's current copy set (primary first).
+// Called with cs.mu held; releases it for the (possibly remote) lookup.
+func (cs *CachedStore) chunkRefs(key cacheKey) ([]proto.ChunkRef, error) {
 	cs.mu.Unlock()
 	defer cs.mu.Lock()
 	fi, err := cs.st.fileInfo(key.file)
 	if err != nil {
-		return proto.ChunkRef{}, err
+		return nil, err
 	}
 	if key.idx >= len(fi.Chunks) {
-		return proto.ChunkRef{}, fmt.Errorf("%w: writeback of %q chunk %d", proto.ErrChunkOutOfRange, key.file, key.idx)
+		return nil, fmt.Errorf("%w: writeback of %q chunk %d", proto.ErrChunkOutOfRange, key.file, key.idx)
 	}
-	return fi.Chunks[key.idx], nil
+	return replicaRefs(fi, key.idx), nil
 }
 
 // readAhead asynchronously warms the chunks after idx on a sequential miss.

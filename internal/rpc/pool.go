@@ -13,16 +13,17 @@ import "nvmalloc/internal/proto"
 // and a slot whose connection broke mid-call is redialed on next use.
 type connPool struct {
 	addr string
+	dial func(addr string) (*chunkConn, error)
 	// free holds the pool's slots. nil means "not dialed yet" — the taker
 	// dials. Capacity bounds the number of live connections.
 	free chan *chunkConn
 }
 
-func newConnPool(addr string, size int) *connPool {
+func newConnPool(addr string, size int, dial func(addr string) (*chunkConn, error)) *connPool {
 	if size < 1 {
 		size = 1
 	}
-	p := &connPool{addr: addr, free: make(chan *chunkConn, size)}
+	p := &connPool{addr: addr, dial: dial, free: make(chan *chunkConn, size)}
 	for i := 0; i < size; i++ {
 		p.free <- nil
 	}
@@ -31,15 +32,16 @@ func newConnPool(addr string, size int) *connPool {
 
 // call borrows a connection (dialing if the slot is empty), performs one
 // chunk RPC, and returns the connection to the pool. A connection whose
-// stream broke is closed and its slot reverts to "not dialed".
+// stream broke is closed and its slot reverts to "not dialed". Dial
+// failures are transient: the benefactor may be restarting.
 func (p *connPool) call(req proto.ChunkReq) (proto.ChunkResp, error) {
 	c := <-p.free
 	if c == nil {
 		var err error
-		c, err = dialChunk(p.addr)
+		c, err = p.dial(p.addr)
 		if err != nil {
 			p.free <- nil
-			return proto.ChunkResp{}, err
+			return proto.ChunkResp{}, transient(err)
 		}
 	}
 	resp, err := c.call(req)

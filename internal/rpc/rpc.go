@@ -94,14 +94,56 @@ func (f *FileBackend) Has(id proto.ChunkID) bool {
 	return err == nil
 }
 
+// connSet tracks a server's accepted connections so Close can sever them.
+// Killing a server must kill its in-flight conversations too — otherwise
+// clients already pooled onto it would never observe the death.
+type connSet struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+func newConnSet() *connSet { return &connSet{conns: make(map[net.Conn]struct{})} }
+
+func (cs *connSet) add(c net.Conn) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return false
+	}
+	cs.conns[c] = struct{}{}
+	return true
+}
+
+func (cs *connSet) remove(c net.Conn) {
+	cs.mu.Lock()
+	delete(cs.conns, c)
+	cs.mu.Unlock()
+}
+
+func (cs *connSet) closeAll() {
+	cs.mu.Lock()
+	cs.closed = true
+	for c := range cs.conns {
+		c.Close()
+	}
+	cs.conns = nil
+	cs.mu.Unlock()
+}
+
 // serve accepts connections and dispatches each on its own goroutine.
-func serve(l net.Listener, handle func(dec *gob.Decoder, enc *gob.Encoder) error) {
+func serve(l net.Listener, cs *connSet, handle func(dec *gob.Decoder, enc *gob.Encoder) error) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		if !cs.add(conn) {
+			conn.Close()
+			return
+		}
 		go func() {
+			defer cs.remove(conn)
 			defer conn.Close()
 			dec := gob.NewDecoder(conn)
 			enc := gob.NewEncoder(conn)
@@ -138,19 +180,44 @@ func wireErr(s string) error {
 	return fmt.Errorf("%s", s)
 }
 
+// ManagerConfig tunes a ManagerServer beyond the chunk geometry.
+type ManagerConfig struct {
+	// Replication is the number of copies kept of each chunk (1 = the
+	// paper's unreplicated baseline). Copies land on distinct benefactors.
+	Replication int
+	// HeartbeatTimeout is how stale a benefactor's heartbeat may be before
+	// the sweep declares it dead. 0 keeps the manager default (5s).
+	HeartbeatTimeout time.Duration
+	// SweepInterval is the server's clock tick for the death sweep; every
+	// tick marks benefactors with expired heartbeats dead, so failover and
+	// placement react even when no client polls Status. 0 derives half the
+	// heartbeat timeout; negative disables the tick.
+	SweepInterval time.Duration
+}
+
 // ManagerServer serves the metadata service over TCP.
 type ManagerServer struct {
 	mu  sync.Mutex
 	mgr *manager.Manager
 	l   net.Listener
 	// benConns caches client connections to benefactors for server-driven
-	// operations (chunk deletion, COW copies).
-	benConns map[int]*chunkConn
-	start    time.Time
+	// operations (chunk deletion, COW copies, repair).
+	benConns  map[int]*chunkConn
+	start     time.Time
+	stop      chan struct{}
+	conns     *connSet
+	closeOnce sync.Once
 }
 
-// NewManagerServer starts a manager on addr (e.g. "127.0.0.1:0").
+// NewManagerServer starts an unreplicated manager on addr (e.g.
+// "127.0.0.1:0") with default fault-handling config.
 func NewManagerServer(addr string, chunkSize int64, policy manager.PlacementPolicy) (*ManagerServer, error) {
+	return NewManagerServerWith(addr, chunkSize, policy, ManagerConfig{})
+}
+
+// NewManagerServerWith starts a manager on addr with explicit replication
+// and failure-detection settings.
+func NewManagerServerWith(addr string, chunkSize int64, policy manager.PlacementPolicy, cfg ManagerConfig) (*ManagerServer, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -160,16 +227,63 @@ func NewManagerServer(addr string, chunkSize int64, policy manager.PlacementPoli
 		l:        l,
 		benConns: make(map[int]*chunkConn),
 		start:    time.Now(),
+		stop:     make(chan struct{}),
+		conns:    newConnSet(),
 	}
-	go serve(l, s.handle)
+	if cfg.Replication > 1 {
+		s.mgr.Replication = cfg.Replication
+	}
+	if cfg.HeartbeatTimeout > 0 {
+		s.mgr.HeartbeatTimeout = cfg.HeartbeatTimeout
+	}
+	sweep := cfg.SweepInterval
+	if sweep == 0 {
+		sweep = s.mgr.HeartbeatTimeout / 2
+	}
+	if sweep > 0 {
+		go s.sweepLoop(sweep)
+	}
+	go serve(l, s.conns, s.handle)
 	return s, nil
+}
+
+// sweepLoop expires stale heartbeats on a clock tick, so benefactor death
+// takes effect on the real path without waiting for a Status poll.
+func (s *ManagerServer) sweepLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.mgr.Sweep(s.now())
+			s.mu.Unlock()
+		}
+	}
 }
 
 // Addr returns the listening address.
 func (s *ManagerServer) Addr() string { return s.l.Addr().String() }
 
-// Close stops the server.
-func (s *ManagerServer) Close() error { return s.l.Close() }
+// Close stops the server, its sweep loop, and its benefactor connections.
+// Close is idempotent.
+func (s *ManagerServer) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		err = s.l.Close()
+		s.conns.closeAll()
+		s.mu.Lock()
+		for id, c := range s.benConns {
+			c.close()
+			delete(s.benConns, id)
+		}
+		s.mu.Unlock()
+	})
+	return err
+}
 
 func (s *ManagerServer) now() time.Duration { return time.Since(s.start) }
 
@@ -183,7 +297,7 @@ func (s *ManagerServer) benConn(id int) (*chunkConn, error) {
 	if !ok || addr == "" {
 		return nil, proto.ErrBenefactorDead
 	}
-	c, err := dialChunk(addr)
+	c, err := dialChunk(addr, nil, serverDialTimeout, serverCallTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +354,11 @@ func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		s.mgr.Sweep(s.now())
 		resp.Bens = s.mgr.Status()
 		resp.ChunkSize = s.mgr.ChunkSize()
+		resp.UnderReplicated = len(s.mgr.UnderReplicated())
+	case proto.OpMarkDead:
+		s.mgr.MarkDead(req.BenID)
+	case proto.OpRepair:
+		resp.Repaired, resp.RepairFailed, resp.Lost = s.repair()
 	default:
 		resp.Err = fmt.Sprintf("manager: unknown op %q", req.Op)
 	}
@@ -259,6 +378,25 @@ func (s *ManagerServer) deleteChunks(freed []proto.ChunkRef) error {
 		}
 	}
 	return nil
+}
+
+// repair re-replicates under-replicated chunks onto live benefactors.
+// Called with s.mu held. The manager picks destinations and the server
+// moves the payloads; a copy that fails is rolled back in the metadata so
+// readers never fail over onto a promised-but-empty replica.
+func (s *ManagerServer) repair() (done, failed int, lost []proto.ChunkID) {
+	s.mgr.Sweep(s.now())
+	ops, lost := s.mgr.Repair()
+	for _, op := range ops {
+		if err := s.copyChunk(op.Src, op.Dst); err != nil {
+			s.mgr.DropReplica(op.Dst.ID, op.Dst)
+			delete(s.benConns, op.Dst.Benefactor)
+			failed++
+			continue
+		}
+		done++
+	}
+	return done, failed, lost
 }
 
 // copyChunk performs the server-side COW copy.
@@ -295,7 +433,9 @@ type BenefactorServer struct {
 	st *benefactor.Store
 	l  net.Listener
 	// stop terminates the heartbeat loop.
-	stop chan struct{}
+	stop              chan struct{}
+	conns             *connSet
+	hbOnce, closeOnce sync.Once
 }
 
 // NewBenefactorServer starts a benefactor on addr, registers it with the
@@ -306,15 +446,16 @@ func NewBenefactorServer(addr, managerAddr string, id, node int, capacity, chunk
 		return nil, err
 	}
 	s := &BenefactorServer{
-		st:   benefactor.New(id, node, capacity, chunkSize, backend),
-		l:    l,
-		stop: make(chan struct{}),
+		st:    benefactor.New(id, node, capacity, chunkSize, backend),
+		l:     l,
+		stop:  make(chan struct{}),
+		conns: newConnSet(),
 	}
 	// The manager never reuses chunk IDs, so a deleted chunk referenced
 	// again can only be a stale client map: fail it so the client retries
 	// with fresh metadata.
 	s.st.SetStrictDelete(true)
-	go serve(l, s.handle)
+	go serve(l, s.conns, s.handle)
 
 	mc, err := DialManager(managerAddr)
 	if err != nil {
@@ -345,10 +486,23 @@ func NewBenefactorServer(addr, managerAddr string, id, node int, capacity, chunk
 // Addr returns the listening address.
 func (s *BenefactorServer) Addr() string { return s.l.Addr().String() }
 
-// Close stops the server and its heartbeats.
+// Close stops the server and its heartbeats. Close is idempotent (fault
+// tests kill benefactors mid-test and rig cleanup closes again).
 func (s *BenefactorServer) Close() error {
-	close(s.stop)
-	return s.l.Close()
+	s.StopHeartbeat()
+	var err error
+	s.closeOnce.Do(func() {
+		err = s.l.Close()
+		s.conns.closeAll()
+	})
+	return err
+}
+
+// StopHeartbeat silences the benefactor's heartbeats while it keeps
+// serving chunks — to the manager this looks like a failed node, which is
+// exactly what heartbeat-expiry tests need to stage.
+func (s *BenefactorServer) StopHeartbeat() {
+	s.hbOnce.Do(func() { close(s.stop) })
 }
 
 // Store exposes the underlying chunk store (for stats).
@@ -378,36 +532,64 @@ func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 	return enc.Encode(&resp)
 }
 
+// Timeouts for server-initiated benefactor calls (chunk deletion, COW
+// copies, repair). Client-side timeouts come from Options.
+const (
+	serverDialTimeout = 5 * time.Second
+	serverCallTimeout = 30 * time.Second
+)
+
 // chunkConn is a client connection to one benefactor.
 type chunkConn struct {
 	mu   sync.Mutex
 	conn net.Conn
 	dec  *gob.Decoder
 	enc  *gob.Encoder
+	// timeout bounds one request/response round trip (a deadline on the
+	// socket, so a wedged or black-holed benefactor cannot hang the caller
+	// forever). 0 means no deadline.
+	timeout time.Duration
 	// broken is set when the gob stream failed mid-call; the connection
 	// cannot be reused (request/response framing is lost).
 	broken bool
 }
 
-func dialChunk(addr string) (*chunkConn, error) {
-	conn, err := net.Dial("tcp", addr)
+// dialChunk connects to a benefactor. dial overrides the transport (fault
+// injection); when nil a plain TCP dial with dialTimeout is used.
+// callTimeout becomes the per-RPC deadline of the resulting connection.
+func dialChunk(addr string, dial func(string) (net.Conn, error), dialTimeout, callTimeout time.Duration) (*chunkConn, error) {
+	var conn net.Conn
+	var err error
+	if dial != nil {
+		conn, err = dial(addr)
+	} else {
+		conn, err = net.DialTimeout("tcp", addr, dialTimeout)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &chunkConn{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+	return &chunkConn{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn), timeout: callTimeout}, nil
 }
 
 func (c *chunkConn) call(req proto.ChunkReq) (proto.ChunkResp, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var resp proto.ChunkResp
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	// Encode/decode failures are transport-level: the round trip did not
+	// complete, so they are wrapped as transient (retryable) errors.
 	if err := c.enc.Encode(&req); err != nil {
 		c.broken = true
-		return resp, err
+		return resp, transient(err)
 	}
 	if err := c.dec.Decode(&resp); err != nil {
 		c.broken = true
-		return resp, err
+		return resp, transient(err)
+	}
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Time{})
 	}
 	return resp, wireErr(resp.Err)
 }
@@ -420,37 +602,119 @@ func (c *chunkConn) isBroken() bool {
 
 func (c *chunkConn) close() { c.conn.Close() }
 
-// ManagerClient is a client connection to the manager.
+// ManagerClient is a client connection to the manager. A broken connection
+// is redialed transparently, and idempotent metadata RPCs are retried with
+// backoff, so a manager restart or a transient network fault does not kill
+// long-running clients (benefactor heartbeat loops in particular).
 type ManagerClient struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *gob.Decoder
-	enc  *gob.Encoder
+	mu      sync.Mutex
+	addr    string
+	timeout time.Duration // per-RPC deadline; 0 = none
+	retry   RetryPolicy
+	conn    net.Conn
+	dec     *gob.Decoder
+	enc     *gob.Encoder
+	closed  bool
 }
 
-// DialManager connects to a manager server.
-func DialManager(addr string) (*ManagerClient, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+// DialManager connects to a manager server with no per-RPC deadline.
+func DialManager(addr string) (*ManagerClient, error) { return DialManagerTimeout(addr, 0) }
+
+// DialManagerTimeout connects to a manager server; timeout bounds each
+// metadata RPC round trip (0 disables the deadline).
+func DialManagerTimeout(addr string, timeout time.Duration) (*ManagerClient, error) {
+	c := &ManagerClient{addr: addr, timeout: timeout, retry: RetryPolicy{}.withDefaults()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.redialLocked(); err != nil {
 		return nil, err
 	}
-	return &ManagerClient{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+	return c, nil
 }
 
 // Close closes the connection.
-func (c *ManagerClient) Close() error { return c.conn.Close() }
+func (c *ManagerClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+func (c *ManagerClient) redialLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, serverDialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn, c.dec, c.enc = conn, gob.NewDecoder(conn), gob.NewEncoder(conn)
+	return nil
+}
+
+func (c *ManagerClient) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// retryableOp reports whether a manager RPC may be reissued after a
+// transport failure. Ops with create-once semantics (Create, Link, Derive,
+// Remap, Delete) are excluded: the lost response may have committed, and a
+// blind retry would turn that success into a spurious error.
+func retryableOp(op proto.Op) bool {
+	switch op {
+	case proto.OpRegister, proto.OpBeat, proto.OpLookup, proto.OpStatus,
+		proto.OpSetTTL, proto.OpExpire, proto.OpRepair, proto.OpMarkDead:
+		return true
+	}
+	return false
+}
 
 func (c *ManagerClient) call(req proto.ManagerReq) (proto.ManagerResp, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var resp proto.ManagerResp
-	if err := c.enc.Encode(&req); err != nil {
-		return resp, err
+	attempts := c.retry.MaxAttempts
+	if !retryableOp(req.Op) {
+		attempts = 1
 	}
-	if err := c.dec.Decode(&resp); err != nil {
-		return resp, err
+	var last error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(c.retry.backoff(attempt - 1))
+		}
+		if c.closed {
+			return resp, net.ErrClosed
+		}
+		if c.conn == nil {
+			if err := c.redialLocked(); err != nil {
+				last = transient(err)
+				continue
+			}
+		}
+		if c.timeout > 0 {
+			_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+		}
+		if err := c.enc.Encode(&req); err != nil {
+			c.dropLocked()
+			last = transient(err)
+			continue
+		}
+		if err := c.dec.Decode(&resp); err != nil {
+			c.dropLocked()
+			last = transient(err)
+			continue
+		}
+		if c.timeout > 0 {
+			_ = c.conn.SetDeadline(time.Time{})
+		}
+		return resp, wireErr(resp.Err)
 	}
-	return resp, wireErr(resp.Err)
+	return resp, last
 }
 
 // Register announces a benefactor to the manager.
@@ -523,4 +787,41 @@ func (c *ManagerClient) Expire() ([]string, error) {
 func (c *ManagerClient) Status() ([]proto.BenefactorInfo, error) {
 	resp, err := c.call(proto.ManagerReq{Op: proto.OpStatus})
 	return resp.Bens, err
+}
+
+// RepairResult summarizes one repair pass.
+type RepairResult struct {
+	Repaired int // replica copies restored
+	Failed   int // copy operations that failed
+	Lost     []proto.ChunkID
+	// UnderReplicated is the backlog remaining after the pass.
+	UnderReplicated int
+}
+
+// Repair re-replicates under-replicated chunks onto live benefactors and
+// reports chunks with no surviving copy.
+func (c *ManagerClient) Repair() (RepairResult, error) {
+	resp, err := c.call(proto.ManagerReq{Op: proto.OpRepair})
+	if err != nil {
+		return RepairResult{}, err
+	}
+	r := RepairResult{Repaired: resp.Repaired, Failed: resp.RepairFailed, Lost: resp.Lost}
+	if sr, serr := c.call(proto.ManagerReq{Op: proto.OpStatus}); serr == nil {
+		r.UnderReplicated = sr.UnderReplicated
+	}
+	return r, nil
+}
+
+// MarkDead forcibly declares a benefactor dead ahead of heartbeat expiry
+// (fault injection and operator intervention).
+func (c *ManagerClient) MarkDead(benID int) error {
+	_, err := c.call(proto.ManagerReq{Op: proto.OpMarkDead, BenID: benID})
+	return err
+}
+
+// UnderReplicated returns the number of chunks currently holding fewer live
+// copies than the store's replication factor.
+func (c *ManagerClient) UnderReplicated() (int, error) {
+	resp, err := c.call(proto.ManagerReq{Op: proto.OpStatus})
+	return resp.UnderReplicated, err
 }

@@ -3,8 +3,10 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nvmalloc/internal/proto"
 )
@@ -19,12 +21,31 @@ type Options struct {
 	// ReadAt/WriteAt/Get/Put keeps in flight. 0 means DefaultParallelism;
 	// 1 reproduces the old strictly serial path.
 	Parallelism int
+	// CallTimeout bounds one chunk RPC round trip (socket deadline), so a
+	// wedged benefactor costs a timeout instead of hanging the client.
+	// 0 means DefaultCallTimeout; negative disables deadlines.
+	CallTimeout time.Duration
+	// DialTimeout bounds connection establishment to a benefactor.
+	// 0 means DefaultDialTimeout.
+	DialTimeout time.Duration
+	// Retry governs transient-failure retries against one replica.
+	Retry RetryPolicy
+	// SuspectWindow is how long a benefactor that exhausted a retry budget
+	// is deprioritized when ordering replica reads. 0 means
+	// DefaultSuspectWindow; negative disables suspicion.
+	SuspectWindow time.Duration
+	// Dial overrides the benefactor transport dialer (fault injection in
+	// tests). When nil, plain TCP with DialTimeout is used.
+	Dial func(addr string) (net.Conn, error)
 }
 
 // Defaults for Options fields left zero.
 const (
-	DefaultPoolSize    = 4
-	DefaultParallelism = 8
+	DefaultPoolSize      = 4
+	DefaultParallelism   = 8
+	DefaultCallTimeout   = 10 * time.Second
+	DefaultDialTimeout   = 5 * time.Second
+	DefaultSuspectWindow = 2 * time.Second
 )
 
 func (o Options) withDefaults() Options {
@@ -34,26 +55,43 @@ func (o Options) withDefaults() Options {
 	if o.Parallelism <= 0 {
 		o.Parallelism = DefaultParallelism
 	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = DefaultCallTimeout
+	}
+	if o.CallTimeout < 0 {
+		o.CallTimeout = 0
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.SuspectWindow == 0 {
+		o.SuspectWindow = DefaultSuspectWindow
+	}
+	o.Retry = o.Retry.withDefaults()
 	return o
 }
 
 // Stats are a Store's cumulative data-path counters.
 type Stats struct {
-	ChunkGets     int64 // OpGetChunk calls issued
-	ChunkPuts     int64 // OpPutChunk calls issued
-	PagePuts      int64 // OpPutPages calls issued
-	SSDReadBytes  int64 // chunk payload bytes fetched from benefactors
-	SSDWriteBytes int64 // payload bytes shipped to benefactors
-	MetaRetries   int64 // ops retried after a stale chunk map
-	InFlightPeak  int64 // max simultaneous chunk RPCs observed
+	ChunkGets      int64 // OpGetChunk calls issued
+	ChunkPuts      int64 // OpPutChunk calls issued
+	PagePuts       int64 // OpPutPages calls issued
+	SSDReadBytes   int64 // chunk payload bytes fetched from benefactors
+	SSDWriteBytes  int64 // payload bytes shipped to benefactors
+	MetaRetries    int64 // ops retried after a stale chunk map
+	InFlightPeak   int64 // max simultaneous chunk RPCs observed
+	Retries        int64 // chunk RPC attempts beyond the first (transient failures)
+	Failovers      int64 // chunk reads served by a non-primary replica
+	DegradedWrites int64 // chunk writes that reached fewer than all replicas
 }
 
 // storeCounters is the atomic backing for Stats.
 type storeCounters struct {
-	chunkGets, chunkPuts, pagePuts atomic.Int64
-	ssdReadBytes, ssdWriteBytes    atomic.Int64
-	metaRetries                    atomic.Int64
-	inFlightCur, inFlightPeak      atomic.Int64
+	chunkGets, chunkPuts, pagePuts     atomic.Int64
+	ssdReadBytes, ssdWriteBytes        atomic.Int64
+	metaRetries                        atomic.Int64
+	inFlightCur, inFlightPeak          atomic.Int64
+	retries, failovers, degradedWrites atomic.Int64
 }
 
 func (c *storeCounters) enter() {
@@ -83,8 +121,16 @@ type Store struct {
 	mu        sync.Mutex
 	chunkSize int64
 	benAddrs  map[int]string
-	pools     map[int]*connPool
-	meta      map[string]proto.FileInfo
+	// benAlive mirrors the manager's view of benefactor liveness (refreshed
+	// by Refresh); writes skip manager-dead replicas instead of burning a
+	// retry budget against them.
+	benAlive map[int]bool
+	// suspectUntil deprioritizes benefactors that just exhausted a retry
+	// budget when ordering replica reads, so a dying node costs one timeout
+	// burst, not one per chunk.
+	suspectUntil map[int]time.Time
+	pools        map[int]*connPool
+	meta         map[string]proto.FileInfo
 
 	c storeCounters
 }
@@ -95,16 +141,19 @@ func Open(addr string) (*Store, error) { return OpenWith(addr, Options{}) }
 // OpenWith connects to the manager at addr and discovers the store's
 // geometry and benefactors.
 func OpenWith(addr string, opts Options) (*Store, error) {
-	mc, err := DialManager(addr)
+	opts = opts.withDefaults()
+	mc, err := DialManagerTimeout(addr, opts.CallTimeout)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
-		mgr:      mc,
-		opts:     opts.withDefaults(),
-		benAddrs: make(map[int]string),
-		pools:    make(map[int]*connPool),
-		meta:     make(map[string]proto.FileInfo),
+		mgr:          mc,
+		opts:         opts,
+		benAddrs:     make(map[int]string),
+		benAlive:     make(map[int]bool),
+		suspectUntil: make(map[int]time.Time),
+		pools:        make(map[int]*connPool),
+		meta:         make(map[string]proto.FileInfo),
 	}
 	if err := s.Refresh(); err != nil {
 		mc.Close()
@@ -130,7 +179,10 @@ func (s *Store) Refresh() error {
 			}
 		}
 		s.benAddrs[b.ID] = b.Addr
+		s.benAlive[b.ID] = b.Alive
 	}
+	// Fresh liveness from the manager supersedes local suspicion.
+	s.suspectUntil = make(map[int]time.Time)
 	return nil
 }
 
@@ -153,13 +205,16 @@ func (s *Store) Manager() *ManagerClient { return s.mgr }
 // Stats returns a snapshot of the data-path counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		ChunkGets:     s.c.chunkGets.Load(),
-		ChunkPuts:     s.c.chunkPuts.Load(),
-		PagePuts:      s.c.pagePuts.Load(),
-		SSDReadBytes:  s.c.ssdReadBytes.Load(),
-		SSDWriteBytes: s.c.ssdWriteBytes.Load(),
-		MetaRetries:   s.c.metaRetries.Load(),
-		InFlightPeak:  s.c.inFlightPeak.Load(),
+		ChunkGets:      s.c.chunkGets.Load(),
+		ChunkPuts:      s.c.chunkPuts.Load(),
+		PagePuts:       s.c.pagePuts.Load(),
+		SSDReadBytes:   s.c.ssdReadBytes.Load(),
+		SSDWriteBytes:  s.c.ssdWriteBytes.Load(),
+		MetaRetries:    s.c.metaRetries.Load(),
+		InFlightPeak:   s.c.inFlightPeak.Load(),
+		Retries:        s.c.retries.Load(),
+		Failovers:      s.c.failovers.Load(),
+		DegradedWrites: s.c.degradedWrites.Load(),
 	}
 }
 
@@ -174,9 +229,103 @@ func (s *Store) pool(ref proto.ChunkRef) (*connPool, error) {
 	if !ok || addr == "" {
 		return nil, fmt.Errorf("%w: benefactor %d has no address", proto.ErrBenefactorDead, ref.Benefactor)
 	}
-	p := newConnPool(addr, s.opts.PoolSize)
+	dial := func(a string) (*chunkConn, error) {
+		return dialChunk(a, s.opts.Dial, s.opts.DialTimeout, s.opts.CallTimeout)
+	}
+	p := newConnPool(addr, s.opts.PoolSize, dial)
 	s.pools[ref.Benefactor] = p
 	return p, nil
+}
+
+// benLive reports the manager's last-known liveness of a benefactor
+// (unknown means alive — optimism costs at most a retry budget).
+func (s *Store) benLive(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	alive, ok := s.benAlive[id]
+	return !ok || alive
+}
+
+// markSuspect deprioritizes a benefactor for reads after a retry budget was
+// exhausted against it.
+func (s *Store) markSuspect(id int) {
+	if s.opts.SuspectWindow <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.suspectUntil[id] = time.Now().Add(s.opts.SuspectWindow)
+	s.mu.Unlock()
+}
+
+// readOrder sorts a chunk's replicas for a read attempt: benefactors the
+// manager reports alive and that are not locally suspect first, then
+// suspects, then dead ones (last-resort — the manager's view may be stale).
+func (s *Store) readOrder(refs []proto.ChunkRef) []proto.ChunkRef {
+	if len(refs) <= 1 {
+		return refs
+	}
+	s.mu.Lock()
+	now := time.Now()
+	rank := func(ref proto.ChunkRef) int {
+		if alive, ok := s.benAlive[ref.Benefactor]; ok && !alive {
+			return 2
+		}
+		if until, ok := s.suspectUntil[ref.Benefactor]; ok && now.Before(until) {
+			return 1
+		}
+		return 0
+	}
+	out := make([]proto.ChunkRef, len(refs))
+	copy(out, refs)
+	ranks := make([]int, len(out))
+	for i, ref := range out {
+		ranks[i] = rank(ref)
+	}
+	s.mu.Unlock()
+	// Stable insertion sort: replica lists are tiny and primary-first order
+	// must survive within a rank.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && ranks[j] < ranks[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+			ranks[j], ranks[j-1] = ranks[j-1], ranks[j]
+		}
+	}
+	return out
+}
+
+// callChunk performs one chunk RPC against one replica, retrying transient
+// transport failures with backoff up to the policy's attempt budget.
+func (s *Store) callChunk(ref proto.ChunkRef, req proto.ChunkReq) (proto.ChunkResp, error) {
+	var last error
+	for attempt := 1; attempt <= s.opts.Retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			s.c.retries.Add(1)
+			time.Sleep(s.opts.Retry.backoff(attempt - 1))
+		}
+		p, err := s.pool(ref)
+		if err != nil {
+			return proto.ChunkResp{}, err // no address: only failover can help
+		}
+		s.c.enter()
+		resp, err := p.call(req)
+		s.c.exit()
+		if err == nil || !IsTransient(err) {
+			return resp, err
+		}
+		last = err
+	}
+	s.markSuspect(ref.Benefactor)
+	return proto.ChunkResp{}, last
+}
+
+// replicaRefs returns every copy of chunk idx of a file, primary first.
+// Metadata from an unreplicated manager carries no replica table; the
+// primary ref alone is the degenerate copy set.
+func replicaRefs(fi proto.FileInfo, idx int) []proto.ChunkRef {
+	if idx < len(fi.Replicas) && len(fi.Replicas[idx]) > 0 {
+		return fi.Replicas[idx]
+	}
+	return fi.Chunks[idx : idx+1]
 }
 
 // fileInfo returns (caching) a file's chunk map.
@@ -230,32 +379,80 @@ func (s *Store) Stat(name string) (proto.FileInfo, error) {
 	return s.fileInfo(name)
 }
 
-// getChunk fetches one chunk payload.
-func (s *Store) getChunk(ref proto.ChunkRef) ([]byte, error) {
-	p, err := s.pool(ref)
-	if err != nil {
-		return nil, err
+// getChunk fetches one chunk payload, failing over across its replicas: a
+// replica whose benefactor is dead, wedged, or resetting connections costs
+// a bounded retry burst, then the next copy serves the read. ErrNoSuchChunk
+// is terminal — the chunk map is stale and only a re-lookup can help.
+func (s *Store) getChunk(refs []proto.ChunkRef) ([]byte, error) {
+	var firstErr error
+	for i, ref := range s.readOrder(refs) {
+		resp, err := s.callChunk(ref, proto.ChunkReq{Op: proto.OpGetChunk, ID: ref.ID})
+		if err == nil {
+			if i > 0 {
+				s.c.failovers.Add(1)
+			}
+			s.c.chunkGets.Add(1)
+			s.c.ssdReadBytes.Add(int64(len(resp.Data)))
+			return resp.Data, nil
+		}
+		if errors.Is(err, proto.ErrNoSuchChunk) {
+			return nil, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
-	s.c.enter()
-	resp, err := p.call(proto.ChunkReq{Op: proto.OpGetChunk, ID: ref.ID})
-	s.c.exit()
-	if err != nil {
-		return nil, err
-	}
-	s.c.chunkGets.Add(1)
-	s.c.ssdReadBytes.Add(int64(len(resp.Data)))
-	return resp.Data, nil
+	return nil, firstErr
 }
 
-// putChunk stores one full chunk payload.
-func (s *Store) putChunk(ref proto.ChunkRef, data []byte) error {
-	p, err := s.pool(ref)
-	if err != nil {
-		return err
+// putRefs ships one chunk RPC to every replica of a chunk: manager-dead
+// benefactors are skipped (unless every copy is thought dead — then the
+// liveness table itself may be stale and each is attempted), live ones that
+// still fail degrade the write. The write succeeds if at least one copy
+// lands; reaching fewer than all replicas bumps DegradedWrites and repair
+// restores the missing copies later.
+func (s *Store) putRefs(refs []proto.ChunkRef, mkReq func(proto.ChunkRef) proto.ChunkReq) error {
+	liveThought := 0
+	for _, ref := range refs {
+		if s.benLive(ref.Benefactor) {
+			liveThought++
+		}
 	}
-	s.c.enter()
-	_, err = p.call(proto.ChunkReq{Op: proto.OpPutChunk, ID: ref.ID, Data: data})
-	s.c.exit()
+	wrote := 0
+	var firstErr error
+	for _, ref := range refs {
+		if liveThought > 0 && !s.benLive(ref.Benefactor) {
+			continue
+		}
+		_, err := s.callChunk(ref, mkReq(ref))
+		if err != nil {
+			if errors.Is(err, proto.ErrNoSuchChunk) {
+				return err // stale chunk map: re-lookup, not degradation
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		wrote++
+	}
+	if wrote == 0 {
+		if firstErr != nil {
+			return firstErr
+		}
+		return fmt.Errorf("%w: no live replica of chunk %v", proto.ErrBenefactorDead, refs[0])
+	}
+	if wrote < len(refs) {
+		s.c.degradedWrites.Add(1)
+	}
+	return nil
+}
+
+// putChunk stores one full chunk payload on all (live) replicas.
+func (s *Store) putChunk(refs []proto.ChunkRef, data []byte) error {
+	err := s.putRefs(refs, func(ref proto.ChunkRef) proto.ChunkReq {
+		return proto.ChunkReq{Op: proto.OpPutChunk, ID: ref.ID, Data: data}
+	})
 	if err != nil {
 		return err
 	}
@@ -264,17 +461,13 @@ func (s *Store) putChunk(ref proto.ChunkRef, data []byte) error {
 	return nil
 }
 
-// putPages ships only the dirty pages of a chunk (paper Table VII): the
-// benefactor applies them server-side, so a sparsely dirtied chunk costs
-// its dirty bytes, not a whole-chunk transfer.
-func (s *Store) putPages(ref proto.ChunkRef, offs []int64, pages [][]byte) error {
-	p, err := s.pool(ref)
-	if err != nil {
-		return err
-	}
-	s.c.enter()
-	_, err = p.call(proto.ChunkReq{Op: proto.OpPutPages, ID: ref.ID, PageOffs: offs, PageData: pages})
-	s.c.exit()
+// putPages ships only the dirty pages of a chunk (paper Table VII) to all
+// (live) replicas: the benefactor applies them server-side, so a sparsely
+// dirtied chunk costs its dirty bytes, not a whole-chunk transfer.
+func (s *Store) putPages(refs []proto.ChunkRef, offs []int64, pages [][]byte) error {
+	err := s.putRefs(refs, func(ref proto.ChunkRef) proto.ChunkReq {
+		return proto.ChunkReq{Op: proto.OpPutPages, ID: ref.ID, PageOffs: offs, PageData: pages}
+	})
 	if err != nil {
 		return err
 	}
@@ -384,7 +577,7 @@ func (s *Store) ReadAt(name string, off int64, buf []byte) error {
 		spans := chunkSpans(s.chunkSize, off, buf)
 		return s.forEach(len(spans), func(i int) error {
 			sp := spans[i]
-			data, err := s.getChunk(fi.Chunks[sp.idx])
+			data, err := s.getChunk(replicaRefs(fi, sp.idx))
 			if err != nil {
 				return err
 			}
@@ -407,16 +600,16 @@ func (s *Store) WriteAt(name string, off int64, data []byte) error {
 		spans := chunkSpans(s.chunkSize, off, data)
 		return s.forEach(len(spans), func(i int) error {
 			sp := spans[i]
-			ref := fi.Chunks[sp.idx]
+			refs := replicaRefs(fi, sp.idx)
 			if sp.coff == 0 && int64(len(sp.buf)) == s.chunkSize {
-				return s.putChunk(ref, sp.buf)
+				return s.putChunk(refs, sp.buf)
 			}
-			cur, err := s.getChunk(ref)
+			cur, err := s.getChunk(refs)
 			if err != nil {
 				return err
 			}
 			copy(cur[sp.coff:], sp.buf)
-			return s.putChunk(ref, cur)
+			return s.putChunk(refs, cur)
 		})
 	})
 }
