@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench obs-bench
 
 # Tier-1 gate: formatting, vet, build, and the full suite under the race
 # detector (the TCP data path is exercised by genuinely concurrent tests).
@@ -28,3 +28,8 @@ race:
 
 bench:
 	$(GO) test -bench=RPCStore -benchmem ./internal/rpc
+
+# Instrumentation cost: default metrics/events vs obs.Disabled(). The two
+# modes must stay within noise of each other (<5%).
+obs-bench:
+	$(GO) test -run xxx -bench=RPCObsOverhead -benchtime 2s -count 3 ./internal/rpc

@@ -11,20 +11,32 @@
 //	nvmctl -manager host:7070 repair
 //	nvmctl -manager host:7070 kill  <benefactor-id>
 //
+// Observability commands (daemons must run with -debug-addr):
+//
+//	nvmctl -manager host:7070 metrics [host:debugport]  scrape one node's /metrics
+//	nvmctl -manager host:7070 top                       cluster-wide latency/rate summary
+//	nvmctl -manager host:7070 trace [trace-id]          recent events across all nodes
+//
 // Data-path flags:
 //
 //	-pool N      connections per benefactor (default 4)
 //	-parallel N  chunk transfers in flight per command (default 8)
 //	-cache BYTES client chunk cache; 0 disables (default 64 MB for get/put)
 //	-stats       print data-path and cache counters after the command
+//	-n N         events per node for trace (default 50)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"sort"
 	"strconv"
+	"time"
 
+	"nvmalloc/internal/obs"
+	"nvmalloc/internal/proto"
 	"nvmalloc/internal/rpc"
 )
 
@@ -39,10 +51,11 @@ func main() {
 	parallel := flag.Int("parallel", rpc.DefaultParallelism, "chunk transfers in flight")
 	cacheBytes := flag.Int64("cache", 64<<20, "client chunk cache bytes (0 disables)")
 	showStats := flag.Bool("stats", false, "print data-path counters after the command")
+	traceN := flag.Int("n", 50, "events per node for the trace command")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-stats] status|put|get|stat|rm|link|repair|kill ...")
+		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-stats] status|put|get|stat|rm|link|repair|kill|metrics|top|trace ...")
 		os.Exit(2)
 	}
 	st, err := rpc.OpenWith(*mgr, rpc.Options{PoolSize: *pool, Parallelism: *parallel})
@@ -79,22 +92,7 @@ func main() {
 
 	switch args[0] {
 	case "status":
-		bens, err := st.Manager().Status()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("chunk size: %d bytes\n", st.ChunkSize())
-		for _, b := range bens {
-			state := "alive"
-			if !b.Alive {
-				state = "DEAD"
-			}
-			fmt.Printf("benefactor %d @ %s node=%d used=%d/%d written=%d %s\n",
-				b.ID, b.Addr, b.Node, b.Used, b.Capacity, b.WriteVolume, state)
-		}
-		if under, err := st.Manager().UnderReplicated(); err == nil && under > 0 {
-			fmt.Printf("WARNING: %d under-replicated chunks (run `nvmctl repair`)\n", under)
-		}
+		runStatus(st, *mgr)
 	case "put":
 		if len(args) != 3 {
 			fatal(fmt.Errorf("put <name> <local-file>"))
@@ -175,6 +173,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("benefactor %d marked dead; reads fail over, writes degrade until repair\n", id)
+	case "metrics":
+		addr := ""
+		if len(args) == 2 {
+			addr = args[1]
+		}
+		runMetrics(st, *mgr, addr)
+	case "top":
+		runTop(st, *mgr)
+	case "trace":
+		id := ""
+		if len(args) == 2 {
+			id = args[1]
+		}
+		runTrace(st, *mgr, id, *traceN)
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}
@@ -190,5 +202,242 @@ func main() {
 			fmt.Printf("cache: hits=%d misses=%d evictions=%d dirtyEvictions=%d flushes=%d readAhead=%dB\n",
 				c.Hits, c.Misses, c.Evictions, c.DirtyEvictions, c.Flushes, c.PrefetchBytes)
 		}
+	}
+}
+
+// node is one scrapeable cluster member.
+type node struct {
+	name string
+	addr string // debug endpoint host:port, "" when the daemon has none
+}
+
+// fixHost rebinds a debug address announced with an unspecified host
+// (":7071", "[::]:7071", "0.0.0.0:7071") onto the host the daemon is
+// actually reachable at (taken from its RPC address).
+func fixHost(debugAddr, rpcAddr string) string {
+	if debugAddr == "" {
+		return ""
+	}
+	dh, dp, err := net.SplitHostPort(debugAddr)
+	if err != nil {
+		return debugAddr
+	}
+	if dh == "" || dh == "::" || dh == "0.0.0.0" {
+		if rh, _, err := net.SplitHostPort(rpcAddr); err == nil && rh != "" {
+			return net.JoinHostPort(rh, dp)
+		}
+	}
+	return debugAddr
+}
+
+// discover lists the cluster's debug endpoints: the manager first, then
+// every registered benefactor.
+func discover(st *rpc.Store, mgrAddr string) ([]node, []proto.BenefactorInfo, error) {
+	resp, err := st.Manager().StatusDetail()
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := []node{{name: "manager", addr: fixHost(resp.DebugAddr, mgrAddr)}}
+	for _, b := range resp.Bens {
+		nodes = append(nodes, node{
+			name: fmt.Sprintf("benefactor-%d", b.ID),
+			addr: fixHost(b.DebugAddr, b.Addr),
+		})
+	}
+	return nodes, resp.Bens, nil
+}
+
+const noDebug = "n/a (daemon has no -debug-addr)"
+
+func runStatus(st *rpc.Store, mgrAddr string) {
+	nodes, bens, err := discover(st, mgrAddr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("chunk size: %d bytes\n", st.ChunkSize())
+	for i, b := range bens {
+		state := "alive"
+		if !b.Alive {
+			state = "DEAD"
+		}
+		fmt.Printf("benefactor %d @ %s node=%d used=%d/%d written=%d %s beat_age=%s\n",
+			b.ID, b.Addr, b.Node, b.Used, b.Capacity, b.WriteVolume, state,
+			time.Duration(b.BeatAgeNanos).Round(time.Millisecond))
+		// Server-side device traffic from the benefactor's own registry —
+		// the authoritative view, unlike client-side counters.
+		if addr := nodes[i+1].addr; addr != "" {
+			if snap, err := obs.FetchMetrics(addr); err == nil {
+				fmt.Printf("  ssd: read=%dB written=%dB (server-side)\n",
+					snap.Counters["ssd.read_bytes"], snap.Counters["ssd.write_bytes"])
+			} else {
+				fmt.Printf("  ssd: scrape failed: %v\n", err)
+			}
+		} else {
+			fmt.Printf("  ssd: %s\n", noDebug)
+		}
+	}
+	if under, err := st.Manager().UnderReplicated(); err == nil && under > 0 {
+		fmt.Printf("WARNING: %d under-replicated chunks (run `nvmctl repair`)\n", under)
+	}
+	if addr := nodes[0].addr; addr != "" {
+		if snap, err := obs.FetchMetrics(addr); err == nil {
+			fmt.Printf("manager: repaired=%d repair_failures=%d benefactor_deaths=%d\n",
+				snap.Counters["manager.chunks_repaired"],
+				snap.Counters["manager.repair_failures"],
+				snap.Counters["manager.benefactor_deaths"])
+		}
+	} else {
+		fmt.Printf("manager: repair counters %s\n", noDebug)
+	}
+}
+
+func runMetrics(st *rpc.Store, mgrAddr, addr string) {
+	if addr == "" {
+		nodes, _, err := discover(st, mgrAddr)
+		if err != nil {
+			fatal(err)
+		}
+		if addr = nodes[0].addr; addr == "" {
+			fatal(fmt.Errorf("metrics: manager %s", noDebug))
+		}
+	}
+	snap, err := obs.FetchMetrics(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("node %s up %.1fs\n", snap.Node, snap.UptimeSeconds)
+	printSnapshot(snap)
+}
+
+func printSnapshot(snap obs.Snapshot) {
+	for _, name := range snap.MetricNames() {
+		if v, ok := snap.Counters[name]; ok {
+			fmt.Printf("  %-40s %d\n", name, v)
+		}
+		if v, ok := snap.Gauges[name]; ok {
+			fmt.Printf("  %-40s %d (gauge)\n", name, v)
+		}
+		if h, ok := snap.Histograms[name]; ok && h.Count > 0 {
+			fmt.Printf("  %-40s n=%d mean=%v p50=%v p95=%v p99=%v\n",
+				name, h.Count, h.Mean().Round(time.Microsecond),
+				time.Duration(h.P50Nanos).Round(time.Microsecond),
+				time.Duration(h.P95Nanos).Round(time.Microsecond),
+				time.Duration(h.P99Nanos).Round(time.Microsecond))
+		}
+	}
+}
+
+// runTop aggregates every node's registry into one cluster view: counters
+// sum, histograms merge bucket-wise (so the percentiles are cluster-wide,
+// not an average of per-node percentiles).
+func runTop(st *rpc.Store, mgrAddr string) {
+	nodes, _, err := discover(st, mgrAddr)
+	if err != nil {
+		fatal(err)
+	}
+	counters := make(map[string]int64)
+	hists := make(map[string]obs.HistogramSnapshot)
+	var maxUptime float64
+	scraped := 0
+	for _, n := range nodes {
+		if n.addr == "" {
+			fmt.Printf("%-16s %s\n", n.name, noDebug)
+			continue
+		}
+		snap, err := obs.FetchMetrics(n.addr)
+		if err != nil {
+			fmt.Printf("%-16s scrape failed: %v\n", n.name, err)
+			continue
+		}
+		scraped++
+		fmt.Printf("%-16s up %.1fs @ %s\n", n.name, snap.UptimeSeconds, n.addr)
+		if snap.UptimeSeconds > maxUptime {
+			maxUptime = snap.UptimeSeconds
+		}
+		for name, v := range snap.Counters {
+			counters[name] += v
+		}
+		for name, h := range snap.Histograms {
+			if cur, ok := hists[name]; ok {
+				hists[name] = cur.Merge(h)
+			} else {
+				hists[name] = h
+			}
+		}
+	}
+	if scraped == 0 {
+		fatal(fmt.Errorf("top: no node exposes a debug endpoint"))
+	}
+
+	fmt.Printf("\n%-40s %10s %10s %10s %10s %10s\n", "operation", "count", "p50", "p95", "p99", "rate/s")
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := hists[name]
+		if h.Count == 0 {
+			continue
+		}
+		rate := float64(0)
+		if maxUptime > 0 {
+			rate = float64(h.Count) / maxUptime
+		}
+		fmt.Printf("%-40s %10d %10v %10v %10v %10.1f\n",
+			name, h.Count,
+			time.Duration(h.P50Nanos).Round(time.Microsecond),
+			time.Duration(h.P95Nanos).Round(time.Microsecond),
+			time.Duration(h.P99Nanos).Round(time.Microsecond),
+			rate)
+	}
+
+	fmt.Println()
+	cnames := make([]string, 0, len(counters))
+	for name := range counters {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		fmt.Printf("%-40s %10d\n", name, counters[name])
+	}
+}
+
+// runTrace dumps recent events from every node's ring, merged and sorted
+// by time. id filters to one trace ID; n bounds events per node.
+func runTrace(st *rpc.Store, mgrAddr, id string, n int) {
+	nodes, _, err := discover(st, mgrAddr)
+	if err != nil {
+		fatal(err)
+	}
+	type tagged struct {
+		node string
+		ev   obs.Event
+	}
+	var all []tagged
+	for _, nd := range nodes {
+		if nd.addr == "" {
+			continue
+		}
+		events, err := obs.FetchTrace(nd.addr, id, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmctl: %s: %v\n", nd.name, err)
+			continue
+		}
+		for _, ev := range events {
+			all = append(all, tagged{nd.name, ev})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ev.UnixNanos < all[j].ev.UnixNanos })
+	for _, t := range all {
+		trace := t.ev.Trace
+		if trace == "" {
+			trace = "-"
+		}
+		fmt.Printf("%s %-16s %-12s %-14s %s %s\n",
+			t.ev.Time().Format("15:04:05.000000"), t.node, t.ev.Comp, t.ev.Kind, trace, t.ev.Detail)
+	}
+	if len(all) == 0 {
+		fmt.Println("no events (daemons running without -debug-addr, or ring empty)")
 	}
 }

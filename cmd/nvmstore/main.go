@@ -4,11 +4,18 @@
 //
 //	nvmstore manager  -listen :7070 [-chunk 262144] [-policy rr|least|wear]
 //	          [-replication 1] [-hbtimeout 5s] [-sweep 0]
+//	          [-debug-addr :7071] [-log info]
 //	nvmstore benefactor -manager host:7070 -id 0 [-listen :0] [-dir /ssd/nvm]
 //	          [-capacity 1073741824] [-chunk 262144] [-node 0] [-beat 2s]
+//	          [-debug-addr :0] [-log info]
 //
 // A benefactor contributes -capacity bytes of the file system at -dir
 // (mount the node-local SSD there) to the store managed by -manager.
+//
+// With -debug-addr either daemon serves its observability state over HTTP:
+// /metrics (JSON metrics snapshot), /healthz, /trace (recent events,
+// ?trace=ID filters), and /debug/pprof. nvmctl's metrics/top/trace commands
+// scrape these endpoints.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"time"
 
 	"nvmalloc/internal/manager"
+	"nvmalloc/internal/obs"
 	"nvmalloc/internal/rpc"
 )
 
@@ -52,6 +60,19 @@ func waitForInterrupt() {
 	<-ch
 }
 
+// newObs builds a daemon's observability bundle: metrics registry, event
+// ring, and a key=value logger on stderr at the requested level.
+func newObs(node, level string) *obs.Obs {
+	lvl, err := obs.ParseLevel(level)
+	if err != nil {
+		fatal(err)
+	}
+	o := obs.New(node)
+	o.Log.SetSink(os.Stderr)
+	o.Log.SetLevel(lvl)
+	return o
+}
+
 func runManager(args []string) {
 	fs := flag.NewFlagSet("manager", flag.ExitOnError)
 	listen := fs.String("listen", ":7070", "listen address")
@@ -60,6 +81,8 @@ func runManager(args []string) {
 	replication := fs.Int("replication", 1, "copies kept of each chunk (on distinct benefactors)")
 	hbTimeout := fs.Duration("hbtimeout", 0, "heartbeat staleness before a benefactor is declared dead (0 = 5s default)")
 	sweep := fs.Duration("sweep", 0, "death-sweep clock tick (0 = half of hbtimeout, negative disables)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /trace, /debug/pprof on this address (empty disables)")
+	logLevel := fs.String("log", "info", "log level: debug|info|warn|error|off")
 	fs.Parse(args)
 
 	pol := manager.RoundRobin
@@ -72,17 +95,26 @@ func runManager(args []string) {
 	default:
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
+	o := newObs("manager", *logLevel)
 	srv, err := rpc.NewManagerServerWith(*listen, *chunk, pol, rpc.ManagerConfig{
 		Replication:      *replication,
 		HeartbeatTimeout: *hbTimeout,
 		SweepInterval:    *sweep,
+		DebugAddr:        *debugAddr,
+		Obs:              o,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("nvmstore manager listening on %s (chunk=%d, policy=%s, replication=%d)\n",
 		srv.Addr(), *chunk, *policy, *replication)
+	if srv.DebugAddr() != "" {
+		fmt.Printf("nvmstore manager debug endpoint on %s\n", srv.DebugAddr())
+	}
+	o.Log.Info("manager started", "addr", srv.Addr(), "debug", srv.DebugAddr(),
+		"chunk", *chunk, "policy", *policy, "replication", *replication)
 	waitForInterrupt()
+	o.Log.Info("manager shutting down")
 	srv.Close()
 }
 
@@ -96,17 +128,29 @@ func runBenefactor(args []string) {
 	capacity := fs.Int64("capacity", 1<<30, "contributed bytes")
 	chunk := fs.Int64("chunk", 256<<10, "chunk size (must match the manager)")
 	beat := fs.Duration("beat", 2*time.Second, "heartbeat interval")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /trace, /debug/pprof on this address (empty disables)")
+	logLevel := fs.String("log", "info", "log level: debug|info|warn|error|off")
 	fs.Parse(args)
 
 	backend, err := rpc.NewFileBackend(*dir)
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := rpc.NewBenefactorServer(*listen, *mgr, *id, *node, *capacity, *chunk, backend, *beat)
+	o := newObs(fmt.Sprintf("benefactor-%d", *id), *logLevel)
+	srv, err := rpc.NewBenefactorServerWith(*listen, *mgr, *id, *node, *capacity, *chunk, backend, *beat, rpc.BenefactorConfig{
+		DebugAddr: *debugAddr,
+		Obs:       o,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("nvmstore benefactor %d serving %s on %s (capacity=%d)\n", *id, *dir, srv.Addr(), *capacity)
+	if srv.DebugAddr() != "" {
+		fmt.Printf("nvmstore benefactor %d debug endpoint on %s\n", *id, srv.DebugAddr())
+	}
+	o.Log.Info("benefactor started", "id", *id, "addr", srv.Addr(), "debug", srv.DebugAddr(),
+		"dir", *dir, "capacity", *capacity)
 	waitForInterrupt()
+	o.Log.Info("benefactor shutting down", "id", *id)
 	srv.Close()
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"nvmalloc/internal/manager"
+	"nvmalloc/internal/obs"
 	"nvmalloc/internal/rpc"
 )
 
@@ -132,6 +133,7 @@ func main() {
 	}
 
 	failoverDemo(tmp)
+	observabilityDemo(tmp)
 }
 
 // failoverDemo runs the fault-tolerance path end to end on a replicated
@@ -205,4 +207,78 @@ func failoverDemo(tmp string) {
 		log.Fatal("payload corrupted")
 	}
 	fmt.Println("store back at full replica count on the survivors")
+}
+
+// observabilityDemo runs daemons with their HTTP debug endpoints enabled
+// and plays operator: scrape /metrics from every node, then follow one
+// write's trace ID from the client through the manager to a benefactor —
+// exactly what `nvmctl top` and `nvmctl trace` do against a live cluster.
+func observabilityDemo(tmp string) {
+	const chunk = 64 << 10
+	fmt.Println("\n--- observability: metrics scrape & trace ---")
+
+	mgr, err := rpc.NewManagerServerWith("127.0.0.1:0", chunk, manager.RoundRobin, rpc.ManagerConfig{
+		DebugAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
+
+	var debugAddrs []string
+	for i := 0; i < 2; i++ {
+		backend, err := rpc.NewFileBackend(filepath.Join(tmp, fmt.Sprintf("obs%d", i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bs, err := rpc.NewBenefactorServerWith("127.0.0.1:0", mgr.Addr(), i, i, 256*chunk, chunk,
+			backend, 200*time.Millisecond, rpc.BenefactorConfig{DebugAddr: "127.0.0.1:0"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer bs.Close()
+		debugAddrs = append(debugAddrs, bs.DebugAddr())
+	}
+
+	st, err := rpc.OpenWith(mgr.Addr(), rpc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Put("traced-var", bytes.Repeat([]byte("observe "), 32768)); err != nil { // 256 KB
+		log.Fatal(err)
+	}
+
+	// Scrape every node the way `nvmctl top` does.
+	for _, addr := range append([]string{mgr.DebugAddr()}, debugAddrs...) {
+		snap, err := obs.FetchMetrics(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s @ %s:", snap.Node, addr)
+		for _, name := range snap.MetricNames() {
+			if h, ok := snap.Histograms[name]; ok && h.Count > 0 {
+				fmt.Printf(" %s{n=%d p99=%v}", name, h.Count, time.Duration(h.P99Nanos).Round(time.Microsecond))
+			}
+		}
+		fmt.Println()
+	}
+
+	// Follow the Put's trace ID across the cluster like `nvmctl trace`.
+	var tid string
+	for _, ev := range st.Obs().Ring.Events() {
+		if ev.Kind == "put" {
+			tid = ev.Trace
+		}
+	}
+	fmt.Printf("trace %s:\n", tid)
+	for _, addr := range append([]string{mgr.DebugAddr()}, debugAddrs...) {
+		events, err := obs.FetchTrace(addr, tid, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range events {
+			fmt.Printf("  %s %-10s %-8s %s\n", ev.Time().Format("15:04:05.000"), ev.Comp, ev.Kind, ev.Detail)
+		}
+	}
 }

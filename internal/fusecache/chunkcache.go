@@ -19,6 +19,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
 	"nvmalloc/internal/simtime"
 )
@@ -62,6 +63,9 @@ type Config struct {
 	// limited concurrency; 0 defaults to 2 — one demand fetch plus one
 	// read-ahead).
 	FuseConcurrency int
+	// Obs receives the cache's counters (fusecache.* on its registry).
+	// Nil gets a fresh private obs.New("fusecache").
+	Obs *obs.Obs
 }
 
 // Chunks returns the cache capacity in chunks (at least 1).
@@ -90,6 +94,35 @@ type Stats struct {
 	DirtyEvictions int64
 	Remaps         int64 // copy-on-write remappings performed
 	Flushes        int64
+}
+
+// counters are the cache's registry handles. They are atomic, so Stats()
+// and ResetStats() are safe to call from outside the simulation engine
+// while procs are running (the old plain-struct counters raced there).
+type counters struct {
+	fuseRead, fuseWrite         *obs.Counter
+	ssdRead, ssdWrite, prefetch *obs.Counter
+	hits, misses, waits         *obs.Counter
+	evictions, dirtyEvictions   *obs.Counter
+	remaps, flushes             *obs.Counter
+}
+
+func newCounters(o *obs.Obs) counters {
+	r := o.Reg
+	return counters{
+		fuseRead:       r.Counter("fusecache.fuse_read_bytes"),
+		fuseWrite:      r.Counter("fusecache.fuse_write_bytes"),
+		ssdRead:        r.Counter("fusecache.ssd_read_bytes"),
+		ssdWrite:       r.Counter("fusecache.ssd_write_bytes"),
+		prefetch:       r.Counter("fusecache.prefetch_bytes"),
+		hits:           r.Counter("fusecache.hits"),
+		misses:         r.Counter("fusecache.misses"),
+		waits:          r.Counter("fusecache.waits"),
+		evictions:      r.Counter("fusecache.evictions"),
+		dirtyEvictions: r.Counter("fusecache.dirty_evictions"),
+		remaps:         r.Counter("fusecache.remaps"),
+		flushes:        r.Counter("fusecache.flushes"),
+	}
 }
 
 type chunkKey struct {
@@ -135,7 +168,7 @@ type ChunkCache struct {
 	// gate bounds concurrent store requests from this node's FUSE daemon.
 	gate *simtime.Resource
 
-	s Stats
+	s counters
 }
 
 // NewChunkCache builds the per-node cache.
@@ -150,7 +183,11 @@ func NewChunkCache(e *simtime.Engine, store StoreClient, cfg Config) *ChunkCache
 	if conc <= 0 {
 		conc = 2
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New("fusecache")
+	}
 	return &ChunkCache{
+		s:        newCounters(cfg.Obs),
 		eng:      e,
 		store:    store,
 		cfg:      cfg,
@@ -174,11 +211,35 @@ func (cc *ChunkCache) MarkFresh(fi proto.FileInfo) {
 	}
 }
 
-// Stats returns a snapshot of the counters.
-func (cc *ChunkCache) Stats() Stats { return cc.s }
+// Stats returns a snapshot of the counters. Safe to call concurrently with
+// a running simulation (the counters are atomic).
+func (cc *ChunkCache) Stats() Stats {
+	return Stats{
+		FuseReadBytes:  cc.s.fuseRead.Load(),
+		FuseWriteBytes: cc.s.fuseWrite.Load(),
+		SSDReadBytes:   cc.s.ssdRead.Load(),
+		SSDWriteBytes:  cc.s.ssdWrite.Load(),
+		PrefetchBytes:  cc.s.prefetch.Load(),
+		Hits:           cc.s.hits.Load(),
+		Misses:         cc.s.misses.Load(),
+		Waits:          cc.s.waits.Load(),
+		Evictions:      cc.s.evictions.Load(),
+		DirtyEvictions: cc.s.dirtyEvictions.Load(),
+		Remaps:         cc.s.remaps.Load(),
+		Flushes:        cc.s.flushes.Load(),
+	}
+}
 
 // ResetStats zeroes the counters (between experiment phases).
-func (cc *ChunkCache) ResetStats() { cc.s = Stats{} }
+func (cc *ChunkCache) ResetStats() {
+	for _, c := range []*obs.Counter{
+		cc.s.fuseRead, cc.s.fuseWrite, cc.s.ssdRead, cc.s.ssdWrite,
+		cc.s.prefetch, cc.s.hits, cc.s.misses, cc.s.waits,
+		cc.s.evictions, cc.s.dirtyEvictions, cc.s.remaps, cc.s.flushes,
+	} {
+		c.Set(0)
+	}
+}
 
 // Store returns the underlying store client.
 func (cc *ChunkCache) Store() StoreClient { return cc.store }
@@ -224,11 +285,11 @@ func (cc *ChunkCache) acquire(p *simtime.Proc, file string, idx int) (*entry, er
 	for {
 		if e, ok := cc.entries[key]; ok {
 			if e.fut != nil {
-				cc.s.Waits++
+				cc.s.waits.Inc()
 				e.fut.Wait(p)
 				continue // state changed; re-check
 			}
-			cc.s.Hits++
+			cc.s.hits.Inc()
 			cc.lru.MoveToFront(e.lru)
 			return e, nil
 		}
@@ -269,7 +330,7 @@ func (cc *ChunkCache) acquire(p *simtime.Proc, file string, idx int) (*entry, er
 		if e == nil {
 			continue // lost a race; re-check the map
 		}
-		cc.s.Misses++
+		cc.s.misses.Inc()
 		cc.lastMiss[file] = idx
 		// Asynchronous read-ahead on sequential misses: overlapping the
 		// next chunks' fetch with the application's consumption of this
@@ -332,9 +393,9 @@ func (cc *ChunkCache) fetch(p *simtime.Proc, key chunkKey, ref proto.ChunkRef, p
 	// Own a private copy: benefactor backends may alias their storage.
 	e.data = make([]byte, len(data))
 	copy(e.data, data)
-	cc.s.SSDReadBytes += int64(len(data))
+	cc.s.ssdRead.Add(int64(len(data)))
 	if prefetch {
-		cc.s.PrefetchBytes += int64(len(data))
+		cc.s.prefetch.Add(int64(len(data)))
 	}
 	fut := e.fut
 	e.fut = nil
@@ -350,7 +411,7 @@ func (cc *ChunkCache) ensureRoom(p *simtime.Proc) error {
 			// Everything resident is in flight; wait for the oldest
 			// transition and retry.
 			if w := cc.oldestBusy(); w != nil {
-				cc.s.Waits++
+				cc.s.waits.Inc()
 				w.Wait(p)
 				continue
 			}
@@ -386,9 +447,9 @@ func (cc *ChunkCache) oldestBusy() *simtime.Future[struct{}] {
 
 // evict writes back a victim's dirty pages and drops it.
 func (cc *ChunkCache) evict(p *simtime.Proc, e *entry) error {
-	cc.s.Evictions++
+	cc.s.evictions.Inc()
 	if e.nDirty > 0 {
-		cc.s.DirtyEvictions++
+		cc.s.dirtyEvictions.Inc()
 		e.fut = simtime.NewFuture[struct{}](cc.eng, "flush "+e.key.file)
 		err := cc.writeback(p, e)
 		fut := e.fut
@@ -421,7 +482,7 @@ func (cc *ChunkCache) writeback(p *simtime.Proc, e *entry) error {
 			return err
 		}
 		if fresh != ref {
-			cc.s.Remaps++
+			cc.s.remaps.Inc()
 			fi.Chunks[e.key.idx] = fresh
 			ref = fresh
 		}
@@ -434,7 +495,7 @@ func (cc *ChunkCache) writeback(p *simtime.Proc, e *entry) error {
 		if err != nil {
 			return err
 		}
-		cc.s.SSDWriteBytes += int64(len(e.data))
+		cc.s.ssdWrite.Add(int64(len(e.data)))
 	} else {
 		var offs []int64
 		var pages [][]byte
@@ -446,7 +507,7 @@ func (cc *ChunkCache) writeback(p *simtime.Proc, e *entry) error {
 			off := int64(i) * ps
 			offs = append(offs, off)
 			pages = append(pages, e.data[off:off+ps])
-			cc.s.SSDWriteBytes += ps
+			cc.s.ssdWrite.Add(ps)
 		}
 		cc.gate.Acquire(p)
 		err := cc.store.PutPages(p, ref, offs, pages)
@@ -471,7 +532,7 @@ func (cc *ChunkCache) locate(off int64) (int, int64) {
 // The page layer calls this with single pages; larger spans are also
 // supported for bulk I/O (checkpoint streaming).
 func (cc *ChunkCache) ReadRange(p *simtime.Proc, file string, off int64, buf []byte) error {
-	cc.s.FuseReadBytes += int64(len(buf))
+	cc.s.fuseRead.Add(int64(len(buf)))
 	for len(buf) > 0 {
 		idx, coff := cc.locate(off)
 		e, err := cc.acquire(p, file, idx)
@@ -489,7 +550,7 @@ func (cc *ChunkCache) ReadRange(p *simtime.Proc, file string, off int64, buf []b
 // touched pages dirty. Writes are page-aligned when they come from the
 // page layer; arbitrary alignment is handled for bulk I/O.
 func (cc *ChunkCache) WriteRange(p *simtime.Proc, file string, off int64, data []byte) error {
-	cc.s.FuseWriteBytes += int64(len(data))
+	cc.s.fuseWrite.Add(int64(len(data)))
 	ps := cc.cfg.PageSize
 	for len(data) > 0 {
 		idx, coff := cc.locate(off)
@@ -517,7 +578,7 @@ func (cc *ChunkCache) WriteRange(p *simtime.Proc, file string, off int64, data [
 // parallel flusher procs (the FUSE daemon's request concurrency gate still
 // bounds how many are actually in flight).
 func (cc *ChunkCache) Flush(p *simtime.Proc, file string) error {
-	cc.s.Flushes++
+	cc.s.flushes.Inc()
 	// Deterministic order: ascending chunk index.
 	fi, ok := cc.meta[file]
 	if !ok {
@@ -535,7 +596,7 @@ func (cc *ChunkCache) Flush(p *simtime.Proc, file string) error {
 			continue
 		}
 		for e.fut != nil {
-			cc.s.Waits++
+			cc.s.waits.Inc()
 			e.fut.Wait(p)
 			var still bool
 			if e, still = cc.entries[chunkKey{file, idx}]; !still {

@@ -171,6 +171,21 @@ func (m *Manager) Alive(benID int) bool {
 	return ok && b.info.Alive
 }
 
+// BeatAge returns how stale a benefactor's last heartbeat is at now
+// (observability: operators watch ages approach the timeout before a
+// death sweep fires).
+func (m *Manager) BeatAge(benID int, now time.Duration) (time.Duration, bool) {
+	b, ok := m.bens[benID]
+	if !ok {
+		return 0, false
+	}
+	age := now - b.lastBeat
+	if age < 0 {
+		age = 0
+	}
+	return age, true
+}
+
 // Status returns the benefactor table sorted by ID.
 func (m *Manager) Status() []proto.BenefactorInfo {
 	out := make([]proto.BenefactorInfo, 0, len(m.bens))

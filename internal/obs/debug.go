@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// DebugServer serves a daemon's observability state over HTTP:
+//
+//	/metrics     JSON Snapshot of the metrics registry
+//	/healthz     "ok" (liveness probe)
+//	/trace       JSON []Event from the ring; ?trace=ID filters by trace ID,
+//	             ?n=N keeps only the newest N events
+//	/debug/pprof the standard Go profiling endpoints
+type DebugServer struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug server for o on addr (e.g. "127.0.0.1:0").
+func ServeDebug(addr string, o *Obs) (*DebugServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(o.Reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		var events []Event
+		if id := q.Get("trace"); id != "" {
+			events = o.Ring.ByTrace(id)
+		} else {
+			events = o.Ring.Events()
+		}
+		if ns := q.Get("n"); ns != "" {
+			if n, err := strconv.Atoi(ns); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ds := &DebugServer{l: l, srv: &http.Server{Handler: mux}}
+	go ds.srv.Serve(l)
+	return ds, nil
+}
+
+// Addr returns the listening address (useful with ":0").
+func (ds *DebugServer) Addr() string {
+	if ds == nil {
+		return ""
+	}
+	return ds.l.Addr().String()
+}
+
+// Close stops the server.
+func (ds *DebugServer) Close() error {
+	if ds == nil {
+		return nil
+	}
+	return ds.srv.Close()
+}
+
+// scrapeClient bounds debug-endpoint scrapes so a wedged daemon cannot
+// hang an nvmctl invocation.
+var scrapeClient = &http.Client{Timeout: 5 * time.Second}
+
+// FetchMetrics scrapes one node's /metrics endpoint. addr is a host:port
+// debug address (no scheme).
+func FetchMetrics(addr string) (Snapshot, error) {
+	var s Snapshot
+	resp, err := scrapeClient.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("obs: %s/metrics: %s", addr, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&s)
+	return s, err
+}
+
+// FetchTrace scrapes one node's /trace endpoint. trace filters by trace ID
+// when non-empty; n limits to the newest n events when positive.
+func FetchTrace(addr, trace string, n int) ([]Event, error) {
+	url := "http://" + addr + "/trace?"
+	if trace != "" {
+		url += "trace=" + trace + "&"
+	}
+	if n > 0 {
+		url += fmt.Sprintf("n=%d", n)
+	}
+	resp, err := scrapeClient.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: %s/trace: %s", addr, resp.Status)
+	}
+	var events []Event
+	err = json.NewDecoder(resp.Body).Decode(&events)
+	return events, err
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets are exponential upper bounds in nanoseconds: bucket i
+// (i < histBuckets-1) counts observations below 1µs<<i, covering 1µs up to
+// ~17.9min; the last bucket is the overflow. Fixed bounds keep Observe
+// allocation-free and make snapshots from different nodes mergeable
+// bucket-by-bucket (nvmctl top aggregates cluster-wide quantiles that way).
+const histBuckets = 32
+
+// histBounds returns the shared upper-bound table (finite bounds only; the
+// overflow bucket has no bound).
+func histBounds() []int64 {
+	b := make([]int64, histBuckets-1)
+	for i := range b {
+		b[i] = int64(1000) << i
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free
+// (three atomic adds) and all methods no-op on a nil receiver.
+type Histogram struct {
+	count, sum atomic.Int64 // sum in nanoseconds
+	buckets    [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	n := d.Nanoseconds()
+	if n < 0 {
+		n = 0
+	}
+	// Bucket index: 0 for < 1µs, else 1+floor(log2(n/1µs)), capped at the
+	// overflow bucket.
+	idx := bits.Len64(uint64(n / 1000))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(n)
+	h.buckets[idx].Add(1)
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:       h.count.Load(),
+		SumNanos:    h.sum.Load(),
+		BoundsNanos: histBounds(),
+		Counts:      make([]int64, histBuckets),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.P50Nanos = s.Quantile(0.50).Nanoseconds()
+	s.P95Nanos = s.Quantile(0.95).Nanoseconds()
+	s.P99Nanos = s.Quantile(0.99).Nanoseconds()
+	return s
+}
+
+// HistogramSnapshot is the exported form of a Histogram: bucket counts
+// plus precomputed headline quantiles. Snapshots with identical bounds
+// (all of this package's) merge by summing counts.
+type HistogramSnapshot struct {
+	Count       int64   `json:"count"`
+	SumNanos    int64   `json:"sum_nanos"`
+	BoundsNanos []int64 `json:"bounds_nanos,omitempty"`
+	Counts      []int64 `json:"counts,omitempty"`
+	P50Nanos    int64   `json:"p50_nanos"`
+	P95Nanos    int64   `json:"p95_nanos"`
+	P99Nanos    int64   `json:"p99_nanos"`
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket where the cumulative count crosses q*Count. The
+// estimate is exact to within one bucket's width (a factor of two).
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < target {
+			continue
+		}
+		lower, upper := int64(0), int64(0)
+		if i > 0 && i-1 < len(s.BoundsNanos) {
+			lower = s.BoundsNanos[i-1]
+		}
+		if i < len(s.BoundsNanos) {
+			upper = s.BoundsNanos[i]
+		} else {
+			// Overflow bucket: report its lower bound (the largest finite
+			// bound) — quantiles beyond it are off the scale anyway.
+			return time.Duration(lower)
+		}
+		frac := (target - prev) / float64(c)
+		return time.Duration(float64(lower) + frac*float64(upper-lower))
+	}
+	if n := len(s.BoundsNanos); n > 0 {
+		return time.Duration(s.BoundsNanos[n-1])
+	}
+	return 0
+}
+
+// Merge returns the bucket-wise sum of two snapshots (cluster-wide
+// aggregation). Headline quantiles are recomputed from the merged buckets.
+func (s HistogramSnapshot) Merge(other HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 {
+		return other
+	}
+	if other.Count == 0 {
+		return s
+	}
+	out := HistogramSnapshot{
+		Count:       s.Count + other.Count,
+		SumNanos:    s.SumNanos + other.SumNanos,
+		BoundsNanos: s.BoundsNanos,
+		Counts:      make([]int64, len(s.Counts)),
+	}
+	copy(out.Counts, s.Counts)
+	for i := range other.Counts {
+		if i < len(out.Counts) {
+			out.Counts[i] += other.Counts[i]
+		}
+	}
+	out.P50Nanos = out.Quantile(0.50).Nanoseconds()
+	out.P95Nanos = out.Quantile(0.95).Nanoseconds()
+	out.P99Nanos = out.Quantile(0.99).Nanoseconds()
+	return out
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities. LevelOff silences the logger entirely —
+// the default, so libraries and tests stay quiet unless a daemon opts in.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	LevelOff
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "off"
+}
+
+// ParseLevel maps a flag value to a Level ("debug", "info", "warn",
+// "error", "off").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "":
+		return LevelOff, nil
+	}
+	return LevelOff, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger is a leveled structured logger emitting one key=value line per
+// event. The sink is pluggable; writes are serialized. All methods no-op
+// on a nil receiver or below the current level, so instrumented code logs
+// unconditionally and pays one atomic load when the level filters it out.
+type Logger struct {
+	level atomic.Int32
+	mu    sync.Mutex
+	w     io.Writer
+}
+
+// NewLogger returns a logger writing to w (nil discards) at the given
+// level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	l := &Logger{w: w}
+	l.level.Store(int32(level))
+	return l
+}
+
+// SetLevel adjusts the threshold at runtime.
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(level))
+}
+
+// SetSink replaces the output writer.
+func (l *Logger) SetSink(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.w = w
+	l.mu.Unlock()
+}
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if l == nil || level < Level(l.level.Load()) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString("ts=")
+	b.WriteString(time.Now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(strconv.Quote(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[i])
+		b.WriteByte('=')
+		writeValue(&b, kv[i+1])
+	}
+	if len(kv)%2 == 1 {
+		fmt.Fprintf(&b, " EXTRA=%v", kv[len(kv)-1])
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	if l.w != nil {
+		io.WriteString(l.w, b.String())
+	}
+	l.mu.Unlock()
+}
+
+// writeValue renders one value, quoting strings that contain spaces so the
+// line stays machine-splittable.
+func writeValue(b *strings.Builder, v any) {
+	switch x := v.(type) {
+	case string:
+		if strings.ContainsAny(x, " \t\n\"=") {
+			b.WriteString(strconv.Quote(x))
+		} else {
+			b.WriteString(x)
+		}
+	case error:
+		b.WriteString(strconv.Quote(x.Error()))
+	default:
+		fmt.Fprintf(b, "%v", v)
+	}
+}
+
+// Debug logs at debug level with alternating key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level with alternating key, value pairs.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level with alternating key, value pairs.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level with alternating key, value pairs.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }

@@ -1,0 +1,66 @@
+// Package obs is the zero-dependency observability layer of the aggregate
+// NVM store: a concurrent metrics registry (counters, gauges, fixed-bucket
+// latency histograms with quantile snapshots), a leveled key=value logger,
+// and a bounded in-memory event ring that records chunk-lifecycle and
+// fault events tagged with a trace ID. The same trace ID travels the wire
+// protocol (proto.ManagerReq/ChunkReq), so one allocation or read can be
+// followed from a client through the manager to each benefactor.
+//
+// Everything is nil-safe: a nil *Obs (or any nil handle obtained from one)
+// turns every recording call into a no-op, so hot paths can be compiled
+// with instrumentation unconditionally and a caller that wants zero
+// overhead passes Disabled().
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Obs bundles one process's (or one component's) observability state: a
+// metrics registry, an event trace ring, and a logger. Components receive
+// a *Obs at construction and record into it; daemons expose it over the
+// debug HTTP endpoint (ServeDebug).
+type Obs struct {
+	Reg  *Registry
+	Ring *Ring
+	Log  *Logger
+}
+
+// DefaultRingEvents is the event capacity of rings made by New.
+const DefaultRingEvents = 4096
+
+// New returns an enabled Obs: a fresh registry named node, a
+// DefaultRingEvents-event ring, and a quiet (discarding) logger so library
+// users and tests stay silent unless a daemon raises the level.
+func New(node string) *Obs {
+	return &Obs{
+		Reg:  NewRegistry(node),
+		Ring: NewRing(DefaultRingEvents),
+		Log:  NewLogger(nil, LevelOff),
+	}
+}
+
+// Disabled returns an Obs whose members are all nil: every handle it hands
+// out is nil and every recording call is a no-op. Used to measure (and
+// avoid) instrumentation overhead.
+func Disabled() *Obs { return &Obs{} }
+
+// Event records one event into the ring (no-op when o or the ring is nil).
+func (o *Obs) Event(comp, kind, trace, detail string) {
+	if o == nil {
+		return
+	}
+	o.Ring.Add(comp, kind, trace, detail)
+}
+
+// traceSeq disambiguates trace IDs generated within one process.
+var traceSeq atomic.Uint64
+
+// NewTraceID returns a fresh request/trace identifier: 16 hex digits mixing
+// process randomness with a process-local sequence number, unique enough to
+// follow one operation across the cluster's event rings.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x", rand.Uint64()^(traceSeq.Add(1)<<48))
+}

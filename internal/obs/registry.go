@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing (except for explicit resets)
+// int64 metric. All methods are safe for concurrent use and no-ops on a
+// nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on a nil receiver).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Set overwrites the value. Exists for the ResetStats compatibility shims;
+// new code should let counters grow monotonically.
+func (c *Counter) Set(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
+// Gauge is an instantaneous int64 metric (queue depth, backlog size,
+// heartbeat age). All methods are safe for concurrent use and no-ops on a
+// nil receiver.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by delta and returns the new value.
+func (g *Gauge) Add(delta int64) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Add(delta)
+}
+
+// Max raises the gauge to n if n exceeds the current value (high-water
+// marks such as peak in-flight requests).
+func (g *Gauge) Max(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a concurrent metrics registry. Handles are created on first
+// use and live for the registry's lifetime, so hot paths look them up once
+// at construction and then touch only atomics.
+type Registry struct {
+	node  string
+	start time.Time
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry identified as node in exports.
+func NewRegistry(node string) *Registry {
+	return &Registry{
+		node:     node,
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Node returns the registry's export identity.
+func (r *Registry) Node() string {
+	if r == nil {
+		return ""
+	}
+	return r.node
+}
+
+// Counter returns (creating if needed) the counter called name. Returns
+// nil — a no-op handle — on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge called name. Returns nil on
+// a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the latency histogram called
+// name. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every metric's current value for export. Safe to call
+// concurrently with recording; individual metrics are read atomically
+// (the snapshot as a whole is not a single atomic cut, which is fine for
+// monitoring).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Node:          r.node,
+		UnixNanos:     time.Now().UnixNano(),
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Counters:      make(map[string]int64, len(r.counters)),
+		Gauges:        make(map[string]int64, len(r.gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time export of a registry, the payload of the
+// debug endpoint's /metrics (JSON).
+type Snapshot struct {
+	Node          string                       `json:"node"`
+	UnixNanos     int64                        `json:"unix_nanos"`
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]int64             `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// MetricNames returns every metric name in the snapshot, sorted, for
+// stable pretty-printing.
+func (s Snapshot) MetricNames() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one entry of the trace ring: something that happened to a chunk
+// or a request (alloc, stripe-write, eviction, writeback, retry, failover,
+// repair, ...), tagged with the trace ID of the operation that caused it.
+type Event struct {
+	Seq       int64  `json:"seq"`
+	UnixNanos int64  `json:"unix_nanos"`
+	Trace     string `json:"trace,omitempty"`
+	Comp      string `json:"comp"`
+	Kind      string `json:"kind"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// Time returns the event's wall-clock timestamp.
+func (e Event) Time() time.Time { return time.Unix(0, e.UnixNanos) }
+
+// Ring is a bounded in-memory event trace: the newest capacity events are
+// kept, older ones are overwritten. All methods are safe for concurrent
+// use and no-op on a nil receiver.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int64 // total events ever added; buf[next%cap] is the next slot
+}
+
+// NewRing returns a ring keeping the latest capacity events (minimum 16).
+func NewRing(capacity int) *Ring {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Add appends one event stamped with the current time.
+func (r *Ring) Add(comp, kind, trace, detail string) {
+	if r == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	r.mu.Lock()
+	r.buf[r.next%int64(len(r.buf))] = Event{
+		Seq: r.next, UnixNanos: now,
+		Trace: trace, Comp: comp, Kind: kind, Detail: detail,
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len returns how many events are currently retained.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < int64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	return r.Filter(func(Event) bool { return true })
+}
+
+// ByTrace returns the retained events carrying the given trace ID,
+// oldest-first.
+func (r *Ring) ByTrace(trace string) []Event {
+	return r.Filter(func(e Event) bool { return e.Trace == trace })
+}
+
+// Filter returns the retained events satisfying keep, oldest-first.
+func (r *Ring) Filter(keep func(Event) bool) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int64(len(r.buf))
+	start := r.next - n
+	if start < 0 {
+		start = 0
+	}
+	out := make([]Event, 0, r.next-start)
+	for seq := start; seq < r.next; seq++ {
+		e := r.buf[seq%n]
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -42,6 +42,13 @@ type BenefactorInfo struct {
 	// Addr is the benefactor's transport address (TCP deployments only;
 	// clients connect to it directly for chunk data, §III-D).
 	Addr string
+	// DebugAddr is the benefactor's observability endpoint
+	// (/metrics, /healthz, /trace, pprof); empty when the daemon runs
+	// without -debug-addr.
+	DebugAddr string
+	// BeatAgeNanos is how long ago the manager last heard this
+	// benefactor's heartbeat, at the moment the Status response was built.
+	BeatAgeNanos int64
 }
 
 // Errors shared across transports. They are sentinel values so both the
@@ -96,11 +103,17 @@ const (
 // ManagerReq is the manager-side request envelope.
 type ManagerReq struct {
 	Op Op
+	// TraceID tags the request with the client-side operation that issued
+	// it, so the manager's event ring can be correlated with client and
+	// benefactor rings. Empty from older clients (gob leaves missing
+	// fields zero, so the extension is backward-compatible both ways).
+	TraceID string
 	// Register
-	BenID    int
-	BenNode  int
-	BenAddr  string // TCP transport only
-	Capacity int64
+	BenID        int
+	BenNode      int
+	BenAddr      string // TCP transport only
+	BenDebugAddr string // benefactor observability endpoint, may be empty
+	Capacity     int64
 	// Create/Lookup/Delete/Link/Derive/Remap/SetTTL
 	Name     string
 	Size     int64
@@ -131,14 +144,20 @@ type ManagerResp struct {
 	Repaired     int       // replica copies restored
 	RepairFailed int       // copy operations that failed (still under-replicated)
 	Lost         []ChunkID // chunks with no live copy at all
+	// DebugAddr is the manager's own observability endpoint (Status);
+	// empty when the daemon runs without -debug-addr.
+	DebugAddr string
 }
 
 // ChunkReq is the benefactor-side request envelope.
 type ChunkReq struct {
-	Op    Op
-	ID    ChunkID
-	SrcID ChunkID // CopyChunk
-	Data  []byte
+	Op Op
+	// TraceID tags the request with the client-side operation that issued
+	// it (see ManagerReq.TraceID).
+	TraceID string
+	ID      ChunkID
+	SrcID   ChunkID // CopyChunk
+	Data    []byte
 	// PutPages: parallel slices of page offsets within the chunk and page
 	// payloads.
 	PageOffs  []int64

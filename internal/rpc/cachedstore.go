@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
 )
 
@@ -39,6 +41,34 @@ type CacheStats struct {
 	ReadBytes      int64 // bytes served to the application
 	WriteBytes     int64 // bytes accepted from the application
 	PrefetchBytes  int64 // chunk bytes fetched by read-ahead
+}
+
+// cacheMetrics holds the cache's registry handles (on the underlying
+// Store's registry), looked up once at construction. CacheStats is a
+// compatibility shim over the same counters.
+type cacheMetrics struct {
+	hits, misses, waits       *obs.Counter
+	evictions, dirtyEvictions *obs.Counter
+	flushes                   *obs.Counter
+	readBytes, writeBytes     *obs.Counter
+	prefetchBytes             *obs.Counter
+	writebackLat              *obs.Histogram
+}
+
+func newCacheMetrics(o *obs.Obs) cacheMetrics {
+	r := o.Reg
+	return cacheMetrics{
+		hits:           r.Counter("cache.hits"),
+		misses:         r.Counter("cache.misses"),
+		waits:          r.Counter("cache.waits"),
+		evictions:      r.Counter("cache.evictions"),
+		dirtyEvictions: r.Counter("cache.dirty_evictions"),
+		flushes:        r.Counter("cache.flushes"),
+		readBytes:      r.Counter("cache.read_bytes"),
+		writeBytes:     r.Counter("cache.write_bytes"),
+		prefetchBytes:  r.Counter("cache.prefetch_bytes"),
+		writebackLat:   r.Histogram("cache.writeback.latency"),
+	}
 }
 
 type cacheKey struct {
@@ -84,7 +114,7 @@ type CachedStore struct {
 	// miss materializes without a fetch — no read-modify-write traffic for
 	// initial population.
 	virgin map[cacheKey]bool
-	stats  CacheStats
+	m      cacheMetrics
 
 	prefetchers sync.WaitGroup
 }
@@ -108,6 +138,7 @@ func NewCachedStore(st *Store, cfg CacheConfig) (*CachedStore, error) {
 		lru:      list.New(),
 		lastMiss: make(map[string]int),
 		virgin:   make(map[cacheKey]bool),
+		m:        newCacheMetrics(st.obs),
 	}, nil
 }
 
@@ -118,11 +149,20 @@ func (cs *CachedStore) Store() *Store { return cs.st }
 // ChunkSize returns the striping unit.
 func (cs *CachedStore) ChunkSize() int64 { return cs.st.ChunkSize() }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters. It is a compatibility
+// shim over the underlying Store's metrics registry.
 func (cs *CachedStore) Stats() CacheStats {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return cs.stats
+	return CacheStats{
+		Hits:           cs.m.hits.Load(),
+		Misses:         cs.m.misses.Load(),
+		Waits:          cs.m.waits.Load(),
+		Evictions:      cs.m.evictions.Load(),
+		DirtyEvictions: cs.m.dirtyEvictions.Load(),
+		Flushes:        cs.m.flushes.Load(),
+		ReadBytes:      cs.m.readBytes.Load(),
+		WriteBytes:     cs.m.writeBytes.Load(),
+		PrefetchBytes:  cs.m.prefetchBytes.Load(),
+	}
 }
 
 // capacityChunks returns the cache capacity in chunks (at least 1).
@@ -144,7 +184,7 @@ func (cs *CachedStore) acquire(fi proto.FileInfo, idx int, prefetch bool) (*cent
 	for {
 		if e, ok := cs.entries[key]; ok {
 			if e.busy != nil {
-				cs.stats.Waits++
+				cs.m.waits.Inc()
 				busy := e.busy
 				cs.mu.Unlock()
 				<-busy
@@ -152,7 +192,7 @@ func (cs *CachedStore) acquire(fi proto.FileInfo, idx int, prefetch bool) (*cent
 				continue // state changed; re-examine
 			}
 			if !prefetch {
-				cs.stats.Hits++
+				cs.m.hits.Inc()
 			}
 			cs.lru.MoveToFront(e.lru)
 			return e, nil
@@ -184,11 +224,16 @@ func (cs *CachedStore) acquire(fi proto.FileInfo, idx int, prefetch bool) (*cent
 		}
 		cs.entries[key] = e
 		e.lru = cs.lru.PushFront(e)
-		if !prefetch {
-			cs.stats.Misses++
+		kind := "miss"
+		if prefetch {
+			kind = "prefetch"
+		} else {
+			cs.m.misses.Inc()
 		}
+		tid := obs.NewTraceID()
+		cs.st.obs.Event("cache", kind, tid, fmt.Sprintf("file=%q chunk=%d", key.file, key.idx))
 		cs.mu.Unlock()
-		data, err := cs.st.getChunk(replicaRefs(fi, idx))
+		data, err := cs.st.getChunk(tid, replicaRefs(fi, idx))
 		cs.mu.Lock()
 		if err != nil {
 			delete(cs.entries, key)
@@ -201,7 +246,7 @@ func (cs *CachedStore) acquire(fi proto.FileInfo, idx int, prefetch bool) (*cent
 		e.data = make([]byte, cs.st.ChunkSize())
 		copy(e.data, data)
 		if prefetch {
-			cs.stats.PrefetchBytes += int64(len(data))
+			cs.m.prefetchBytes.Add(int64(len(data)))
 		}
 		close(e.busy)
 		e.busy = nil
@@ -227,7 +272,7 @@ func (cs *CachedStore) ensureRoom() error {
 				return fmt.Errorf("rpc: cache wedged with %d entries", len(cs.entries))
 			}
 			busy := el.Value.(*centry).busy
-			cs.stats.Waits++
+			cs.m.waits.Inc()
 			cs.mu.Unlock()
 			<-busy
 			cs.mu.Lock()
@@ -243,10 +288,13 @@ func (cs *CachedStore) ensureRoom() error {
 // evict writes back a victim's dirty pages and drops it. Called with cs.mu
 // held; releases it during the writeback.
 func (cs *CachedStore) evict(e *centry) error {
-	cs.stats.Evictions++
+	cs.m.evictions.Inc()
+	tid := obs.NewTraceID()
+	cs.st.obs.Event("cache", "eviction", tid,
+		fmt.Sprintf("file=%q chunk=%d dirty_pages=%d", e.key.file, e.key.idx, e.nDirty))
 	if e.nDirty > 0 {
-		cs.stats.DirtyEvictions++
-		if err := cs.writeback(e); err != nil {
+		cs.m.dirtyEvictions.Inc()
+		if err := cs.writeback(tid, e); err != nil {
 			return err
 		}
 	}
@@ -258,16 +306,19 @@ func (cs *CachedStore) evict(e *centry) error {
 // writeback ships an entry's dirty pages to its benefactor. Called with
 // cs.mu held and e resident; marks e busy, releases the lock for the
 // transfer, and returns with the lock held and e clean.
-func (cs *CachedStore) writeback(e *centry) error {
+func (cs *CachedStore) writeback(tid string, e *centry) error {
 	refs, err := cs.chunkRefs(e.key)
 	if err != nil {
 		return err
 	}
 	e.busy = make(chan struct{})
 	allDirty := e.nDirty == len(e.dirty) || cs.cfg.WriteFullChunks
+	cs.st.obs.Event("cache", "writeback", tid,
+		fmt.Sprintf("file=%q chunk=%d dirty_pages=%d/%d full_chunk=%v", e.key.file, e.key.idx, e.nDirty, len(e.dirty), allDirty))
 	var werr error
 	cs.mu.Unlock()
-	werr = cs.ship(refs, e, allDirty)
+	start := time.Now()
+	werr = cs.ship(tid, refs, e, allDirty)
 	if errors.Is(werr, proto.ErrNoSuchChunk) {
 		// Stale chunk map: the chunk was remapped (or the file deleted) by
 		// another client. Re-resolve and retry once; a vanished file means
@@ -282,9 +333,10 @@ func (cs *CachedStore) writeback(e *centry) error {
 		case e.key.idx >= len(fi.Chunks):
 			werr = nil // file shrank; the chunk is gone
 		default:
-			werr = cs.ship(replicaRefs(fi, e.key.idx), e, allDirty)
+			werr = cs.ship(tid, replicaRefs(fi, e.key.idx), e, allDirty)
 		}
 	}
+	cs.m.writebackLat.Observe(time.Since(start))
 	cs.mu.Lock()
 	close(e.busy)
 	e.busy = nil
@@ -302,9 +354,9 @@ func (cs *CachedStore) writeback(e *centry) error {
 // every replica of the chunk. Called without cs.mu; e.busy guards the
 // entry. Replica failover and degraded-write accounting come from the
 // underlying Store.
-func (cs *CachedStore) ship(refs []proto.ChunkRef, e *centry, allDirty bool) error {
+func (cs *CachedStore) ship(tid string, refs []proto.ChunkRef, e *centry, allDirty bool) error {
 	if allDirty {
-		return cs.st.putChunk(refs, e.data)
+		return cs.st.putChunk(tid, refs, e.data)
 	}
 	var offs []int64
 	var pages [][]byte
@@ -317,7 +369,7 @@ func (cs *CachedStore) ship(refs []proto.ChunkRef, e *centry, allDirty bool) err
 		offs = append(offs, off)
 		pages = append(pages, e.data[off:off+ps])
 	}
-	return cs.st.putPages(refs, offs, pages)
+	return cs.st.putPages(tid, refs, offs, pages)
 }
 
 // chunkRefs resolves a cached chunk's current copy set (primary first).
@@ -419,7 +471,7 @@ func (cs *CachedStore) ReadAt(name string, off int64, buf []byte) error {
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	cs.stats.ReadBytes += int64(len(buf))
+	cs.m.readBytes.Add(int64(len(buf)))
 	for len(buf) > 0 {
 		idx, coff := cs.locate(off)
 		sequential := cs.lastMiss[name] == idx-1
@@ -454,7 +506,7 @@ func (cs *CachedStore) WriteAt(name string, off int64, data []byte) error {
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	cs.stats.WriteBytes += int64(len(data))
+	cs.m.writeBytes.Add(int64(len(data)))
 	ps := cs.cfg.PageSize
 	for len(data) > 0 {
 		idx, coff := cs.locate(off)
@@ -480,9 +532,11 @@ func (cs *CachedStore) WriteAt(name string, off int64, data []byte) error {
 // Flush writes back every dirty cached chunk of file, leaving the data
 // resident and clean.
 func (cs *CachedStore) Flush(name string) error {
+	tid := obs.NewTraceID()
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	cs.stats.Flushes++
+	cs.m.flushes.Inc()
+	cs.st.obs.Event("cache", "flush", tid, fmt.Sprintf("file=%q", name))
 	for {
 		var victim *centry
 		for _, e := range cs.entries {
@@ -490,7 +544,7 @@ func (cs *CachedStore) Flush(name string) error {
 				continue
 			}
 			if e.busy != nil {
-				cs.stats.Waits++
+				cs.m.waits.Inc()
 				busy := e.busy
 				cs.mu.Unlock()
 				<-busy
@@ -517,7 +571,7 @@ func (cs *CachedStore) Flush(name string) error {
 			}
 			continue
 		}
-		if err := cs.writeback(victim); err != nil {
+		if err := cs.writeback(tid, victim); err != nil {
 			return err
 		}
 	}

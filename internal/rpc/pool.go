@@ -1,6 +1,11 @@
 package rpc
 
-import "nvmalloc/internal/proto"
+import (
+	"time"
+
+	"nvmalloc/internal/obs"
+	"nvmalloc/internal/proto"
+)
 
 // connPool is a fixed-size pool of gob connections to one benefactor. A
 // single gob stream serializes request/response pairs, so a client that
@@ -17,13 +22,17 @@ type connPool struct {
 	// free holds the pool's slots. nil means "not dialed yet" — the taker
 	// dials. Capacity bounds the number of live connections.
 	free chan *chunkConn
+	// wait records how long callers block for a free slot — when it grows,
+	// the pool (Options.PoolSize) is the bottleneck, not the SSDs. May be
+	// nil (recording is then skipped).
+	wait *obs.Histogram
 }
 
-func newConnPool(addr string, size int, dial func(addr string) (*chunkConn, error)) *connPool {
+func newConnPool(addr string, size int, dial func(addr string) (*chunkConn, error), wait *obs.Histogram) *connPool {
 	if size < 1 {
 		size = 1
 	}
-	p := &connPool{addr: addr, dial: dial, free: make(chan *chunkConn, size)}
+	p := &connPool{addr: addr, dial: dial, free: make(chan *chunkConn, size), wait: wait}
 	for i := 0; i < size; i++ {
 		p.free <- nil
 	}
@@ -35,7 +44,14 @@ func newConnPool(addr string, size int, dial func(addr string) (*chunkConn, erro
 // stream broke is closed and its slot reverts to "not dialed". Dial
 // failures are transient: the benefactor may be restarting.
 func (p *connPool) call(req proto.ChunkReq) (proto.ChunkResp, error) {
-	c := <-p.free
+	var c *chunkConn
+	select {
+	case c = <-p.free: // free slot: no wait, nothing to record
+	default:
+		start := time.Now()
+		c = <-p.free
+		p.wait.Observe(time.Since(start))
+	}
 	if c == nil {
 		var err error
 		c, err = p.dial(p.addr)

@@ -21,12 +21,19 @@ import (
 
 	"nvmalloc/internal/benefactor"
 	"nvmalloc/internal/manager"
+	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
 )
 
 // FileBackend stores chunk payloads as files in a directory.
 type FileBackend struct {
 	dir string
+	// Device-level metrics (nil until SetObs): actual bytes moved to and
+	// from the backing files, and the time each transfer took. These sit a
+	// layer below the benefactor's RPC counters — the gap between them is
+	// read-modify-write amplification.
+	readBytes, writeBytes *obs.Counter
+	readLat, writeLat     *obs.Histogram
 }
 
 // NewFileBackend creates (if needed) and uses dir for chunk files.
@@ -35,6 +42,15 @@ func NewFileBackend(dir string) (*FileBackend, error) {
 		return nil, err
 	}
 	return &FileBackend{dir: dir}, nil
+}
+
+// SetObs attaches device-level metrics (ssd.read_bytes, ssd.write_bytes,
+// ssd.read.latency, ssd.write.latency) to the backend. Call before serving.
+func (f *FileBackend) SetObs(o *obs.Obs) {
+	f.readBytes = o.Reg.Counter("ssd.read_bytes")
+	f.writeBytes = o.Reg.Counter("ssd.write_bytes")
+	f.readLat = o.Reg.Histogram("ssd.read.latency")
+	f.writeLat = o.Reg.Histogram("ssd.write.latency")
 }
 
 func (f *FileBackend) path(id proto.ChunkID) string {
@@ -46,6 +62,11 @@ func (f *FileBackend) path(id proto.ChunkID) string {
 // crashes mid-write never leaves a torn chunk behind: readers observe
 // either the whole old payload or the whole new one.
 func (f *FileBackend) Put(id proto.ChunkID, data []byte) error {
+	start := time.Now()
+	defer func() {
+		f.writeLat.Observe(time.Since(start))
+		f.writeBytes.Add(int64(len(data)))
+	}()
 	tmp, err := os.CreateTemp(f.dir, fmt.Sprintf("chunk-%016x.tmp-*", uint64(id)))
 	if err != nil {
 		return err
@@ -72,10 +93,13 @@ func (f *FileBackend) Put(id proto.ChunkID, data []byte) error {
 
 // Get implements benefactor.Backend.
 func (f *FileBackend) Get(id proto.ChunkID) ([]byte, error) {
+	start := time.Now()
 	d, err := os.ReadFile(f.path(id))
+	f.readLat.Observe(time.Since(start))
 	if os.IsNotExist(err) {
 		return nil, proto.ErrNoSuchChunk
 	}
+	f.readBytes.Add(int64(len(d)))
 	return d, err
 }
 
@@ -193,6 +217,47 @@ type ManagerConfig struct {
 	// placement react even when no client polls Status. 0 derives half the
 	// heartbeat timeout; negative disables the tick.
 	SweepInterval time.Duration
+	// DebugAddr, when non-empty, serves the manager's observability state
+	// over HTTP (/metrics, /healthz, /trace, /debug/pprof) on that address.
+	DebugAddr string
+	// Obs receives the manager's metrics and events. Nil gets a fresh
+	// obs.New("manager"); obs.Disabled() silences instrumentation.
+	Obs *obs.Obs
+}
+
+// managerMetrics holds the manager server's registry handles, looked up
+// once at startup.
+type managerMetrics struct {
+	opLat      map[proto.Op]*obs.Histogram
+	underRepl  *obs.Gauge // chunks short of the replica target (refreshed per sweep/Status)
+	maxBeatAge *obs.Gauge // stalest live heartbeat in nanos (refreshed per sweep/Status)
+	liveBens   *obs.Gauge
+	deaths     *obs.Counter
+	repaired   *obs.Counter
+	repairFail *obs.Counter
+}
+
+var managerOps = []proto.Op{
+	proto.OpRegister, proto.OpBeat, proto.OpCreate, proto.OpLookup,
+	proto.OpDelete, proto.OpLink, proto.OpDerive, proto.OpSetTTL,
+	proto.OpExpire, proto.OpRemap, proto.OpStatus, proto.OpMarkDead,
+	proto.OpRepair,
+}
+
+func newManagerMetrics(o *obs.Obs) managerMetrics {
+	m := managerMetrics{
+		opLat:      make(map[proto.Op]*obs.Histogram, len(managerOps)),
+		underRepl:  o.Reg.Gauge("manager.under_replicated"),
+		maxBeatAge: o.Reg.Gauge("manager.max_beat_age_nanos"),
+		liveBens:   o.Reg.Gauge("manager.live_benefactors"),
+		deaths:     o.Reg.Counter("manager.benefactor_deaths"),
+		repaired:   o.Reg.Counter("manager.chunks_repaired"),
+		repairFail: o.Reg.Counter("manager.repair_failures"),
+	}
+	for _, op := range managerOps {
+		m.opLat[op] = o.Reg.Histogram(fmt.Sprintf("manager.op.%s.latency", op))
+	}
+	return m
 }
 
 // ManagerServer serves the metadata service over TCP.
@@ -207,6 +272,10 @@ type ManagerServer struct {
 	stop      chan struct{}
 	conns     *connSet
 	closeOnce sync.Once
+
+	obs *obs.Obs
+	mm  managerMetrics
+	dbg *obs.DebugServer
 }
 
 // NewManagerServer starts an unreplicated manager on addr (e.g.
@@ -222,6 +291,9 @@ func NewManagerServerWith(addr string, chunkSize int64, policy manager.Placement
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New("manager")
+	}
 	s := &ManagerServer{
 		mgr:      manager.New(chunkSize, policy),
 		l:        l,
@@ -229,12 +301,22 @@ func NewManagerServerWith(addr string, chunkSize int64, policy manager.Placement
 		start:    time.Now(),
 		stop:     make(chan struct{}),
 		conns:    newConnSet(),
+		obs:      cfg.Obs,
+		mm:       newManagerMetrics(cfg.Obs),
 	}
 	if cfg.Replication > 1 {
 		s.mgr.Replication = cfg.Replication
 	}
 	if cfg.HeartbeatTimeout > 0 {
 		s.mgr.HeartbeatTimeout = cfg.HeartbeatTimeout
+	}
+	if cfg.DebugAddr != "" {
+		dbg, err := obs.ServeDebug(cfg.DebugAddr, s.obs)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("rpc: manager debug server: %w", err)
+		}
+		s.dbg = dbg
 	}
 	sweep := cfg.SweepInterval
 	if sweep == 0 {
@@ -258,14 +340,45 @@ func (s *ManagerServer) sweepLoop(interval time.Duration) {
 			return
 		case <-t.C:
 			s.mu.Lock()
-			s.mgr.Sweep(s.now())
+			s.sweepLocked()
 			s.mu.Unlock()
 		}
 	}
 }
 
+// sweepLocked expires stale heartbeats and refreshes the liveness gauges
+// (live benefactor count, stalest heartbeat age, under-replication
+// backlog). Called with s.mu held.
+func (s *ManagerServer) sweepLocked() {
+	now := s.now()
+	for _, id := range s.mgr.Sweep(now) {
+		s.mm.deaths.Inc()
+		s.obs.Event("manager", "death", "", fmt.Sprintf("benefactor %d heartbeat expired", id))
+	}
+	live, maxAge := 0, time.Duration(0)
+	for _, b := range s.mgr.Status() {
+		if !b.Alive {
+			continue
+		}
+		live++
+		if age, ok := s.mgr.BeatAge(b.ID, now); ok && age > maxAge {
+			maxAge = age
+		}
+	}
+	s.mm.liveBens.Set(int64(live))
+	s.mm.maxBeatAge.Set(int64(maxAge))
+	s.mm.underRepl.Set(int64(len(s.mgr.UnderReplicated())))
+}
+
 // Addr returns the listening address.
 func (s *ManagerServer) Addr() string { return s.l.Addr().String() }
+
+// DebugAddr returns the observability endpoint's address ("" when the
+// server runs without one).
+func (s *ManagerServer) DebugAddr() string { return s.dbg.Addr() }
+
+// Obs exposes the server's observability state (tests and embedders).
+func (s *ManagerServer) Obs() *obs.Obs { return s.obs }
 
 // Close stops the server, its sweep loop, and its benefactor connections.
 // Close is idempotent.
@@ -274,6 +387,7 @@ func (s *ManagerServer) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		err = s.l.Close()
+		s.dbg.Close()
 		s.conns.closeAll()
 		s.mu.Lock()
 		for id, c := range s.benConns {
@@ -310,19 +424,27 @@ func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 	if err := dec.Decode(&req); err != nil {
 		return err
 	}
+	opStart := time.Now()
 	s.mu.Lock()
 	var resp proto.ManagerResp
 	switch req.Op {
 	case proto.OpRegister:
 		s.mgr.Register(proto.BenefactorInfo{
 			ID: req.BenID, Node: req.BenNode, Capacity: req.Capacity,
+			DebugAddr: req.BenDebugAddr,
 		}, req.BenAddr, s.now())
 		delete(s.benConns, req.BenID) // re-registration may change the address
+		s.obs.Event("manager", "register", req.TraceID,
+			fmt.Sprintf("benefactor %d node=%d addr=%s capacity=%d", req.BenID, req.BenNode, req.BenAddr, req.Capacity))
 	case proto.OpBeat:
 		resp.Err = errStr(s.mgr.Heartbeat(req.BenID, req.WriteVolume, s.now()))
 	case proto.OpCreate:
 		fi, err := s.mgr.Create(req.Name, req.Size)
 		resp.File, resp.Err = fi, errStr(err)
+		if err == nil {
+			s.obs.Event("manager", "alloc", req.TraceID,
+				fmt.Sprintf("file=%q size=%d chunks=%d", req.Name, req.Size, len(fi.Chunks)))
+		}
 	case proto.OpLookup:
 		fi, err := s.mgr.Lookup(req.Name)
 		resp.File, resp.Err = fi, errStr(err)
@@ -351,18 +473,28 @@ func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		}
 		resp.OldRef, resp.NewRef, resp.Err = old, fresh, errStr(err)
 	case proto.OpStatus:
-		s.mgr.Sweep(s.now())
+		s.sweepLocked()
 		resp.Bens = s.mgr.Status()
+		now := s.now()
+		for i := range resp.Bens {
+			if age, ok := s.mgr.BeatAge(resp.Bens[i].ID, now); ok {
+				resp.Bens[i].BeatAgeNanos = int64(age)
+			}
+		}
 		resp.ChunkSize = s.mgr.ChunkSize()
 		resp.UnderReplicated = len(s.mgr.UnderReplicated())
+		resp.DebugAddr = s.dbg.Addr()
 	case proto.OpMarkDead:
 		s.mgr.MarkDead(req.BenID)
+		s.mm.deaths.Inc()
+		s.obs.Event("manager", "markdead", req.TraceID, fmt.Sprintf("benefactor %d declared dead", req.BenID))
 	case proto.OpRepair:
-		resp.Repaired, resp.RepairFailed, resp.Lost = s.repair()
+		resp.Repaired, resp.RepairFailed, resp.Lost = s.repair(req.TraceID)
 	default:
 		resp.Err = fmt.Sprintf("manager: unknown op %q", req.Op)
 	}
 	s.mu.Unlock()
+	s.mm.opLat[req.Op].Observe(time.Since(opStart))
 	return enc.Encode(&resp)
 }
 
@@ -384,18 +516,27 @@ func (s *ManagerServer) deleteChunks(freed []proto.ChunkRef) error {
 // Called with s.mu held. The manager picks destinations and the server
 // moves the payloads; a copy that fails is rolled back in the metadata so
 // readers never fail over onto a promised-but-empty replica.
-func (s *ManagerServer) repair() (done, failed int, lost []proto.ChunkID) {
-	s.mgr.Sweep(s.now())
+func (s *ManagerServer) repair(tid string) (done, failed int, lost []proto.ChunkID) {
+	s.sweepLocked()
 	ops, lost := s.mgr.Repair()
 	for _, op := range ops {
 		if err := s.copyChunk(op.Src, op.Dst); err != nil {
 			s.mgr.DropReplica(op.Dst.ID, op.Dst)
 			delete(s.benConns, op.Dst.Benefactor)
+			s.mm.repairFail.Inc()
+			s.obs.Event("manager", "repair-failed", tid,
+				fmt.Sprintf("copy %v -> %v: %v", op.Src, op.Dst, err))
 			failed++
 			continue
 		}
+		s.mm.repaired.Inc()
+		s.obs.Event("manager", "repair", tid, fmt.Sprintf("copied %v -> %v", op.Src, op.Dst))
 		done++
 	}
+	if len(lost) > 0 {
+		s.obs.Event("manager", "data-loss", tid, fmt.Sprintf("%d chunks with no live copy", len(lost)))
+	}
+	s.mm.underRepl.Set(int64(len(s.mgr.UnderReplicated())))
 	return done, failed, lost
 }
 
@@ -425,6 +566,41 @@ func (s *ManagerServer) copyChunk(old, fresh proto.ChunkRef) error {
 	return err
 }
 
+// BenefactorConfig tunes a BenefactorServer's observability.
+type BenefactorConfig struct {
+	// DebugAddr, when non-empty, serves the benefactor's observability
+	// state over HTTP (/metrics, /healthz, /trace, /debug/pprof) on that
+	// address. The address is announced to the manager at registration so
+	// cluster tools (nvmctl top/trace) can discover it.
+	DebugAddr string
+	// Obs receives the benefactor's metrics and events. Nil gets a fresh
+	// obs.New("benefactor-<id>"); obs.Disabled() silences instrumentation.
+	Obs *obs.Obs
+}
+
+// benMetrics holds the benefactor server's registry handles.
+type benMetrics struct {
+	opLat                 map[proto.Op]*obs.Histogram
+	readBytes, writeBytes *obs.Counter
+}
+
+var benefactorOps = []proto.Op{
+	proto.OpGetChunk, proto.OpPutChunk, proto.OpPutPages,
+	proto.OpDeleteChunk, proto.OpCopyChunk,
+}
+
+func newBenMetrics(o *obs.Obs) benMetrics {
+	m := benMetrics{
+		opLat:      make(map[proto.Op]*obs.Histogram, len(benefactorOps)),
+		readBytes:  o.Reg.Counter("benefactor.read_bytes"),
+		writeBytes: o.Reg.Counter("benefactor.write_bytes"),
+	}
+	for _, op := range benefactorOps {
+		m.opLat[op] = o.Reg.Histogram(fmt.Sprintf("benefactor.op.%s.latency", op))
+	}
+	return m
+}
+
 // BenefactorServer serves one benefactor's chunks over TCP. Each accepted
 // connection is handled on its own goroutine and benefactor.Store is
 // internally synchronized, so requests arriving on a client's pooled
@@ -436,11 +612,29 @@ type BenefactorServer struct {
 	stop              chan struct{}
 	conns             *connSet
 	hbOnce, closeOnce sync.Once
+
+	obs *obs.Obs
+	bm  benMetrics
+	dbg *obs.DebugServer
 }
 
 // NewBenefactorServer starts a benefactor on addr, registers it with the
-// manager, and begins heartbeating.
+// manager, and begins heartbeating, with default observability (private
+// registry, no debug endpoint).
 func NewBenefactorServer(addr, managerAddr string, id, node int, capacity, chunkSize int64, backend benefactor.Backend, beat time.Duration) (*BenefactorServer, error) {
+	return NewBenefactorServerWith(addr, managerAddr, id, node, capacity, chunkSize, backend, beat, BenefactorConfig{})
+}
+
+// NewBenefactorServerWith starts a benefactor with explicit observability
+// settings. A *FileBackend backend is wired into the same registry
+// (device-level ssd.* metrics) automatically.
+func NewBenefactorServerWith(addr, managerAddr string, id, node int, capacity, chunkSize int64, backend benefactor.Backend, beat time.Duration, cfg BenefactorConfig) (*BenefactorServer, error) {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New(fmt.Sprintf("benefactor-%d", id))
+	}
+	if fb, ok := backend.(*FileBackend); ok {
+		fb.SetObs(cfg.Obs)
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -450,6 +644,16 @@ func NewBenefactorServer(addr, managerAddr string, id, node int, capacity, chunk
 		l:     l,
 		stop:  make(chan struct{}),
 		conns: newConnSet(),
+		obs:   cfg.Obs,
+		bm:    newBenMetrics(cfg.Obs),
+	}
+	if cfg.DebugAddr != "" {
+		dbg, err := obs.ServeDebug(cfg.DebugAddr, s.obs)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("rpc: benefactor debug server: %w", err)
+		}
+		s.dbg = dbg
 	}
 	// The manager never reuses chunk IDs, so a deleted chunk referenced
 	// again can only be a stale client map: fail it so the client retries
@@ -459,10 +663,16 @@ func NewBenefactorServer(addr, managerAddr string, id, node int, capacity, chunk
 
 	mc, err := DialManager(managerAddr)
 	if err != nil {
+		s.dbg.Close()
 		l.Close()
 		return nil, err
 	}
-	if err := mc.Register(id, node, s.l.Addr().String(), capacity); err != nil {
+	if _, err := mc.call(proto.ManagerReq{
+		Op: proto.OpRegister, BenID: id, BenNode: node,
+		BenAddr: s.l.Addr().String(), BenDebugAddr: s.dbg.Addr(),
+		Capacity: capacity,
+	}); err != nil {
+		s.dbg.Close()
 		l.Close()
 		return nil, err
 	}
@@ -486,6 +696,13 @@ func NewBenefactorServer(addr, managerAddr string, id, node int, capacity, chunk
 // Addr returns the listening address.
 func (s *BenefactorServer) Addr() string { return s.l.Addr().String() }
 
+// DebugAddr returns the observability endpoint's address ("" when the
+// server runs without one).
+func (s *BenefactorServer) DebugAddr() string { return s.dbg.Addr() }
+
+// Obs exposes the server's observability state (tests and embedders).
+func (s *BenefactorServer) Obs() *obs.Obs { return s.obs }
+
 // Close stops the server and its heartbeats. Close is idempotent (fault
 // tests kill benefactors mid-test and rig cleanup closes again).
 func (s *BenefactorServer) Close() error {
@@ -493,6 +710,7 @@ func (s *BenefactorServer) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		err = s.l.Close()
+		s.dbg.Close()
 		s.conns.closeAll()
 	})
 	return err
@@ -513,22 +731,37 @@ func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 	if err := dec.Decode(&req); err != nil {
 		return err
 	}
+	opStart := time.Now()
 	var resp proto.ChunkResp
 	switch req.Op {
 	case proto.OpGetChunk:
 		d, err := s.st.GetChunk(req.ID)
 		resp.Data, resp.Err = d, errStr(err)
+		s.bm.readBytes.Add(int64(len(d)))
+		s.obs.Event("benefactor", "read", req.TraceID, fmt.Sprintf("chunk=%d bytes=%d", req.ID, len(d)))
 	case proto.OpPutChunk:
 		resp.Err = errStr(s.st.PutChunk(req.ID, req.Data))
+		s.bm.writeBytes.Add(int64(len(req.Data)))
+		s.obs.Event("benefactor", "write", req.TraceID, fmt.Sprintf("chunk=%d bytes=%d", req.ID, len(req.Data)))
 	case proto.OpPutPages:
 		resp.Err = errStr(s.st.PutPages(req.ID, req.PageOffs, req.PageData))
+		var n int64
+		for _, pg := range req.PageData {
+			n += int64(len(pg))
+		}
+		s.bm.writeBytes.Add(n)
+		s.obs.Event("benefactor", "write-pages", req.TraceID,
+			fmt.Sprintf("chunk=%d pages=%d bytes=%d", req.ID, len(req.PageOffs), n))
 	case proto.OpDeleteChunk:
 		resp.Err = errStr(s.st.DeleteChunk(req.ID))
+		s.obs.Event("benefactor", "delete", req.TraceID, fmt.Sprintf("chunk=%d", req.ID))
 	case proto.OpCopyChunk:
 		resp.Err = errStr(s.st.CopyChunk(req.ID, req.SrcID))
+		s.obs.Event("benefactor", "copy", req.TraceID, fmt.Sprintf("chunk=%d src=%d", req.ID, req.SrcID))
 	default:
 		resp.Err = fmt.Sprintf("benefactor: unknown op %q", req.Op)
 	}
+	s.bm.opLat[req.Op].Observe(time.Since(opStart))
 	return enc.Encode(&resp)
 }
 
@@ -787,6 +1020,13 @@ func (c *ManagerClient) Expire() ([]string, error) {
 func (c *ManagerClient) Status() ([]proto.BenefactorInfo, error) {
 	resp, err := c.call(proto.ManagerReq{Op: proto.OpStatus})
 	return resp.Bens, err
+}
+
+// StatusDetail returns the full status envelope: benefactor table (with
+// heartbeat ages and debug endpoints), chunk geometry, under-replication
+// backlog, and the manager's own debug endpoint.
+func (c *ManagerClient) StatusDetail() (proto.ManagerResp, error) {
+	return c.call(proto.ManagerReq{Op: proto.OpStatus})
 }
 
 // RepairResult summarizes one repair pass.

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
 )
 
@@ -37,6 +38,11 @@ type Options struct {
 	// Dial overrides the benefactor transport dialer (fault injection in
 	// tests). When nil, plain TCP with DialTimeout is used.
 	Dial func(addr string) (net.Conn, error)
+	// Obs receives the client's metrics (per-op latency histograms, pool
+	// wait time, data-path counters) and chunk-lifecycle events. Nil gets
+	// a fresh private obs.New instance; obs.Disabled() turns every
+	// recording call into a no-op (and zeroes Stats).
+	Obs *obs.Obs
 }
 
 // Defaults for Options fields left zero.
@@ -67,6 +73,9 @@ func (o Options) withDefaults() Options {
 	if o.SuspectWindow == 0 {
 		o.SuspectWindow = DefaultSuspectWindow
 	}
+	if o.Obs == nil {
+		o.Obs = obs.New("client")
+	}
 	o.Retry = o.Retry.withDefaults()
 	return o
 }
@@ -85,26 +94,56 @@ type Stats struct {
 	DegradedWrites int64 // chunk writes that reached fewer than all replicas
 }
 
-// storeCounters is the atomic backing for Stats.
-type storeCounters struct {
-	chunkGets, chunkPuts, pagePuts     atomic.Int64
-	ssdReadBytes, ssdWriteBytes        atomic.Int64
-	metaRetries                        atomic.Int64
-	inFlightCur, inFlightPeak          atomic.Int64
-	retries, failovers, degradedWrites atomic.Int64
+// storeMetrics holds the client data path's registry handles, looked up
+// once at Open so the hot path touches only atomics. Stats() is a
+// compatibility shim over the same counters.
+type storeMetrics struct {
+	chunkGets, chunkPuts, pagePuts     *obs.Counter
+	ssdReadBytes, ssdWriteBytes        *obs.Counter
+	metaRetries                        *obs.Counter
+	retries, failovers, degradedWrites *obs.Counter
+	inFlight, inFlightPeak             *obs.Gauge
+	getLat, putLat, pagePutLat         *obs.Histogram
+	poolWait                           *obs.Histogram
 }
 
-func (c *storeCounters) enter() {
-	cur := c.inFlightCur.Add(1)
-	for {
-		peak := c.inFlightPeak.Load()
-		if cur <= peak || c.inFlightPeak.CompareAndSwap(peak, cur) {
-			return
-		}
+func newStoreMetrics(o *obs.Obs) storeMetrics {
+	r := o.Reg
+	return storeMetrics{
+		chunkGets:      r.Counter("rpc.chunk_gets"),
+		chunkPuts:      r.Counter("rpc.chunk_puts"),
+		pagePuts:       r.Counter("rpc.page_puts"),
+		ssdReadBytes:   r.Counter("rpc.ssd_read_bytes"),
+		ssdWriteBytes:  r.Counter("rpc.ssd_write_bytes"),
+		metaRetries:    r.Counter("rpc.meta_retries"),
+		retries:        r.Counter("rpc.retries"),
+		failovers:      r.Counter("rpc.failovers"),
+		degradedWrites: r.Counter("rpc.degraded_writes"),
+		inFlight:       r.Gauge("rpc.inflight"),
+		inFlightPeak:   r.Gauge("rpc.inflight_peak"),
+		getLat:         r.Histogram("rpc.get_chunk.latency"),
+		putLat:         r.Histogram("rpc.put_chunk.latency"),
+		pagePutLat:     r.Histogram("rpc.put_pages.latency"),
+		poolWait:       r.Histogram("rpc.pool_wait.latency"),
 	}
 }
 
-func (c *storeCounters) exit() { c.inFlightCur.Add(-1) }
+func (m *storeMetrics) enter() { m.inFlightPeak.Max(m.inFlight.Add(1)) }
+func (m *storeMetrics) exit()  { m.inFlight.Add(-1) }
+
+// opLatency returns the latency histogram for one chunk op (nil for ops
+// the client data path never times).
+func (m *storeMetrics) opLatency(op proto.Op) *obs.Histogram {
+	switch op {
+	case proto.OpGetChunk:
+		return m.getLat
+	case proto.OpPutChunk:
+		return m.putLat
+	case proto.OpPutPages:
+		return m.pagePutLat
+	}
+	return nil
+}
 
 // Store is a data-path client for the TCP aggregate store: it resolves
 // files through the manager and moves chunk payloads directly between the
@@ -132,7 +171,8 @@ type Store struct {
 	pools        map[int]*connPool
 	meta         map[string]proto.FileInfo
 
-	c storeCounters
+	obs *obs.Obs
+	m   storeMetrics
 }
 
 // Open connects to the manager at addr with default Options.
@@ -154,6 +194,8 @@ func OpenWith(addr string, opts Options) (*Store, error) {
 		suspectUntil: make(map[int]time.Time),
 		pools:        make(map[int]*connPool),
 		meta:         make(map[string]proto.FileInfo),
+		obs:          opts.Obs,
+		m:            newStoreMetrics(opts.Obs),
 	}
 	if err := s.Refresh(); err != nil {
 		mc.Close()
@@ -202,21 +244,27 @@ func (s *Store) ChunkSize() int64 { return s.chunkSize }
 // Manager exposes the metadata client.
 func (s *Store) Manager() *ManagerClient { return s.mgr }
 
-// Stats returns a snapshot of the data-path counters.
+// Stats returns a snapshot of the data-path counters. It is a
+// compatibility shim over the Obs metrics registry (all zeros when the
+// store was opened with obs.Disabled()).
 func (s *Store) Stats() Stats {
 	return Stats{
-		ChunkGets:      s.c.chunkGets.Load(),
-		ChunkPuts:      s.c.chunkPuts.Load(),
-		PagePuts:       s.c.pagePuts.Load(),
-		SSDReadBytes:   s.c.ssdReadBytes.Load(),
-		SSDWriteBytes:  s.c.ssdWriteBytes.Load(),
-		MetaRetries:    s.c.metaRetries.Load(),
-		InFlightPeak:   s.c.inFlightPeak.Load(),
-		Retries:        s.c.retries.Load(),
-		Failovers:      s.c.failovers.Load(),
-		DegradedWrites: s.c.degradedWrites.Load(),
+		ChunkGets:      s.m.chunkGets.Load(),
+		ChunkPuts:      s.m.chunkPuts.Load(),
+		PagePuts:       s.m.pagePuts.Load(),
+		SSDReadBytes:   s.m.ssdReadBytes.Load(),
+		SSDWriteBytes:  s.m.ssdWriteBytes.Load(),
+		MetaRetries:    s.m.metaRetries.Load(),
+		InFlightPeak:   s.m.inFlightPeak.Load(),
+		Retries:        s.m.retries.Load(),
+		Failovers:      s.m.failovers.Load(),
+		DegradedWrites: s.m.degradedWrites.Load(),
 	}
 }
+
+// Obs exposes the client's observability state (metrics registry and
+// event ring) so applications can export or inspect it.
+func (s *Store) Obs() *obs.Obs { return s.obs }
 
 // pool returns the connection pool for the benefactor holding ref.
 func (s *Store) pool(ref proto.ChunkRef) (*connPool, error) {
@@ -232,7 +280,7 @@ func (s *Store) pool(ref proto.ChunkRef) (*connPool, error) {
 	dial := func(a string) (*chunkConn, error) {
 		return dialChunk(a, s.opts.Dial, s.opts.DialTimeout, s.opts.CallTimeout)
 	}
-	p := newConnPool(addr, s.opts.PoolSize, dial)
+	p := newConnPool(addr, s.opts.PoolSize, dial, s.m.poolWait)
 	s.pools[ref.Benefactor] = p
 	return p, nil
 }
@@ -294,21 +342,29 @@ func (s *Store) readOrder(refs []proto.ChunkRef) []proto.ChunkRef {
 }
 
 // callChunk performs one chunk RPC against one replica, retrying transient
-// transport failures with backoff up to the policy's attempt budget.
+// transport failures with backoff up to the policy's attempt budget. Each
+// attempt's round trip is timed into the op's latency histogram.
 func (s *Store) callChunk(ref proto.ChunkRef, req proto.ChunkReq) (proto.ChunkResp, error) {
+	lat := s.m.opLatency(req.Op)
 	var last error
 	for attempt := 1; attempt <= s.opts.Retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			s.c.retries.Add(1)
+			s.m.retries.Add(1)
+			s.obs.Event("rpc", "retry", req.TraceID,
+				fmt.Sprintf("%s %v attempt=%d err=%v", req.Op, ref, attempt, last))
 			time.Sleep(s.opts.Retry.backoff(attempt - 1))
 		}
 		p, err := s.pool(ref)
 		if err != nil {
 			return proto.ChunkResp{}, err // no address: only failover can help
 		}
-		s.c.enter()
+		s.m.enter()
+		start := time.Now()
 		resp, err := p.call(req)
-		s.c.exit()
+		if lat != nil {
+			lat.Observe(time.Since(start))
+		}
+		s.m.exit()
 		if err == nil || !IsTransient(err) {
 			return resp, err
 		}
@@ -355,20 +411,33 @@ func (s *Store) invalidateMeta(name string) {
 
 // Create reserves a file of the given size.
 func (s *Store) Create(name string, size int64) error {
-	fi, err := s.mgr.Create(name, size)
+	return s.create(obs.NewTraceID(), name, size)
+}
+
+// create allocates the file under an existing trace ID. The ID rides the
+// manager RPC, so the manager's event ring records the allocation under
+// the same trace as the client's.
+func (s *Store) create(tid, name string, size int64) error {
+	resp, err := s.mgr.call(proto.ManagerReq{Op: proto.OpCreate, TraceID: tid, Name: name, Size: size})
 	if err != nil {
 		return err
 	}
+	s.obs.Event("rpc", "alloc", tid, fmt.Sprintf("file=%q size=%d chunks=%d", name, size, len(resp.File.Chunks)))
 	s.mu.Lock()
-	s.meta[name] = fi
+	s.meta[name] = resp.File
 	s.mu.Unlock()
 	return nil
 }
 
 // Delete removes a file.
 func (s *Store) Delete(name string) error {
+	tid := obs.NewTraceID()
 	s.invalidateMeta(name)
-	return s.mgr.Delete(name)
+	_, err := s.mgr.call(proto.ManagerReq{Op: proto.OpDelete, TraceID: tid, Name: name})
+	if err == nil {
+		s.obs.Event("rpc", "delete", tid, fmt.Sprintf("file=%q", name))
+	}
+	return err
 }
 
 // Stat returns a file's metadata.
@@ -383,16 +452,18 @@ func (s *Store) Stat(name string) (proto.FileInfo, error) {
 // replica whose benefactor is dead, wedged, or resetting connections costs
 // a bounded retry burst, then the next copy serves the read. ErrNoSuchChunk
 // is terminal — the chunk map is stale and only a re-lookup can help.
-func (s *Store) getChunk(refs []proto.ChunkRef) ([]byte, error) {
+func (s *Store) getChunk(tid string, refs []proto.ChunkRef) ([]byte, error) {
 	var firstErr error
 	for i, ref := range s.readOrder(refs) {
-		resp, err := s.callChunk(ref, proto.ChunkReq{Op: proto.OpGetChunk, ID: ref.ID})
+		resp, err := s.callChunk(ref, proto.ChunkReq{Op: proto.OpGetChunk, TraceID: tid, ID: ref.ID})
 		if err == nil {
 			if i > 0 {
-				s.c.failovers.Add(1)
+				s.m.failovers.Add(1)
+				s.obs.Event("rpc", "failover", tid,
+					fmt.Sprintf("read %v served by replica %d (primary %v failed: %v)", ref, i, refs[0], firstErr))
 			}
-			s.c.chunkGets.Add(1)
-			s.c.ssdReadBytes.Add(int64(len(resp.Data)))
+			s.m.chunkGets.Add(1)
+			s.m.ssdReadBytes.Add(int64(len(resp.Data)))
 			return resp.Data, nil
 		}
 		if errors.Is(err, proto.ErrNoSuchChunk) {
@@ -411,7 +482,7 @@ func (s *Store) getChunk(refs []proto.ChunkRef) ([]byte, error) {
 // still fail degrade the write. The write succeeds if at least one copy
 // lands; reaching fewer than all replicas bumps DegradedWrites and repair
 // restores the missing copies later.
-func (s *Store) putRefs(refs []proto.ChunkRef, mkReq func(proto.ChunkRef) proto.ChunkReq) error {
+func (s *Store) putRefs(tid string, refs []proto.ChunkRef, mkReq func(proto.ChunkRef) proto.ChunkReq) error {
 	liveThought := 0
 	for _, ref := range refs {
 		if s.benLive(ref.Benefactor) {
@@ -424,7 +495,9 @@ func (s *Store) putRefs(refs []proto.ChunkRef, mkReq func(proto.ChunkRef) proto.
 		if liveThought > 0 && !s.benLive(ref.Benefactor) {
 			continue
 		}
-		_, err := s.callChunk(ref, mkReq(ref))
+		req := mkReq(ref)
+		req.TraceID = tid
+		_, err := s.callChunk(ref, req)
 		if err != nil {
 			if errors.Is(err, proto.ErrNoSuchChunk) {
 				return err // stale chunk map: re-lookup, not degradation
@@ -443,37 +516,40 @@ func (s *Store) putRefs(refs []proto.ChunkRef, mkReq func(proto.ChunkRef) proto.
 		return fmt.Errorf("%w: no live replica of chunk %v", proto.ErrBenefactorDead, refs[0])
 	}
 	if wrote < len(refs) {
-		s.c.degradedWrites.Add(1)
+		s.m.degradedWrites.Add(1)
+		s.obs.Event("rpc", "degraded-write", tid,
+			fmt.Sprintf("chunk %v reached %d/%d replicas (first error: %v)", refs[0], wrote, len(refs), firstErr))
 	}
 	return nil
 }
 
 // putChunk stores one full chunk payload on all (live) replicas.
-func (s *Store) putChunk(refs []proto.ChunkRef, data []byte) error {
-	err := s.putRefs(refs, func(ref proto.ChunkRef) proto.ChunkReq {
+func (s *Store) putChunk(tid string, refs []proto.ChunkRef, data []byte) error {
+	err := s.putRefs(tid, refs, func(ref proto.ChunkRef) proto.ChunkReq {
 		return proto.ChunkReq{Op: proto.OpPutChunk, ID: ref.ID, Data: data}
 	})
 	if err != nil {
 		return err
 	}
-	s.c.chunkPuts.Add(1)
-	s.c.ssdWriteBytes.Add(int64(len(data)))
+	s.m.chunkPuts.Add(1)
+	s.m.ssdWriteBytes.Add(int64(len(data)))
+	s.obs.Event("rpc", "stripe-write", tid, fmt.Sprintf("%v %d bytes", refs[0], len(data)))
 	return nil
 }
 
 // putPages ships only the dirty pages of a chunk (paper Table VII) to all
 // (live) replicas: the benefactor applies them server-side, so a sparsely
 // dirtied chunk costs its dirty bytes, not a whole-chunk transfer.
-func (s *Store) putPages(refs []proto.ChunkRef, offs []int64, pages [][]byte) error {
-	err := s.putRefs(refs, func(ref proto.ChunkRef) proto.ChunkReq {
+func (s *Store) putPages(tid string, refs []proto.ChunkRef, offs []int64, pages [][]byte) error {
+	err := s.putRefs(tid, refs, func(ref proto.ChunkRef) proto.ChunkReq {
 		return proto.ChunkReq{Op: proto.OpPutPages, ID: ref.ID, PageOffs: offs, PageData: pages}
 	})
 	if err != nil {
 		return err
 	}
-	s.c.pagePuts.Add(1)
+	s.m.pagePuts.Add(1)
 	for _, pg := range pages {
-		s.c.ssdWriteBytes.Add(int64(len(pg)))
+		s.m.ssdWriteBytes.Add(int64(len(pg)))
 	}
 	return nil
 }
@@ -551,7 +627,7 @@ func (s *Store) forEach(n int, do func(int) error) error {
 // fn fails with ErrNoSuchChunk the map was stale — a chunk was remapped or
 // the file recreated by another client — so the map is re-fetched from the
 // manager and fn retried once.
-func (s *Store) withMetaRetry(name string, fn func(proto.FileInfo) error) error {
+func (s *Store) withMetaRetry(tid, name string, fn func(proto.FileInfo) error) error {
 	fi, err := s.fileInfo(name)
 	if err != nil {
 		return err
@@ -559,7 +635,8 @@ func (s *Store) withMetaRetry(name string, fn func(proto.FileInfo) error) error 
 	if err = fn(fi); !errors.Is(err, proto.ErrNoSuchChunk) {
 		return err
 	}
-	s.c.metaRetries.Add(1)
+	s.m.metaRetries.Add(1)
+	s.obs.Event("rpc", "meta-retry", tid, fmt.Sprintf("stale chunk map for %q, re-fetching", name))
 	s.invalidateMeta(name)
 	if fi, err = s.fileInfo(name); err != nil {
 		return err
@@ -570,14 +647,20 @@ func (s *Store) withMetaRetry(name string, fn func(proto.FileInfo) error) error 
 // ReadAt fills buf from the file at off. Chunk fetches fan out across the
 // connection pools, bounded by Options.Parallelism.
 func (s *Store) ReadAt(name string, off int64, buf []byte) error {
-	return s.withMetaRetry(name, func(fi proto.FileInfo) error {
+	tid := obs.NewTraceID()
+	s.obs.Event("rpc", "read", tid, fmt.Sprintf("file=%q off=%d len=%d", name, off, len(buf)))
+	return s.readAt(tid, name, off, buf)
+}
+
+func (s *Store) readAt(tid, name string, off int64, buf []byte) error {
+	return s.withMetaRetry(tid, name, func(fi proto.FileInfo) error {
 		if off < 0 || off+int64(len(buf)) > fi.Size {
 			return fmt.Errorf("%w: read [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(buf)), name, fi.Size)
 		}
 		spans := chunkSpans(s.chunkSize, off, buf)
 		return s.forEach(len(spans), func(i int) error {
 			sp := spans[i]
-			data, err := s.getChunk(replicaRefs(fi, sp.idx))
+			data, err := s.getChunk(tid, replicaRefs(fi, sp.idx))
 			if err != nil {
 				return err
 			}
@@ -593,7 +676,13 @@ func (s *Store) ReadAt(name string, off int64, buf []byte) error {
 // WriteAt stores data into the file at off (read-modify-write for partial
 // chunks). Chunk transfers fan out like ReadAt's.
 func (s *Store) WriteAt(name string, off int64, data []byte) error {
-	return s.withMetaRetry(name, func(fi proto.FileInfo) error {
+	tid := obs.NewTraceID()
+	s.obs.Event("rpc", "write", tid, fmt.Sprintf("file=%q off=%d len=%d", name, off, len(data)))
+	return s.writeAt(tid, name, off, data)
+}
+
+func (s *Store) writeAt(tid, name string, off int64, data []byte) error {
+	return s.withMetaRetry(tid, name, func(fi proto.FileInfo) error {
 		if off < 0 || off+int64(len(data)) > fi.Size {
 			return fmt.Errorf("%w: write [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(data)), name, fi.Size)
 		}
@@ -602,34 +691,39 @@ func (s *Store) WriteAt(name string, off int64, data []byte) error {
 			sp := spans[i]
 			refs := replicaRefs(fi, sp.idx)
 			if sp.coff == 0 && int64(len(sp.buf)) == s.chunkSize {
-				return s.putChunk(refs, sp.buf)
+				return s.putChunk(tid, refs, sp.buf)
 			}
-			cur, err := s.getChunk(refs)
+			cur, err := s.getChunk(tid, refs)
 			if err != nil {
 				return err
 			}
 			copy(cur[sp.coff:], sp.buf)
-			return s.putChunk(refs, cur)
+			return s.putChunk(tid, refs, cur)
 		})
 	})
 }
 
-// Put uploads a whole payload as a (new) file.
+// Put uploads a whole payload as a (new) file. The allocation and every
+// stripe write share one trace ID.
 func (s *Store) Put(name string, data []byte) error {
-	if err := s.Create(name, int64(len(data))); err != nil {
+	tid := obs.NewTraceID()
+	s.obs.Event("rpc", "put", tid, fmt.Sprintf("file=%q len=%d", name, len(data)))
+	if err := s.create(tid, name, int64(len(data))); err != nil {
 		return err
 	}
-	return s.WriteAt(name, 0, data)
+	return s.writeAt(tid, name, 0, data)
 }
 
 // Get downloads a whole file.
 func (s *Store) Get(name string) ([]byte, error) {
+	tid := obs.NewTraceID()
+	s.obs.Event("rpc", "get", tid, fmt.Sprintf("file=%q", name))
 	fi, err := s.Stat(name)
 	if err != nil {
 		return nil, err
 	}
 	buf := make([]byte, fi.Size)
-	if err := s.ReadAt(name, 0, buf); err != nil {
+	if err := s.readAt(tid, name, 0, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
