@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench obs-bench
+.PHONY: check fmt vet importgate build test race bench obs-bench
 
-# Tier-1 gate: formatting, vet, build, and the full suite under the race
-# detector (the TCP data path is exercised by genuinely concurrent tests).
-check: fmt vet build race
+# Tier-1 gate: formatting, vet, import boundaries, build, and the full
+# suite under the race detector (the TCP data path is exercised by
+# genuinely concurrent tests).
+check: fmt vet importgate build race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -14,6 +15,22 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Transport-neutrality gate: the shared library layers (store, fusecache,
+# core, proto) and the whole real TCP path (rpc, manager, benefactor, obs,
+# cmd/*, examples/*) must never grow a dependency on the simulation
+# engine. Only the allow-listed simulation packages — and the facade,
+# which re-exports the engine for simulation users — may import
+# internal/simtime in non-test sources; _test.go files are exempt.
+importgate:
+	@bad=$$(grep -rl '"nvmalloc/internal/simtime"' --include='*.go' . \
+		| grep -v '_test\.go$$' \
+		| sed 's|^\./||' \
+		| grep -v -E '^(nvmalloc\.go|internal/(simtime|sim|simstore|cluster|device|netsim|mpi|pfs|workloads|experiments)/)'); \
+	if [ -n "$$bad" ]; then \
+		echo "internal/simtime imported outside the simulation allowlist:"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

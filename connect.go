@@ -1,0 +1,105 @@
+package nvmalloc
+
+import (
+	"fmt"
+
+	"nvmalloc/internal/core"
+	"nvmalloc/internal/fusecache"
+	"nvmalloc/internal/rpc"
+	"nvmalloc/internal/store"
+)
+
+// ConnectConfig tunes a live-store client built by Connect. The zero value
+// is a sensible single-process deployment: the paper's 64 MB FUSE cache
+// over 4 KB pages, read-ahead of 2 chunks, an 8 MB page cache, rank 0.
+type ConnectConfig struct {
+	// Rank is the application rank this client claims (names default
+	// variable files; informational otherwise).
+	Rank int
+	// CacheBytes sizes the FUSE-layer chunk cache. 0 means 64 MB (the
+	// paper's FUSE cache); rounded down to whole chunks, minimum one.
+	CacheBytes int64
+	// PageSize is the dirty-tracking granularity. 0 means 4096. Must
+	// divide the store's chunk size.
+	PageSize int64
+	// PageCacheBytes sizes the rank-private page cache. 0 means 8 MB.
+	PageCacheBytes int64
+	// ReadAheadChunks is how many chunks to prefetch after a sequential
+	// miss. 0 means 2 (Table III); negative disables read-ahead.
+	ReadAheadChunks int
+	// WriteFullChunks disables the dirty-page writeback optimization
+	// (Table VII baseline).
+	WriteFullChunks bool
+	// PoolSize is the connection-pool depth per benefactor (0 = rpc
+	// default).
+	PoolSize int
+	// Parallelism bounds in-flight chunk transfers per operation (0 = rpc
+	// default).
+	Parallelism int
+}
+
+// Connect opens a Client against a live TCP store deployment (cmd/nvmstore
+// daemons): the manager at managerAddr hands out chunk placements and the
+// client moves data directly to and from benefactors. The returned Client
+// is the same library code the simulation runs — Malloc, views, Checkpoint
+// with real chunk linking and copy-on-write remap, Restore, Free — with a
+// nil execution context in place of a simulation Proc:
+//
+//	c, err := nvmalloc.Connect("localhost:7070", nvmalloc.ConnectConfig{})
+//	r, err := c.Malloc(nil, 1<<20, nvmalloc.WithName("state"))
+//	...
+//	info, err := c.Checkpoint(nil, "ckpt-1", dram, r)
+//
+// Close flushes every dirty page back to the benefactors and tears down
+// the connections.
+func Connect(managerAddr string, cfg ConnectConfig) (*Client, error) {
+	st, err := rpc.OpenWith(managerAddr, rpc.Options{
+		PoolSize:    cfg.PoolSize,
+		Parallelism: cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.CacheBytes < st.ChunkSize() {
+		cfg.CacheBytes = st.ChunkSize()
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.PageCacheBytes == 0 {
+		cfg.PageCacheBytes = 8 << 20
+	}
+	switch {
+	case cfg.ReadAheadChunks == 0:
+		cfg.ReadAheadChunks = 2
+	case cfg.ReadAheadChunks < 0:
+		cfg.ReadAheadChunks = 0
+	}
+	if st.ChunkSize()%cfg.PageSize != 0 {
+		st.Close()
+		return nil, fmt.Errorf("nvmalloc: page size %d does not divide chunk size %d", cfg.PageSize, st.ChunkSize())
+	}
+	env := store.NewGoEnv()
+	cc := fusecache.NewChunkCache(env, rpc.NewStoreClient(st, 0), fusecache.Config{
+		ChunkSize:       st.ChunkSize(),
+		PageSize:        cfg.PageSize,
+		CacheBytes:      cfg.CacheBytes,
+		ReadAheadChunks: cfg.ReadAheadChunks,
+		WriteFullChunks: cfg.WriteFullChunks,
+		Obs:             st.Obs(),
+	})
+	c := core.NewClient(cfg.Rank, nil, cc, cfg.PageCacheBytes)
+	c.OnClose(func() error {
+		ferr := cc.FlushAll(nil)
+		env.Quiesce()
+		cerr := st.Close()
+		if ferr != nil {
+			return ferr
+		}
+		return cerr
+	})
+	return c, nil
+}

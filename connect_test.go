@@ -1,0 +1,216 @@
+package nvmalloc_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nvmalloc"
+	"nvmalloc/internal/benefactor"
+	"nvmalloc/internal/manager"
+	"nvmalloc/internal/rpc"
+)
+
+// liveCluster spins up a replicated manager + n in-memory benefactors on
+// loopback — the daemons cmd/nvmstore runs, in-process.
+type liveCluster struct {
+	mgr  *rpc.ManagerServer
+	bens []*rpc.BenefactorServer
+}
+
+func startCluster(t testing.TB, n int, chunk int64, replication int) *liveCluster {
+	t.Helper()
+	mgr, err := rpc.NewManagerServerWith("127.0.0.1:0", chunk, manager.RoundRobin, rpc.ManagerConfig{
+		Replication: replication,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	cl := &liveCluster{mgr: mgr}
+	for i := 0; i < n; i++ {
+		bs, err := rpc.NewBenefactorServer("127.0.0.1:0", mgr.Addr(), i, i, 256*chunk, chunk,
+			benefactor.NewMem(), 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.bens = append(cl.bens, bs)
+		t.Cleanup(func() { bs.Close() })
+	}
+	return cl
+}
+
+// mgrOf digs the manager client out of a facade Client (tests only).
+func mgrOf(t *testing.T, c *nvmalloc.Client) *rpc.ManagerClient {
+	t.Helper()
+	sc, ok := c.ChunkCache().Store().(*rpc.StoreClient)
+	if !ok {
+		t.Fatalf("client is not backed by the TCP store (%T)", c.ChunkCache().Store())
+	}
+	return sc.Store().Manager()
+}
+
+// TestConnectCheckpointRestoreE2E drives the full library cycle —
+// ssdmalloc, writes, ssdcheckpoint with chunk linking, copy-on-write
+// mutation, benefactor loss, restore, ssdfree — through the facade against
+// live TCP daemons with replication 2, so the restore survives the death
+// of one benefactor.
+func TestConnectCheckpointRestoreE2E(t *testing.T) {
+	const chunk = 4096
+	cl := startCluster(t, 3, chunk, 2)
+
+	c, err := nvmalloc.Connect(cl.mgr.Addr(), nvmalloc.ConnectConfig{
+		CacheBytes:     16 * chunk,
+		PageSize:       512,
+		PageCacheBytes: 4 * chunk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// ssdmalloc + fill.
+	const size = 6 * chunk
+	r, err := c.Malloc(nil, size, nvmalloc.WithName("e2e.state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("generation-0###!"), size/16)
+	if err := r.WriteAt(nil, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// ssdcheckpoint: the variable's chunks are linked, not copied.
+	wrote := c.ChunkCache().Stats().SSDWriteBytes
+	dram := []byte("dram snapshot: iteration 17")
+	info, err := c.Checkpoint(nil, "e2e.ckpt", dram, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LinkedChunks != size/chunk {
+		t.Fatalf("linked %d chunks, want %d", info.LinkedChunks, size/chunk)
+	}
+	moved := c.ChunkCache().Stats().SSDWriteBytes - wrote
+	if moved >= size {
+		t.Fatalf("checkpoint moved %d B — the linked chunks were copied, not linked", moved)
+	}
+
+	// Mutate after the checkpoint; writeback must remap copy-on-write.
+	if err := r.WriteAt(nil, 0, bytes.Repeat([]byte("generation-1###!"), chunk/16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// One benefactor dies. Replication 2 means every chunk still has a
+	// live copy; reads must fail over transparently.
+	cl.bens[0].Close()
+	if err := mgrOf(t, c).MarkDead(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart path: DRAM prefix + derived region, all from the snapshot.
+	dramBack := make([]byte, len(dram))
+	if err := c.ReadCheckpointDRAM(nil, "e2e.ckpt", dramBack); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dramBack, dram) {
+		t.Fatalf("DRAM restore mismatch: %q", dramBack)
+	}
+	restored, err := c.RestoreRegion(nil, "e2e.ckpt", info.Regions[0], "e2e.state.restored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, size)
+	if err := restored.ReadAt(nil, 0, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatal("restored region does not match the checkpointed generation-0 state")
+	}
+	cur := make([]byte, 16)
+	if err := r.ReadAt(nil, 0, cur); err != nil {
+		t.Fatal(err)
+	}
+	if string(cur) != "generation-1###!" {
+		t.Fatalf("live variable lost its post-checkpoint mutation: %q", cur)
+	}
+
+	// ssdfree.
+	if err := restored.Free(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Free(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteCheckpoint(nil, "e2e.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnectConcurrentRanks hammers one connection from several
+// goroutines — the shared FUSE-layer cache and the TCP data path must be
+// race-free (this test earns its keep under -race).
+func TestConnectConcurrentRanks(t *testing.T) {
+	const chunk = 4096
+	cl := startCluster(t, 3, chunk, 1)
+
+	c, err := nvmalloc.Connect(cl.mgr.Addr(), nvmalloc.ConnectConfig{
+		CacheBytes: 8 * chunk, // small: forces eviction traffic
+		PageSize:   512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("rank%d.var", w)
+			r, err := c.Malloc(nil, 4*chunk, nvmalloc.WithName(name))
+			if err != nil {
+				errs <- err
+				return
+			}
+			pat := bytes.Repeat([]byte{byte('a' + w)}, 4*chunk)
+			for iter := 0; iter < 5; iter++ {
+				if err := r.WriteAt(nil, 0, pat); err != nil {
+					errs <- err
+					return
+				}
+				got := make([]byte, 4*chunk)
+				if err := r.ReadAt(nil, 0, got); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, pat) {
+					errs <- fmt.Errorf("rank %d read back wrong data", w)
+					return
+				}
+			}
+			if err := r.Sync(nil); err != nil {
+				errs <- err
+				return
+			}
+			errs <- r.Free(nil)
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

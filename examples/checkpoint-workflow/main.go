@@ -47,7 +47,7 @@ func main() {
 			fmt.Printf("t=%d: checkpointed (%d linked chunks, no data copied)\n", t, info.LinkedChunks)
 
 			// Drain the snapshot to the PFS without blocking compute.
-			if _, err := sim.DrainToPFS(name, "scratch/"+name); err != nil {
+			if _, err := m.DrainToPFS(sim, name, "scratch/"+name); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -62,6 +62,18 @@ func (n *Node) Compute(p *simtime.Proc, flops float64) {
 	n.Cores.Use(p, n.Prof.ComputeTime(flops))
 }
 
+// ProcOf recovers the simulated proc from a transport-neutral store.Ctx
+// value. Library code above the store interface (core, fusecache) is
+// forbidden from importing simtime, so code that still needs to charge
+// virtual time — DRAM traffic, sim-store RPCs — funnels through this
+// helper. A non-sim ctx (nil on the TCP path) yields nil; real
+// deployments never reach the simulated devices, so a nil proc is never
+// charged.
+func ProcOf(ctx any) *simtime.Proc {
+	p, _ := ctx.(*simtime.Proc)
+	return p
+}
+
 // MemRead charges p an n-byte DRAM read (streaming, bandwidth-bound).
 func (n *Node) MemRead(p *simtime.Proc, nBytes int64) { n.DRAM.Read(p, nBytes) }
 

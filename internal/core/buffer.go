@@ -13,7 +13,7 @@ import (
 	"fmt"
 
 	"nvmalloc/internal/cluster"
-	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/store"
 )
 
 // AppStats counts application-level access volume to one buffer — the
@@ -33,15 +33,16 @@ type Buffer interface {
 	Name() string
 	// Size returns the allocation length in bytes.
 	Size() int64
-	// ReadAt copies [off, off+len(buf)) into buf, charging p the access
-	// cost of the underlying medium.
-	ReadAt(p *simtime.Proc, off int64, buf []byte) error
+	// ReadAt copies [off, off+len(buf)) into buf, charging the caller the
+	// access cost of the underlying medium (ctx carries the simulated proc
+	// when there is one).
+	ReadAt(ctx store.Ctx, off int64, buf []byte) error
 	// WriteAt stores data at off.
-	WriteAt(p *simtime.Proc, off int64, data []byte) error
+	WriteAt(ctx store.Ctx, off int64, data []byte) error
 	// Sync makes all writes durable/visible at the backing medium.
-	Sync(p *simtime.Proc) error
+	Sync(ctx store.Ctx) error
 	// Free releases the allocation.
-	Free(p *simtime.Proc) error
+	Free(ctx store.Ctx) error
 	// AppStats returns application-level access counters.
 	AppStats() AppStats
 }
@@ -83,11 +84,11 @@ func (b *DRAMBuffer) check(off, n int64) error {
 }
 
 // ReadAt implements Buffer, charging DRAM bandwidth.
-func (b *DRAMBuffer) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
+func (b *DRAMBuffer) ReadAt(ctx store.Ctx, off int64, buf []byte) error {
 	if err := b.check(off, int64(len(buf))); err != nil {
 		return err
 	}
-	b.node.MemRead(p, int64(len(buf)))
+	b.node.MemRead(cluster.ProcOf(ctx), int64(len(buf)))
 	copy(buf, b.data[off:])
 	b.s.Reads++
 	b.s.ReadBytes += int64(len(buf))
@@ -95,11 +96,11 @@ func (b *DRAMBuffer) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
 }
 
 // WriteAt implements Buffer, charging DRAM bandwidth.
-func (b *DRAMBuffer) WriteAt(p *simtime.Proc, off int64, data []byte) error {
+func (b *DRAMBuffer) WriteAt(ctx store.Ctx, off int64, data []byte) error {
 	if err := b.check(off, int64(len(data))); err != nil {
 		return err
 	}
-	b.node.MemWrite(p, int64(len(data)))
+	b.node.MemWrite(cluster.ProcOf(ctx), int64(len(data)))
 	copy(b.data[off:], data)
 	b.s.Writes++
 	b.s.WriteBytes += int64(len(data))
@@ -107,10 +108,10 @@ func (b *DRAMBuffer) WriteAt(p *simtime.Proc, off int64, data []byte) error {
 }
 
 // Sync implements Buffer (a no-op for DRAM).
-func (b *DRAMBuffer) Sync(p *simtime.Proc) error { return nil }
+func (b *DRAMBuffer) Sync(ctx store.Ctx) error { return nil }
 
 // Free implements Buffer, returning the memory to the node's accountant.
-func (b *DRAMBuffer) Free(p *simtime.Proc) error {
+func (b *DRAMBuffer) Free(ctx store.Ctx) error {
 	if b.freed {
 		return fmt.Errorf("core: double free of DRAM buffer %q", b.name)
 	}
@@ -143,14 +144,14 @@ func (c *concatBuffer) Name() string { return c.name }
 func (c *concatBuffer) Size() int64 { return c.a.Size() + c.b.Size() }
 
 // ReadAt implements Buffer.
-func (c *concatBuffer) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
+func (c *concatBuffer) ReadAt(ctx store.Ctx, off int64, buf []byte) error {
 	na := c.a.Size()
 	if off < na {
 		n := int64(len(buf))
 		if off+n > na {
 			n = na - off
 		}
-		if err := c.a.ReadAt(p, off, buf[:n]); err != nil {
+		if err := c.a.ReadAt(ctx, off, buf[:n]); err != nil {
 			return err
 		}
 		buf = buf[n:]
@@ -159,18 +160,18 @@ func (c *concatBuffer) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
 	if len(buf) == 0 {
 		return nil
 	}
-	return c.b.ReadAt(p, off-na, buf)
+	return c.b.ReadAt(ctx, off-na, buf)
 }
 
 // WriteAt implements Buffer.
-func (c *concatBuffer) WriteAt(p *simtime.Proc, off int64, data []byte) error {
+func (c *concatBuffer) WriteAt(ctx store.Ctx, off int64, data []byte) error {
 	na := c.a.Size()
 	if off < na {
 		n := int64(len(data))
 		if off+n > na {
 			n = na - off
 		}
-		if err := c.a.WriteAt(p, off, data[:n]); err != nil {
+		if err := c.a.WriteAt(ctx, off, data[:n]); err != nil {
 			return err
 		}
 		data = data[n:]
@@ -179,23 +180,23 @@ func (c *concatBuffer) WriteAt(p *simtime.Proc, off int64, data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
-	return c.b.WriteAt(p, off-na, data)
+	return c.b.WriteAt(ctx, off-na, data)
 }
 
 // Sync implements Buffer.
-func (c *concatBuffer) Sync(p *simtime.Proc) error {
-	if err := c.a.Sync(p); err != nil {
+func (c *concatBuffer) Sync(ctx store.Ctx) error {
+	if err := c.a.Sync(ctx); err != nil {
 		return err
 	}
-	return c.b.Sync(p)
+	return c.b.Sync(ctx)
 }
 
 // Free implements Buffer.
-func (c *concatBuffer) Free(p *simtime.Proc) error {
-	if err := c.a.Free(p); err != nil {
+func (c *concatBuffer) Free(ctx store.Ctx) error {
+	if err := c.a.Free(ctx); err != nil {
 		return err
 	}
-	return c.b.Free(p)
+	return c.b.Free(ctx)
 }
 
 // AppStats implements Buffer (sums both halves).

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/store"
 )
 
 // RegionLayout records where one NVM variable's chunks sit inside a
@@ -45,27 +45,28 @@ type CheckpointInfo struct {
 // (§III-E's user-specified layout): regions are linked after the DRAM
 // dump in exactly the order given, and the returned CheckpointInfo
 // records each one's chunk range.
-func (c *Client) Checkpoint(p *simtime.Proc, name string, dramState []byte, regions ...*Region) (CheckpointInfo, error) {
+func (c *Client) Checkpoint(ctx store.Ctx, name string, dramState []byte, regions ...*Region) (CheckpointInfo, error) {
 	if c.cc == nil {
 		return CheckpointInfo{}, errors.New("core: this configuration has no NVM store (DRAM-only)")
 	}
-	store := c.cc.Store()
+	st := c.cc.Store()
+	chunkSize := c.cc.Config().ChunkSize
 	info := CheckpointInfo{Name: name, DRAMBytes: int64(len(dramState))}
 
 	// 1. Create the checkpoint file sized for the DRAM dump.
-	fi, err := store.Create(p, name, int64(len(dramState)))
+	fi, err := st.Create(ctx, name, int64(len(dramState)))
 	if err != nil {
 		return info, fmt.Errorf("core: checkpoint create: %w", err)
 	}
-	c.cc.MarkFresh(fi)
+	c.cc.MarkFresh(ctx, fi)
 	info.DRAMChunks = len(fi.Chunks)
 
 	// 2. Stream the DRAM state through the FUSE layer and push it out.
 	if len(dramState) > 0 {
-		if err := c.cc.WriteRange(p, name, 0, dramState); err != nil {
+		if err := c.cc.WriteRange(ctx, name, 0, dramState); err != nil {
 			return info, fmt.Errorf("core: checkpoint dram dump: %w", err)
 		}
-		if err := c.cc.Flush(p, name); err != nil {
+		if err := c.cc.Flush(ctx, name); err != nil {
 			return info, fmt.Errorf("core: checkpoint dram flush: %w", err)
 		}
 	}
@@ -78,11 +79,11 @@ func (c *Client) Checkpoint(p *simtime.Proc, name string, dramState []byte, regi
 		if r.freed {
 			return info, fmt.Errorf("core: checkpoint of freed region %q", r.name)
 		}
-		if err := r.Sync(p); err != nil {
+		if err := r.Sync(ctx); err != nil {
 			return info, fmt.Errorf("core: checkpoint flush of %q: %w", r.name, err)
 		}
 		parts = append(parts, r.name)
-		n := int((r.size + c.m.Prof.ChunkSize - 1) / c.m.Prof.ChunkSize)
+		n := int((r.size + chunkSize - 1) / chunkSize)
 		info.Regions = append(info.Regions, RegionLayout{
 			Name: r.name, ChunkStart: chunkAt, Chunks: n, Size: r.size,
 		})
@@ -90,13 +91,13 @@ func (c *Client) Checkpoint(p *simtime.Proc, name string, dramState []byte, regi
 		info.LinkedChunks += n
 	}
 	if len(parts) > 0 {
-		if _, err := store.Link(p, name, parts); err != nil {
+		if _, err := st.Link(ctx, name, parts); err != nil {
 			return info, fmt.Errorf("core: checkpoint link: %w", err)
 		}
 		// The checkpoint's cached chunk map is stale after the link.
-		c.cc.InvalidateMeta(name)
+		c.cc.InvalidateMeta(ctx, name)
 		for _, r := range regions {
-			c.cc.ArmCOW(r.name)
+			c.cc.ArmCOW(ctx, r.name)
 		}
 	}
 	return info, nil
@@ -104,11 +105,11 @@ func (c *Client) Checkpoint(p *simtime.Proc, name string, dramState []byte, regi
 
 // ReadCheckpointDRAM reads the DRAM-state prefix of a checkpoint into buf
 // (restart path).
-func (c *Client) ReadCheckpointDRAM(p *simtime.Proc, name string, buf []byte) error {
+func (c *Client) ReadCheckpointDRAM(ctx store.Ctx, name string, buf []byte) error {
 	if c.cc == nil {
 		return errors.New("core: this configuration has no NVM store (DRAM-only)")
 	}
-	return c.cc.ReadRange(p, name, 0, buf)
+	return c.cc.ReadRange(ctx, name, 0, buf)
 }
 
 // RestoreRegion re-creates an NVM variable from a checkpoint without
@@ -116,68 +117,27 @@ func (c *Client) ReadCheckpointDRAM(p *simtime.Proc, name string, buf []byte) er
 // chunks (refcounted, copy-on-write). layout comes from the
 // CheckpointInfo written at checkpoint time; newName names the restored
 // variable's backing file.
-func (c *Client) RestoreRegion(p *simtime.Proc, ckpt string, layout RegionLayout, newName string) (*Region, error) {
+func (c *Client) RestoreRegion(ctx store.Ctx, ckpt string, layout RegionLayout, newName string) (*Region, error) {
 	if c.cc == nil {
 		return nil, errors.New("core: this configuration has no NVM store (DRAM-only)")
 	}
-	fi, err := c.cc.Store().Derive(p, newName, ckpt, layout.ChunkStart, layout.Chunks, layout.Size)
+	fi, err := c.cc.Store().Derive(ctx, newName, ckpt, layout.ChunkStart, layout.Chunks, layout.Size)
 	if err != nil {
 		return nil, fmt.Errorf("core: restore of %q from %q: %w", layout.Name, ckpt, err)
 	}
-	c.cc.RegisterMeta(fi)
+	c.cc.RegisterMeta(ctx, fi)
 	// The restored region shares chunks with the checkpoint: writes must
 	// go copy-on-write immediately.
-	c.cc.ArmCOW(newName)
+	c.cc.ArmCOW(ctx, newName)
 	return &Region{c: c, name: newName, size: layout.Size}, nil
 }
 
 // DeleteCheckpoint removes a checkpoint file; chunks shared with live
 // variables or other checkpoints survive.
-func (c *Client) DeleteCheckpoint(p *simtime.Proc, name string) error {
+func (c *Client) DeleteCheckpoint(ctx store.Ctx, name string) error {
 	if c.cc == nil {
 		return errors.New("core: this configuration has no NVM store (DRAM-only)")
 	}
-	c.cc.Drop(name)
-	return c.cc.Store().Delete(p, name)
-}
-
-// DrainToPFS streams a checkpoint (or any store file) to the parallel file
-// system in the background — the paper's staging pattern where the fast
-// NVM store absorbs the checkpoint and drains to disk asynchronously. The
-// returned WaitGroup completes when the drain finishes.
-func (c *Client) DrainToPFS(name string, pfsName string) (*simtime.WaitGroup, error) {
-	if c.cc == nil {
-		return nil, errors.New("core: this configuration has no NVM store (DRAM-only)")
-	}
-	store := c.cc.Store()
-	wg := &simtime.WaitGroup{}
-	wg.Add(1)
-	pr := c.m.Eng.Go("drain "+name, func(p *simtime.Proc) {
-		fi, err := store.Lookup(p, name)
-		if err != nil {
-			return
-		}
-		c.m.PFS.Create(p, pfsName)
-		buf := make([]byte, c.m.Prof.ChunkSize)
-		for i, ref := range fi.Chunks {
-			data, err := store.GetChunk(p, ref)
-			if err != nil {
-				return
-			}
-			copy(buf, data)
-			n := int64(len(buf))
-			off := int64(i) * c.m.Prof.ChunkSize
-			if off+n > fi.Size {
-				n = fi.Size - off
-			}
-			if n <= 0 {
-				break
-			}
-			if err := c.m.PFS.WriteAt(p, pfsName, off, buf[:n]); err != nil {
-				return
-			}
-		}
-	})
-	pr.OnDone(func() { wg.Done(pr) })
-	return wg, nil
+	c.cc.Drop(ctx, name)
+	return c.cc.Store().Delete(ctx, name)
 }

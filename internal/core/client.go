@@ -8,29 +8,57 @@ import (
 	"nvmalloc/internal/cluster"
 	"nvmalloc/internal/fusecache"
 	"nvmalloc/internal/proto"
-	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/store"
 )
 
 // Client is the per-rank NVMalloc handle: ssdmalloc/ssdfree/ssdcheckpoint
 // live here. Ranks on the same node share the node's FUSE chunk cache;
 // each rank owns a private page cache (its "kernel page cache").
+//
+// A Client is transport neutral: the chunk cache it is built on decides
+// whether store operations run on the simulated cluster (ctx carries the
+// calling *simtime.Proc) or against live TCP daemons (ctx is nil).
 type Client struct {
-	m    *Machine
-	rank int
-	node *cluster.Node
-	cc   *fusecache.ChunkCache
-	pc   *fusecache.PageCache
-	seq  int
+	rank   int
+	node   *cluster.Node // nil outside the simulation
+	cc     *fusecache.ChunkCache
+	pc     *fusecache.PageCache
+	seq    int
+	closer func() error // optional connection teardown (TCP deployments)
+}
+
+// NewClient builds a rank handle over a node's chunk cache. cc may be nil
+// for DRAM-only configurations (Malloc then fails, DRAM buffers still
+// work); node may be nil outside the simulation. pageCacheBytes sizes the
+// rank-private page cache.
+func NewClient(rank int, node *cluster.Node, cc *fusecache.ChunkCache, pageCacheBytes int64) *Client {
+	c := &Client{rank: rank, node: node, cc: cc}
+	if cc != nil {
+		c.pc = fusecache.NewPageCache(cc, pageCacheBytes)
+	}
+	return c
+}
+
+// OnClose registers a teardown hook invoked by Close (the facade's Connect
+// uses it to flush and close the TCP store connection).
+func (c *Client) OnClose(fn func() error) { c.closer = fn }
+
+// Close tears down the client's connection to the store, if any.
+func (c *Client) Close() error {
+	if c.closer != nil {
+		fn := c.closer
+		c.closer = nil
+		return fn()
+	}
+	return nil
 }
 
 // Rank returns the client's application rank.
 func (c *Client) Rank() int { return c.rank }
 
-// Node returns the cluster node the client runs on.
+// Node returns the cluster node the client runs on (nil outside the
+// simulation).
 func (c *Client) Node() *cluster.Node { return c.node }
-
-// Machine returns the machine the client belongs to.
-func (c *Client) Machine() *Machine { return c.m }
 
 // PageCache exposes the rank's page cache (for stats).
 func (c *Client) PageCache() *fusecache.PageCache { return c.pc }
@@ -79,7 +107,7 @@ type Region struct {
 // Malloc allocates size bytes from the aggregate NVM store (ssdmalloc).
 // The client need not know where the backing chunks live; local and remote
 // benefactors are transparent.
-func (c *Client) Malloc(p *simtime.Proc, size int64, opts ...AllocOption) (*Region, error) {
+func (c *Client) Malloc(ctx store.Ctx, size int64, opts ...AllocOption) (*Region, error) {
 	if c.cc == nil {
 		return nil, errors.New("core: this configuration has no NVM store (DRAM-only)")
 	}
@@ -100,22 +128,22 @@ func (c *Client) Malloc(p *simtime.Proc, size int64, opts ...AllocOption) (*Regi
 		c.seq++
 		name = fmt.Sprintf("nvmvar.r%d.%d", c.rank, c.seq)
 	}
-	fi, err := c.cc.Store().Create(p, name, size)
+	fi, err := c.cc.Store().Create(ctx, name, size)
 	switch {
 	case err == nil && !a.shared:
 		// Private file: its chunks are known-zero to this node until we
 		// write them, so the cache can write-allocate without fetching.
 		// Shared files cannot use this — a rank on another node may write
 		// a chunk at any time, invalidating the known-zero assumption.
-		c.cc.MarkFresh(fi)
+		c.cc.MarkFresh(ctx, fi)
 	case err == nil:
-		c.cc.RegisterMeta(fi)
+		c.cc.RegisterMeta(ctx, fi)
 	case errors.Is(err, proto.ErrFileExists) && a.shared:
 		// Another rank created the shared mapping first; attach.
-		if fi, err = c.cc.Store().Lookup(p, name); err != nil {
+		if fi, err = c.cc.Store().Lookup(ctx, name); err != nil {
 			return nil, err
 		}
-		c.cc.RegisterMeta(fi)
+		c.cc.RegisterMeta(ctx, fi)
 	default:
 		return nil, err
 	}
@@ -124,15 +152,15 @@ func (c *Client) Malloc(p *simtime.Proc, size int64, opts ...AllocOption) (*Regi
 
 // Attach opens an existing named variable (persistent variables shared
 // between jobs of a workflow, §III-C).
-func (c *Client) Attach(p *simtime.Proc, name string) (*Region, error) {
+func (c *Client) Attach(ctx store.Ctx, name string) (*Region, error) {
 	if c.cc == nil {
 		return nil, errors.New("core: this configuration has no NVM store (DRAM-only)")
 	}
-	fi, err := c.cc.Store().Lookup(p, name)
+	fi, err := c.cc.Store().Lookup(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	c.cc.RegisterMeta(fi)
+	c.cc.RegisterMeta(ctx, fi)
 	return &Region{c: c, name: name, size: fi.Size, shared: true}, nil
 }
 
@@ -157,81 +185,71 @@ func (r *Region) check(off, n int64) error {
 
 // ReadAt implements Buffer: a byte-addressable load served through the
 // page and chunk caches.
-func (r *Region) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
+func (r *Region) ReadAt(ctx store.Ctx, off int64, buf []byte) error {
 	if err := r.check(off, int64(len(buf))); err != nil {
 		return err
 	}
 	r.s.Reads++
 	r.s.ReadBytes += int64(len(buf))
-	return r.c.pc.Read(p, r.name, off, buf)
+	return r.c.pc.Read(ctx, r.name, off, buf)
 }
 
 // WriteAt implements Buffer.
-func (r *Region) WriteAt(p *simtime.Proc, off int64, data []byte) error {
+func (r *Region) WriteAt(ctx store.Ctx, off int64, data []byte) error {
 	if err := r.check(off, int64(len(data))); err != nil {
 		return err
 	}
 	r.s.Writes++
 	r.s.WriteBytes += int64(len(data))
-	return r.c.pc.Write(p, r.name, off, data)
+	return r.c.pc.Write(ctx, r.name, off, data)
 }
 
 // Sync implements Buffer: dirty pages reach the FUSE layer, dirty chunks
 // reach the benefactors (msync + fsync semantics).
-func (r *Region) Sync(p *simtime.Proc) error {
+func (r *Region) Sync(ctx store.Ctx) error {
 	if r.freed {
 		return fmt.Errorf("core: sync of freed region %q", r.name)
 	}
-	return r.c.pc.Sync(p, r.name, true)
+	return r.c.pc.Sync(ctx, r.name, true)
 }
 
 // Free implements Buffer (ssdfree): the mapping is dropped and the backing
 // file deleted. Chunks still referenced by a checkpoint survive (§III-E);
 // everything else is physically released. Freeing a shared mapping deletes
 // the per-node file — callers coordinate, as with any shared resource.
-func (r *Region) Free(p *simtime.Proc) error {
+func (r *Region) Free(ctx store.Ctx) error {
 	if r.freed {
 		return fmt.Errorf("core: double free of region %q", r.name)
 	}
 	r.freed = true
 	r.c.pc.Drop(r.name)
-	r.c.cc.Drop(r.name)
-	err := r.c.cc.Store().Delete(p, r.name)
+	r.c.cc.Drop(ctx, r.name)
+	err := r.c.cc.Store().Delete(ctx, r.name)
 	if errors.Is(err, proto.ErrNoSuchFile) && r.shared {
 		return nil // another rank freed the shared mapping first
 	}
 	return err
 }
 
-// ttlSetter is implemented by store clients that support variable
-// lifetimes.
-type ttlSetter interface {
-	SetTTL(p *simtime.Proc, name string, expiresAt time.Duration) error
-}
-
 // SetLifetime gives the variable a lifetime of d from now (§III-C: a
 // persistent variable outliving its job is reclaimed automatically once
 // its lifetime passes — workflow data sharing without leaks). The store's
 // expiry sweep performs the reclamation.
-func (r *Region) SetLifetime(p *simtime.Proc, d time.Duration) error {
+func (r *Region) SetLifetime(ctx store.Ctx, d time.Duration) error {
 	if r.freed {
 		return fmt.Errorf("core: lifetime on freed region %q", r.name)
 	}
-	ts, ok := r.c.cc.Store().(ttlSetter)
-	if !ok {
-		return errors.New("core: this store does not support lifetimes")
-	}
-	return ts.SetTTL(p, r.name, time.Duration(p.Now())+d)
+	return r.c.cc.Store().SetTTL(ctx, r.name, d)
 }
 
 // Detach drops the rank's caches for the region without deleting the
 // backing file — the variable persists on the store for a later Attach
 // (possibly by a different job).
-func (r *Region) Detach(p *simtime.Proc) error {
+func (r *Region) Detach(ctx store.Ctx) error {
 	if r.freed {
 		return fmt.Errorf("core: detach of freed region %q", r.name)
 	}
-	if err := r.Sync(p); err != nil {
+	if err := r.Sync(ctx); err != nil {
 		return err
 	}
 	r.freed = true

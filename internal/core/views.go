@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 
-	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/store"
 )
 
 // Float64View presents a Buffer as a dense float64 array — the typed
@@ -34,25 +34,25 @@ func (v *Float64View) grow(n int) []byte {
 }
 
 // Load returns element i.
-func (v *Float64View) Load(p *simtime.Proc, i int64) (float64, error) {
+func (v *Float64View) Load(ctx store.Ctx, i int64) (float64, error) {
 	buf := v.grow(8)
-	if err := v.b.ReadAt(p, i*8, buf); err != nil {
+	if err := v.b.ReadAt(ctx, i*8, buf); err != nil {
 		return 0, err
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(buf)), nil
 }
 
 // Store writes element i.
-func (v *Float64View) Store(p *simtime.Proc, i int64, x float64) error {
+func (v *Float64View) Store(ctx store.Ctx, i int64, x float64) error {
 	buf := v.grow(8)
 	binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
-	return v.b.WriteAt(p, i*8, buf)
+	return v.b.WriteAt(ctx, i*8, buf)
 }
 
 // LoadVec fills dst with elements [i, i+len(dst)).
-func (v *Float64View) LoadVec(p *simtime.Proc, i int64, dst []float64) error {
+func (v *Float64View) LoadVec(ctx store.Ctx, i int64, dst []float64) error {
 	buf := v.grow(len(dst) * 8)
-	if err := v.b.ReadAt(p, i*8, buf); err != nil {
+	if err := v.b.ReadAt(ctx, i*8, buf); err != nil {
 		return err
 	}
 	for k := range dst {
@@ -62,12 +62,12 @@ func (v *Float64View) LoadVec(p *simtime.Proc, i int64, dst []float64) error {
 }
 
 // StoreVec writes src to elements [i, i+len(src)).
-func (v *Float64View) StoreVec(p *simtime.Proc, i int64, src []float64) error {
+func (v *Float64View) StoreVec(ctx store.Ctx, i int64, src []float64) error {
 	buf := v.grow(len(src) * 8)
 	for k, x := range src {
 		binary.LittleEndian.PutUint64(buf[k*8:], math.Float64bits(x))
 	}
-	return v.b.WriteAt(p, i*8, buf)
+	return v.b.WriteAt(ctx, i*8, buf)
 }
 
 // Int64View presents a Buffer as a dense int64 array (the sort workload's
@@ -94,25 +94,25 @@ func (v *Int64View) grow(n int) []byte {
 }
 
 // Load returns element i.
-func (v *Int64View) Load(p *simtime.Proc, i int64) (int64, error) {
+func (v *Int64View) Load(ctx store.Ctx, i int64) (int64, error) {
 	buf := v.grow(8)
-	if err := v.b.ReadAt(p, i*8, buf); err != nil {
+	if err := v.b.ReadAt(ctx, i*8, buf); err != nil {
 		return 0, err
 	}
 	return int64(binary.LittleEndian.Uint64(buf)), nil
 }
 
 // Store writes element i.
-func (v *Int64View) Store(p *simtime.Proc, i int64, x int64) error {
+func (v *Int64View) Store(ctx store.Ctx, i int64, x int64) error {
 	buf := v.grow(8)
 	binary.LittleEndian.PutUint64(buf, uint64(x))
-	return v.b.WriteAt(p, i*8, buf)
+	return v.b.WriteAt(ctx, i*8, buf)
 }
 
 // LoadVec fills dst with elements [i, i+len(dst)).
-func (v *Int64View) LoadVec(p *simtime.Proc, i int64, dst []int64) error {
+func (v *Int64View) LoadVec(ctx store.Ctx, i int64, dst []int64) error {
 	buf := v.grow(len(dst) * 8)
-	if err := v.b.ReadAt(p, i*8, buf); err != nil {
+	if err := v.b.ReadAt(ctx, i*8, buf); err != nil {
 		return err
 	}
 	for k := range dst {
@@ -122,10 +122,10 @@ func (v *Int64View) LoadVec(p *simtime.Proc, i int64, dst []int64) error {
 }
 
 // StoreVec writes src to elements [i, i+len(src)).
-func (v *Int64View) StoreVec(p *simtime.Proc, i int64, src []int64) error {
+func (v *Int64View) StoreVec(ctx store.Ctx, i int64, src []int64) error {
 	buf := v.grow(len(src) * 8)
 	for k, x := range src {
 		binary.LittleEndian.PutUint64(buf[k*8:], uint64(x))
 	}
-	return v.b.WriteAt(p, i*8, buf)
+	return v.b.WriteAt(ctx, i*8, buf)
 }

@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"nvmalloc/internal/cluster"
-	"nvmalloc/internal/core"
 	"nvmalloc/internal/manager"
 	"nvmalloc/internal/proto"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 	"nvmalloc/internal/sysprof"
 	"nvmalloc/internal/workloads"
@@ -23,7 +23,7 @@ func AblationReadahead(o Opts) (*Report, error) {
 	for _, ra := range []int{0, 1, 2, 4} {
 		prof := sysprof.Bench()
 		prof.ReadAheadChunks = ra
-		m, err := core.NewMachine(simtime.NewEngine(), prof,
+		m, err := sim.NewMachine(simtime.NewEngine(), prof,
 			cluster.Config{Mode: cluster.LocalSSD, ProcsPerNode: 8, ComputeNodes: 1, Benefactors: 1},
 			manager.RoundRobin)
 		if err != nil {
@@ -58,7 +58,7 @@ func AblationChunkSize(o Opts) (*Report, error) {
 			prof.SystemReserve = need
 			prof.DRAMPerNode += need
 		}
-		m, err := core.NewMachine(simtime.NewEngine(), prof,
+		m, err := sim.NewMachine(simtime.NewEngine(), prof,
 			cluster.Config{Mode: cluster.LocalSSD, ProcsPerNode: 8, ComputeNodes: 1, Benefactors: 1},
 			manager.RoundRobin)
 		if err != nil {
@@ -72,7 +72,7 @@ func AblationChunkSize(o Opts) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		m2, err := core.NewMachine(simtime.NewEngine(), prof,
+		m2, err := sim.NewMachine(simtime.NewEngine(), prof,
 			cluster.Config{Mode: cluster.LocalSSD, ProcsPerNode: 1, ComputeNodes: 1, Benefactors: 1},
 			manager.RoundRobin)
 		if err != nil {
@@ -102,7 +102,7 @@ func AblationCacheSize(o Opts) (*Report, error) {
 	for _, chunks := range []int64{4, 8, 16, 32, 64} {
 		prof := o.mmProfile()
 		prof.FUSECacheSize = chunks * prof.ChunkSize
-		m, err := core.NewMachine(simtime.NewEngine(), prof, cfg, manager.RoundRobin)
+		m, err := sim.NewMachine(simtime.NewEngine(), prof, cfg, manager.RoundRobin)
 		if err != nil {
 			return nil, err
 		}

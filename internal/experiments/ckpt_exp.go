@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"nvmalloc/internal/cluster"
-	"nvmalloc/internal/core"
 	"nvmalloc/internal/manager"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 	"nvmalloc/internal/sysprof"
 	"nvmalloc/internal/workloads"
@@ -33,7 +33,7 @@ func Checkpoint(o Opts) ([]CkptRow, *Report, error) {
 	var linkedTotal, naiveTotal int64
 	for _, naive := range []bool{false, true} {
 		prof := sysprof.Bench()
-		m, err := core.NewMachine(simtime.NewEngine(), prof, cfg, manager.RoundRobin)
+		m, err := sim.NewMachine(simtime.NewEngine(), prof, cfg, manager.RoundRobin)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"nvmalloc/internal/cluster"
-	"nvmalloc/internal/core"
 	"nvmalloc/internal/manager"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 	"nvmalloc/internal/workloads"
 )
@@ -27,7 +27,7 @@ func fig3Configs() []cluster.Config {
 
 // runMMConfig executes one MM configuration on a fresh machine.
 func runMMConfig(o Opts, cfg cluster.Config, prm workloads.MMParams) (workloads.MMResult, error) {
-	m, err := core.NewMachine(simtime.NewEngine(), o.mmProfile(), cfg, manager.RoundRobin)
+	m, err := sim.NewMachine(simtime.NewEngine(), o.mmProfile(), cfg, manager.RoundRobin)
 	if err != nil {
 		return workloads.MMResult{}, err
 	}

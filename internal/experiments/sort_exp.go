@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"nvmalloc/internal/cluster"
-	"nvmalloc/internal/core"
 	"nvmalloc/internal/manager"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 	"nvmalloc/internal/workloads"
 )
@@ -40,7 +40,7 @@ func Table6(o Opts) ([]Table6Row, *Report, error) {
 	var rows []Table6Row
 	var baseline time.Duration
 	for _, s := range setups {
-		m, err := core.NewMachine(simtime.NewEngine(), prof, s.cfg, manager.RoundRobin)
+		m, err := sim.NewMachine(simtime.NewEngine(), prof, s.cfg, manager.RoundRobin)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"nvmalloc/internal/cluster"
-	"nvmalloc/internal/core"
 	"nvmalloc/internal/manager"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 	"nvmalloc/internal/sysprof"
 	"nvmalloc/internal/workloads"
@@ -21,12 +21,12 @@ type Fig2Row struct {
 
 // streamMachine builds a one-compute-node machine with the benefactor
 // local or remote.
-func streamMachine(prof sysprof.Profile, remote bool) (*core.Machine, error) {
+func streamMachine(prof sysprof.Profile, remote bool) (*sim.Machine, error) {
 	cfg := cluster.Config{Mode: cluster.LocalSSD, ProcsPerNode: 8, ComputeNodes: 1, Benefactors: 1}
 	if remote {
 		cfg = cluster.Config{Mode: cluster.RemoteSSD, ProcsPerNode: 8, ComputeNodes: 1, Benefactors: 1}
 	}
-	return core.NewMachine(simtime.NewEngine(), prof, cfg, manager.RoundRobin)
+	return sim.NewMachine(simtime.NewEngine(), prof, cfg, manager.RoundRobin)
 }
 
 // Fig2 reproduces the STREAM TRIAD placement study: bandwidth for every

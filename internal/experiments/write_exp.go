@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"nvmalloc/internal/cluster"
-	"nvmalloc/internal/core"
 	"nvmalloc/internal/manager"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 	"nvmalloc/internal/sysprof"
 	"nvmalloc/internal/workloads"
@@ -29,7 +29,7 @@ func Table7(o Opts) ([]Table7Row, *Report, error) {
 	for _, full := range []bool{false, true} {
 		prof := sysprof.Bench()
 		prof.WriteFullChunks = full
-		m, err := core.NewMachine(simtime.NewEngine(), prof, cfg, manager.RoundRobin)
+		m, err := sim.NewMachine(simtime.NewEngine(), prof, cfg, manager.RoundRobin)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -13,37 +13,28 @@
 // The cache also carries the copy-on-write protocol for checkpointed
 // variables: files "armed" for COW get their shared chunks remapped by the
 // manager before the first post-checkpoint writeback (paper §III-E).
+//
+// The cache is transport neutral: it talks to the store through
+// store.Client and to its execution substrate (locking, task spawning,
+// blocking) through store.Env, so the same code serves the deterministic
+// simulation (simstore.Env + simstore.Client) and the real TCP deployment
+// (store.GoEnv + the rpc adapter). Internal methods assume the env lock is
+// held and release it around every blocking operation — store RPCs, future
+// waits, gate acquisition — exactly the discipline a wall-clock mutex
+// needs; under the simulation the lock is a no-op and the discipline is
+// free.
 package fusecache
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"sort"
 
 	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
-	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/store"
 )
-
-// StoreClient is the aggregate-store interface the cache consumes,
-// implemented by internal/simstore.Client. (The real TCP deployment in
-// internal/rpc has its own wall-clock counterpart of this cache,
-// rpc.CachedStore, with the same LRU + per-page dirty bitmap +
-// dirty-page-only writeback design.)
-type StoreClient interface {
-	Node() int
-	ChunkSize() int64
-	Create(p *simtime.Proc, name string, size int64) (proto.FileInfo, error)
-	Lookup(p *simtime.Proc, name string) (proto.FileInfo, error)
-	Exists(p *simtime.Proc, name string) bool
-	Delete(p *simtime.Proc, name string) error
-	Link(p *simtime.Proc, dst string, parts []string) (proto.FileInfo, error)
-	Derive(p *simtime.Proc, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error)
-	Remap(p *simtime.Proc, name string, chunkIdx int) (proto.ChunkRef, error)
-	GetChunk(p *simtime.Proc, ref proto.ChunkRef) ([]byte, error)
-	PutChunk(p *simtime.Proc, ref proto.ChunkRef, data []byte) error
-	PutPages(p *simtime.Proc, ref proto.ChunkRef, pageOffs []int64, pages [][]byte) error
-	Status(p *simtime.Proc) []proto.BenefactorInfo
-}
 
 // Config holds the cache geometry.
 type Config struct {
@@ -139,16 +130,18 @@ type entry struct {
 	lru    *list.Element
 	// fut is non-nil while the entry is loading or flushing; accessors
 	// must wait on it and retry.
-	fut      *simtime.Future[struct{}]
+	fut      store.Future
 	prefetch bool // entry was created by read-ahead (for stats)
 }
 
 // ChunkCache is the per-node FUSE-layer chunk cache.
 type ChunkCache struct {
-	eng   *simtime.Engine
-	store StoreClient
+	env   store.Env
+	store store.Client
 	cfg   Config
 
+	// All fields below are guarded by env's lock (a no-op under the
+	// cooperative simulation, a mutex under the TCP deployment).
 	entries map[chunkKey]*entry
 	lru     *list.List // front = most recent
 
@@ -166,15 +159,16 @@ type ChunkCache struct {
 	// initial population).
 	virgin map[chunkKey]bool
 	// gate bounds concurrent store requests from this node's FUSE daemon.
-	gate *simtime.Resource
+	gate store.Gate
 
 	s counters
 }
 
-// NewChunkCache builds the per-node cache.
-func NewChunkCache(e *simtime.Engine, store StoreClient, cfg Config) *ChunkCache {
-	if cfg.ChunkSize != store.ChunkSize() {
-		panic(fmt.Sprintf("fusecache: cache chunk size %d != store chunk size %d", cfg.ChunkSize, store.ChunkSize()))
+// NewChunkCache builds the per-node cache on the given execution substrate
+// and store backend.
+func NewChunkCache(env store.Env, st store.Client, cfg Config) *ChunkCache {
+	if cfg.ChunkSize != st.ChunkSize() {
+		panic(fmt.Sprintf("fusecache: cache chunk size %d != store chunk size %d", cfg.ChunkSize, st.ChunkSize()))
 	}
 	if cfg.ChunkSize%cfg.PageSize != 0 {
 		panic("fusecache: chunk size not a multiple of page size")
@@ -188,8 +182,8 @@ func NewChunkCache(e *simtime.Engine, store StoreClient, cfg Config) *ChunkCache
 	}
 	return &ChunkCache{
 		s:        newCounters(cfg.Obs),
-		eng:      e,
-		store:    store,
+		env:      env,
+		store:    st,
 		cfg:      cfg,
 		entries:  make(map[chunkKey]*entry),
 		lru:      list.New(),
@@ -197,15 +191,17 @@ func NewChunkCache(e *simtime.Engine, store StoreClient, cfg Config) *ChunkCache
 		cow:      make(map[string]bool),
 		lastMiss: make(map[string]int),
 		virgin:   make(map[chunkKey]bool),
-		gate:     simtime.NewResource(e, "fuse-daemon", conc),
+		gate:     env.NewGate("fuse-daemon", conc),
 	}
 }
 
 // MarkFresh records that a file was just created by this node, so all its
 // chunks are known-zero until first written (write allocation skips the
 // read-modify-write fetch).
-func (cc *ChunkCache) MarkFresh(fi proto.FileInfo) {
-	cc.RegisterMeta(fi)
+func (cc *ChunkCache) MarkFresh(ctx store.Ctx, fi proto.FileInfo) {
+	cc.env.Lock(ctx)
+	defer cc.env.Unlock(ctx)
+	cc.meta[fi.Name] = &fi
 	for i := range fi.Chunks {
 		cc.virgin[chunkKey{fi.Name, i}] = true
 	}
@@ -242,19 +238,27 @@ func (cc *ChunkCache) ResetStats() {
 }
 
 // Store returns the underlying store client.
-func (cc *ChunkCache) Store() StoreClient { return cc.store }
+func (cc *ChunkCache) Store() store.Client { return cc.store }
 
 // Config returns the cache geometry.
 func (cc *ChunkCache) Config() Config { return cc.cfg }
 
-// fileMeta returns the (possibly cached) chunk map of a file.
-func (cc *ChunkCache) fileMeta(p *simtime.Proc, file string) (*proto.FileInfo, error) {
+// fileMeta returns the (possibly cached) chunk map of a file. Lock held;
+// released around the manager RPC.
+func (cc *ChunkCache) fileMeta(ctx store.Ctx, file string) (*proto.FileInfo, error) {
 	if fi, ok := cc.meta[file]; ok {
 		return fi, nil
 	}
-	fi, err := cc.store.Lookup(p, file)
+	cc.env.Unlock(ctx)
+	fi, err := cc.store.Lookup(ctx, file)
+	cc.env.Lock(ctx)
 	if err != nil {
 		return nil, err
+	}
+	// Another accessor may have populated (or re-seeded) the map while we
+	// were on the wire; its copy is at least as fresh.
+	if cached, ok := cc.meta[file]; ok {
+		return cached, nil
 	}
 	cc.meta[file] = &fi
 	return &fi, nil
@@ -262,31 +266,51 @@ func (cc *ChunkCache) fileMeta(p *simtime.Proc, file string) (*proto.FileInfo, e
 
 // RegisterMeta seeds the metadata cache (used right after Create so the
 // creator needs no extra lookup).
-func (cc *ChunkCache) RegisterMeta(fi proto.FileInfo) { cc.meta[fi.Name] = &fi }
+func (cc *ChunkCache) RegisterMeta(ctx store.Ctx, fi proto.FileInfo) {
+	cc.env.Lock(ctx)
+	cc.meta[fi.Name] = &fi
+	cc.env.Unlock(ctx)
+}
 
 // InvalidateMeta drops the cached chunk map of a file.
-func (cc *ChunkCache) InvalidateMeta(file string) { delete(cc.meta, file) }
+func (cc *ChunkCache) InvalidateMeta(ctx store.Ctx, file string) {
+	cc.env.Lock(ctx)
+	delete(cc.meta, file)
+	cc.env.Unlock(ctx)
+}
 
 // ArmCOW marks a file's chunks as potentially checkpoint-shared: the next
 // writeback of each chunk will consult the manager for a copy-on-write
 // remap.
-func (cc *ChunkCache) ArmCOW(file string) { cc.cow[file] = true }
+func (cc *ChunkCache) ArmCOW(ctx store.Ctx, file string) {
+	cc.env.Lock(ctx)
+	cc.cow[file] = true
+	cc.env.Unlock(ctx)
+}
 
 // DisarmCOW clears the COW mark (after Free).
-func (cc *ChunkCache) DisarmCOW(file string) { delete(cc.cow, file) }
+func (cc *ChunkCache) DisarmCOW(ctx store.Ctx, file string) {
+	cc.env.Lock(ctx)
+	delete(cc.cow, file)
+	cc.env.Unlock(ctx)
+}
 
 // pagesPerChunk returns the dirty-bitmap width.
 func (cc *ChunkCache) pagesPerChunk() int { return int(cc.cfg.ChunkSize / cc.cfg.PageSize) }
 
 // acquire returns the cache entry for (file, idx), fetching on miss. The
 // returned entry is resident (fut == nil) and freshly touched in the LRU.
-func (cc *ChunkCache) acquire(p *simtime.Proc, file string, idx int) (*entry, error) {
+// Lock held.
+func (cc *ChunkCache) acquire(ctx store.Ctx, file string, idx int) (*entry, error) {
 	key := chunkKey{file, idx}
 	for {
 		if e, ok := cc.entries[key]; ok {
 			if e.fut != nil {
 				cc.s.waits.Inc()
-				e.fut.Wait(p)
+				fut := e.fut
+				cc.env.Unlock(ctx)
+				fut.Wait(ctx)
+				cc.env.Lock(ctx)
 				continue // state changed; re-check
 			}
 			cc.s.hits.Inc()
@@ -296,7 +320,7 @@ func (cc *ChunkCache) acquire(p *simtime.Proc, file string, idx int) (*entry, er
 		// Demand miss. fileMeta may block on a manager RPC, so the entry
 		// may appear (or start loading) underneath us; fetch re-checks and
 		// reports a race by returning a nil entry.
-		fi, err := cc.fileMeta(p, file)
+		fi, err := cc.fileMeta(ctx, file)
 		if err != nil {
 			return nil, err
 		}
@@ -306,7 +330,7 @@ func (cc *ChunkCache) acquire(p *simtime.Proc, file string, idx int) (*entry, er
 		if cc.virgin[key] {
 			// Known-zero chunk of a freshly created file: materialize it
 			// in cache without any store traffic.
-			if err := cc.ensureRoom(p); err != nil {
+			if err := cc.ensureRoom(ctx); err != nil {
 				return nil, err
 			}
 			if _, ok := cc.entries[key]; ok {
@@ -323,7 +347,7 @@ func (cc *ChunkCache) acquire(p *simtime.Proc, file string, idx int) (*entry, er
 			return e, nil
 		}
 		sequential := cc.lastMiss[file] == idx-1
-		e, err := cc.fetch(p, key, fi.Chunks[idx], false)
+		e, err := cc.fetch(ctx, key, refsCopy(*fi, idx), false)
 		if err != nil {
 			return nil, err
 		}
@@ -346,11 +370,13 @@ func (cc *ChunkCache) acquire(p *simtime.Proc, file string, idx int) (*entry, er
 				if _, ok := cc.entries[nk]; ok {
 					continue
 				}
-				ref := fi.Chunks[na]
-				cc.eng.Go(fmt.Sprintf("prefetch %s/%d", file, na), func(pp *simtime.Proc) {
+				refs := refsCopy(*fi, na)
+				cc.env.Go(ctx, fmt.Sprintf("prefetch %s/%d", file, na), func(pp store.Ctx) {
 					// Best effort: ignore errors (the demand path will
 					// retry and report them).
-					_, _ = cc.fetch(pp, nk, ref, true)
+					cc.env.Lock(pp)
+					_, _ = cc.fetch(pp, nk, refs, true)
+					cc.env.Unlock(pp)
 				})
 			}
 		}
@@ -358,14 +384,20 @@ func (cc *ChunkCache) acquire(p *simtime.Proc, file string, idx int) (*entry, er
 	}
 }
 
+// refsCopy returns a private copy of chunk idx's replica set so it can be
+// handed to the store outside the lock.
+func refsCopy(fi proto.FileInfo, idx int) []proto.ChunkRef {
+	return append([]proto.ChunkRef(nil), store.ReplicaRefs(fi, idx)...)
+}
+
 // fetch reserves a slot and loads one chunk from the store. It is used by
 // both the demand path and the prefetcher. A nil, nil return means another
-// proc started or finished loading the chunk first.
-func (cc *ChunkCache) fetch(p *simtime.Proc, key chunkKey, ref proto.ChunkRef, prefetch bool) (*entry, error) {
+// accessor started or finished loading the chunk first. Lock held.
+func (cc *ChunkCache) fetch(ctx store.Ctx, key chunkKey, refs []proto.ChunkRef, prefetch bool) (*entry, error) {
 	if _, ok := cc.entries[key]; ok {
 		return nil, nil
 	}
-	if err := cc.ensureRoom(p); err != nil {
+	if err := cc.ensureRoom(ctx); err != nil {
 		return nil, err
 	}
 	if _, ok := cc.entries[key]; ok {
@@ -375,19 +407,21 @@ func (cc *ChunkCache) fetch(p *simtime.Proc, key chunkKey, ref proto.ChunkRef, p
 	e := &entry{
 		key:      key,
 		dirty:    make([]bool, cc.pagesPerChunk()),
-		fut:      simtime.NewFuture[struct{}](cc.eng, "load "+key.file),
+		fut:      cc.env.NewFuture("load " + key.file),
 		prefetch: prefetch,
 	}
 	cc.entries[key] = e
 	e.lru = cc.lru.PushFront(e)
-	cc.gate.Acquire(p)
-	data, err := cc.store.GetChunk(p, ref)
-	cc.gate.Release(p)
+	cc.env.Unlock(ctx)
+	cc.gate.Acquire(ctx)
+	data, err := cc.store.GetChunk(ctx, refs)
+	cc.gate.Release(ctx)
+	cc.env.Lock(ctx)
 	if err != nil {
 		// Failed load: remove the reservation and release waiters.
 		delete(cc.entries, key)
 		cc.lru.Remove(e.lru)
-		e.fut.Set(struct{}{})
+		e.fut.Set()
 		return nil, err
 	}
 	// Own a private copy: benefactor backends may alias their storage.
@@ -399,12 +433,12 @@ func (cc *ChunkCache) fetch(p *simtime.Proc, key chunkKey, ref proto.ChunkRef, p
 	}
 	fut := e.fut
 	e.fut = nil
-	fut.Set(struct{}{})
+	fut.Set()
 	return e, nil
 }
 
-// ensureRoom evicts LRU entries until a new chunk fits.
-func (cc *ChunkCache) ensureRoom(p *simtime.Proc) error {
+// ensureRoom evicts LRU entries until a new chunk fits. Lock held.
+func (cc *ChunkCache) ensureRoom(ctx store.Ctx) error {
 	for len(cc.entries) >= cc.cfg.Chunks() {
 		victim := cc.pickVictim()
 		if victim == nil {
@@ -412,12 +446,14 @@ func (cc *ChunkCache) ensureRoom(p *simtime.Proc) error {
 			// transition and retry.
 			if w := cc.oldestBusy(); w != nil {
 				cc.s.waits.Inc()
-				w.Wait(p)
+				cc.env.Unlock(ctx)
+				w.Wait(ctx)
+				cc.env.Lock(ctx)
 				continue
 			}
 			return fmt.Errorf("fusecache: cache wedged with %d entries", len(cc.entries))
 		}
-		if err := cc.evict(p, victim); err != nil {
+		if err := cc.evict(ctx, victim); err != nil {
 			return err
 		}
 	}
@@ -436,7 +472,7 @@ func (cc *ChunkCache) pickVictim() *entry {
 }
 
 // oldestBusy returns the future of some in-flight entry, if any.
-func (cc *ChunkCache) oldestBusy() *simtime.Future[struct{}] {
+func (cc *ChunkCache) oldestBusy() store.Future {
 	for el := cc.lru.Back(); el != nil; el = el.Prev() {
 		if e := el.Value.(*entry); e.fut != nil {
 			return e.fut
@@ -445,16 +481,16 @@ func (cc *ChunkCache) oldestBusy() *simtime.Future[struct{}] {
 	return nil
 }
 
-// evict writes back a victim's dirty pages and drops it.
-func (cc *ChunkCache) evict(p *simtime.Proc, e *entry) error {
+// evict writes back a victim's dirty pages and drops it. Lock held.
+func (cc *ChunkCache) evict(ctx store.Ctx, e *entry) error {
 	cc.s.evictions.Inc()
 	if e.nDirty > 0 {
 		cc.s.dirtyEvictions.Inc()
-		e.fut = simtime.NewFuture[struct{}](cc.eng, "flush "+e.key.file)
-		err := cc.writeback(p, e)
+		e.fut = cc.env.NewFuture("flush " + e.key.file)
+		err := cc.writeback(ctx, e)
 		fut := e.fut
 		e.fut = nil
-		fut.Set(struct{}{})
+		fut.Set()
 		if err != nil {
 			return err
 		}
@@ -466,60 +502,97 @@ func (cc *ChunkCache) evict(p *simtime.Proc, e *entry) error {
 
 // writeback ships an entry's dirty pages to its benefactor, performing the
 // copy-on-write remap first when the file is armed. On return the entry is
-// clean.
-func (cc *ChunkCache) writeback(p *simtime.Proc, e *entry) error {
-	fi, err := cc.fileMeta(p, e.key.file)
+// clean. Lock held; the caller must have set e.fut so no other accessor
+// touches the entry while the lock is released around store calls.
+func (cc *ChunkCache) writeback(ctx store.Ctx, e *entry) error {
+	fi, err := cc.fileMeta(ctx, e.key.file)
 	if err != nil {
 		return err
 	}
 	if e.key.idx >= len(fi.Chunks) {
 		return fmt.Errorf("%w: writeback of %q chunk %d", proto.ErrChunkOutOfRange, e.key.file, e.key.idx)
 	}
-	ref := fi.Chunks[e.key.idx]
+	refs := refsCopy(*fi, e.key.idx)
 	if cc.cow[e.key.file] {
-		fresh, err := cc.store.Remap(p, e.key.file, e.key.idx)
+		cc.env.Unlock(ctx)
+		fresh, err := cc.store.Remap(ctx, e.key.file, e.key.idx)
+		cc.env.Lock(ctx)
 		if err != nil {
 			return err
 		}
-		if fresh != ref {
+		if len(fresh) > 0 && fresh[0] != refs[0] {
 			cc.s.remaps.Inc()
-			fi.Chunks[e.key.idx] = fresh
-			ref = fresh
+			fi.Chunks[e.key.idx] = fresh[0]
+			if e.key.idx < len(fi.Replicas) {
+				fi.Replicas[e.key.idx] = fresh
+			}
+			refs = fresh
 		}
 	}
-	allDirty := e.nDirty == len(e.dirty) || cc.cfg.WriteFullChunks
-	if allDirty {
-		cc.gate.Acquire(p)
-		err := cc.store.PutChunk(p, ref, e.data)
-		cc.gate.Release(p)
-		if err != nil {
-			return err
+	err = cc.ship(ctx, e, refs)
+	if errors.Is(err, proto.ErrNoSuchChunk) {
+		// Stale chunk map: another client remapped, rewrote, or deleted
+		// the file while our copy of its metadata aged. Refresh and retry
+		// once against the fresh map.
+		delete(cc.meta, e.key.file)
+		fi, lerr := cc.fileMeta(ctx, e.key.file)
+		switch {
+		case errors.Is(lerr, proto.ErrNoSuchFile):
+			err = nil // file is gone; its dirty data dies with it
+		case lerr != nil:
+			err = lerr
+		case e.key.idx >= len(fi.Chunks):
+			err = nil // file shrank; nothing left to persist
+		default:
+			err = cc.ship(ctx, e, refsCopy(*fi, e.key.idx))
 		}
-		cc.s.ssdWrite.Add(int64(len(e.data)))
-	} else {
-		var offs []int64
-		var pages [][]byte
-		ps := cc.cfg.PageSize
-		for i, d := range e.dirty {
-			if !d {
-				continue
-			}
-			off := int64(i) * ps
-			offs = append(offs, off)
-			pages = append(pages, e.data[off:off+ps])
-			cc.s.ssdWrite.Add(ps)
-		}
-		cc.gate.Acquire(p)
-		err := cc.store.PutPages(p, ref, offs, pages)
-		cc.gate.Release(p)
-		if err != nil {
-			return err
-		}
+	}
+	if err != nil {
+		return err
 	}
 	for i := range e.dirty {
 		e.dirty[i] = false
 	}
 	e.nDirty = 0
+	return nil
+}
+
+// ship performs the actual writeback transfer: the whole chunk when every
+// page is dirty (or the Table VII optimization is disabled), otherwise
+// only the dirty pages. Lock held; released around the transfer.
+func (cc *ChunkCache) ship(ctx store.Ctx, e *entry, refs []proto.ChunkRef) error {
+	if e.nDirty == len(e.dirty) || cc.cfg.WriteFullChunks {
+		cc.env.Unlock(ctx)
+		cc.gate.Acquire(ctx)
+		err := cc.store.PutChunk(ctx, refs, e.data)
+		cc.gate.Release(ctx)
+		cc.env.Lock(ctx)
+		if err != nil {
+			return err
+		}
+		cc.s.ssdWrite.Add(int64(len(e.data)))
+		return nil
+	}
+	var offs []int64
+	var pages [][]byte
+	ps := cc.cfg.PageSize
+	for i, d := range e.dirty {
+		if !d {
+			continue
+		}
+		off := int64(i) * ps
+		offs = append(offs, off)
+		pages = append(pages, e.data[off:off+ps])
+	}
+	cc.env.Unlock(ctx)
+	cc.gate.Acquire(ctx)
+	err := cc.store.PutPages(ctx, refs, offs, pages)
+	cc.gate.Release(ctx)
+	cc.env.Lock(ctx)
+	if err != nil {
+		return err
+	}
+	cc.s.ssdWrite.Add(int64(len(pages)) * ps)
 	return nil
 }
 
@@ -531,11 +604,13 @@ func (cc *ChunkCache) locate(off int64) (int, int64) {
 // ReadRange copies [off, off+len(buf)) of file into buf through the cache.
 // The page layer calls this with single pages; larger spans are also
 // supported for bulk I/O (checkpoint streaming).
-func (cc *ChunkCache) ReadRange(p *simtime.Proc, file string, off int64, buf []byte) error {
+func (cc *ChunkCache) ReadRange(ctx store.Ctx, file string, off int64, buf []byte) error {
 	cc.s.fuseRead.Add(int64(len(buf)))
+	cc.env.Lock(ctx)
+	defer cc.env.Unlock(ctx)
 	for len(buf) > 0 {
 		idx, coff := cc.locate(off)
-		e, err := cc.acquire(p, file, idx)
+		e, err := cc.acquire(ctx, file, idx)
 		if err != nil {
 			return err
 		}
@@ -549,12 +624,14 @@ func (cc *ChunkCache) ReadRange(p *simtime.Proc, file string, off int64, buf []b
 // WriteRange writes data into file at off through the cache, marking the
 // touched pages dirty. Writes are page-aligned when they come from the
 // page layer; arbitrary alignment is handled for bulk I/O.
-func (cc *ChunkCache) WriteRange(p *simtime.Proc, file string, off int64, data []byte) error {
+func (cc *ChunkCache) WriteRange(ctx store.Ctx, file string, off int64, data []byte) error {
 	cc.s.fuseWrite.Add(int64(len(data)))
 	ps := cc.cfg.PageSize
+	cc.env.Lock(ctx)
+	defer cc.env.Unlock(ctx)
 	for len(data) > 0 {
 		idx, coff := cc.locate(off)
-		e, err := cc.acquire(p, file, idx)
+		e, err := cc.acquire(ctx, file, idx)
 		if err != nil {
 			return err
 		}
@@ -575,21 +652,23 @@ func (cc *ChunkCache) WriteRange(p *simtime.Proc, file string, off int64, data [
 
 // Flush writes back every dirty chunk of file, leaving the data cached.
 // Called before checkpoints and on Sync. Writebacks are issued from
-// parallel flusher procs (the FUSE daemon's request concurrency gate still
+// parallel flusher tasks (the FUSE daemon's request concurrency gate still
 // bounds how many are actually in flight).
-func (cc *ChunkCache) Flush(p *simtime.Proc, file string) error {
+func (cc *ChunkCache) Flush(ctx store.Ctx, file string) error {
 	cc.s.flushes.Inc()
+	cc.env.Lock(ctx)
+	defer cc.env.Unlock(ctx)
 	// Deterministic order: ascending chunk index.
 	fi, ok := cc.meta[file]
 	if !ok {
 		var err error
-		fi, err = cc.fileMeta(p, file)
+		fi, err = cc.fileMeta(ctx, file)
 		if err != nil {
 			return err
 		}
 	}
 	var flushErr error
-	wg := &simtime.WaitGroup{}
+	g := cc.env.NewGroup()
 	for idx := range fi.Chunks {
 		e, ok := cc.entries[chunkKey{file, idx}]
 		if !ok {
@@ -597,7 +676,10 @@ func (cc *ChunkCache) Flush(p *simtime.Proc, file string) error {
 		}
 		for e.fut != nil {
 			cc.s.waits.Inc()
-			e.fut.Wait(p)
+			fut := e.fut
+			cc.env.Unlock(ctx)
+			fut.Wait(ctx)
+			cc.env.Lock(ctx)
 			var still bool
 			if e, still = cc.entries[chunkKey{file, idx}]; !still {
 				break
@@ -606,27 +688,74 @@ func (cc *ChunkCache) Flush(p *simtime.Proc, file string) error {
 		if e == nil || e.nDirty == 0 {
 			continue
 		}
-		e.fut = simtime.NewFuture[struct{}](cc.eng, "flush "+file)
-		wg.Add(1)
+		e.fut = cc.env.NewFuture("flush " + file)
 		ent := e
-		fp := cc.eng.Go("flush "+file, func(fp *simtime.Proc) {
-			err := cc.writeback(fp, ent)
+		g.Go(ctx, "flush "+file, func(fctx store.Ctx) {
+			cc.env.Lock(fctx)
+			err := cc.writeback(fctx, ent)
 			fut := ent.fut
 			ent.fut = nil
-			fut.Set(struct{}{})
+			fut.Set()
 			if err != nil && flushErr == nil {
 				flushErr = err
 			}
+			cc.env.Unlock(fctx)
 		})
-		fp.OnDone(func() { wg.Done(fp) })
 	}
-	wg.Wait(p)
+	cc.env.Unlock(ctx)
+	g.Wait(ctx)
+	cc.env.Lock(ctx)
 	return flushErr
 }
 
+// FlushAll writes back every dirty chunk of every cached file (connection
+// teardown, global sync).
+func (cc *ChunkCache) FlushAll(ctx store.Ctx) error {
+	cc.env.Lock(ctx)
+	files := make(map[string]bool)
+	for k, e := range cc.entries {
+		if e.nDirty > 0 {
+			files[k.file] = true
+		}
+	}
+	// Deterministic order helps the simulation; sort the file names.
+	names := make([]string, 0, len(files))
+	for f := range files {
+		names = append(names, f)
+	}
+	cc.env.Unlock(ctx)
+	sort.Strings(names)
+	var firstErr error
+	for _, f := range names {
+		if err := cc.Flush(ctx, f); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Drop discards every cached chunk of file (dirty pages are discarded —
-// used by Free, whose semantics destroy the backing file anyway).
-func (cc *ChunkCache) Drop(file string) {
+// used by Free, whose semantics destroy the backing file anyway). In-flight
+// loads or flushes of the file are waited out first so a straggling fetch
+// cannot resurrect data under a name that may be recreated.
+func (cc *ChunkCache) Drop(ctx store.Ctx, file string) {
+	cc.env.Lock(ctx)
+	defer cc.env.Unlock(ctx)
+	for {
+		var busy store.Future
+		for k, e := range cc.entries {
+			if k.file == file && e.fut != nil {
+				busy = e.fut
+				break
+			}
+		}
+		if busy == nil {
+			break
+		}
+		cc.env.Unlock(ctx)
+		busy.Wait(ctx)
+		cc.env.Lock(ctx)
+	}
 	var victims []*entry
 	for k, e := range cc.entries {
 		if k.file == file {
@@ -648,7 +777,9 @@ func (cc *ChunkCache) Drop(file string) {
 }
 
 // Resident returns how many chunks of file are currently cached.
-func (cc *ChunkCache) Resident(file string) int {
+func (cc *ChunkCache) Resident(ctx store.Ctx, file string) int {
+	cc.env.Lock(ctx)
+	defer cc.env.Unlock(ctx)
 	n := 0
 	for k := range cc.entries {
 		if k.file == file {

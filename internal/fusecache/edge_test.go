@@ -14,7 +14,7 @@ func TestVirginChunksSkipFetch(t *testing.T) {
 	cs := r.cc.cfg.ChunkSize
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "fresh", 4*cs)
-		r.cc.MarkFresh(fi)
+		r.cc.MarkFresh(p, fi)
 		if err := r.cc.WriteRange(p, "fresh", 100, []byte("hello")); err != nil {
 			t.Error(err)
 			return
@@ -38,10 +38,10 @@ func TestVirginDoesNotSurviveDrop(t *testing.T) {
 	cs := r.cc.cfg.ChunkSize
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "fresh", 2*cs)
-		r.cc.MarkFresh(fi)
+		r.cc.MarkFresh(p, fi)
 		r.cc.WriteRange(p, "fresh", 0, []byte{9})
 		r.cc.Flush(p, "fresh")
-		r.cc.Drop("fresh")
+		r.cc.Drop(p, "fresh")
 		buf := make([]byte, 2)
 		if err := r.cc.ReadRange(p, "fresh", 0, buf); err != nil {
 			t.Error(err)
@@ -63,7 +63,7 @@ func TestReadAheadDisabled(t *testing.T) {
 	cs := r.cc.cfg.ChunkSize
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "v", 6*cs)
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		buf := make([]byte, 32)
 		for i := 0; i < 6; i++ {
 			r.cc.ReadRange(p, "v", int64(i)*cs, buf)
@@ -78,9 +78,8 @@ func TestReadAheadDisabled(t *testing.T) {
 // misses serialize at the store; the second waits.
 func TestFuseGateBoundsConcurrency(t *testing.T) {
 	run := func(conc int) simtime.Time {
-		r := newRig(8)
+		r := newRigConc(8, conc)
 		r.cc.cfg.ReadAheadChunks = 0
-		r.cc.gate = simtime.NewResource(r.eng, "gate", conc)
 		cs := r.cc.cfg.ChunkSize
 		var setup bool
 		ready := simtime.NewFuture[struct{}](r.eng, "setup")
@@ -90,7 +89,7 @@ func TestFuseGateBoundsConcurrency(t *testing.T) {
 				if !setup {
 					setup = true
 					fi, _ := r.cc.store.Create(p, "v", 8*cs)
-					r.cc.RegisterMeta(fi)
+					r.cc.RegisterMeta(p, fi)
 					ready.Set(struct{}{})
 				} else {
 					ready.Wait(p)
@@ -114,7 +113,7 @@ func TestStatsConsistency(t *testing.T) {
 	cs := r.cc.cfg.ChunkSize
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "v", 8*cs)
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		buf := make([]byte, 64)
 		for pass := 0; pass < 3; pass++ {
 			for i := 0; i < 8; i++ {

@@ -22,6 +22,11 @@ type rig struct {
 }
 
 func newRig(cacheChunks int) *rig {
+	return newRigConc(cacheChunks, 0)
+}
+
+// newRigConc additionally pins the FUSE daemon concurrency gate.
+func newRigConc(cacheChunks, fuseConc int) *rig {
 	e := simtime.NewEngine()
 	prof := sysprof.Bench()
 	cl := cluster.New(e, prof)
@@ -31,8 +36,9 @@ func newRig(cacheChunks int) *rig {
 		PageSize:        prof.PageSize,
 		CacheBytes:      int64(cacheChunks) * prof.ChunkSize,
 		ReadAheadChunks: 1,
+		FuseConcurrency: fuseConc,
 	}
-	cc := NewChunkCache(e, st.Client(0), cfg)
+	cc := NewChunkCache(simstore.Env(e), st.Client(0), cfg)
 	return &rig{eng: e, cl: cl, store: st, cc: cc}
 }
 
@@ -52,7 +58,7 @@ func TestChunkCacheReadYourWrites(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		data := bytes.Repeat([]byte{0xC3}, 100)
 		if err := r.cc.WriteRange(p, "v", cs-50, data); err != nil { // crosses a chunk boundary
 			t.Error(err)
@@ -74,7 +80,7 @@ func TestDirtyPageOnlyEviction(t *testing.T) {
 	cs, ps := r.cc.cfg.ChunkSize, r.cc.cfg.PageSize
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "v", 8*cs)
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		// Dirty exactly one page of chunk 0.
 		if err := r.cc.WriteRange(p, "v", 0, make([]byte, ps)); err != nil {
 			t.Error(err)
@@ -104,7 +110,7 @@ func TestWholeChunkWriteUsesPutChunk(t *testing.T) {
 	cs := r.cc.cfg.ChunkSize
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "v", 4*cs)
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		if err := r.cc.WriteRange(p, "v", 0, make([]byte, cs)); err != nil {
 			t.Error(err)
 			return
@@ -129,7 +135,7 @@ func TestReadAheadPrefetchesSequential(t *testing.T) {
 	cs := r.cc.cfg.ChunkSize
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "v", 6*cs)
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		buf := make([]byte, 64)
 		for idx := 0; idx < 6; idx++ {
 			if err := r.cc.ReadRange(p, "v", int64(idx)*cs, buf); err != nil {
@@ -153,7 +159,7 @@ func TestLRUCapacityRespected(t *testing.T) {
 	cs := r.cc.cfg.ChunkSize
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "v", 16*cs)
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		buf := make([]byte, 1)
 		for idx := 0; idx < 16; idx++ {
 			if err := r.cc.ReadRange(p, "v", int64(idx)*cs, buf); err != nil {
@@ -161,7 +167,7 @@ func TestLRUCapacityRespected(t *testing.T) {
 				return
 			}
 		}
-		if got := r.cc.Resident("v"); got > 4 {
+		if got := r.cc.Resident(p, "v"); got > 4 {
 			t.Errorf("resident chunks %d exceed capacity 4", got)
 		}
 	})
@@ -175,14 +181,14 @@ func TestFlushPersistsAndDropDiscards(t *testing.T) {
 	cs := r.cc.cfg.ChunkSize
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "v", 2*cs)
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		want := bytes.Repeat([]byte{9}, int(cs/2))
 		r.cc.WriteRange(p, "v", cs/4, want)
 		if err := r.cc.Flush(p, "v"); err != nil {
 			t.Error(err)
 			return
 		}
-		r.cc.Drop("v")
+		r.cc.Drop(p, "v")
 		got := make([]byte, len(want))
 		if err := r.cc.ReadRange(p, "v", cs/4, got); err != nil {
 			t.Error(err)
@@ -200,7 +206,7 @@ func TestCOWRemapOnWriteback(t *testing.T) {
 	r.run(t, func(p *simtime.Proc) {
 		c := r.cc.store
 		fi, _ := c.Create(p, "v", 2*cs)
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		orig := bytes.Repeat([]byte{1}, int(cs))
 		r.cc.WriteRange(p, "v", 0, orig)
 		r.cc.WriteRange(p, "v", cs, orig)
@@ -208,7 +214,7 @@ func TestCOWRemapOnWriteback(t *testing.T) {
 		// Checkpoint: link v's chunks into ckpt, then arm COW.
 		c.Create(p, "ckpt", 0)
 		c.Link(p, "ckpt", []string{"v"})
-		r.cc.ArmCOW("v")
+		r.cc.ArmCOW(p, "v")
 		// Modify chunk 0 and flush: must remap, leaving the checkpoint's
 		// chunk untouched.
 		r.cc.WriteRange(p, "v", 0, bytes.Repeat([]byte{2}, 64))
@@ -221,7 +227,7 @@ func TestCOWRemapOnWriteback(t *testing.T) {
 		}
 		// Checkpoint still sees the original bytes.
 		ck, _ := c.Lookup(p, "ckpt")
-		data, err := c.GetChunk(p, ck.Chunks[0])
+		data, err := c.GetChunk(p, ck.Chunks[0:1])
 		if err != nil {
 			t.Error(err)
 			return
@@ -230,7 +236,7 @@ func TestCOWRemapOnWriteback(t *testing.T) {
 			t.Error("checkpoint chunk was modified in place")
 		}
 		// The variable sees the new bytes.
-		r.cc.Drop("v")
+		r.cc.Drop(p, "v")
 		got := make([]byte, 64)
 		r.cc.ReadRange(p, "v", 0, got)
 		if got[0] != 2 {
@@ -254,7 +260,7 @@ func TestPageCacheAbsorbsRepeatedAccesses(t *testing.T) {
 	pc := NewPageCache(r.cc, 64*r.cc.cfg.PageSize)
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "v", 2*cs)
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		buf := make([]byte, 8)
 		for i := 0; i < 100; i++ {
 			if err := pc.Read(p, "v", 16, buf); err != nil {
@@ -278,7 +284,7 @@ func TestPageCacheWritebackOnSync(t *testing.T) {
 	pc := NewPageCache(r.cc, 64*ps)
 	r.run(t, func(p *simtime.Proc) {
 		fi, _ := r.cc.store.Create(p, "v", 2*cs)
-		r.cc.RegisterMeta(fi)
+		r.cc.RegisterMeta(p, fi)
 		want := bytes.Repeat([]byte{0xEE}, int(3*ps))
 		pc.Write(p, "v", ps/2, want)
 		if err := pc.Sync(p, "v", true); err != nil {
@@ -286,7 +292,7 @@ func TestPageCacheWritebackOnSync(t *testing.T) {
 			return
 		}
 		// Read through a completely fresh path.
-		r.cc.Drop("v")
+		r.cc.Drop(p, "v")
 		pc.Drop("v")
 		got := make([]byte, len(want))
 		if err := pc.Read(p, "v", ps/2, got); err != nil {
@@ -311,7 +317,7 @@ func TestSharedChunkCacheAcrossRanks(t *testing.T) {
 			if !created {
 				created = true
 				fi, _ := r.cc.store.Create(p, "B", 4*cs)
-				r.cc.RegisterMeta(fi)
+				r.cc.RegisterMeta(p, fi)
 				ready.Set(struct{}{})
 			} else {
 				ready.Wait(p)
@@ -352,7 +358,7 @@ func TestCacheMatchesFlatArrayProperty(t *testing.T) {
 				ok = false
 				return
 			}
-			r.cc.RegisterMeta(fi)
+			r.cc.RegisterMeta(p, fi)
 			for op := 0; op < 120 && ok; op++ {
 				off := rng.Int63n(size - 1)
 				n := rng.Int63n(min64(2049, size-off)) + 1
@@ -383,7 +389,7 @@ func TestCacheMatchesFlatArrayProperty(t *testing.T) {
 				return
 			}
 			pc.Drop("v")
-			r.cc.Drop("v")
+			r.cc.Drop(p, "v")
 			got := make([]byte, size)
 			if err := r.cc.ReadRange(p, "v", 0, got); err != nil {
 				ok = false

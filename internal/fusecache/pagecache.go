@@ -4,7 +4,7 @@ import (
 	"container/list"
 	"fmt"
 
-	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/store"
 )
 
 // PageCache is the per-process page-granularity layer standing in for the
@@ -17,6 +17,11 @@ import (
 // a node-level mapping coherent. Its byte counters are the "requests to
 // FUSE" column of Table IV and the "data written to FUSE" row of
 // Table VII.
+//
+// A PageCache belongs to a single rank and, like the per-process kernel
+// page cache it models, is not safe for concurrent use; cross-rank (and
+// cross-goroutine) safety lives one layer down, in the shared ChunkCache,
+// which serializes through its env lock.
 type PageCache struct {
 	cc  *ChunkCache
 	cap int // capacity in pages
@@ -79,15 +84,15 @@ func (pc *PageCache) pageSize() int64 { return pc.cc.cfg.PageSize }
 // fault loads one page from the FUSE layer. fill controls whether the
 // page's current content is fetched — a write that covers the whole page
 // can skip the read (the kernel does the same for full-page overwrites).
-func (pc *PageCache) fault(p *simtime.Proc, key pageKey, fill bool) (*page, error) {
-	if err := pc.ensureRoom(p); err != nil {
+func (pc *PageCache) fault(ctx store.Ctx, key pageKey, fill bool) (*page, error) {
+	if err := pc.ensureRoom(ctx); err != nil {
 		return nil, err
 	}
 	pg := &page{key: key, data: make([]byte, pc.pageSize())}
 	if fill {
 		pc.s.Faults++
 		pc.s.FaultBytes += pc.pageSize()
-		if err := pc.cc.ReadRange(p, key.file, key.idx*pc.pageSize(), pg.data); err != nil {
+		if err := pc.cc.ReadRange(ctx, key.file, key.idx*pc.pageSize(), pg.data); err != nil {
 			return nil, err
 		}
 	}
@@ -104,7 +109,7 @@ func (pc *PageCache) fault(p *simtime.Proc, key pageKey, fill bool) (*page, erro
 
 // ensureRoom evicts LRU pages until one more fits. Pages are never dirty
 // (writes are pushed through immediately), so eviction is a plain drop.
-func (pc *PageCache) ensureRoom(p *simtime.Proc) error {
+func (pc *PageCache) ensureRoom(ctx store.Ctx) error {
 	for len(pc.entries) >= pc.cap {
 		el := pc.lru.Back()
 		if el == nil {
@@ -112,7 +117,7 @@ func (pc *PageCache) ensureRoom(p *simtime.Proc) error {
 		}
 		pg := el.Value.(*page)
 		if pg.dirty {
-			if err := pc.writeback(p, pg); err != nil {
+			if err := pc.writeback(ctx, pg); err != nil {
 				return err
 			}
 		}
@@ -123,10 +128,10 @@ func (pc *PageCache) ensureRoom(p *simtime.Proc) error {
 }
 
 // writeback pushes one whole page to the FUSE layer.
-func (pc *PageCache) writeback(p *simtime.Proc, pg *page) error {
+func (pc *PageCache) writeback(ctx store.Ctx, pg *page) error {
 	pc.s.Writebacks++
 	pc.s.WritebackBytes += pc.pageSize()
-	if err := pc.cc.WriteRange(p, pg.key.file, pg.key.idx*pc.pageSize(), pg.data); err != nil {
+	if err := pc.cc.WriteRange(ctx, pg.key.file, pg.key.idx*pc.pageSize(), pg.data); err != nil {
 		return err
 	}
 	pg.dirty = false
@@ -134,7 +139,7 @@ func (pc *PageCache) writeback(p *simtime.Proc, pg *page) error {
 }
 
 // Read copies [off, off+len(buf)) of file into buf through the page cache.
-func (pc *PageCache) Read(p *simtime.Proc, file string, off int64, buf []byte) error {
+func (pc *PageCache) Read(ctx store.Ctx, file string, off int64, buf []byte) error {
 	ps := pc.pageSize()
 	for len(buf) > 0 {
 		key := pageKey{file, off / ps}
@@ -145,7 +150,7 @@ func (pc *PageCache) Read(p *simtime.Proc, file string, off int64, buf []byte) e
 			pc.lru.MoveToFront(pg.lru)
 		} else {
 			var err error
-			pg, err = pc.fault(p, key, true)
+			pg, err = pc.fault(ctx, key, true)
 			if err != nil {
 				return err
 			}
@@ -160,7 +165,7 @@ func (pc *PageCache) Read(p *simtime.Proc, file string, off int64, buf []byte) e
 // Write stores data into file at off: the page copy is updated and the
 // whole page is pushed through to the FUSE layer immediately
 // (write-through, matching the paper's §III-D write path).
-func (pc *PageCache) Write(p *simtime.Proc, file string, off int64, data []byte) error {
+func (pc *PageCache) Write(ctx store.Ctx, file string, off int64, data []byte) error {
 	ps := pc.pageSize()
 	for len(data) > 0 {
 		key := pageKey{file, off / ps}
@@ -177,13 +182,13 @@ func (pc *PageCache) Write(p *simtime.Proc, file string, off int64, data []byte)
 			// Full-page overwrites skip the read-fill.
 			fill := !(poff == 0 && int64(n) == ps)
 			var err error
-			pg, err = pc.fault(p, key, fill)
+			pg, err = pc.fault(ctx, key, fill)
 			if err != nil {
 				return err
 			}
 		}
 		copy(pg.data[poff:], data[:n])
-		if err := pc.writeback(p, pg); err != nil {
+		if err := pc.writeback(ctx, pg); err != nil {
 			return err
 		}
 		data = data[n:]
@@ -196,17 +201,17 @@ func (pc *PageCache) Write(p *simtime.Proc, file string, off int64, data []byte)
 // page layer is already clean, so Sync asks the FUSE layer to flush the
 // file's dirty chunks to the store (msync + fsync semantics). The through
 // flag is kept for callers that only want the page-layer guarantee.
-func (pc *PageCache) Sync(p *simtime.Proc, file string, through bool) error {
+func (pc *PageCache) Sync(ctx store.Ctx, file string, through bool) error {
 	for el := pc.lru.Front(); el != nil; el = el.Next() {
 		pg := el.Value.(*page)
 		if pg.key.file == file && pg.dirty {
-			if err := pc.writeback(p, pg); err != nil {
+			if err := pc.writeback(ctx, pg); err != nil {
 				return err
 			}
 		}
 	}
 	if through {
-		return pc.cc.Flush(p, file)
+		return pc.cc.Flush(ctx, file)
 	}
 	return nil
 }

@@ -125,16 +125,26 @@ type ManagerReq struct {
 	NChunks   int
 	// SetTTL: lifetime deadline in nanoseconds since the manager started.
 	ExpiresAtNanos int64
+	// SetTTL: relative lifetime in nanoseconds from the manager's current
+	// clock. When positive it takes precedence over ExpiresAtNanos —
+	// clients on other machines do not know the manager's epoch. Zero from
+	// older clients (gob leaves missing fields zero), so the extension is
+	// backward-compatible both ways.
+	TTLNanos int64
 	// Heartbeat
 	WriteVolume int64
 }
 
 // ManagerResp is the manager-side response envelope.
 type ManagerResp struct {
-	Err       string
-	File      FileInfo
-	OldRef    ChunkRef // Remap: the chunk the caller may copy from
-	NewRef    ChunkRef // Remap: the freshly allocated chunk
+	Err    string
+	File   FileInfo
+	OldRef ChunkRef // Remap: the chunk the caller may copy from
+	NewRef ChunkRef // Remap: the freshly allocated chunk
+	// NewRefs is the full replica set of the remapped chunk, primary first
+	// (NewRefs[0] == NewRef). Nil from an older manager; callers fall back
+	// to NewRef alone.
+	NewRefs   []ChunkRef
 	Bens      []BenefactorInfo
 	ChunkSize int64    // Status: the store's striping unit
 	Expired   []string // Expire: reclaimed file names

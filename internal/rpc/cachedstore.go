@@ -1,19 +1,17 @@
 package rpc
 
 import (
-	"container/list"
-	"errors"
 	"fmt"
-	"sync"
-	"time"
 
-	"nvmalloc/internal/obs"
+	"nvmalloc/internal/fusecache"
 	"nvmalloc/internal/proto"
+	"nvmalloc/internal/store"
 )
 
-// CacheConfig is the geometry of a CachedStore. It mirrors
-// fusecache.Config — the simulation's per-node cache — transplanted to
-// wall-clock time for the real TCP deployment.
+// CacheConfig is the geometry of a CachedStore. It is a thin alias over
+// fusecache.Config — the one FUSE-layer chunk cache shared with the
+// simulation — minus the fields the TCP path derives itself (chunk size
+// from the store, observability from the store's registry).
 type CacheConfig struct {
 	// CacheBytes is the cache capacity (paper: 64 MB). Rounded down to
 	// whole chunks, minimum one chunk.
@@ -28,95 +26,40 @@ type CacheConfig struct {
 	// chunks travel on every writeback however few pages are dirty — the
 	// "without optimization" baseline of Table VII.
 	WriteFullChunks bool
+	// FuseConcurrency bounds concurrent store requests from this cache
+	// (the FUSE daemon's thread pool in the paper). 0 keeps the fusecache
+	// default.
+	FuseConcurrency int
 }
 
-// CacheStats are a CachedStore's cumulative counters.
+// CacheStats are a CachedStore's cumulative counters — a compatibility
+// view over fusecache.Stats.
 type CacheStats struct {
 	Hits           int64
 	Misses         int64
 	Waits          int64 // accesses that waited on an in-flight fetch or flush
 	Evictions      int64
 	DirtyEvictions int64
+	Remaps         int64 // copy-on-write remappings performed
 	Flushes        int64
 	ReadBytes      int64 // bytes served to the application
 	WriteBytes     int64 // bytes accepted from the application
 	PrefetchBytes  int64 // chunk bytes fetched by read-ahead
 }
 
-// cacheMetrics holds the cache's registry handles (on the underlying
-// Store's registry), looked up once at construction. CacheStats is a
-// compatibility shim over the same counters.
-type cacheMetrics struct {
-	hits, misses, waits       *obs.Counter
-	evictions, dirtyEvictions *obs.Counter
-	flushes                   *obs.Counter
-	readBytes, writeBytes     *obs.Counter
-	prefetchBytes             *obs.Counter
-	writebackLat              *obs.Histogram
-}
-
-func newCacheMetrics(o *obs.Obs) cacheMetrics {
-	r := o.Reg
-	return cacheMetrics{
-		hits:           r.Counter("cache.hits"),
-		misses:         r.Counter("cache.misses"),
-		waits:          r.Counter("cache.waits"),
-		evictions:      r.Counter("cache.evictions"),
-		dirtyEvictions: r.Counter("cache.dirty_evictions"),
-		flushes:        r.Counter("cache.flushes"),
-		readBytes:      r.Counter("cache.read_bytes"),
-		writeBytes:     r.Counter("cache.write_bytes"),
-		prefetchBytes:  r.Counter("cache.prefetch_bytes"),
-		writebackLat:   r.Histogram("cache.writeback.latency"),
-	}
-}
-
-type cacheKey struct {
-	file string
-	idx  int
-}
-
-// centry is one cached chunk.
-type centry struct {
-	key    cacheKey
-	data   []byte
-	dirty  []bool // per page
-	nDirty int
-	lru    *list.Element
-	// busy is non-nil while the entry is being fetched or flushed; waiters
-	// block on it and re-examine the cache afterwards.
-	busy chan struct{}
-	// err is the fetch error, valid once busy is closed and the entry was
-	// removed from the map.
-	err      error
-	prefetch bool
-}
-
-// CachedStore puts a client-side chunk cache in front of a Store: an LRU
-// of whole chunks with per-page dirty bitmaps. Reads hit the cache; writes
-// dirty pages in place; on eviction or Flush only the dirty pages travel
-// to the benefactor via OpPutPages (the paper's Table VII write
-// optimization), and sequential read misses trigger asynchronous
-// read-ahead (why NVMalloc beats direct SSD access on STREAM, Table III).
+// CachedStore puts a client-side chunk cache in front of a Store. It is a
+// thin shim over fusecache.ChunkCache — the same LRU/dirty-bitmap/
+// read-ahead/COW implementation the simulation runs — driven by a
+// store.GoEnv (real goroutines and a mutex instead of simulated procs).
+// Reads hit the cache; writes dirty pages in place; on eviction or Flush
+// only the dirty pages travel via OpPutPages (Table VII), and sequential
+// read misses trigger asynchronous read-ahead (Table III).
 //
-// This is the wall-clock counterpart of the simulation's
-// fusecache.ChunkCache. All methods are safe for concurrent use.
+// All methods are safe for concurrent use.
 type CachedStore struct {
 	st  *Store
-	cfg CacheConfig
-
-	mu       sync.Mutex
-	entries  map[cacheKey]*centry
-	lru      *list.List // front = most recent
-	lastMiss map[string]int
-	// virgin marks chunks of files this client just created: they are
-	// known-zero (the manager reserves space; data arrives lazily), so a
-	// miss materializes without a fetch — no read-modify-write traffic for
-	// initial population.
-	virgin map[cacheKey]bool
-	m      cacheMetrics
-
-	prefetchers sync.WaitGroup
+	env *store.GoEnv
+	cc  *fusecache.ChunkCache
 }
 
 // NewCachedStore wraps an open Store. Closing the CachedStore flushes the
@@ -131,467 +74,118 @@ func NewCachedStore(st *Store, cfg CacheConfig) (*CachedStore, error) {
 	if cfg.CacheBytes < st.ChunkSize() {
 		cfg.CacheBytes = st.ChunkSize()
 	}
-	return &CachedStore{
-		st:       st,
-		cfg:      cfg,
-		entries:  make(map[cacheKey]*centry),
-		lru:      list.New(),
-		lastMiss: make(map[string]int),
-		virgin:   make(map[cacheKey]bool),
-		m:        newCacheMetrics(st.obs),
-	}, nil
+	env := store.NewGoEnv()
+	cc := fusecache.NewChunkCache(env, NewStoreClient(st, 0), fusecache.Config{
+		ChunkSize:       st.ChunkSize(),
+		PageSize:        cfg.PageSize,
+		CacheBytes:      cfg.CacheBytes,
+		ReadAheadChunks: cfg.ReadAheadChunks,
+		WriteFullChunks: cfg.WriteFullChunks,
+		FuseConcurrency: cfg.FuseConcurrency,
+		Obs:             st.obs,
+	})
+	return &CachedStore{st: st, env: env, cc: cc}, nil
 }
 
 // Store returns the underlying uncached client (for Manager access and
 // data-path stats).
 func (cs *CachedStore) Store() *Store { return cs.st }
 
+// Cache exposes the shared FUSE-layer chunk cache (for core.NewClient).
+func (cs *CachedStore) Cache() *fusecache.ChunkCache { return cs.cc }
+
 // ChunkSize returns the striping unit.
 func (cs *CachedStore) ChunkSize() int64 { return cs.st.ChunkSize() }
 
-// Stats returns a snapshot of the cache counters. It is a compatibility
-// shim over the underlying Store's metrics registry.
+// Stats returns a snapshot of the cache counters.
 func (cs *CachedStore) Stats() CacheStats {
+	s := cs.cc.Stats()
 	return CacheStats{
-		Hits:           cs.m.hits.Load(),
-		Misses:         cs.m.misses.Load(),
-		Waits:          cs.m.waits.Load(),
-		Evictions:      cs.m.evictions.Load(),
-		DirtyEvictions: cs.m.dirtyEvictions.Load(),
-		Flushes:        cs.m.flushes.Load(),
-		ReadBytes:      cs.m.readBytes.Load(),
-		WriteBytes:     cs.m.writeBytes.Load(),
-		PrefetchBytes:  cs.m.prefetchBytes.Load(),
+		Hits:           s.Hits,
+		Misses:         s.Misses,
+		Waits:          s.Waits,
+		Evictions:      s.Evictions,
+		DirtyEvictions: s.DirtyEvictions,
+		Remaps:         s.Remaps,
+		Flushes:        s.Flushes,
+		ReadBytes:      s.FuseReadBytes,
+		WriteBytes:     s.FuseWriteBytes,
+		PrefetchBytes:  s.PrefetchBytes,
 	}
 }
 
-// capacityChunks returns the cache capacity in chunks (at least 1).
-func (cs *CachedStore) capacityChunks() int {
-	n := int(cs.cfg.CacheBytes / cs.st.ChunkSize())
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
-func (cs *CachedStore) pagesPerChunk() int { return int(cs.st.ChunkSize() / cs.cfg.PageSize) }
-
-// acquire returns the resident entry for (file, idx) with cs.mu held,
-// fetching on a miss. ref resolution happens through the underlying
-// store's metadata cache (with its stale-map retry).
-func (cs *CachedStore) acquire(fi proto.FileInfo, idx int, prefetch bool) (*centry, error) {
-	key := cacheKey{fi.Name, idx}
-	for {
-		if e, ok := cs.entries[key]; ok {
-			if e.busy != nil {
-				cs.m.waits.Inc()
-				busy := e.busy
-				cs.mu.Unlock()
-				<-busy
-				cs.mu.Lock()
-				continue // state changed; re-examine
-			}
-			if !prefetch {
-				cs.m.hits.Inc()
-			}
-			cs.lru.MoveToFront(e.lru)
-			return e, nil
-		}
-		if err := cs.ensureRoom(); err != nil {
-			return nil, err
-		}
-		if _, ok := cs.entries[key]; ok {
-			continue // eviction released the lock; re-examine
-		}
-		if cs.virgin[key] {
-			// Known-zero chunk of a file this client created: materialize
-			// it without store traffic.
-			delete(cs.virgin, key)
-			e := &centry{
-				key:   key,
-				data:  make([]byte, cs.st.ChunkSize()),
-				dirty: make([]bool, cs.pagesPerChunk()),
-			}
-			cs.entries[key] = e
-			e.lru = cs.lru.PushFront(e)
-			return e, nil
-		}
-		e := &centry{
-			key:      key,
-			dirty:    make([]bool, cs.pagesPerChunk()),
-			busy:     make(chan struct{}),
-			prefetch: prefetch,
-		}
-		cs.entries[key] = e
-		e.lru = cs.lru.PushFront(e)
-		kind := "miss"
-		if prefetch {
-			kind = "prefetch"
-		} else {
-			cs.m.misses.Inc()
-		}
-		tid := obs.NewTraceID()
-		cs.st.obs.Event("cache", kind, tid, fmt.Sprintf("file=%q chunk=%d", key.file, key.idx))
-		cs.mu.Unlock()
-		data, err := cs.st.getChunk(tid, replicaRefs(fi, idx))
-		cs.mu.Lock()
-		if err != nil {
-			delete(cs.entries, key)
-			cs.lru.Remove(e.lru)
-			e.err = err
-			close(e.busy)
-			return nil, err
-		}
-		// Own a private copy sized to a full chunk.
-		e.data = make([]byte, cs.st.ChunkSize())
-		copy(e.data, data)
-		if prefetch {
-			cs.m.prefetchBytes.Add(int64(len(data)))
-		}
-		close(e.busy)
-		e.busy = nil
-		return e, nil
-	}
-}
-
-// ensureRoom evicts LRU entries until a new chunk fits. Called and returns
-// with cs.mu held; may release it while writing back a dirty victim.
-func (cs *CachedStore) ensureRoom() error {
-	for len(cs.entries) >= cs.capacityChunks() {
-		var victim *centry
-		for el := cs.lru.Back(); el != nil; el = el.Prev() {
-			if e := el.Value.(*centry); e.busy == nil {
-				victim = e
-				break
-			}
-		}
-		if victim == nil {
-			// Everything resident is in flight; wait for one transition.
-			el := cs.lru.Back()
-			if el == nil {
-				return fmt.Errorf("rpc: cache wedged with %d entries", len(cs.entries))
-			}
-			busy := el.Value.(*centry).busy
-			cs.m.waits.Inc()
-			cs.mu.Unlock()
-			<-busy
-			cs.mu.Lock()
-			continue
-		}
-		if err := cs.evict(victim); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// evict writes back a victim's dirty pages and drops it. Called with cs.mu
-// held; releases it during the writeback.
-func (cs *CachedStore) evict(e *centry) error {
-	cs.m.evictions.Inc()
-	tid := obs.NewTraceID()
-	cs.st.obs.Event("cache", "eviction", tid,
-		fmt.Sprintf("file=%q chunk=%d dirty_pages=%d", e.key.file, e.key.idx, e.nDirty))
-	if e.nDirty > 0 {
-		cs.m.dirtyEvictions.Inc()
-		if err := cs.writeback(tid, e); err != nil {
-			return err
-		}
-	}
-	delete(cs.entries, e.key)
-	cs.lru.Remove(e.lru)
-	return nil
-}
-
-// writeback ships an entry's dirty pages to its benefactor. Called with
-// cs.mu held and e resident; marks e busy, releases the lock for the
-// transfer, and returns with the lock held and e clean.
-func (cs *CachedStore) writeback(tid string, e *centry) error {
-	refs, err := cs.chunkRefs(e.key)
+// size returns a file's current size (via the store's cached metadata).
+func (cs *CachedStore) size(name string) (int64, error) {
+	fi, err := cs.st.fileInfo(name)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	e.busy = make(chan struct{})
-	allDirty := e.nDirty == len(e.dirty) || cs.cfg.WriteFullChunks
-	cs.st.obs.Event("cache", "writeback", tid,
-		fmt.Sprintf("file=%q chunk=%d dirty_pages=%d/%d full_chunk=%v", e.key.file, e.key.idx, e.nDirty, len(e.dirty), allDirty))
-	var werr error
-	cs.mu.Unlock()
-	start := time.Now()
-	werr = cs.ship(tid, refs, e, allDirty)
-	if errors.Is(werr, proto.ErrNoSuchChunk) {
-		// Stale chunk map: the chunk was remapped (or the file deleted) by
-		// another client. Re-resolve and retry once; a vanished file means
-		// the dirty data has nowhere to go and is discarded.
-		cs.st.invalidateMeta(e.key.file)
-		fi, lerr := cs.st.fileInfo(e.key.file)
-		switch {
-		case errors.Is(lerr, proto.ErrNoSuchFile):
-			werr = nil
-		case lerr != nil:
-			werr = lerr
-		case e.key.idx >= len(fi.Chunks):
-			werr = nil // file shrank; the chunk is gone
-		default:
-			werr = cs.ship(tid, replicaRefs(fi, e.key.idx), e, allDirty)
-		}
-	}
-	cs.m.writebackLat.Observe(time.Since(start))
-	cs.mu.Lock()
-	close(e.busy)
-	e.busy = nil
-	if werr != nil {
-		return werr
-	}
-	for i := range e.dirty {
-		e.dirty[i] = false
-	}
-	e.nDirty = 0
-	return nil
-}
-
-// ship transfers an entry's payload (whole chunk or dirty pages only) to
-// every replica of the chunk. Called without cs.mu; e.busy guards the
-// entry. Replica failover and degraded-write accounting come from the
-// underlying Store.
-func (cs *CachedStore) ship(tid string, refs []proto.ChunkRef, e *centry, allDirty bool) error {
-	if allDirty {
-		return cs.st.putChunk(tid, refs, e.data)
-	}
-	var offs []int64
-	var pages [][]byte
-	ps := cs.cfg.PageSize
-	for i, d := range e.dirty {
-		if !d {
-			continue
-		}
-		off := int64(i) * ps
-		offs = append(offs, off)
-		pages = append(pages, e.data[off:off+ps])
-	}
-	return cs.st.putPages(tid, refs, offs, pages)
-}
-
-// chunkRefs resolves a cached chunk's current copy set (primary first).
-// Called with cs.mu held; releases it for the (possibly remote) lookup.
-func (cs *CachedStore) chunkRefs(key cacheKey) ([]proto.ChunkRef, error) {
-	cs.mu.Unlock()
-	defer cs.mu.Lock()
-	fi, err := cs.st.fileInfo(key.file)
-	if err != nil {
-		return nil, err
-	}
-	if key.idx >= len(fi.Chunks) {
-		return nil, fmt.Errorf("%w: writeback of %q chunk %d", proto.ErrChunkOutOfRange, key.file, key.idx)
-	}
-	return replicaRefs(fi, key.idx), nil
-}
-
-// readAhead asynchronously warms the chunks after idx on a sequential miss.
-func (cs *CachedStore) readAhead(fi proto.FileInfo, idx int) {
-	for ahead := 1; ahead <= cs.cfg.ReadAheadChunks; ahead++ {
-		na := idx + ahead
-		if na >= len(fi.Chunks) {
-			break
-		}
-		if _, ok := cs.entries[cacheKey{fi.Name, na}]; ok {
-			continue
-		}
-		cs.prefetchers.Add(1)
-		go func(na int) {
-			defer cs.prefetchers.Done()
-			cs.mu.Lock()
-			// Best effort: the demand path will retry and report errors.
-			_, _ = cs.acquire(fi, na, true)
-			cs.mu.Unlock()
-		}(na)
-	}
-}
-
-// locate splits a byte offset into (chunk index, offset within chunk).
-func (cs *CachedStore) locate(off int64) (int, int64) {
-	c := cs.st.ChunkSize()
-	return int(off / c), off % c
+	return fi.Size, nil
 }
 
 // Create reserves a file of the given size and marks its chunks known-zero
 // so first writes skip the read-modify-write fetch.
 func (cs *CachedStore) Create(name string, size int64) error {
-	if err := cs.st.Create(name, size); err != nil {
-		return err
-	}
-	fi, err := cs.st.fileInfo(name)
+	fi, err := cs.st.CreateInfo(name, size)
 	if err != nil {
 		return err
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	for i := range fi.Chunks {
-		cs.virgin[cacheKey{name, i}] = true
-	}
+	cs.cc.MarkFresh(nil, fi)
 	return nil
 }
 
 // Stat returns a file's metadata (consulting the manager).
-func (cs *CachedStore) Stat(name string) (proto.FileInfo, error) { return cs.st.Stat(name) }
+func (cs *CachedStore) Stat(name string) (proto.FileInfo, error) {
+	cs.cc.InvalidateMeta(nil, name)
+	return cs.st.Stat(name)
+}
 
-// Delete flushes nothing — the file is going away — and drops its cached
-// chunks before removing it from the store.
+// Delete drops the file's cached chunks — dirty pages included; the file
+// is going away — before removing it from the store.
 func (cs *CachedStore) Delete(name string) error {
-	cs.Drop(name)
+	cs.cc.Drop(nil, name)
 	return cs.st.Delete(name)
 }
 
 // Drop discards every cached chunk of file, dirty pages included.
-func (cs *CachedStore) Drop(name string) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	for k, e := range cs.entries {
-		if k.file == name && e.busy == nil {
-			delete(cs.entries, k)
-			cs.lru.Remove(e.lru)
-		}
-	}
-	for k := range cs.virgin {
-		if k.file == name {
-			delete(cs.virgin, k)
-		}
-	}
-	delete(cs.lastMiss, name)
-}
+func (cs *CachedStore) Drop(name string) { cs.cc.Drop(nil, name) }
+
+// ArmCOW marks a file's chunks as possibly checkpoint-shared: the next
+// writeback of each chunk remaps it copy-on-write (§III-E).
+func (cs *CachedStore) ArmCOW(name string) { cs.cc.ArmCOW(nil, name) }
 
 // ReadAt fills buf from the file at off through the cache.
 func (cs *CachedStore) ReadAt(name string, off int64, buf []byte) error {
-	fi, err := cs.st.fileInfo(name)
+	size, err := cs.size(name)
 	if err != nil {
 		return err
 	}
-	if off < 0 || off+int64(len(buf)) > fi.Size {
-		return fmt.Errorf("%w: read [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(buf)), name, fi.Size)
+	if off < 0 || off+int64(len(buf)) > size {
+		return fmt.Errorf("%w: read [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(buf)), name, size)
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	cs.m.readBytes.Add(int64(len(buf)))
-	for len(buf) > 0 {
-		idx, coff := cs.locate(off)
-		sequential := cs.lastMiss[name] == idx-1
-		wasMiss := cs.entries[cacheKey{name, idx}] == nil
-		e, err := cs.acquire(fi, idx, false)
-		if err != nil {
-			return err
-		}
-		if wasMiss {
-			cs.lastMiss[name] = idx
-			if sequential && cs.cfg.ReadAheadChunks > 0 {
-				cs.readAhead(fi, idx)
-			}
-		}
-		n := copy(buf, e.data[coff:])
-		buf = buf[n:]
-		off += int64(n)
-	}
-	return nil
+	return cs.cc.ReadRange(nil, name, off, buf)
 }
 
 // WriteAt writes data into the file at off through the cache, marking the
 // touched pages dirty. No bytes reach a benefactor until eviction or
 // Flush, and then only dirty pages travel (unless WriteFullChunks).
 func (cs *CachedStore) WriteAt(name string, off int64, data []byte) error {
-	fi, err := cs.st.fileInfo(name)
+	size, err := cs.size(name)
 	if err != nil {
 		return err
 	}
-	if off < 0 || off+int64(len(data)) > fi.Size {
-		return fmt.Errorf("%w: write [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(data)), name, fi.Size)
+	if off < 0 || off+int64(len(data)) > size {
+		return fmt.Errorf("%w: write [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(data)), name, size)
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	cs.m.writeBytes.Add(int64(len(data)))
-	ps := cs.cfg.PageSize
-	for len(data) > 0 {
-		idx, coff := cs.locate(off)
-		e, err := cs.acquire(fi, idx, false)
-		if err != nil {
-			return err
-		}
-		n := copy(e.data[coff:], data)
-		firstPage := int(coff / ps)
-		lastPage := int((coff + int64(n) - 1) / ps)
-		for pg := firstPage; pg <= lastPage; pg++ {
-			if !e.dirty[pg] {
-				e.dirty[pg] = true
-				e.nDirty++
-			}
-		}
-		data = data[n:]
-		off += int64(n)
-	}
-	return nil
+	return cs.cc.WriteRange(nil, name, off, data)
 }
 
 // Flush writes back every dirty cached chunk of file, leaving the data
 // resident and clean.
-func (cs *CachedStore) Flush(name string) error {
-	tid := obs.NewTraceID()
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	cs.m.flushes.Inc()
-	cs.st.obs.Event("cache", "flush", tid, fmt.Sprintf("file=%q", name))
-	for {
-		var victim *centry
-		for _, e := range cs.entries {
-			if e.key.file != name {
-				continue
-			}
-			if e.busy != nil {
-				cs.m.waits.Inc()
-				busy := e.busy
-				cs.mu.Unlock()
-				<-busy
-				cs.mu.Lock()
-				victim = nil
-				break // state changed; rescan
-			}
-			if e.nDirty > 0 {
-				victim = e
-				break
-			}
-		}
-		if victim == nil {
-			// Either nothing left dirty, or we waited and must rescan.
-			clean := true
-			for _, e := range cs.entries {
-				if e.key.file == name && (e.busy != nil || e.nDirty > 0) {
-					clean = false
-					break
-				}
-			}
-			if clean {
-				return nil
-			}
-			continue
-		}
-		if err := cs.writeback(tid, victim); err != nil {
-			return err
-		}
-	}
-}
+func (cs *CachedStore) Flush(name string) error { return cs.cc.Flush(nil, name) }
 
 // FlushAll writes back every dirty chunk in the cache.
-func (cs *CachedStore) FlushAll() error {
-	cs.mu.Lock()
-	files := make(map[string]bool)
-	for k := range cs.entries {
-		files[k.file] = true
-	}
-	cs.mu.Unlock()
-	for f := range files {
-		if err := cs.Flush(f); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func (cs *CachedStore) FlushAll() error { return cs.cc.FlushAll(nil) }
 
 // Put uploads a whole payload as a (new) file through the cache.
 func (cs *CachedStore) Put(name string, data []byte) error {
@@ -603,11 +197,11 @@ func (cs *CachedStore) Put(name string, data []byte) error {
 
 // Get downloads a whole file through the cache.
 func (cs *CachedStore) Get(name string) ([]byte, error) {
-	fi, err := cs.st.fileInfo(name)
+	size, err := cs.size(name)
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, fi.Size)
+	buf := make([]byte, size)
 	if err := cs.ReadAt(name, 0, buf); err != nil {
 		return nil, err
 	}
@@ -615,23 +209,13 @@ func (cs *CachedStore) Get(name string) ([]byte, error) {
 }
 
 // Resident returns how many chunks of file are currently cached.
-func (cs *CachedStore) Resident(name string) int {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	n := 0
-	for k := range cs.entries {
-		if k.file == name {
-			n++
-		}
-	}
-	return n
-}
+func (cs *CachedStore) Resident(name string) int { return cs.cc.Resident(nil, name) }
 
 // Close flushes all dirty pages, waits for read-ahead to settle, and
 // closes the underlying store.
 func (cs *CachedStore) Close() error {
-	ferr := cs.FlushAll()
-	cs.prefetchers.Wait()
+	ferr := cs.cc.FlushAll(nil)
+	cs.env.Quiesce()
 	cerr := cs.st.Close()
 	if ferr != nil {
 		return ferr

@@ -1,0 +1,184 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestRemapPatchesCachedMeta: a client's own Remap must leave its cached
+// chunk map pointing at the fresh chunk, so the next write lands there
+// without a manager round trip — and without corrupting the shared copy.
+func TestRemapPatchesCachedMeta(t *testing.T) {
+	r := newRig(t, 2)
+	st, err := Open(r.mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	payload := bytes.Repeat([]byte("v0"), testChunk/2)
+	if err := st.Put("f", payload); err != nil {
+		t.Fatal(err)
+	}
+	old, err := st.Stat("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Share the chunk so Remap actually allocates (refs == 1 is a no-op).
+	if err := st.Create("ckpt", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Link("ckpt", []string{"f"}); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := st.Remap("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh[0] == old.Chunks[0] {
+		t.Fatalf("remap of a shared chunk returned the old ref %v", fresh[0])
+	}
+	cached, err := st.fileInfo("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Chunks[0] != fresh[0] {
+		t.Fatalf("cached meta still points at %v, want fresh %v", cached.Chunks[0], fresh[0])
+	}
+
+	// A write through the patched map must hit the fresh chunk and leave
+	// the checkpoint's shared copy untouched.
+	if err := st.WriteAt("f", 0, []byte("V1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:2]) != "V1" {
+		t.Fatalf("read %q through patched meta, want V1", got[:2])
+	}
+	ck, err := st.Get("ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ck[:2]) != "v0" {
+		t.Fatalf("checkpoint copy mutated to %q — write went to the old chunk", ck[:2])
+	}
+}
+
+// TestLinkDeriveUpdateCachedMeta: Link and Derive return the new chunk map
+// and must install it in the cache, so immediate reads see the post-link
+// layout without a Stat.
+func TestLinkDeriveUpdateCachedMeta(t *testing.T) {
+	r := newRig(t, 2)
+	st, err := Open(r.mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	payload := bytes.Repeat([]byte("x"), 2*testChunk)
+	if err := st.Put("part", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Create("ckpt", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Stat("ckpt"); err != nil { // cache the pre-link (empty) map
+		t.Fatal(err)
+	}
+	if _, err := st.Link("ckpt", []string{"part"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("ckpt") // must serve from the post-link cached map
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("post-link read through cached meta returned wrong data")
+	}
+
+	if _, err := st.Derive("slice", "ckpt", 1, 1, testChunk); err != nil {
+		t.Fatal(err)
+	}
+	sl, err := st.Get("slice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sl, payload[testChunk:]) {
+		t.Fatal("post-derive read through cached meta returned wrong data")
+	}
+}
+
+// TestStaleMetaAfterRemapRetried: a client whose cached chunk map predates
+// another client's Remap must transparently re-lookup when the old chunk
+// is gone — the read is retried with fresh metadata, never failed and
+// never served from a dangling reference.
+func TestStaleMetaAfterRemapRetried(t *testing.T) {
+	r := newRig(t, 2)
+	a, err := Open(r.mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(r.mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	v0 := bytes.Repeat([]byte("0"), testChunk)
+	if err := b.Put("f", v0); err != nil {
+		t.Fatal(err)
+	}
+	// Client a caches f's chunk map.
+	if _, err := a.Get("f"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Client b shares the chunk, remaps it copy-on-write, overwrites the
+	// variable, then deletes the checkpoint — dropping the OLD chunk's
+	// last reference, so the benefactor discards it.
+	if err := b.Create("ckpt", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Link("ckpt", []string{"f"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Remap("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte("1"), testChunk)
+	if err := b.WriteAt("f", 0, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete("ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	// Chunk deletion flows through the manager's benefactor connections;
+	// wait until only f's fresh chunk occupies space.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.bens[0].Store().Used()+r.bens[1].Store().Used() == testChunk {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// a's cached map now dangles. ReadAt consults the cache (unlike Get,
+	// which Stats first): the read must retry with fresh metadata and
+	// serve b's new data.
+	got := make([]byte, testChunk)
+	if err := a.ReadAt("f", 0, got); err != nil {
+		t.Fatalf("read with stale meta failed instead of retrying: %v", err)
+	}
+	if !bytes.Equal(got, v1) {
+		t.Fatalf("read served stale data (got %q...)", got[:1])
+	}
+	if a.Stats().MetaRetries == 0 {
+		t.Fatal("expected a metadata retry, got none (stale map silently served?)")
+	}
+}

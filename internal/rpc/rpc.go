@@ -461,17 +461,50 @@ func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		fi, err := s.mgr.Derive(req.Name, req.Src, req.FromChunk, req.NChunks, req.Size)
 		resp.File, resp.Err = fi, errStr(err)
 	case proto.OpSetTTL:
-		resp.Err = errStr(s.mgr.SetTTL(req.Name, time.Duration(req.ExpiresAtNanos)))
+		deadline := time.Duration(req.ExpiresAtNanos)
+		if req.TTLNanos > 0 {
+			deadline = s.now() + time.Duration(req.TTLNanos)
+		}
+		resp.Err = errStr(s.mgr.SetTTL(req.Name, deadline))
 	case proto.OpExpire:
 		expired, freed := s.mgr.ExpireSweep(s.now())
 		resp.Expired = expired
 		resp.Err = errStr(s.deleteChunks(freed))
 	case proto.OpRemap:
 		old, fresh, shared, err := s.mgr.Remap(req.Name, req.ChunkIdx)
-		if err == nil && shared {
-			err = s.copyChunk(old, fresh)
+		var freshRefs []proto.ChunkRef
+		if err == nil {
+			freshRefs = s.mgr.Replicas(fresh.ID)
+			if len(freshRefs) == 0 {
+				freshRefs = []proto.ChunkRef{fresh}
+			}
+			if shared {
+				// The old payload must land on EVERY copy of the fresh
+				// chunk, or a read that fails over to a replica would see
+				// garbage. A failed primary copy fails the remap; a failed
+				// replica copy is rolled back in the metadata (repair will
+				// restore redundancy later).
+				kept := freshRefs[:0]
+				for i, dst := range freshRefs {
+					if cerr := s.copyChunk(old, dst); cerr != nil {
+						if i == 0 {
+							err = cerr
+							break
+						}
+						s.mgr.DropReplica(dst.ID, dst)
+						delete(s.benConns, dst.Benefactor)
+						s.obs.Event("manager", "remap-replica-failed", req.TraceID,
+							fmt.Sprintf("copy %v -> %v: %v", old, dst, cerr))
+						continue
+					}
+					kept = append(kept, dst)
+				}
+				if err == nil {
+					freshRefs = kept
+				}
+			}
 		}
-		resp.OldRef, resp.NewRef, resp.Err = old, fresh, errStr(err)
+		resp.OldRef, resp.NewRef, resp.NewRefs, resp.Err = old, fresh, freshRefs, errStr(err)
 	case proto.OpStatus:
 		s.sweepLocked()
 		resp.Bens = s.mgr.Status()
@@ -992,6 +1025,20 @@ func (c *ManagerClient) Remap(name string, chunkIdx int) (proto.ChunkRef, error)
 	return resp.NewRef, err
 }
 
+// RemapRefs performs the copy-on-write remap of one chunk and returns the
+// fresh chunk's full replica set, primary first. An older manager sends no
+// replica table; the primary ref alone is the degenerate set.
+func (c *ManagerClient) RemapRefs(name string, chunkIdx int) ([]proto.ChunkRef, error) {
+	resp, err := c.call(proto.ManagerReq{Op: proto.OpRemap, Name: name, ChunkIdx: chunkIdx})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.NewRefs) > 0 {
+		return resp.NewRefs, nil
+	}
+	return []proto.ChunkRef{resp.NewRef}, nil
+}
+
 // Derive creates a file sharing a chunk sub-range of src (checkpoint
 // restore without data movement).
 func (c *ManagerClient) Derive(name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
@@ -1006,6 +1053,13 @@ func (c *ManagerClient) Derive(name, src string, fromChunk, nChunks int, size in
 // manager's start.
 func (c *ManagerClient) SetTTL(name string, expiresAt time.Duration) error {
 	_, err := c.call(proto.ManagerReq{Op: proto.OpSetTTL, Name: name, ExpiresAtNanos: int64(expiresAt)})
+	return err
+}
+
+// SetTTLIn assigns a lifetime of ttl from now, measured on the manager's
+// clock — remote clients do not know the manager's epoch.
+func (c *ManagerClient) SetTTLIn(name string, ttl time.Duration) error {
+	_, err := c.call(proto.ManagerReq{Op: proto.OpSetTTL, Name: name, TTLNanos: int64(ttl)})
 	return err
 }
 

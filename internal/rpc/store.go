@@ -411,22 +411,103 @@ func (s *Store) invalidateMeta(name string) {
 
 // Create reserves a file of the given size.
 func (s *Store) Create(name string, size int64) error {
+	_, err := s.create(obs.NewTraceID(), name, size)
+	return err
+}
+
+// CreateInfo reserves a file and returns its chunk map.
+func (s *Store) CreateInfo(name string, size int64) (proto.FileInfo, error) {
 	return s.create(obs.NewTraceID(), name, size)
 }
 
 // create allocates the file under an existing trace ID. The ID rides the
 // manager RPC, so the manager's event ring records the allocation under
 // the same trace as the client's.
-func (s *Store) create(tid, name string, size int64) error {
+func (s *Store) create(tid, name string, size int64) (proto.FileInfo, error) {
 	resp, err := s.mgr.call(proto.ManagerReq{Op: proto.OpCreate, TraceID: tid, Name: name, Size: size})
 	if err != nil {
-		return err
+		return proto.FileInfo{}, err
 	}
 	s.obs.Event("rpc", "alloc", tid, fmt.Sprintf("file=%q size=%d chunks=%d", name, size, len(resp.File.Chunks)))
 	s.mu.Lock()
 	s.meta[name] = resp.File
 	s.mu.Unlock()
-	return nil
+	return resp.File, nil
+}
+
+// Link appends the part files' chunks to dst (the zero-copy checkpoint
+// merge of §III-E). The cached chunk map of dst is replaced with the
+// manager's post-link view; the parts' maps are untouched (linking does
+// not move their chunks).
+func (s *Store) Link(dst string, parts []string) (proto.FileInfo, error) {
+	tid := obs.NewTraceID()
+	resp, err := s.mgr.call(proto.ManagerReq{Op: proto.OpLink, TraceID: tid, Name: dst, Parts: parts})
+	if err != nil {
+		s.invalidateMeta(dst)
+		return proto.FileInfo{}, err
+	}
+	s.obs.Event("rpc", "link", tid, fmt.Sprintf("dst=%q parts=%d chunks=%d", dst, len(parts), len(resp.File.Chunks)))
+	s.mu.Lock()
+	s.meta[dst] = resp.File
+	s.mu.Unlock()
+	return resp.File, nil
+}
+
+// Derive creates name sharing a chunk sub-range of src (checkpoint restore
+// without data movement) and caches the new file's chunk map.
+func (s *Store) Derive(name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+	tid := obs.NewTraceID()
+	resp, err := s.mgr.call(proto.ManagerReq{
+		Op: proto.OpDerive, TraceID: tid, Name: name, Src: src,
+		FromChunk: fromChunk, NChunks: nChunks, Size: size,
+	})
+	if err != nil {
+		s.invalidateMeta(name)
+		return proto.FileInfo{}, err
+	}
+	s.obs.Event("rpc", "derive", tid, fmt.Sprintf("file=%q src=%q chunks=%d", name, src, nChunks))
+	s.mu.Lock()
+	s.meta[name] = resp.File
+	s.mu.Unlock()
+	return resp.File, nil
+}
+
+// Remap allocates a fresh chunk for chunk idx of a file (server-side COW
+// copy when the chunk is shared) and returns the fresh replica set,
+// primary first. The cached chunk map is patched in place so subsequent
+// reads and writes through this Store target the fresh chunk instead of
+// failing on the stale one.
+func (s *Store) Remap(name string, chunkIdx int) ([]proto.ChunkRef, error) {
+	tid := obs.NewTraceID()
+	resp, err := s.mgr.call(proto.ManagerReq{Op: proto.OpRemap, TraceID: tid, Name: name, ChunkIdx: chunkIdx})
+	if err != nil {
+		s.invalidateMeta(name)
+		return nil, err
+	}
+	fresh := resp.NewRefs
+	if len(fresh) == 0 {
+		fresh = []proto.ChunkRef{resp.NewRef}
+	}
+	s.obs.Event("rpc", "remap", tid, fmt.Sprintf("file=%q chunk=%d %v -> %v", name, chunkIdx, resp.OldRef, fresh[0]))
+	s.mu.Lock()
+	if fi, ok := s.meta[name]; ok && chunkIdx < len(fi.Chunks) {
+		fi.Chunks = append([]proto.ChunkRef(nil), fi.Chunks...)
+		fi.Chunks[chunkIdx] = fresh[0]
+		if chunkIdx < len(fi.Replicas) {
+			fi.Replicas = append([][]proto.ChunkRef(nil), fi.Replicas...)
+			fi.Replicas[chunkIdx] = fresh
+		}
+		s.meta[name] = fi
+	} else {
+		delete(s.meta, name)
+	}
+	s.mu.Unlock()
+	return fresh, nil
+}
+
+// SetTTL assigns a relative lifetime to a file on the manager's clock.
+func (s *Store) SetTTL(name string, ttl time.Duration) error {
+	return s.mgr.SetTTLIn(name, ttl)
 }
 
 // Delete removes a file.
@@ -708,7 +789,7 @@ func (s *Store) writeAt(tid, name string, off int64, data []byte) error {
 func (s *Store) Put(name string, data []byte) error {
 	tid := obs.NewTraceID()
 	s.obs.Event("rpc", "put", tid, fmt.Sprintf("file=%q len=%d", name, len(data)))
-	if err := s.create(tid, name, int64(len(data))); err != nil {
+	if _, err := s.create(tid, name, int64(len(data))); err != nil {
 		return err
 	}
 	return s.writeAt(tid, name, 0, data)

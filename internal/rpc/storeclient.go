@@ -1,0 +1,99 @@
+package rpc
+
+import (
+	"time"
+
+	"nvmalloc/internal/obs"
+	"nvmalloc/internal/proto"
+	"nvmalloc/internal/store"
+)
+
+// StoreClient adapts a *Store to the transport-neutral store.Client
+// interface, so the shared FUSE-layer chunk cache (internal/fusecache) and
+// the core library (internal/core) run unchanged over live TCP daemons.
+// It is the real-path twin of simstore.Client.
+//
+// The execution context is ignored on this path — real goroutines carry no
+// simulated time. All methods are safe for concurrent use (the underlying
+// Store is).
+type StoreClient struct {
+	st   *Store
+	node int
+}
+
+var _ store.Client = (*StoreClient)(nil)
+
+// NewStoreClient wraps st as a store.Client. node is the logical cluster
+// node the client claims to run on (informational; pass 0 for a
+// single-host deployment).
+func NewStoreClient(st *Store, node int) *StoreClient {
+	return &StoreClient{st: st, node: node}
+}
+
+// Store exposes the underlying TCP data-path client.
+func (c *StoreClient) Store() *Store { return c.st }
+
+// Node implements store.Client.
+func (c *StoreClient) Node() int { return c.node }
+
+// ChunkSize implements store.Client.
+func (c *StoreClient) ChunkSize() int64 { return c.st.ChunkSize() }
+
+// Create implements store.Client.
+func (c *StoreClient) Create(_ store.Ctx, name string, size int64) (proto.FileInfo, error) {
+	return c.st.CreateInfo(name, size)
+}
+
+// Lookup implements store.Client. It always consults the manager — another
+// client may have remapped chunks since the last view.
+func (c *StoreClient) Lookup(_ store.Ctx, name string) (proto.FileInfo, error) {
+	return c.st.Stat(name)
+}
+
+// Delete implements store.Client.
+func (c *StoreClient) Delete(_ store.Ctx, name string) error {
+	return c.st.Delete(name)
+}
+
+// Link implements store.Client.
+func (c *StoreClient) Link(_ store.Ctx, dst string, parts []string) (proto.FileInfo, error) {
+	return c.st.Link(dst, parts)
+}
+
+// Derive implements store.Client.
+func (c *StoreClient) Derive(_ store.Ctx, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+	return c.st.Derive(name, src, fromChunk, nChunks, size)
+}
+
+// Remap implements store.Client.
+func (c *StoreClient) Remap(_ store.Ctx, name string, chunkIdx int) ([]proto.ChunkRef, error) {
+	return c.st.Remap(name, chunkIdx)
+}
+
+// SetTTL implements store.Client.
+func (c *StoreClient) SetTTL(_ store.Ctx, name string, ttl time.Duration) error {
+	return c.st.SetTTL(name, ttl)
+}
+
+// GetChunk implements store.Client: it fetches one chunk payload, failing
+// over across the given replicas.
+func (c *StoreClient) GetChunk(_ store.Ctx, refs []proto.ChunkRef) ([]byte, error) {
+	return c.st.getChunk(obs.NewTraceID(), refs)
+}
+
+// PutChunk implements store.Client: it ships one whole chunk payload to
+// every live replica.
+func (c *StoreClient) PutChunk(_ store.Ctx, refs []proto.ChunkRef, data []byte) error {
+	return c.st.putChunk(obs.NewTraceID(), refs, data)
+}
+
+// PutPages implements store.Client: it ships only the dirty pages of a
+// chunk (paper Table VII).
+func (c *StoreClient) PutPages(_ store.Ctx, refs []proto.ChunkRef, pageOffs []int64, pages [][]byte) error {
+	return c.st.putPages(obs.NewTraceID(), refs, pageOffs, pages)
+}
+
+// Status implements store.Client.
+func (c *StoreClient) Status(_ store.Ctx) ([]proto.BenefactorInfo, error) {
+	return c.st.mgr.Status()
+}

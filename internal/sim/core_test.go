@@ -1,4 +1,4 @@
-package core
+package sim
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/core"
 	"nvmalloc/internal/manager"
 	"nvmalloc/internal/simtime"
 	"nvmalloc/internal/sysprof"
@@ -41,7 +42,7 @@ func TestMallocWriteReadFree(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		v := Float64s(r)
+		v := core.Float64s(r)
 		for i := int64(0); i < 32; i++ {
 			if err := v.Store(p, i, float64(i)*1.5); err != nil {
 				t.Error(err)
@@ -72,7 +73,7 @@ func TestVectorViews(t *testing.T) {
 	c := m.NewClient(0)
 	run(t, m, func(p *simtime.Proc) {
 		r, _ := c.Malloc(p, 8*1024)
-		v := Float64s(r)
+		v := core.Float64s(r)
 		src := make([]float64, 100)
 		for i := range src {
 			src[i] = float64(i) * 0.25
@@ -92,7 +93,7 @@ func TestVectorViews(t *testing.T) {
 				return
 			}
 		}
-		iv := Int64s(r)
+		iv := core.Int64s(r)
 		if err := iv.StoreVec(p, 500, []int64{-1, 2, -3}); err != nil {
 			t.Error(err)
 			return
@@ -109,17 +110,17 @@ func TestSharedMappingOneGlobalFile(t *testing.T) {
 	m := newMachine(t, localCfg())
 	run(t, m, func(p *simtime.Proc) {
 		// Ranks 0 and 1 share node 0; rank 8 is on node 1.
-		r0, err := m.NewClient(0).Malloc(p, 4*m.Prof.ChunkSize, WithName("B"), Shared())
+		r0, err := m.NewClient(0).Malloc(p, 4*m.Prof.ChunkSize, core.WithName("B"), core.Shared())
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		r1, err := m.NewClient(1).Malloc(p, 4*m.Prof.ChunkSize, WithName("B"), Shared())
+		r1, err := m.NewClient(1).Malloc(p, 4*m.Prof.ChunkSize, core.WithName("B"), core.Shared())
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		r8, err := m.NewClient(8).Malloc(p, 4*m.Prof.ChunkSize, WithName("B"), Shared())
+		r8, err := m.NewClient(8).Malloc(p, 4*m.Prof.ChunkSize, core.WithName("B"), core.Shared())
 		if err != nil {
 			t.Error(err)
 			return
@@ -168,7 +169,7 @@ func TestIndividualMappingsBurnMoreStoreSpace(t *testing.T) {
 	run(t, m2, func(p *simtime.Proc) {
 		size := 4 * m2.Prof.ChunkSize
 		for rank := 0; rank < 32; rank += 8 { // one rank on each of 4 nodes
-			if _, err := m2.NewClient(rank).Malloc(p, size, WithName("B"), Shared()); err != nil {
+			if _, err := m2.NewClient(rank).Malloc(p, size, core.WithName("B"), core.Shared()); err != nil {
 				t.Error(err)
 				return
 			}
@@ -183,11 +184,11 @@ func TestDRAMBufferAccountsMemory(t *testing.T) {
 	m := newMachine(t, localCfg())
 	node := m.Cluster.Nodes[0]
 	avail := m.Prof.AvailableDRAM()
-	b, err := NewDRAM(node, "a", avail-1024)
+	b, err := core.NewDRAM(node, "a", avail-1024)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewDRAM(node, "b", 2048); err == nil {
+	if _, err := core.NewDRAM(node, "b", 2048); err == nil {
 		t.Fatal("DRAM overcommit must fail — it is what forces out-of-core")
 	}
 	run(t, m, func(p *simtime.Proc) {
@@ -202,7 +203,7 @@ func TestCheckpointLinksWithoutCopy(t *testing.T) {
 	m := newMachine(t, localCfg())
 	c := m.NewClient(0)
 	run(t, m, func(p *simtime.Proc) {
-		r, _ := c.Malloc(p, 4*m.Prof.ChunkSize, WithName("var"))
+		r, _ := c.Malloc(p, 4*m.Prof.ChunkSize, core.WithName("var"))
 		payload := bytes.Repeat([]byte{0xAA}, int(r.Size()))
 		r.WriteAt(p, 0, payload)
 
@@ -225,8 +226,8 @@ func TestCheckpointLinksWithoutCopy(t *testing.T) {
 		r.Sync(p)
 		got := make([]byte, 256)
 		start := int64(info.Regions[0].ChunkStart) * m.Prof.ChunkSize
-		c.cc.Drop("ckpt.t0") // force a store read
-		if err := c.cc.ReadRange(p, "ckpt.t0", start, got); err != nil {
+		c.ChunkCache().Drop(p, "ckpt.t0") // force a store read
+		if err := c.ChunkCache().ReadRange(p, "ckpt.t0", start, got); err != nil {
 			t.Error(err)
 			return
 		}
@@ -249,7 +250,7 @@ func TestIncrementalCheckpointSharesUnmodifiedChunks(t *testing.T) {
 	m := newMachine(t, localCfg())
 	c := m.NewClient(0)
 	run(t, m, func(p *simtime.Proc) {
-		r, _ := c.Malloc(p, 8*m.Prof.ChunkSize, WithName("var"))
+		r, _ := c.Malloc(p, 8*m.Prof.ChunkSize, core.WithName("var"))
 		r.WriteAt(p, 0, bytes.Repeat([]byte{1}, int(r.Size())))
 		if _, err := c.Checkpoint(p, "ck.t0", nil, r); err != nil {
 			t.Error(err)
@@ -274,7 +275,7 @@ func TestRestoreRegionFromCheckpoint(t *testing.T) {
 	m := newMachine(t, localCfg())
 	c := m.NewClient(0)
 	run(t, m, func(p *simtime.Proc) {
-		r, _ := c.Malloc(p, 2*m.Prof.ChunkSize, WithName("var"))
+		r, _ := c.Malloc(p, 2*m.Prof.ChunkSize, core.WithName("var"))
 		want := bytes.Repeat([]byte{0x77}, int(r.Size()))
 		r.WriteAt(p, 0, want)
 		dram := []byte("process state blob")
@@ -313,8 +314,8 @@ func TestRestoreRegionFromCheckpoint(t *testing.T) {
 		r2.WriteAt(p, 0, []byte{0x01})
 		r2.Sync(p)
 		ck := make([]byte, 1)
-		c.cc.Drop("ck")
-		c.cc.ReadRange(p, "ck", int64(info.Regions[0].ChunkStart)*m.Prof.ChunkSize, ck)
+		c.ChunkCache().Drop(p, "ck")
+		c.ChunkCache().ReadRange(p, "ck", int64(info.Regions[0].ChunkStart)*m.Prof.ChunkSize, ck)
 		if ck[0] != 0x77 {
 			t.Error("restored-region write leaked into checkpoint")
 		}
@@ -325,7 +326,7 @@ func TestAttachDetachPersistence(t *testing.T) {
 	m := newMachine(t, localCfg())
 	run(t, m, func(p *simtime.Proc) {
 		producer := m.NewClient(0)
-		r, err := producer.Malloc(p, m.Prof.ChunkSize, WithName("workflow.stage1"))
+		r, err := producer.Malloc(p, m.Prof.ChunkSize, core.WithName("workflow.stage1"))
 		if err != nil {
 			t.Error(err)
 			return
@@ -355,11 +356,11 @@ func TestDrainToPFS(t *testing.T) {
 	m := newMachine(t, localCfg())
 	c := m.NewClient(0)
 	run(t, m, func(p *simtime.Proc) {
-		r, _ := c.Malloc(p, 2*m.Prof.ChunkSize, WithName("var"))
+		r, _ := c.Malloc(p, 2*m.Prof.ChunkSize, core.WithName("var"))
 		r.WriteAt(p, 0, bytes.Repeat([]byte{5}, int(r.Size())))
 		info, _ := c.Checkpoint(p, "ck", []byte("dram"), r)
 		_ = info
-		wg, err := c.DrainToPFS("ck", "scratch/ck")
+		wg, err := m.DrainToPFS(c, "ck", "scratch/ck")
 		if err != nil {
 			t.Error(err)
 			return
@@ -406,7 +407,7 @@ func TestRegionMatchesDRAMProperty(t *testing.T) {
 				ok = false
 				return
 			}
-			d, err := NewDRAM(m.Cluster.Nodes[0], "ref", size)
+			d, err := core.NewDRAM(m.Cluster.Nodes[0], "ref", size)
 			if err != nil {
 				ok = false
 				return

@@ -1,10 +1,11 @@
-package core
+package sim
 
 import (
 	"errors"
 	"testing"
 	"time"
 
+	"nvmalloc/internal/core"
 	"nvmalloc/internal/proto"
 	"nvmalloc/internal/simtime"
 )
@@ -16,7 +17,7 @@ func TestBenefactorDeathSurfacesErrors(t *testing.T) {
 	m := newMachine(t, localCfg())
 	c := m.NewClient(0)
 	run(t, m, func(p *simtime.Proc) {
-		r, err := c.Malloc(p, 8*m.Prof.ChunkSize, WithName("v"))
+		r, err := c.Malloc(p, 8*m.Prof.ChunkSize, core.WithName("v"))
 		if err != nil {
 			t.Error(err)
 			return
@@ -27,11 +28,11 @@ func TestBenefactorDeathSurfacesErrors(t *testing.T) {
 		}
 		r.WriteAt(p, 0, data)
 		r.Sync(p)
-		c.pc.Drop("v") // drop the page cache...
-		c.cc.Drop("v") // ...and the chunk cache, forcing store reads
+		c.PageCache().Drop("v")     // drop the page cache...
+		c.ChunkCache().Drop(p, "v") // ...and the chunk cache, forcing store reads
 
 		// Kill the benefactor holding chunk 0.
-		fi, _ := c.cc.Store().Lookup(p, "v")
+		fi, _ := c.ChunkCache().Store().Lookup(p, "v")
 		m.Store.Kill(fi.Chunks[0].Benefactor)
 
 		buf := make([]byte, 16)
@@ -79,7 +80,7 @@ func TestManagerAvoidsDeadBenefactorForNewAllocations(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		fi, _ := c.cc.Store().Lookup(p, r.Name())
+		fi, _ := c.ChunkCache().Store().Lookup(p, r.Name())
 		for _, ref := range fi.Chunks {
 			if ref.Benefactor == 3 {
 				t.Error("chunk placed on dead benefactor")
@@ -120,7 +121,7 @@ func TestCheckpointChunksIndependentOfClientFailure(t *testing.T) {
 	m := newMachine(t, localCfg())
 	c := m.NewClient(0)
 	run(t, m, func(p *simtime.Proc) {
-		r, _ := c.Malloc(p, 2*m.Prof.ChunkSize, WithName("v"))
+		r, _ := c.Malloc(p, 2*m.Prof.ChunkSize, core.WithName("v"))
 		r.WriteAt(p, 0, []byte{42})
 		info, err := c.Checkpoint(p, "ck", []byte("s"), r)
 		if err != nil {
@@ -129,8 +130,8 @@ func TestCheckpointChunksIndependentOfClientFailure(t *testing.T) {
 		}
 		// The "client" crashes: drop every cache, attach from another rank
 		// on a different node.
-		c.cc.Drop("v")
-		c.cc.Drop("ck")
+		c.ChunkCache().Drop(p, "v")
+		c.ChunkCache().Drop(p, "ck")
 		other := m.NewClient(9)
 		r2, err := other.RestoreRegion(p, "ck", info.Regions[0], "v2")
 		if err != nil {

@@ -1,10 +1,11 @@
-package core
+package sim
 
 import (
 	"errors"
 	"testing"
 	"time"
 
+	"nvmalloc/internal/core"
 	"nvmalloc/internal/proto"
 	"nvmalloc/internal/simtime"
 )
@@ -15,7 +16,7 @@ func TestVariableLifetimeExpiry(t *testing.T) {
 	m := newMachine(t, localCfg())
 	c := m.NewClient(0)
 	run(t, m, func(p *simtime.Proc) {
-		short, err := c.Malloc(p, m.Prof.ChunkSize, WithName("ephemeral"))
+		short, err := c.Malloc(p, m.Prof.ChunkSize, core.WithName("ephemeral"))
 		if err != nil {
 			t.Error(err)
 			return
@@ -27,7 +28,7 @@ func TestVariableLifetimeExpiry(t *testing.T) {
 		}
 		short.Detach(p)
 
-		forever, _ := c.Malloc(p, m.Prof.ChunkSize, WithName("durable"))
+		forever, _ := c.Malloc(p, m.Prof.ChunkSize, core.WithName("durable"))
 		forever.WriteAt(p, 0, []byte{2})
 		forever.Detach(p)
 

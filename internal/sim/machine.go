@@ -1,9 +1,17 @@
-package core
+// Package sim wires the full simulated NVMalloc system for one run
+// configuration: the cluster, the aggregate NVM store with benefactors
+// placed per the configuration (local or remote to the compute partition),
+// the shared PFS, and the per-node FUSE caches. It is the sim-side
+// counterpart of the facade's Connect: both hand out core.Clients built on
+// the same transport-neutral fusecache, one over simstore, the other over
+// the TCP rpc adapter.
+package sim
 
 import (
 	"fmt"
 
 	"nvmalloc/internal/cluster"
+	"nvmalloc/internal/core"
 	"nvmalloc/internal/fusecache"
 	"nvmalloc/internal/manager"
 	"nvmalloc/internal/pfs"
@@ -12,10 +20,7 @@ import (
 	"nvmalloc/internal/sysprof"
 )
 
-// Machine wires the full simulated system for one run configuration: the
-// cluster, the aggregate NVM store with benefactors placed per the
-// configuration (local or remote to the compute partition), the shared
-// PFS, and the per-node FUSE caches.
+// Machine is the assembled simulated system.
 type Machine struct {
 	Eng     *simtime.Engine
 	Prof    sysprof.Profile
@@ -73,11 +78,11 @@ func (m *Machine) ssdContribution() int64 {
 // ChunkCache returns (lazily creating) the FUSE-layer cache of a node.
 func (m *Machine) ChunkCache(node int) *fusecache.ChunkCache {
 	if m.Store == nil {
-		panic("core: DRAM-only machine has no NVM store")
+		panic("sim: DRAM-only machine has no NVM store")
 	}
 	cc, ok := m.ccs[node]
 	if !ok {
-		cc = fusecache.NewChunkCache(m.Eng, m.Store.Client(node), fusecache.Config{
+		cc = fusecache.NewChunkCache(simstore.Env(m.Eng), m.Store.Client(node), fusecache.Config{
 			ChunkSize:       m.Prof.ChunkSize,
 			PageSize:        m.Prof.PageSize,
 			CacheBytes:      m.Prof.FUSECacheSize,
@@ -96,14 +101,13 @@ func (m *Machine) Node(rank int) *cluster.Node {
 }
 
 // NewClient creates the NVMalloc client for one application rank.
-func (m *Machine) NewClient(rank int) *Client {
+func (m *Machine) NewClient(rank int) *core.Client {
 	node := m.Node(rank)
-	c := &Client{m: m, rank: rank, node: node}
+	var cc *fusecache.ChunkCache
 	if m.Store != nil {
-		c.cc = m.ChunkCache(node.ID)
-		c.pc = fusecache.NewPageCache(c.cc, m.Prof.PageCacheSize)
+		cc = m.ChunkCache(node.ID)
 	}
-	return c
+	return core.NewClient(rank, node, cc, m.Prof.PageCacheSize)
 }
 
 // CacheStats sums the FUSE-layer counters across all nodes.
@@ -136,4 +140,47 @@ func (m *Machine) ResetCacheStats() {
 	for _, cc := range m.ccs {
 		cc.ResetStats()
 	}
+}
+
+// DrainToPFS streams a checkpoint (or any store file) of client c to the
+// parallel file system in the background — the paper's staging pattern
+// where the fast NVM store absorbs the checkpoint and drains to disk
+// asynchronously. The returned WaitGroup completes when the drain
+// finishes.
+func (m *Machine) DrainToPFS(c *core.Client, name, pfsName string) (*simtime.WaitGroup, error) {
+	cc := c.ChunkCache()
+	if cc == nil {
+		return nil, fmt.Errorf("sim: this configuration has no NVM store (DRAM-only)")
+	}
+	st := cc.Store()
+	wg := &simtime.WaitGroup{}
+	wg.Add(1)
+	pr := m.Eng.Go("drain "+name, func(p *simtime.Proc) {
+		fi, err := st.Lookup(p, name)
+		if err != nil {
+			return
+		}
+		m.PFS.Create(p, pfsName)
+		buf := make([]byte, m.Prof.ChunkSize)
+		for i := range fi.Chunks {
+			data, err := st.GetChunk(p, fi.Chunks[i:i+1])
+			if err != nil {
+				return
+			}
+			copy(buf, data)
+			n := int64(len(buf))
+			off := int64(i) * m.Prof.ChunkSize
+			if off+n > fi.Size {
+				n = fi.Size - off
+			}
+			if n <= 0 {
+				break
+			}
+			if err := m.PFS.WriteAt(p, pfsName, off, buf[:n]); err != nil {
+				return
+			}
+		}
+	})
+	pr.OnDone(func() { wg.Done(pr) })
+	return wg, nil
 }

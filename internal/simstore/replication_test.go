@@ -38,7 +38,7 @@ func TestReplicatedWritesLandOnAllCopies(t *testing.T) {
 			t.Error("replicas must sit on distinct benefactors")
 		}
 		data := bytes.Repeat([]byte{0x66}, int(cs))
-		if err := c.PutChunk(p, fi.Chunks[0], data); err != nil {
+		if err := c.PutChunk(p, fi.Chunks[0:1], data); err != nil {
 			t.Error(err)
 			return
 		}
@@ -64,12 +64,12 @@ func TestFailoverReadAfterPrimaryDeath(t *testing.T) {
 		c := s.Client(0)
 		fi, _ := c.Create(p, "v", cs)
 		payload := bytes.Repeat([]byte{0x31}, int(cs))
-		if err := c.PutChunk(p, fi.Chunks[0], payload); err != nil {
+		if err := c.PutChunk(p, fi.Chunks[0:1], payload); err != nil {
 			t.Error(err)
 			return
 		}
 		s.Kill(fi.Chunks[0].Benefactor) // kill the primary
-		got, err := c.GetChunk(p, fi.Chunks[0])
+		got, err := c.GetChunk(p, fi.Chunks[0:1])
 		if err != nil {
 			t.Errorf("failover read failed: %v", err)
 			return
@@ -89,7 +89,7 @@ func TestRepairRestoresRedundancy(t *testing.T) {
 		c := s.Client(0)
 		fi, _ := c.Create(p, "v", 4*cs)
 		for _, ref := range fi.Chunks {
-			if err := c.PutChunk(p, ref, bytes.Repeat([]byte{9}, int(cs))); err != nil {
+			if err := c.PutChunk(p, []proto.ChunkRef{ref}, bytes.Repeat([]byte{9}, int(cs))); err != nil {
 				t.Error(err)
 				return
 			}
@@ -134,7 +134,7 @@ func TestUnreplicatedChunkIsLostOnDeath(t *testing.T) {
 	e.Go("c", func(p *simtime.Proc) {
 		c := s.Client(0)
 		fi, _ := c.Create(p, "v", cs)
-		c.PutChunk(p, fi.Chunks[0], make([]byte, cs))
+		c.PutChunk(p, fi.Chunks[0:1], make([]byte, cs))
 		s.Kill(fi.Chunks[0].Benefactor)
 		_, lost, err := s.Repair(p)
 		if err != nil {
@@ -157,7 +157,7 @@ func TestReplicationCostsWriteTime(t *testing.T) {
 			c := s.Client(0)
 			fi, _ := c.Create(p, "v", 8*cs)
 			for _, ref := range fi.Chunks {
-				c.PutChunk(p, ref, make([]byte, cs))
+				c.PutChunk(p, []proto.ChunkRef{ref}, make([]byte, cs))
 			}
 		})
 		e.Run()
@@ -176,7 +176,7 @@ func TestDeleteFreesReplicasToo(t *testing.T) {
 		c := s.Client(0)
 		fi, _ := c.Create(p, "v", 4*cs)
 		for _, ref := range fi.Chunks {
-			c.PutChunk(p, ref, make([]byte, cs))
+			c.PutChunk(p, []proto.ChunkRef{ref}, make([]byte, cs))
 		}
 		if err := c.Delete(p, "v"); err != nil {
 			t.Error(err)

@@ -5,6 +5,10 @@
 // The metadata and chunk logic is the transport-agnostic code in
 // internal/manager and internal/benefactor — the same code the real TCP
 // transport uses.
+//
+// Client implements store.Client, the transport-neutral interface the
+// library layers (core, fusecache) are written against; the *simtime.Proc
+// of the calling simulated process travels through the opaque store.Ctx.
 package simstore
 
 import (
@@ -16,6 +20,7 @@ import (
 	"nvmalloc/internal/manager"
 	"nvmalloc/internal/proto"
 	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/store"
 )
 
 // Wire-size constants for RPC cost accounting.
@@ -93,7 +98,7 @@ func (s *Store) Repair(p *simtime.Proc) (repaired int, lost int, err error) {
 	ops, lostIDs := s.Mgr.Repair()
 	c := s.Client(s.ManagerNode)
 	for _, op := range ops {
-		data, gerr := c.GetChunk(p, op.Src)
+		data, gerr := c.GetChunk(p, []proto.ChunkRef{op.Src})
 		if gerr != nil {
 			return repaired, len(lostIDs), gerr
 		}
@@ -125,11 +130,14 @@ func (s *Store) mgrRPC(p *simtime.Proc, clientNode int, reqExtra, respExtra int6
 func (s *Store) Client(node int) *Client { return &Client{s: s, node: node} }
 
 // Client is a per-compute-node handle to the store. It implements the
-// StoreClient interface consumed by internal/fusecache.
+// transport-neutral store.Client interface consumed by internal/fusecache
+// and internal/core.
 type Client struct {
 	s    *Store
 	node int
 }
+
+var _ store.Client = (*Client)(nil)
 
 // Node returns the cluster node this client is bound to.
 func (c *Client) Node() int { return c.node }
@@ -138,21 +146,25 @@ func (c *Client) Node() int { return c.node }
 func (c *Client) ChunkSize() int64 { return c.s.Mgr.ChunkSize() }
 
 // Create reserves a file of the given size (posix_fallocate analog).
-func (c *Client) Create(p *simtime.Proc, name string, size int64) (proto.FileInfo, error) {
+func (c *Client) Create(ctx store.Ctx, name string, size int64) (proto.FileInfo, error) {
+	p := cluster.ProcOf(ctx)
 	fi, err := c.s.Mgr.Create(name, size)
 	c.s.mgrRPC(p, c.node, int64(len(name)), int64(len(fi.Chunks))*chunkRefBytes)
 	return fi, err
 }
 
 // Lookup fetches a file's chunk map from the manager.
-func (c *Client) Lookup(p *simtime.Proc, name string) (proto.FileInfo, error) {
+func (c *Client) Lookup(ctx store.Ctx, name string) (proto.FileInfo, error) {
+	p := cluster.ProcOf(ctx)
 	fi, err := c.s.Mgr.Lookup(name)
 	c.s.mgrRPC(p, c.node, int64(len(name)), int64(len(fi.Chunks))*chunkRefBytes)
 	return fi, err
 }
 
-// Exists asks the manager whether a file exists.
-func (c *Client) Exists(p *simtime.Proc, name string) bool {
+// Exists asks the manager whether a file exists. (Not part of
+// store.Client; sim-side convenience.)
+func (c *Client) Exists(ctx store.Ctx, name string) bool {
+	p := cluster.ProcOf(ctx)
 	ok := c.s.Mgr.Exists(name)
 	c.s.mgrRPC(p, c.node, int64(len(name)), 8)
 	return ok
@@ -160,7 +172,8 @@ func (c *Client) Exists(p *simtime.Proc, name string) bool {
 
 // Delete removes a file; chunks whose refcount reaches zero are physically
 // deleted on their benefactors.
-func (c *Client) Delete(p *simtime.Proc, name string) error {
+func (c *Client) Delete(ctx store.Ctx, name string) error {
+	p := cluster.ProcOf(ctx)
 	freed, err := c.s.Mgr.Delete(name)
 	c.s.mgrRPC(p, c.node, int64(len(name)), 8)
 	if err != nil {
@@ -194,7 +207,8 @@ func (c *Client) Delete(p *simtime.Proc, name string) error {
 
 // Link appends the chunks of the part files to dst (zero-copy checkpoint
 // merge).
-func (c *Client) Link(p *simtime.Proc, dst string, parts []string) (proto.FileInfo, error) {
+func (c *Client) Link(ctx store.Ctx, dst string, parts []string) (proto.FileInfo, error) {
+	p := cluster.ProcOf(ctx)
 	var extra int64
 	for _, pn := range parts {
 		extra += int64(len(pn))
@@ -204,9 +218,11 @@ func (c *Client) Link(p *simtime.Proc, dst string, parts []string) (proto.FileIn
 	return fi, err
 }
 
-// SetTTL assigns a lifetime deadline (in virtual time) to a file.
-func (c *Client) SetTTL(p *simtime.Proc, name string, expiresAt time.Duration) error {
-	err := c.s.Mgr.SetTTL(name, expiresAt)
+// SetTTL gives the file a lifetime of ttl from the caller's current
+// virtual time.
+func (c *Client) SetTTL(ctx store.Ctx, name string, ttl time.Duration) error {
+	p := cluster.ProcOf(ctx)
+	err := c.s.Mgr.SetTTL(name, time.Duration(p.Now())+ttl)
 	c.s.mgrRPC(p, c.node, int64(len(name))+8, 8)
 	return err
 }
@@ -240,53 +256,72 @@ func (s *Store) ExpireSweep(p *simtime.Proc) ([]string, error) {
 
 // Derive creates a file sharing a chunk sub-range of src (checkpoint
 // restore without data movement).
-func (c *Client) Derive(p *simtime.Proc, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+func (c *Client) Derive(ctx store.Ctx, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+	p := cluster.ProcOf(ctx)
 	fi, err := c.s.Mgr.Derive(name, src, fromChunk, nChunks, size)
 	c.s.mgrRPC(p, c.node, int64(len(name)+len(src))+24, int64(len(fi.Chunks))*chunkRefBytes)
 	return fi, err
 }
 
 // Remap performs the copy-on-write remapping of one chunk, including the
-// server-side payload copy when the chunk was shared.
-func (c *Client) Remap(p *simtime.Proc, name string, chunkIdx int) (proto.ChunkRef, error) {
+// payload copy to the fresh chunk and all of its replicas when the chunk
+// was shared. It returns the fresh chunk's full copy set, primary first.
+func (c *Client) Remap(ctx store.Ctx, name string, chunkIdx int) ([]proto.ChunkRef, error) {
+	p := cluster.ProcOf(ctx)
 	old, fresh, shared, err := c.s.Mgr.Remap(name, chunkIdx)
-	c.s.mgrRPC(p, c.node, int64(len(name))+8, 2*chunkRefBytes)
+	refs := c.copies(fresh)
+	c.s.mgrRPC(p, c.node, int64(len(name))+8, int64(1+len(refs))*chunkRefBytes)
 	if err != nil {
-		return proto.ChunkRef{}, err
+		return nil, err
 	}
-	if shared && fresh.Benefactor == old.Benefactor {
-		// Server-side copy: manager instructs the benefactor directly.
-		b := c.s.bens[fresh.Benefactor]
-		if !b.alive {
-			return proto.ChunkRef{}, proto.ErrBenefactorDead
-		}
-		c.s.overhead(p)
-		c.s.Cl.Net.Request(p, c.s.ManagerNode, b.node, reqHeaderBytes, respHeaderBytes, func(sp *simtime.Proc) {
-			cs := c.s.Mgr.ChunkSize()
-			c.s.Cl.Nodes[b.node].SSD.Read(sp, cs)
-			c.s.Cl.Nodes[b.node].SSD.Write(sp, cs)
-		})
-		if err := b.st.CopyChunk(fresh.ID, old.ID); err != nil {
-			return proto.ChunkRef{}, err
-		}
-	} else if shared {
-		// Cross-benefactor copy: pull then push.
-		data, err := c.GetChunk(p, old)
-		if err != nil {
-			return proto.ChunkRef{}, err
-		}
-		if err := c.PutChunk(p, fresh, data); err != nil {
-			return proto.ChunkRef{}, err
+	if shared {
+		var data []byte // old chunk's payload, fetched lazily for cross-benefactor copies
+		for _, dst := range refs {
+			if dst.Benefactor == old.Benefactor {
+				// Server-side copy: manager instructs the benefactor directly.
+				b := c.s.bens[dst.Benefactor]
+				if !b.alive {
+					return nil, proto.ErrBenefactorDead
+				}
+				c.s.overhead(p)
+				c.s.Cl.Net.Request(p, c.s.ManagerNode, b.node, reqHeaderBytes, respHeaderBytes, func(sp *simtime.Proc) {
+					cs := c.s.Mgr.ChunkSize()
+					c.s.Cl.Nodes[b.node].SSD.Read(sp, cs)
+					c.s.Cl.Nodes[b.node].SSD.Write(sp, cs)
+				})
+				if err := b.st.CopyChunk(dst.ID, old.ID); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// Cross-benefactor copy: pull once, push to this destination.
+			if data == nil {
+				if data, err = c.GetChunk(ctx, []proto.ChunkRef{old}); err != nil {
+					return nil, err
+				}
+			}
+			b, berr := c.liveBen(dst)
+			if berr != nil {
+				return nil, berr
+			}
+			c.s.overhead(p)
+			c.s.Cl.Net.Transfer(p, c.node, b.node, reqHeaderBytes+int64(len(data)))
+			c.s.Cl.Nodes[b.node].SSD.Write(p, int64(len(data)))
+			c.s.Cl.Net.Transfer(p, b.node, c.node, respHeaderBytes)
+			if err := b.st.PutChunk(dst.ID, data); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return fresh, nil
+	return refs, nil
 }
 
 // Status fetches the benefactor table.
-func (c *Client) Status(p *simtime.Proc) []proto.BenefactorInfo {
+func (c *Client) Status(ctx store.Ctx) ([]proto.BenefactorInfo, error) {
+	p := cluster.ProcOf(ctx)
 	st := c.s.Mgr.Status()
 	c.s.mgrRPC(p, c.node, 0, int64(len(st))*48)
-	return st
+	return st, nil
 }
 
 // liveBen resolves a chunk ref to a live benefactor.
@@ -304,9 +339,11 @@ func (c *Client) liveBen(ref proto.ChunkRef) (*ben, error) {
 // GetChunk fetches one chunk payload directly from its benefactor: small
 // request out, device read on the benefactor's SSD, chunk-size response
 // back (paper §III-D: "the FUSE client makes a direct connection to the
-// appropriate benefactor"). When the primary is dead and the store keeps
-// replicas, the read fails over via the manager.
-func (c *Client) GetChunk(p *simtime.Proc, ref proto.ChunkRef) ([]byte, error) {
+// appropriate benefactor"). refs[0] is the primary; when it is dead and
+// the store keeps replicas, the read fails over via the manager.
+func (c *Client) GetChunk(ctx store.Ctx, refs []proto.ChunkRef) ([]byte, error) {
+	p := cluster.ProcOf(ctx)
+	ref := refs[0]
 	b, err := c.liveBen(ref)
 	if err == proto.ErrBenefactorDead {
 		// Failover: ask the manager for a live copy.
@@ -342,10 +379,11 @@ func (c *Client) copies(ref proto.ChunkRef) []proto.ChunkRef {
 
 // PutChunk stores a full chunk payload on its benefactor and every
 // replica.
-func (c *Client) PutChunk(p *simtime.Proc, ref proto.ChunkRef, data []byte) error {
+func (c *Client) PutChunk(ctx store.Ctx, refs []proto.ChunkRef, data []byte) error {
+	p := cluster.ProcOf(ctx)
 	var firstErr error
 	stored := 0
-	for _, dst := range c.copies(ref) {
+	for _, dst := range c.copies(refs[0]) {
 		b, err := c.liveBen(dst)
 		if err != nil {
 			if firstErr == nil {
@@ -371,7 +409,8 @@ func (c *Client) PutChunk(p *simtime.Proc, ref proto.ChunkRef, data []byte) erro
 // PutPages ships only the dirty pages of a chunk to its benefactor (and
 // every replica) — the write optimization of Table VII. The benefactor
 // applies them with a single vectored device write.
-func (c *Client) PutPages(p *simtime.Proc, ref proto.ChunkRef, pageOffs []int64, pages [][]byte) error {
+func (c *Client) PutPages(ctx store.Ctx, refs []proto.ChunkRef, pageOffs []int64, pages [][]byte) error {
+	p := cluster.ProcOf(ctx)
 	var payload int64
 	sizes := make([]int64, len(pages))
 	for i, pg := range pages {
@@ -380,7 +419,7 @@ func (c *Client) PutPages(p *simtime.Proc, ref proto.ChunkRef, pageOffs []int64,
 	}
 	var firstErr error
 	stored := 0
-	for _, dst := range c.copies(ref) {
+	for _, dst := range c.copies(refs[0]) {
 		b, err := c.liveBen(dst)
 		if err != nil {
 			if firstErr == nil {

@@ -29,11 +29,11 @@ func TestCreateWriteReadRoundTrip(t *testing.T) {
 			return
 		}
 		data := bytes.Repeat([]byte{0x42}, int(cs))
-		if err := c.PutChunk(p, fi.Chunks[1], data); err != nil {
+		if err := c.PutChunk(p, fi.Chunks[1:2], data); err != nil {
 			t.Error(err)
 			return
 		}
-		got, err = c.GetChunk(p, fi.Chunks[1])
+		got, err = c.GetChunk(p, fi.Chunks[1:2])
 		if err != nil {
 			t.Error(err)
 		}
@@ -56,9 +56,9 @@ func TestRemoteCostsMoreThanLocal(t *testing.T) {
 			c := s.Client(clientNode)
 			fi, _ := c.Create(p, "v", cs)
 			data := make([]byte, cs)
-			c.PutChunk(p, fi.Chunks[0], data)
+			c.PutChunk(p, fi.Chunks[0:1], data)
 			for i := 0; i < 10; i++ {
-				c.GetChunk(p, fi.Chunks[0])
+				c.GetChunk(p, fi.Chunks[0:1])
 			}
 		})
 		e.Run()
@@ -79,12 +79,12 @@ func TestPutPagesCheaperThanPutChunk(t *testing.T) {
 		e.Go("client", func(p *simtime.Proc) {
 			c := s.Client(1)
 			fi, _ := c.Create(p, "v", cs)
-			c.PutChunk(p, fi.Chunks[0], make([]byte, cs))
+			c.PutChunk(p, fi.Chunks[0:1], make([]byte, cs))
 			for i := 0; i < 20; i++ {
 				if pages {
-					c.PutPages(p, fi.Chunks[0], []int64{0}, [][]byte{make([]byte, 512)})
+					c.PutPages(p, fi.Chunks[0:1], []int64{0}, [][]byte{make([]byte, 512)})
 				} else {
-					c.PutChunk(p, fi.Chunks[0], make([]byte, cs))
+					c.PutChunk(p, fi.Chunks[0:1], make([]byte, cs))
 				}
 			}
 		})
@@ -105,7 +105,7 @@ func TestKilledBenefactorFails(t *testing.T) {
 		c := s.Client(0)
 		fi, _ := c.Create(p, "v", cs)
 		s.Kill(fi.Chunks[0].Benefactor)
-		_, getErr = c.GetChunk(p, fi.Chunks[0])
+		_, getErr = c.GetChunk(p, fi.Chunks[0:1])
 	})
 	e.Run()
 	if getErr != proto.ErrBenefactorDead {
@@ -121,7 +121,7 @@ func TestDeletePhysicallyRemovesUnsharedChunks(t *testing.T) {
 		c := s.Client(0)
 		fi, _ := c.Create(p, "v", 4*cs)
 		for _, ref := range fi.Chunks {
-			c.PutChunk(p, ref, make([]byte, cs))
+			c.PutChunk(p, []proto.ChunkRef{ref}, make([]byte, cs))
 		}
 		if err := c.Delete(p, "v"); err != nil {
 			t.Error(err)
@@ -144,7 +144,7 @@ func TestRemapServerSideCopy(t *testing.T) {
 		c := s.Client(0)
 		fi, _ := c.Create(p, "v", cs)
 		payload := bytes.Repeat([]byte{7}, int(cs))
-		c.PutChunk(p, fi.Chunks[0], payload)
+		c.PutChunk(p, fi.Chunks[0:1], payload)
 		c.Create(p, "ckpt", 0)
 		c.Link(p, "ckpt", []string{"v"})
 		netBefore := s.Cl.Net.Stats().Bytes

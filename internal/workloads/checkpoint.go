@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nvmalloc/internal/core"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 )
 
@@ -45,7 +46,7 @@ type CkptResult struct {
 }
 
 // RunCheckpoint executes the checkpoint scenario on machine m.
-func RunCheckpoint(m *core.Machine, prm CkptParams) (CkptResult, error) {
+func RunCheckpoint(m *sim.Machine, prm CkptParams) (CkptResult, error) {
 	res := CkptResult{Params: prm}
 	var runErr error
 	m.Eng.Go("ckpt", func(p *simtime.Proc) {
@@ -114,7 +115,7 @@ func RunCheckpoint(m *core.Machine, prm CkptParams) (CkptResult, error) {
 				NewChunks:     m.Store.Mgr.TotalChunks() - chunksBefore,
 			})
 			if prm.DrainToPFS {
-				wg, derr := c.DrainToPFS(name, "scratch/"+name)
+				wg, derr := m.DrainToPFS(c, name, "scratch/"+name)
 				if derr != nil {
 					runErr = derr
 					return
@@ -170,7 +171,7 @@ func RunCheckpoint(m *core.Machine, prm CkptParams) (CkptResult, error) {
 
 // naiveCheckpoint copies the DRAM state AND the full variable content into
 // the checkpoint file — what ssdcheckpoint's chunk linking avoids.
-func naiveCheckpoint(p *simtime.Proc, c *core.Client, m *core.Machine, name string, dram []byte, nv *core.Region) error {
+func naiveCheckpoint(p *simtime.Proc, c *core.Client, m *sim.Machine, name string, dram []byte, nv *core.Region) error {
 	if err := nv.Sync(p); err != nil {
 		return err
 	}
@@ -180,7 +181,7 @@ func naiveCheckpoint(p *simtime.Proc, c *core.Client, m *core.Machine, name stri
 	if err != nil {
 		return err
 	}
-	cc.MarkFresh(fi)
+	cc.MarkFresh(p, fi)
 	if err := cc.WriteRange(p, name, 0, dram); err != nil {
 		return err
 	}
@@ -198,7 +199,7 @@ func naiveCheckpoint(p *simtime.Proc, c *core.Client, m *core.Machine, name stri
 }
 
 // storeWrites sums bytes written across all benefactors.
-func storeWrites(m *core.Machine) int64 {
+func storeWrites(m *sim.Machine) int64 {
 	var total int64
 	for _, id := range m.Store.Benefactors() {
 		total += m.Store.Benefactor(id).Stats().BytesWritten

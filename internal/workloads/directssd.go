@@ -7,6 +7,7 @@ import (
 	"nvmalloc/internal/cluster"
 	"nvmalloc/internal/core"
 	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/store"
 )
 
 // DirectSSD models the paper's "without NVMalloc" baseline (Table III): a
@@ -127,7 +128,8 @@ func (d *DirectSSD) flushDirty(p *simtime.Proc) {
 }
 
 // ReadAt implements core.Buffer.
-func (d *DirectSSD) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
+func (d *DirectSSD) ReadAt(ctx store.Ctx, off int64, buf []byte) error {
+	p := cluster.ProcOf(ctx)
 	if off < 0 || off+int64(len(buf)) > int64(len(d.data)) {
 		return fmt.Errorf("workloads: direct-ssd read [%d,%d) out of range", off, off+int64(len(buf)))
 	}
@@ -141,7 +143,8 @@ func (d *DirectSSD) ReadAt(p *simtime.Proc, off int64, buf []byte) error {
 }
 
 // WriteAt implements core.Buffer.
-func (d *DirectSSD) WriteAt(p *simtime.Proc, off int64, data []byte) error {
+func (d *DirectSSD) WriteAt(ctx store.Ctx, off int64, data []byte) error {
+	p := cluster.ProcOf(ctx)
 	if off < 0 || off+int64(len(data)) > int64(len(d.data)) {
 		return fmt.Errorf("workloads: direct-ssd write [%d,%d) out of range", off, off+int64(len(data)))
 	}
@@ -159,13 +162,14 @@ func (d *DirectSSD) WriteAt(p *simtime.Proc, off int64, data []byte) error {
 }
 
 // Sync implements core.Buffer.
-func (d *DirectSSD) Sync(p *simtime.Proc) error {
+func (d *DirectSSD) Sync(ctx store.Ctx) error {
+	p := cluster.ProcOf(ctx)
 	d.flushDirty(p)
 	return nil
 }
 
 // Free implements core.Buffer.
-func (d *DirectSSD) Free(p *simtime.Proc) error {
+func (d *DirectSSD) Free(ctx store.Ctx) error {
 	d.data = nil
 	d.pages = nil
 	return nil

@@ -8,6 +8,7 @@ import (
 
 	"nvmalloc/internal/core"
 	"nvmalloc/internal/mpi"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 )
 
@@ -76,7 +77,7 @@ func matBytes(n int, seed uint64) []byte {
 }
 
 // RunMM executes the five-stage MPI matrix multiplication on machine m.
-func RunMM(m *core.Machine, prm MMParams) (MMResult, error) {
+func RunMM(m *sim.Machine, prm MMParams) (MMResult, error) {
 	cfg := m.Cfg
 	ranks := cfg.Ranks()
 	if prm.N%ranks != 0 {
@@ -355,7 +356,7 @@ type wbBlock struct {
 	data []byte // nil = shutdown
 }
 
-func newWriteBehind(m *core.Machine, rank int, b core.Buffer, workers int) *writeBehind {
+func newWriteBehind(m *sim.Machine, rank int, b core.Buffer, workers int) *writeBehind {
 	if workers < 1 {
 		workers = 1
 	}
@@ -399,7 +400,7 @@ func (w *writeBehind) wait(p *simtime.Proc) error {
 }
 
 // cacheReads snapshots the FUSE-level and SSD-level read counters.
-func cacheReads(m *core.Machine) (fuse, ssd int64) {
+func cacheReads(m *sim.Machine) (fuse, ssd int64) {
 	s := m.CacheStats()
 	return s.FuseReadBytes, s.SSDReadBytes
 }

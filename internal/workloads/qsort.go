@@ -10,6 +10,7 @@ import (
 
 	"nvmalloc/internal/core"
 	"nvmalloc/internal/mpi"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 )
 
@@ -59,7 +60,7 @@ type SortResult struct {
 }
 
 // RunSort executes the parallel quicksort on machine m.
-func RunSort(m *core.Machine, prm SortParams) (SortResult, error) {
+func RunSort(m *sim.Machine, prm SortParams) (SortResult, error) {
 	if prm.ScratchBytes == 0 {
 		// A generous in-DRAM sorting granule keeps the out-of-core
 		// quicksort's recursion shallow: most partitions hit the base case
@@ -124,7 +125,7 @@ func RunSort(m *core.Machine, prm SortParams) (SortResult, error) {
 
 // runSortTwoPass is the DRAM(8:16:0) baseline: sort each half into a PFS
 // run, then merge the runs through a single PFS stream.
-func runSortTwoPass(m *core.Machine, prm SortParams, res *SortResult) error {
+func runSortTwoPass(m *sim.Machine, prm SortParams, res *SortResult) error {
 	elems := prm.TotalBytes / 8
 	half := elems / 2
 	if err := runSortPass(m, prm, "sort/input", 0, half, "sort/run1", &res.Phases); err != nil {
@@ -149,7 +150,7 @@ func runSortTwoPass(m *core.Machine, prm SortParams, res *SortResult) error {
 // runSortPass sample-sorts elems elements starting at inputOff of input
 // into output: local out-of-core quicksort, splitter selection, and a
 // streaming exchange with P-way merges at the receivers.
-func runSortPass(m *core.Machine, prm SortParams, input string, inputOff, elems int64, output string, phases *SortPhases) error {
+func runSortPass(m *sim.Machine, prm SortParams, input string, inputOff, elems int64, output string, phases *SortPhases) error {
 	cfg := m.Cfg
 	P := cfg.Ranks()
 	per := elems / int64(P)
@@ -310,7 +311,7 @@ func allocPartition(p *simtime.Proc, c *core.Client, prm SortParams, rank int, s
 }
 
 // pfsToBuffer streams a PFS range into a buffer.
-func pfsToBuffer(m *core.Machine, p *simtime.Proc, name string, off int64, dst core.Buffer, blockBytes int64) error {
+func pfsToBuffer(m *sim.Machine, p *simtime.Proc, name string, off int64, dst core.Buffer, blockBytes int64) error {
 	buf := make([]byte, blockBytes)
 	for o := int64(0); o < dst.Size(); o += blockBytes {
 		n := min64(blockBytes, dst.Size()-o)
@@ -326,7 +327,7 @@ func pfsToBuffer(m *core.Machine, p *simtime.Proc, name string, off int64, dst c
 
 // mergeIncoming P-way-merges the incoming sorted streams for this rank's
 // bucket and writes the result to the PFS at the bucket's offset.
-func mergeIncoming(m *core.Machine, p *simtime.Proc, comm *mpi.Comm, rank int, counts [][]int64, outOff int64, output string, blockBytes int64) error {
+func mergeIncoming(m *sim.Machine, p *simtime.Proc, comm *mpi.Comm, rank int, counts [][]int64, outOff int64, output string, blockBytes int64) error {
 	P := comm.Ranks()
 	blockElems := blockBytes / 8
 	srcs := make([]*mergeSrc, 0, P)
@@ -417,7 +418,7 @@ func (h *mergeHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]
 
 // mergeRuns streams two sorted PFS runs into a merged output through a
 // single client (the master).
-func mergeRuns(m *core.Machine, p *simtime.Proc, run1, run2, output string, blockBytes int64) error {
+func mergeRuns(m *sim.Machine, p *simtime.Proc, run1, run2, output string, blockBytes int64) error {
 	m.PFS.Create(p, output)
 	s1, err := m.PFS.Size(run1)
 	if err != nil {
@@ -480,7 +481,7 @@ func mergeRuns(m *core.Machine, p *simtime.Proc, run1, run2, output string, bloc
 
 // runReader streams one sorted run from the PFS.
 type runReader struct {
-	m     *core.Machine
+	m     *sim.Machine
 	p     *simtime.Proc
 	name  string
 	size  int64

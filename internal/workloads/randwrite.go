@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"nvmalloc/internal/core"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 )
 
@@ -30,7 +31,7 @@ type RandWriteResult struct {
 
 // RunRandWrite executes the synthetic on machine m (whose profile decides
 // whether the dirty-page optimization is on: Profile.WriteFullChunks).
-func RunRandWrite(m *core.Machine, prm RandWriteParams) (RandWriteResult, error) {
+func RunRandWrite(m *sim.Machine, prm RandWriteParams) (RandWriteResult, error) {
 	if prm.WriteSize == 0 {
 		prm.WriteSize = 1
 	}
@@ -85,7 +86,7 @@ func RunRandWrite(m *core.Machine, prm RandWriteParams) (RandWriteResult, error)
 		if prm.Verify {
 			// Re-read the final writes through a cold cache (earlier ones
 			// may have been overwritten by later random writes).
-			c.ChunkCache().Drop("randwrite")
+			c.ChunkCache().Drop(p, "randwrite")
 			ok := true
 			got := make([]byte, 1)
 			for off, val := range lastVals {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"nvmalloc/internal/core"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 )
 
@@ -91,14 +92,14 @@ type StreamResult struct {
 }
 
 // placeArray allocates one STREAM array per the placement.
-func placeArray(p *simtime.Proc, c *core.Client, name string, pl Placement, size int64) (core.Buffer, error) {
+func placeArray(p *simtime.Proc, m *sim.Machine, c *core.Client, name string, pl Placement, size int64) (core.Buffer, error) {
 	switch pl {
 	case InDRAM:
 		return core.NewDRAM(c.Node(), name, size)
 	case OnNVM:
 		return c.Malloc(p, size, core.WithName(name))
 	case OnDirectSSD:
-		prof := c.Machine().Prof
+		prof := m.Prof
 		return NewDirectSSD(c.Node(), name, size, prof.PageSize, prof.PageCacheSize+prof.FUSECacheSize), nil
 	}
 	return nil, fmt.Errorf("workloads: unknown placement %d", pl)
@@ -110,7 +111,7 @@ func placeArray(p *simtime.Proc, c *core.Client, name string, pl Placement, size
 // and all threads share them — and the one address space means one page
 // cache. Arrays placed OnNVM resolve to local or remote benefactors
 // depending on m's configuration.
-func RunStream(m *core.Machine, prm StreamParams) (StreamResult, error) {
+func RunStream(m *sim.Machine, prm StreamParams) (StreamResult, error) {
 	if prm.BlockElems == 0 {
 		prm.BlockElems = 4096
 	}
@@ -127,17 +128,17 @@ func RunStream(m *core.Machine, prm StreamParams) (StreamResult, error) {
 
 	m.Eng.Go("stream", func(p *simtime.Proc) {
 		c := m.NewClient(0)
-		A, err := placeArray(p, c, "stream.A", prm.PlaceA, prm.ArrayBytes)
+		A, err := placeArray(p, m, c, "stream.A", prm.PlaceA, prm.ArrayBytes)
 		if err != nil {
 			runErr = err
 			return
 		}
-		B, err := placeArray(p, c, "stream.B", prm.PlaceB, prm.ArrayBytes)
+		B, err := placeArray(p, m, c, "stream.B", prm.PlaceB, prm.ArrayBytes)
 		if err != nil {
 			runErr = err
 			return
 		}
-		C, err := placeArray(p, c, "stream.C", prm.PlaceC, prm.ArrayBytes)
+		C, err := placeArray(p, m, c, "stream.C", prm.PlaceC, prm.ArrayBytes)
 		if err != nil {
 			runErr = err
 			return

@@ -4,15 +4,15 @@ import (
 	"testing"
 
 	"nvmalloc/internal/cluster"
-	"nvmalloc/internal/core"
 	"nvmalloc/internal/manager"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 	"nvmalloc/internal/sysprof"
 )
 
-func testMachine(t *testing.T, cfg cluster.Config) *core.Machine {
+func testMachine(t *testing.T, cfg cluster.Config) *sim.Machine {
 	t.Helper()
-	m, err := core.NewMachine(simtime.NewEngine(), sysprof.Bench(), cfg, manager.RoundRobin)
+	m, err := sim.NewMachine(simtime.NewEngine(), sysprof.Bench(), cfg, manager.RoundRobin)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestRandWriteVerifiesAndOptimizationHelps(t *testing.T) {
 	run := func(full bool) RandWriteResult {
 		prof := sysprof.Bench()
 		prof.WriteFullChunks = full
-		m, err := core.NewMachine(simtime.NewEngine(), prof, lssd(1, 1, 1), manager.RoundRobin)
+		m, err := sim.NewMachine(simtime.NewEngine(), prof, lssd(1, 1, 1), manager.RoundRobin)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -32,6 +32,7 @@ import (
 	"nvmalloc/internal/cluster"
 	"nvmalloc/internal/core"
 	"nvmalloc/internal/manager"
+	"nvmalloc/internal/sim"
 	"nvmalloc/internal/simtime"
 	"nvmalloc/internal/sysprof"
 )
@@ -41,7 +42,7 @@ import (
 type (
 	// Machine is a fully wired simulated system: cluster, aggregate NVM
 	// store, PFS, and per-node caches.
-	Machine = core.Machine
+	Machine = sim.Machine
 	// Client is the per-rank NVMalloc handle (ssdmalloc / ssdfree /
 	// ssdcheckpoint live here).
 	Client = core.Client
@@ -111,7 +112,7 @@ func Bench() Profile { return sysprof.Bench() }
 
 // NewMachine wires a simulated system for the given run configuration.
 func NewMachine(e *Engine, prof Profile, cfg Config, policy PlacementPolicy) (*Machine, error) {
-	return core.NewMachine(e, prof, cfg, policy)
+	return sim.NewMachine(e, prof, cfg, policy)
 }
 
 // NewDRAM allocates a plain node-local DRAM buffer, failing when the node
