@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	nvmbench [-quick] [artifact ...]
+//	nvmbench [-quick] [-json file] [artifact ...]
 //
 // Artifacts: fig2 table3 fig3 fig4 fig5 table4 table5 fig6 table6 table7
 // ckpt ablations devices all (default: all).
+//
+// -json additionally writes every regenerated table — id, title, columns,
+// rows (bandwidth MB/s, timings, cache hit rates as reported per artifact),
+// notes, and per-artifact wall time — as structured JSON, for CI artifact
+// upload and regression diffing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,8 +24,32 @@ import (
 	"nvmalloc/internal/experiments"
 )
 
+// reportJSON mirrors experiments.Report for the -json output.
+type reportJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// benchResult is one artifact's entry in the -json output.
+type benchResult struct {
+	Name    string       `json:"name"`
+	WallNs  int64        `json:"wall_ns"`
+	Reports []reportJSON `json:"reports"`
+}
+
+// benchJSON is the top-level -json document.
+type benchJSON struct {
+	GeneratedUnixNanos int64         `json:"generated_unix_nanos"`
+	Quick              bool          `json:"quick"`
+	Benchmarks         []benchResult `json:"benchmarks"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run the shrunken Quick geometry instead of the default scaled evaluation")
+	jsonPath := flag.String("json", "", "also write the results as structured JSON to this file")
 	flag.Parse()
 
 	o := experiments.Default()
@@ -27,12 +57,18 @@ func main() {
 		o = experiments.Quick()
 	}
 
+	var cur *benchResult // artifact currently running (nil without -json)
 	type runner func() error
 	show := func(rep *experiments.Report, err error) error {
 		if err != nil {
 			return err
 		}
 		fmt.Println(rep.String())
+		if cur != nil {
+			cur.Reports = append(cur.Reports, reportJSON{
+				ID: rep.ID, Title: rep.Title, Columns: rep.Columns, Rows: rep.Rows, Notes: rep.Notes,
+			})
+		}
 		return nil
 	}
 	runners := map[string]runner{
@@ -101,17 +137,43 @@ func main() {
 	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
 		args = order
 	}
+	var doc benchJSON
+	doc.Quick = *quick
 	for _, name := range args {
 		fn, ok := runners[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "nvmbench: unknown artifact %q (want one of %v)\n", name, order)
 			os.Exit(2)
 		}
+		if *jsonPath != "" {
+			doc.Benchmarks = append(doc.Benchmarks, benchResult{Name: name})
+			cur = &doc.Benchmarks[len(doc.Benchmarks)-1]
+		}
 		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "nvmbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
+		wall := time.Since(start)
+		if cur != nil {
+			cur.WallNs = wall.Nanoseconds()
+		}
+		fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", name, wall.Seconds())
 	}
+	if *jsonPath != "" {
+		doc.GeneratedUnixNanos = time.Now().UnixNano()
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(fmt.Errorf("nvmbench: encoding -json: %w", err))
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(fmt.Errorf("nvmbench: writing %s: %w", *jsonPath, err))
+		}
+		fmt.Printf("(results written to %s)\n", *jsonPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -16,7 +16,13 @@
 //
 //	nvmctl -manager host:7070 metrics [host:debugport]  scrape one node's /metrics
 //	nvmctl -manager host:7070 top                       cluster-wide latency/rate summary
-//	nvmctl -manager host:7070 trace [trace-id]          recent events across all nodes
+//	nvmctl -manager host:7070 top -by-var               time/bytes attributed per NVM variable
+//	nvmctl -manager host:7070 trace [trace-id]          span waterfall + events across all nodes
+//	nvmctl -manager host:7070 slow                      slow-op flight recorder, cluster-wide
+//
+// put and get print a `trace <id>` line; feed the id to `nvmctl trace` to
+// see the op's hierarchical waterfall (client -> cache -> wire -> manager/
+// benefactor -> SSD) with the critical path marked.
 //
 // Data-path flags:
 //
@@ -24,7 +30,7 @@
 //	-parallel N  chunk transfers in flight per command (default 8)
 //	-cache BYTES client chunk cache; 0 disables (default 64 MB for get/put)
 //	-stats       print data-path and cache counters after the command
-//	-n N         events per node for trace (default 50)
+//	-n N         events/spans per node for trace and slow (default 50)
 package main
 
 import (
@@ -35,12 +41,14 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"nvmalloc"
 	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
 	"nvmalloc/internal/rpc"
+	"nvmalloc/internal/store"
 )
 
 func fatal(err error) {
@@ -58,7 +66,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-stats] status|put|get|stat|rm|link|repair|kill|ckpt-demo|metrics|top|trace ...")
+		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-stats] status|put|get|stat|rm|link|repair|kill|ckpt-demo|metrics|top|trace|slow ...")
 		os.Exit(2)
 	}
 	st, err := rpc.OpenWith(*mgr, rpc.Options{PoolSize: *pool, Parallelism: *parallel})
@@ -77,20 +85,48 @@ func main() {
 		}
 	}
 
-	put := func(name string, data []byte) error {
-		if cache != nil {
-			if err := cache.Put(name, data); err != nil {
-				return err
-			}
-			return cache.Flush(name)
+	// Data commands run under one command-rooted span covering the whole
+	// path — for put with the cache enabled that is Create + WriteAt + Flush,
+	// so the payload's actual trip to the benefactors lands in the same
+	// trace. The trace ID is printed so the waterfall is one
+	// `nvmctl trace <id>` away.
+	traced := func(name, op string, fn func(ctx store.Ctx, sp *obs.ActiveSpan) error) error {
+		sp := st.Obs().StartSpan("", "", op)
+		sp.SetVar(name)
+		ctx := store.WithSpan(nil, store.SpanInfo{Trace: sp.Trace(), Parent: sp.ID(), Var: name})
+		err := fn(ctx, sp)
+		sp.SetErr(err)
+		sp.End()
+		if err == nil && sp.Trace() != "" {
+			fmt.Printf("trace %s\n", sp.Trace())
 		}
-		return st.Put(name, data)
+		return err
+	}
+	put := func(name string, data []byte) error {
+		return traced(name, "client.put", func(ctx store.Ctx, sp *obs.ActiveSpan) error {
+			sp.AddBytes(int64(len(data)))
+			if cache != nil {
+				if err := cache.PutCtx(ctx, name, data); err != nil {
+					return err
+				}
+				return cache.FlushCtx(ctx, name)
+			}
+			return st.PutCtx(ctx, name, data)
+		})
 	}
 	get := func(name string) ([]byte, error) {
-		if cache != nil {
-			return cache.Get(name)
-		}
-		return st.Get(name)
+		var data []byte
+		err := traced(name, "client.get", func(ctx store.Ctx, sp *obs.ActiveSpan) error {
+			var err error
+			if cache != nil {
+				data, err = cache.GetCtx(ctx, name)
+			} else {
+				data, err = st.GetCtx(ctx, name)
+			}
+			sp.AddBytes(int64(len(data)))
+			return err
+		})
+		return data, err
 	}
 
 	switch args[0] {
@@ -185,13 +221,19 @@ func main() {
 		}
 		runMetrics(st, *mgr, addr)
 	case "top":
-		runTop(st, *mgr)
+		if len(args) >= 2 && (args[1] == "-by-var" || args[1] == "--by-var") {
+			runTopByVar(st, *mgr)
+		} else {
+			runTop(st, *mgr)
+		}
 	case "trace":
 		id := ""
 		if len(args) == 2 {
 			id = args[1]
 		}
 		runTrace(st, *mgr, id, *traceN)
+	case "slow":
+		runSlow(st, *mgr, *traceN)
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}
@@ -473,12 +515,21 @@ func runTop(st *rpc.Store, mgrAddr string) {
 	}
 }
 
-// runTrace dumps recent events from every node's ring, merged and sorted
-// by time. id filters to one trace ID; n bounds events per node.
+// runTrace assembles one trace's span tree from every node's span ring and
+// renders it as a waterfall with the critical path marked, followed by the
+// trace's raw events. Without an id it dumps recent events only (spans of
+// many unrelated traces do not merge into a meaningful waterfall).
 func runTrace(st *rpc.Store, mgrAddr, id string, n int) {
 	nodes, _, err := discover(st, mgrAddr)
 	if err != nil {
 		fatal(err)
+	}
+	if id != "" {
+		spans := collectSpans(nodes, id, false, 0)
+		if len(spans) > 0 {
+			renderWaterfall(spans)
+			fmt.Println()
+		}
 	}
 	type tagged struct {
 		node string
@@ -498,7 +549,18 @@ func runTrace(st *rpc.Store, mgrAddr, id string, n int) {
 			all = append(all, tagged{nd.name, ev})
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].ev.UnixNanos < all[j].ev.UnixNanos })
+	// Stable sort with a full tie-break: events from different nodes often
+	// share a timestamp at coarse clock resolution, and re-running the
+	// command must not shuffle them.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].ev.UnixNanos != all[j].ev.UnixNanos {
+			return all[i].ev.UnixNanos < all[j].ev.UnixNanos
+		}
+		if all[i].node != all[j].node {
+			return all[i].node < all[j].node
+		}
+		return all[i].ev.Detail < all[j].ev.Detail
+	})
 	for _, t := range all {
 		trace := t.ev.Trace
 		if trace == "" {
@@ -509,5 +571,312 @@ func runTrace(st *rpc.Store, mgrAddr, id string, n int) {
 	}
 	if len(all) == 0 {
 		fmt.Println("no events (daemons running without -debug-addr, or ring empty)")
+	}
+}
+
+// collectSpans scrapes every node's span ring (or its slow-op flight
+// recorder) and deduplicates by span ID — a span can surface on two nodes
+// when a client exported it to the manager.
+func collectSpans(nodes []node, trace string, slow bool, n int) []obs.Span {
+	seen := make(map[string]bool)
+	var out []obs.Span
+	for _, nd := range nodes {
+		if nd.addr == "" {
+			continue
+		}
+		spans, err := obs.FetchSpans(nd.addr, trace, slow, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmctl: %s: %v\n", nd.name, err)
+			continue
+		}
+		for _, sp := range spans {
+			if sp.ID == "" || seen[sp.ID] {
+				continue
+			}
+			seen[sp.ID] = true
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// layerOf maps a span's "layer.op" name to the waterfall's breakdown rows.
+func layerOf(name string) string {
+	switch prefix, _, _ := strings.Cut(name, "."); prefix {
+	case "client":
+		return "client"
+	case "cache":
+		return "client cache"
+	case "pool":
+		return "pool wait"
+	case "rpc":
+		return "wire"
+	case "manager":
+		return "manager"
+	case "benefactor":
+		return "benefactor"
+	case "ssd":
+		return "ssd backend"
+	default:
+		return prefix
+	}
+}
+
+// renderWaterfall prints one trace's span tree: an ASCII waterfall per root
+// (bars positioned on the root's timeline, `*` marking the critical path)
+// and a per-layer breakdown of exclusive time — each layer's self time with
+// its children's time subtracted, so the layers sum to where the trace
+// actually went.
+func renderWaterfall(spans []obs.Span) {
+	byID := make(map[string]obs.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	kids := make(map[string][]obs.Span)
+	var roots []obs.Span
+	for _, sp := range spans {
+		if sp.Parent != "" {
+			if _, ok := byID[sp.Parent]; ok {
+				kids[sp.Parent] = append(kids[sp.Parent], sp)
+				continue
+			}
+			// Orphan: its parent fell out of a ring. Promote to root so the
+			// data still shows.
+		}
+		roots = append(roots, sp)
+	}
+	for id := range kids {
+		ks := kids[id]
+		sort.SliceStable(ks, func(i, j int) bool {
+			if ks[i].StartNanos != ks[j].StartNanos {
+				return ks[i].StartNanos < ks[j].StartNanos
+			}
+			return ks[i].ID < ks[j].ID
+		})
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].StartNanos < roots[j].StartNanos })
+
+	for _, root := range roots {
+		crit := make(map[string]bool)
+		markCritical(root, kids, crit)
+
+		// The render window spans the whole tree: child clocks on other
+		// nodes may run ahead of the root's (skew), and bars must not
+		// escape the frame.
+		lo, hi := root.StartNanos, root.End()
+		var walk func(obs.Span)
+		walk = func(sp obs.Span) {
+			if sp.StartNanos < lo {
+				lo = sp.StartNanos
+			}
+			if sp.End() > hi {
+				hi = sp.End()
+			}
+			for _, k := range kids[sp.ID] {
+				walk(k)
+			}
+		}
+		walk(root)
+
+		fmt.Printf("trace %s  root %s  %s  %s\n",
+			root.Trace, root.Name, fmtVar(root.Var), fmtDur(root.DurNanos))
+		printSpan(root, kids, crit, lo, hi, 0)
+
+		excl := make(map[string]int64)
+		var total int64
+		var sum func(obs.Span)
+		sum = func(sp obs.Span) {
+			self := sp.DurNanos
+			for _, k := range kids[sp.ID] {
+				self -= k.DurNanos
+				sum(k)
+			}
+			if self < 0 {
+				self = 0 // parallel children overlap; no negative self time
+			}
+			excl[layerOf(sp.Name)] += self
+			total += self
+		}
+		sum(root)
+		fmt.Println("  layer breakdown (exclusive time):")
+		order := []string{"client", "client cache", "pool wait", "wire", "manager", "benefactor", "ssd backend"}
+		printed := make(map[string]bool)
+		printLayer := func(l string) {
+			ns, ok := excl[l]
+			if !ok || printed[l] {
+				return
+			}
+			printed[l] = true
+			pct := float64(0)
+			if total > 0 {
+				pct = 100 * float64(ns) / float64(total)
+			}
+			fmt.Printf("    %-14s %10s  %5.1f%%\n", l, fmtDur(ns), pct)
+		}
+		for _, l := range order {
+			printLayer(l)
+		}
+		lnames := make([]string, 0, len(excl))
+		for l := range excl {
+			lnames = append(lnames, l)
+		}
+		sort.Strings(lnames)
+		for _, l := range lnames {
+			printLayer(l)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  (* = critical path)")
+}
+
+// markCritical walks the span tree marking the critical path: the chain of
+// children that ends last dominates its parent's duration; earlier children
+// join the path only when they end before the later critical child begins
+// (they were the bottleneck until then).
+func markCritical(sp obs.Span, kids map[string][]obs.Span, crit map[string]bool) {
+	crit[sp.ID] = true
+	ks := append([]obs.Span(nil), kids[sp.ID]...)
+	sort.SliceStable(ks, func(i, j int) bool { return ks[i].End() > ks[j].End() })
+	first := true
+	var frontier int64
+	for _, k := range ks {
+		if !first && k.End() > frontier {
+			continue // overlapped by a later critical child: off the path
+		}
+		first = false
+		markCritical(k, kids, crit)
+		frontier = k.StartNanos
+	}
+}
+
+const barWidth = 40
+
+// printSpan renders one span row and recurses into its children.
+func printSpan(sp obs.Span, kids map[string][]obs.Span, crit map[string]bool, lo, hi int64, depth int) {
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	from := int(int64(barWidth) * (sp.StartNanos - lo) / span)
+	to := int(int64(barWidth) * (sp.End() - lo) / span)
+	if to <= from {
+		to = from + 1
+	}
+	if to > barWidth {
+		to = barWidth
+	}
+	bar := strings.Repeat(" ", from) + strings.Repeat("=", to-from) + strings.Repeat(" ", barWidth-to)
+	mark := " "
+	if crit[sp.ID] {
+		mark = "*"
+	}
+	detail := ""
+	if sp.Bytes > 0 {
+		detail = fmt.Sprintf(" %dB", sp.Bytes)
+	}
+	if sp.Err != "" {
+		detail += " ERR=" + sp.Err
+	}
+	fmt.Printf("  %s%-*s %-14s %9s [%s]%s\n",
+		mark, 28, strings.Repeat("  ", depth)+sp.Name, sp.Node, fmtDur(sp.DurNanos), bar, detail)
+	for _, k := range kids[sp.ID] {
+		printSpan(k, kids, crit, lo, hi, depth+1)
+	}
+}
+
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func fmtVar(v string) string {
+	if v == "" {
+		return "var=-"
+	}
+	return fmt.Sprintf("var=%q", v)
+}
+
+// runSlow lists the cluster's slow-op flight recorders: root spans that
+// exceeded the daemons' -slow threshold, retained even after the main span
+// ring wrapped. Slowest first.
+func runSlow(st *rpc.Store, mgrAddr string, n int) {
+	nodes, _, err := discover(st, mgrAddr)
+	if err != nil {
+		fatal(err)
+	}
+	spans := collectSpans(nodes, "", true, n)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].DurNanos != spans[j].DurNanos {
+			return spans[i].DurNanos > spans[j].DurNanos
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	if len(spans) == 0 {
+		fmt.Println("no slow ops recorded (below threshold, or daemons running without -debug-addr)")
+		return
+	}
+	fmt.Printf("%-10s %-18s %-16s %-24s %-10s %s\n", "dur", "op", "node", "var", "bytes", "trace")
+	for _, sp := range spans {
+		errNote := ""
+		if sp.Err != "" {
+			errNote = "  ERR=" + sp.Err
+		}
+		fmt.Printf("%-10s %-18s %-16s %-24s %-10d %s%s\n",
+			fmtDur(sp.DurNanos), sp.Name, sp.Node, sp.Var, sp.Bytes, sp.Trace, errNote)
+	}
+}
+
+// runTopByVar attributes trace time to NVM variables: every root span
+// retained in the cluster's rings, aggregated by the variable it worked on.
+func runTopByVar(st *rpc.Store, mgrAddr string) {
+	nodes, _, err := discover(st, mgrAddr)
+	if err != nil {
+		fatal(err)
+	}
+	spans := collectSpans(nodes, "", false, 0)
+	type agg struct {
+		ops   int64
+		nanos int64
+		bytes int64
+		errs  int64
+	}
+	byVar := make(map[string]*agg)
+	for _, sp := range spans {
+		if !sp.Root() {
+			continue // child spans double-count their root's time
+		}
+		v := sp.Var
+		if v == "" {
+			v = "(unattributed)"
+		}
+		a := byVar[v]
+		if a == nil {
+			a = &agg{}
+			byVar[v] = a
+		}
+		a.ops++
+		a.nanos += sp.DurNanos
+		a.bytes += sp.Bytes
+		if sp.Err != "" {
+			a.errs++
+		}
+	}
+	if len(byVar) == 0 {
+		fmt.Println("no root spans recorded (run some traffic first, or daemons lack -debug-addr)")
+		return
+	}
+	vars := make([]string, 0, len(byVar))
+	for v := range byVar {
+		vars = append(vars, v)
+	}
+	sort.SliceStable(vars, func(i, j int) bool {
+		if byVar[vars[i]].nanos != byVar[vars[j]].nanos {
+			return byVar[vars[i]].nanos > byVar[vars[j]].nanos
+		}
+		return vars[i] < vars[j]
+	})
+	fmt.Printf("%-28s %8s %12s %14s %6s\n", "variable", "ops", "time", "bytes", "errs")
+	for _, v := range vars {
+		a := byVar[v]
+		fmt.Printf("%-28s %8d %12s %14d %6d\n", v, a.ops, fmtDur(a.nanos), a.bytes, a.errs)
 	}
 }

@@ -14,8 +14,10 @@
 //
 // With -debug-addr either daemon serves its observability state over HTTP:
 // /metrics (JSON metrics snapshot), /healthz, /trace (recent events,
-// ?trace=ID filters), and /debug/pprof. nvmctl's metrics/top/trace commands
-// scrape these endpoints.
+// ?trace=ID filters), /spans (hierarchical spans, ?trace=ID filters,
+// ?slow=1 reads the slow-op flight recorder), and /debug/pprof. nvmctl's
+// metrics/top/trace/slow commands scrape these endpoints; -slow tunes which
+// root spans the flight recorder retains.
 package main
 
 import (
@@ -81,8 +83,9 @@ func runManager(args []string) {
 	replication := fs.Int("replication", 1, "copies kept of each chunk (on distinct benefactors)")
 	hbTimeout := fs.Duration("hbtimeout", 0, "heartbeat staleness before a benefactor is declared dead (0 = 5s default)")
 	sweep := fs.Duration("sweep", 0, "death-sweep clock tick (0 = half of hbtimeout, negative disables)")
-	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /trace, /debug/pprof on this address (empty disables)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /trace, /spans, /debug/pprof on this address (empty disables)")
 	logLevel := fs.String("log", "info", "log level: debug|info|warn|error|off")
+	slow := fs.Duration("slow", obs.DefaultSlowThreshold, "root spans at least this long are copied to the slow-op flight recorder (0 disables)")
 	fs.Parse(args)
 
 	pol := manager.RoundRobin
@@ -96,6 +99,7 @@ func runManager(args []string) {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 	o := newObs("manager", *logLevel)
+	o.SetSlowThreshold(*slow)
 	srv, err := rpc.NewManagerServerWith(*listen, *chunk, pol, rpc.ManagerConfig{
 		Replication:      *replication,
 		HeartbeatTimeout: *hbTimeout,
@@ -128,8 +132,9 @@ func runBenefactor(args []string) {
 	capacity := fs.Int64("capacity", 1<<30, "contributed bytes")
 	chunk := fs.Int64("chunk", 256<<10, "chunk size (must match the manager)")
 	beat := fs.Duration("beat", 2*time.Second, "heartbeat interval")
-	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /trace, /debug/pprof on this address (empty disables)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /trace, /spans, /debug/pprof on this address (empty disables)")
 	logLevel := fs.String("log", "info", "log level: debug|info|warn|error|off")
+	slow := fs.Duration("slow", obs.DefaultSlowThreshold, "root spans at least this long are copied to the slow-op flight recorder (0 disables)")
 	fs.Parse(args)
 
 	backend, err := rpc.NewFileBackend(*dir)
@@ -137,6 +142,7 @@ func runBenefactor(args []string) {
 		fatal(err)
 	}
 	o := newObs(fmt.Sprintf("benefactor-%d", *id), *logLevel)
+	o.SetSlowThreshold(*slow)
 	srv, err := rpc.NewBenefactorServerWith(*listen, *mgr, *id, *node, *capacity, *chunk, backend, *beat, rpc.BenefactorConfig{
 		DebugAddr: *debugAddr,
 		Obs:       o,

@@ -11,6 +11,7 @@ import (
 	"nvmalloc/internal/device"
 	"nvmalloc/internal/netsim"
 	"nvmalloc/internal/simtime"
+	"nvmalloc/internal/store"
 	"nvmalloc/internal/sysprof"
 )
 
@@ -70,7 +71,9 @@ func (n *Node) Compute(p *simtime.Proc, flops float64) {
 // deployments never reach the simulated devices, so a nil proc is never
 // charged.
 func ProcOf(ctx any) *simtime.Proc {
-	p, _ := ctx.(*simtime.Proc)
+	// The ctx may arrive wrapped with tracing span info by the layers
+	// above the store boundary; unwrap to the adapter-level value first.
+	p, _ := store.BaseCtx(ctx).(*simtime.Proc)
 	return p
 }
 

@@ -49,6 +49,15 @@ func (c *Client) Checkpoint(ctx store.Ctx, name string, dramState []byte, region
 	if c.cc == nil {
 		return CheckpointInfo{}, errors.New("core: this configuration has no NVM store (DRAM-only)")
 	}
+	sp, ctx := c.rootSpan(ctx, "client.checkpoint", name)
+	info, err := c.checkpoint(ctx, name, dramState, regions)
+	c.endRoot(ctx, sp, err)
+	return info, err
+}
+
+// checkpoint is Checkpoint's body, running under the client.checkpoint
+// root span.
+func (c *Client) checkpoint(ctx store.Ctx, name string, dramState []byte, regions []*Region) (CheckpointInfo, error) {
 	st := c.cc.Store()
 	chunkSize := c.cc.Config().ChunkSize
 	info := CheckpointInfo{Name: name, DRAMBytes: int64(len(dramState))}
@@ -121,14 +130,18 @@ func (c *Client) RestoreRegion(ctx store.Ctx, ckpt string, layout RegionLayout, 
 	if c.cc == nil {
 		return nil, errors.New("core: this configuration has no NVM store (DRAM-only)")
 	}
+	sp, ctx := c.rootSpan(ctx, "client.restore", newName)
 	fi, err := c.cc.Store().Derive(ctx, newName, ckpt, layout.ChunkStart, layout.Chunks, layout.Size)
 	if err != nil {
-		return nil, fmt.Errorf("core: restore of %q from %q: %w", layout.Name, ckpt, err)
+		err = fmt.Errorf("core: restore of %q from %q: %w", layout.Name, ckpt, err)
+		c.endRoot(ctx, sp, err)
+		return nil, err
 	}
 	c.cc.RegisterMeta(ctx, fi)
 	// The restored region shares chunks with the checkpoint: writes must
 	// go copy-on-write immediately.
 	c.cc.ArmCOW(ctx, newName)
+	c.endRoot(ctx, sp, nil)
 	return &Region{c: c, name: newName, size: layout.Size}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"nvmalloc/internal/cluster"
 	"nvmalloc/internal/fusecache"
+	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
 	"nvmalloc/internal/store"
 )
@@ -65,6 +66,32 @@ func (c *Client) PageCache() *fusecache.PageCache { return c.pc }
 
 // ChunkCache exposes the node's FUSE cache (for stats).
 func (c *Client) ChunkCache() *fusecache.ChunkCache { return c.cc }
+
+// rootSpan starts a library-level span (client.malloc, client.checkpoint,
+// ...) on the chunk cache's observability and returns it with a ctx wrapped
+// so every layer below — cache, wire, manager, benefactor — nests under it.
+// When ctx already carries a trace (a tool drove this op under its own
+// root) the span joins that trace instead of starting a fresh one. With
+// observability disabled the span is nil (safe to use) and ctx is returned
+// unwrapped. Callers must hold c.cc non-nil.
+func (c *Client) rootSpan(ctx store.Ctx, name, varName string) (*obs.ActiveSpan, store.Ctx) {
+	sc := store.SpanOf(ctx)
+	sp := c.cc.Obs().StartSpanAt(sc.Trace, sc.Parent, name, c.cc.NowNanos(ctx))
+	if sp == nil {
+		return nil, ctx
+	}
+	sp.SetVar(varName)
+	return sp, store.WithSpan(ctx, store.SpanInfo{Trace: sp.Trace(), Parent: sp.ID(), Var: varName})
+}
+
+// endRoot closes a rootSpan with the operation's outcome.
+func (c *Client) endRoot(ctx store.Ctx, sp *obs.ActiveSpan, err error) {
+	if sp == nil {
+		return
+	}
+	sp.SetErr(err)
+	sp.EndAt(c.cc.NowNanos(ctx))
+}
 
 // allocCfg collects Malloc options.
 type allocCfg struct {
@@ -128,6 +155,14 @@ func (c *Client) Malloc(ctx store.Ctx, size int64, opts ...AllocOption) (*Region
 		c.seq++
 		name = fmt.Sprintf("nvmvar.r%d.%d", c.rank, c.seq)
 	}
+	sp, ctx := c.rootSpan(ctx, "client.malloc", name)
+	r, err := c.malloc(ctx, name, size, a)
+	c.endRoot(ctx, sp, err)
+	return r, err
+}
+
+// malloc is Malloc's body, running under the client.malloc root span.
+func (c *Client) malloc(ctx store.Ctx, name string, size int64, a allocCfg) (*Region, error) {
 	fi, err := c.cc.Store().Create(ctx, name, size)
 	switch {
 	case err == nil && !a.shared:
@@ -221,13 +256,15 @@ func (r *Region) Free(ctx store.Ctx) error {
 	if r.freed {
 		return fmt.Errorf("core: double free of region %q", r.name)
 	}
+	sp, ctx := r.c.rootSpan(ctx, "client.free", r.name)
 	r.freed = true
 	r.c.pc.Drop(r.name)
 	r.c.cc.Drop(ctx, r.name)
 	err := r.c.cc.Store().Delete(ctx, r.name)
 	if errors.Is(err, proto.ErrNoSuchFile) && r.shared {
-		return nil // another rank freed the shared mapping first
+		err = nil // another rank freed the shared mapping first
 	}
+	r.c.endRoot(ctx, sp, err)
 	return err
 }
 

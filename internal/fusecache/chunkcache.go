@@ -243,6 +243,30 @@ func (cc *ChunkCache) Store() store.Client { return cc.store }
 // Config returns the cache geometry.
 func (cc *ChunkCache) Config() Config { return cc.cfg }
 
+// Obs returns the cache's observability handle, so the layers above
+// (core.Client, the checkpoint engine) mint their root spans on the same
+// rings the cache records into.
+func (cc *ChunkCache) Obs() *obs.Obs { return cc.cfg.Obs }
+
+// NowNanos reads the execution substrate's clock: wall time on a GoEnv,
+// virtual simulated time under simstore. Span timestamps taken through it
+// stay consistent with the cache's own.
+func (cc *ChunkCache) NowNanos(ctx store.Ctx) int64 { return cc.env.NowNanos(ctx) }
+
+// span starts a cache-layer child span under ctx's trace and returns it
+// along with the context to hand to the store, so deeper layers (wire,
+// benefactor) nest under the cache span. An untraced ctx returns (nil, ctx)
+// — the nil *ActiveSpan is safe to use and records nothing. Lock held.
+func (cc *ChunkCache) span(ctx store.Ctx, name, file string) (*obs.ActiveSpan, store.Ctx) {
+	sc := store.SpanOf(ctx)
+	if !sc.Traced() {
+		return nil, ctx
+	}
+	sp := cc.cfg.Obs.StartSpanAt(sc.Trace, sc.Parent, name, cc.env.NowNanos(ctx))
+	sp.SetVar(file)
+	return sp, store.WithSpan(ctx, store.SpanInfo{Trace: sp.Trace(), Parent: sp.ID(), Var: file})
+}
+
 // fileMeta returns the (possibly cached) chunk map of a file. Lock held;
 // released around the manager RPC.
 func (cc *ChunkCache) fileMeta(ctx store.Ctx, file string) (*proto.FileInfo, error) {
@@ -412,11 +436,15 @@ func (cc *ChunkCache) fetch(ctx store.Ctx, key chunkKey, refs []proto.ChunkRef, 
 	}
 	cc.entries[key] = e
 	e.lru = cc.lru.PushFront(e)
+	sp, fctx := cc.span(ctx, "cache.get_chunk", key.file)
 	cc.env.Unlock(ctx)
-	cc.gate.Acquire(ctx)
-	data, err := cc.store.GetChunk(ctx, refs)
-	cc.gate.Release(ctx)
+	cc.gate.Acquire(fctx)
+	data, err := cc.store.GetChunk(fctx, refs)
+	cc.gate.Release(fctx)
 	cc.env.Lock(ctx)
+	sp.AddBytes(int64(len(data)))
+	sp.SetErr(err)
+	sp.EndAt(cc.env.NowNanos(ctx))
 	if err != nil {
 		// Failed load: remove the reservation and release waiters.
 		delete(cc.entries, key)
@@ -562,11 +590,15 @@ func (cc *ChunkCache) writeback(ctx store.Ctx, e *entry) error {
 // only the dirty pages. Lock held; released around the transfer.
 func (cc *ChunkCache) ship(ctx store.Ctx, e *entry, refs []proto.ChunkRef) error {
 	if e.nDirty == len(e.dirty) || cc.cfg.WriteFullChunks {
+		sp, sctx := cc.span(ctx, "cache.put_chunk", e.key.file)
 		cc.env.Unlock(ctx)
-		cc.gate.Acquire(ctx)
-		err := cc.store.PutChunk(ctx, refs, e.data)
-		cc.gate.Release(ctx)
+		cc.gate.Acquire(sctx)
+		err := cc.store.PutChunk(sctx, refs, e.data)
+		cc.gate.Release(sctx)
 		cc.env.Lock(ctx)
+		sp.AddBytes(int64(len(e.data)))
+		sp.SetErr(err)
+		sp.EndAt(cc.env.NowNanos(ctx))
 		if err != nil {
 			return err
 		}
@@ -584,11 +616,15 @@ func (cc *ChunkCache) ship(ctx store.Ctx, e *entry, refs []proto.ChunkRef) error
 		offs = append(offs, off)
 		pages = append(pages, e.data[off:off+ps])
 	}
+	sp, sctx := cc.span(ctx, "cache.put_pages", e.key.file)
 	cc.env.Unlock(ctx)
-	cc.gate.Acquire(ctx)
-	err := cc.store.PutPages(ctx, refs, offs, pages)
-	cc.gate.Release(ctx)
+	cc.gate.Acquire(sctx)
+	err := cc.store.PutPages(sctx, refs, offs, pages)
+	cc.gate.Release(sctx)
 	cc.env.Lock(ctx)
+	sp.AddBytes(int64(len(pages)) * ps)
+	sp.SetErr(err)
+	sp.EndAt(cc.env.NowNanos(ctx))
 	if err != nil {
 		return err
 	}
@@ -668,6 +704,11 @@ func (cc *ChunkCache) Flush(ctx store.Ctx, file string) error {
 		}
 	}
 	var flushErr error
+	// The substrate hands flusher tasks a fresh ctx (no span info), so
+	// capture the caller's trace here and re-wrap inside the closure: the
+	// writeback spans then nest under the caller's flush, not float as
+	// orphan roots.
+	sc := store.SpanOf(ctx)
 	g := cc.env.NewGroup()
 	for idx := range fi.Chunks {
 		e, ok := cc.entries[chunkKey{file, idx}]
@@ -691,6 +732,9 @@ func (cc *ChunkCache) Flush(ctx store.Ctx, file string) error {
 		e.fut = cc.env.NewFuture("flush " + file)
 		ent := e
 		g.Go(ctx, "flush "+file, func(fctx store.Ctx) {
+			if sc.Traced() {
+				fctx = store.WithSpan(fctx, sc)
+			}
 			cc.env.Lock(fctx)
 			err := cc.writeback(fctx, ent)
 			fut := ent.fut

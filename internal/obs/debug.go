@@ -16,6 +16,9 @@ import (
 //	/healthz     "ok" (liveness probe)
 //	/trace       JSON []Event from the ring; ?trace=ID filters by trace ID,
 //	             ?n=N keeps only the newest N events
+//	/spans       JSON []Span from the span ring; ?trace=ID filters by trace
+//	             ID, ?slow=1 reads the slow-op flight recorder instead,
+//	             ?n=N keeps only the newest N spans
 //	/debug/pprof the standard Go profiling endpoints
 type DebugServer struct {
 	l   net.Listener
@@ -56,6 +59,28 @@ func ServeDebug(addr string, o *Obs) (*DebugServer, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(events)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		ring := o.Spans
+		if q.Get("slow") != "" && q.Get("slow") != "0" {
+			ring = o.Slow
+		}
+		var spans []Span
+		if id := q.Get("trace"); id != "" {
+			spans = ring.ByTrace(id)
+		} else {
+			spans = ring.Spans()
+		}
+		if ns := q.Get("n"); ns != "" {
+			if n, err := strconv.Atoi(ns); err == nil && n >= 0 && n < len(spans) {
+				spans = spans[len(spans)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -125,4 +150,31 @@ func FetchTrace(addr, trace string, n int) ([]Event, error) {
 	var events []Event
 	err = json.NewDecoder(resp.Body).Decode(&events)
 	return events, err
+}
+
+// FetchSpans scrapes one node's /spans endpoint. trace filters by trace ID
+// when non-empty; slow reads the flight recorder instead of the span ring;
+// n limits to the newest n spans when positive.
+func FetchSpans(addr, trace string, slow bool, n int) ([]Span, error) {
+	url := "http://" + addr + "/spans?"
+	if trace != "" {
+		url += "trace=" + trace + "&"
+	}
+	if slow {
+		url += "slow=1&"
+	}
+	if n > 0 {
+		url += fmt.Sprintf("n=%d", n)
+	}
+	resp, err := scrapeClient.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: %s/spans: %s", addr, resp.Status)
+	}
+	var spans []Span
+	err = json.NewDecoder(resp.Body).Decode(&spans)
+	return spans, err
 }

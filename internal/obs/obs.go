@@ -26,6 +26,15 @@ type Obs struct {
 	Reg  *Registry
 	Ring *Ring
 	Log  *Logger
+	// Spans is the bounded buffer of completed hierarchical spans, newest
+	// overwriting oldest (served at /spans).
+	Spans *SpanRing
+	// Slow is the flight recorder: root spans slower than the threshold
+	// are copied here so stragglers survive span-ring churn.
+	Slow *SpanRing
+
+	slowNanos atomic.Int64
+	sink      atomic.Value // spanSink
 }
 
 // DefaultRingEvents is the event capacity of rings made by New.
@@ -35,11 +44,15 @@ const DefaultRingEvents = 4096
 // DefaultRingEvents-event ring, and a quiet (discarding) logger so library
 // users and tests stay silent unless a daemon raises the level.
 func New(node string) *Obs {
-	return &Obs{
-		Reg:  NewRegistry(node),
-		Ring: NewRing(DefaultRingEvents),
-		Log:  NewLogger(nil, LevelOff),
+	o := &Obs{
+		Reg:   NewRegistry(node),
+		Ring:  NewRing(DefaultRingEvents),
+		Log:   NewLogger(nil, LevelOff),
+		Spans: NewSpanRing(DefaultRingSpans),
+		Slow:  NewSpanRing(DefaultSlowSpans),
 	}
+	o.slowNanos.Store(int64(DefaultSlowThreshold))
+	return o
 }
 
 // Disabled returns an Obs whose members are all nil: every handle it hands

@@ -48,6 +48,42 @@ type legacyManagerResp struct {
 	DebugAddr       string
 }
 
+// prespanManagerReq is the request envelope as it existed before span
+// tracing added ParentSpanID and Spans (but after TTLNanos). Frozen so both
+// directions of the gob stream stay verifiable against pre-span daemons.
+type prespanManagerReq struct {
+	Op             proto.Op
+	TraceID        string
+	BenID          int
+	BenNode        int
+	BenAddr        string
+	BenDebugAddr   string
+	Capacity       int64
+	Name           string
+	Size           int64
+	Parts          []string
+	ChunkIdx       int
+	Src            string
+	FromChunk      int
+	NChunks        int
+	ExpiresAtNanos int64
+	TTLNanos       int64
+	WriteVolume    int64
+}
+
+// prespanChunkReq is the benefactor request envelope before span tracing
+// added ParentSpanID and VarName.
+type prespanChunkReq struct {
+	Op        proto.Op
+	TraceID   string
+	ID        proto.ChunkID
+	SrcID     proto.ChunkID
+	Data      []byte
+	PageOffs  []int64
+	PageData  [][]byte
+	ChunkSize int64
+}
+
 // transcode gob-encodes src and decodes the stream into dst.
 func transcode(t *testing.T, src, dst any) {
 	t.Helper()
@@ -91,6 +127,77 @@ func TestGobCurrentRequestDecodesIntoOld(t *testing.T) {
 	transcode(t, &cur, &old)
 	if old.Op != proto.OpSetTTL || old.Name != "var" || old.ExpiresAtNanos != int64(3*time.Second) {
 		t.Fatalf("shared fields lost decoding into legacy struct: %+v", old)
+	}
+}
+
+// TestGobPrespanManagerReqDecodesIntoCurrent: a pre-span client's request
+// must decode on a current manager with ParentSpanID empty and Spans nil —
+// the manager then records no span, exactly the untraced behavior.
+func TestGobPrespanManagerReqDecodesIntoCurrent(t *testing.T) {
+	old := prespanManagerReq{
+		Op: proto.OpCreate, TraceID: "t3", Name: "var", Size: 4096,
+		TTLNanos: int64(9 * time.Second),
+	}
+	var cur proto.ManagerReq
+	transcode(t, &old, &cur)
+	if cur.Op != proto.OpCreate || cur.Name != "var" || cur.Size != 4096 || cur.TraceID != "t3" {
+		t.Fatalf("pre-span fields lost: %+v", cur)
+	}
+	if cur.TTLNanos != int64(9*time.Second) {
+		t.Fatalf("TTLNanos lost: %+v", cur)
+	}
+	if cur.ParentSpanID != "" || cur.Spans != nil {
+		t.Fatalf("span fields = (%q, %v) from a pre-span stream, want zero", cur.ParentSpanID, cur.Spans)
+	}
+}
+
+// TestGobCurrentManagerReqDecodesIntoPrespan: a current client's traced
+// request (ParentSpanID set, even an OpReportSpans batch) must not break a
+// pre-span manager — unknown fields are skipped, the rest lands.
+func TestGobCurrentManagerReqDecodesIntoPrespan(t *testing.T) {
+	cur := proto.ManagerReq{
+		Op: proto.OpCreate, TraceID: "t4", ParentSpanID: "span-1",
+		Name: "var", Size: 8192,
+		Spans: []proto.Span{{Trace: "t4", ID: "span-1", Name: "client.put", DurNanos: 5}},
+	}
+	var old prespanManagerReq
+	transcode(t, &cur, &old)
+	if old.Op != proto.OpCreate || old.Name != "var" || old.Size != 8192 || old.TraceID != "t4" {
+		t.Fatalf("shared fields lost decoding into pre-span struct: %+v", old)
+	}
+}
+
+// TestGobPrespanChunkReqDecodesIntoCurrent: a pre-span client's chunk write
+// must decode on a current benefactor with the span fields zero (no
+// server-side span recorded, payload intact).
+func TestGobPrespanChunkReqDecodesIntoCurrent(t *testing.T) {
+	old := prespanChunkReq{
+		Op: proto.OpPutPages, TraceID: "t5", ID: 11,
+		PageOffs: []int64{0, 4096}, PageData: [][]byte{[]byte("a"), []byte("b")},
+		ChunkSize: 256 << 10,
+	}
+	var cur proto.ChunkReq
+	transcode(t, &old, &cur)
+	if cur.Op != proto.OpPutPages || cur.ID != 11 || cur.TraceID != "t5" ||
+		len(cur.PageOffs) != 2 || len(cur.PageData) != 2 || cur.ChunkSize != 256<<10 {
+		t.Fatalf("pre-span chunk fields lost: %+v", cur)
+	}
+	if cur.ParentSpanID != "" || cur.VarName != "" {
+		t.Fatalf("span fields = (%q, %q) from a pre-span stream, want empty", cur.ParentSpanID, cur.VarName)
+	}
+}
+
+// TestGobCurrentChunkReqDecodesIntoPrespan: a current client's traced chunk
+// request must stay decodable by a pre-span benefactor.
+func TestGobCurrentChunkReqDecodesIntoPrespan(t *testing.T) {
+	cur := proto.ChunkReq{
+		Op: proto.OpGetChunk, TraceID: "t6", ParentSpanID: "span-2",
+		VarName: "nvmvar.r0.1", ID: 13,
+	}
+	var old prespanChunkReq
+	transcode(t, &cur, &old)
+	if old.Op != proto.OpGetChunk || old.ID != 13 || old.TraceID != "t6" {
+		t.Fatalf("shared chunk fields lost decoding into pre-span struct: %+v", old)
 	}
 }
 

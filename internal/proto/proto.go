@@ -89,6 +89,10 @@ const (
 	// OpMarkDead forcibly declares a benefactor dead (fault injection and
 	// operator intervention ahead of heartbeat expiry).
 	OpMarkDead Op = "markdead"
+	// OpReportSpans ships a batch of completed client-side spans to the
+	// manager's span ring, so traces rooted in short-lived client
+	// processes survive for the nvmctl collector to scrape.
+	OpReportSpans Op = "spans"
 )
 
 // Benefactor ops.
@@ -100,6 +104,22 @@ const (
 	OpCopyChunk   Op = "copychunk"
 )
 
+// Span is the wire form of one completed trace span (obs.Span, which
+// mirrors this layout field for field). Carried by OpReportSpans so
+// client-side spans outlive the client process.
+type Span struct {
+	Trace      string
+	ID         string
+	Parent     string
+	Name       string
+	Node       string
+	Var        string
+	Err        string
+	StartNanos int64
+	DurNanos   int64
+	Bytes      int64
+}
+
 // ManagerReq is the manager-side request envelope.
 type ManagerReq struct {
 	Op Op
@@ -108,6 +128,13 @@ type ManagerReq struct {
 	// benefactor rings. Empty from older clients (gob leaves missing
 	// fields zero, so the extension is backward-compatible both ways).
 	TraceID string
+	// ParentSpanID is the client-side span the manager should parent its
+	// own span under. Empty from older (or untraced) clients; the
+	// manager then records no span for the request.
+	ParentSpanID string
+	// Spans is the OpReportSpans payload: completed client-side spans for
+	// the manager to retain on the clients' behalf.
+	Spans []Span
 	// Register
 	BenID        int
 	BenNode      int
@@ -165,6 +192,13 @@ type ChunkReq struct {
 	// TraceID tags the request with the client-side operation that issued
 	// it (see ManagerReq.TraceID).
 	TraceID string
+	// ParentSpanID is the client-side span the benefactor should parent
+	// its own span under (see ManagerReq.ParentSpanID). Empty from older
+	// or untraced clients.
+	ParentSpanID string
+	// VarName is the NVM variable (store file) the chunk belongs to, so
+	// server-side spans can attribute device traffic per variable.
+	VarName string
 	ID      ChunkID
 	SrcID   ChunkID // CopyChunk
 	Data    []byte

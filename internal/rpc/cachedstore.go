@@ -115,8 +115,8 @@ func (cs *CachedStore) Stats() CacheStats {
 }
 
 // size returns a file's current size (via the store's cached metadata).
-func (cs *CachedStore) size(name string) (int64, error) {
-	fi, err := cs.st.fileInfo(name)
+func (cs *CachedStore) size(ctx store.Ctx, name string) (int64, error) {
+	fi, err := cs.st.fileInfo(store.SpanOf(ctx), name)
 	if err != nil {
 		return 0, err
 	}
@@ -126,11 +126,17 @@ func (cs *CachedStore) size(name string) (int64, error) {
 // Create reserves a file of the given size and marks its chunks known-zero
 // so first writes skip the read-modify-write fetch.
 func (cs *CachedStore) Create(name string, size int64) error {
-	fi, err := cs.st.CreateInfo(name, size)
+	return cs.CreateCtx(nil, name, size)
+}
+
+// CreateCtx is Create under a caller-provided span context (store.WithSpan),
+// so the manager's allocation span nests in the caller's trace.
+func (cs *CachedStore) CreateCtx(ctx store.Ctx, name string, size int64) error {
+	fi, err := cs.st.create(store.SpanOf(ctx), name, size)
 	if err != nil {
 		return err
 	}
-	cs.cc.MarkFresh(nil, fi)
+	cs.cc.MarkFresh(ctx, fi)
 	return nil
 }
 
@@ -156,53 +162,79 @@ func (cs *CachedStore) ArmCOW(name string) { cs.cc.ArmCOW(nil, name) }
 
 // ReadAt fills buf from the file at off through the cache.
 func (cs *CachedStore) ReadAt(name string, off int64, buf []byte) error {
-	size, err := cs.size(name)
+	return cs.ReadAtCtx(nil, name, off, buf)
+}
+
+// ReadAtCtx is ReadAt under a caller-provided span context.
+func (cs *CachedStore) ReadAtCtx(ctx store.Ctx, name string, off int64, buf []byte) error {
+	size, err := cs.size(ctx, name)
 	if err != nil {
 		return err
 	}
 	if off < 0 || off+int64(len(buf)) > size {
 		return fmt.Errorf("%w: read [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(buf)), name, size)
 	}
-	return cs.cc.ReadRange(nil, name, off, buf)
+	return cs.cc.ReadRange(ctx, name, off, buf)
 }
 
 // WriteAt writes data into the file at off through the cache, marking the
 // touched pages dirty. No bytes reach a benefactor until eviction or
 // Flush, and then only dirty pages travel (unless WriteFullChunks).
 func (cs *CachedStore) WriteAt(name string, off int64, data []byte) error {
-	size, err := cs.size(name)
+	return cs.WriteAtCtx(nil, name, off, data)
+}
+
+// WriteAtCtx is WriteAt under a caller-provided span context.
+func (cs *CachedStore) WriteAtCtx(ctx store.Ctx, name string, off int64, data []byte) error {
+	size, err := cs.size(ctx, name)
 	if err != nil {
 		return err
 	}
 	if off < 0 || off+int64(len(data)) > size {
 		return fmt.Errorf("%w: write [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(data)), name, size)
 	}
-	return cs.cc.WriteRange(nil, name, off, data)
+	return cs.cc.WriteRange(ctx, name, off, data)
 }
 
 // Flush writes back every dirty cached chunk of file, leaving the data
 // resident and clean.
 func (cs *CachedStore) Flush(name string) error { return cs.cc.Flush(nil, name) }
 
+// FlushCtx is Flush under a caller-provided span context, so writeback
+// spans nest in the caller's trace.
+func (cs *CachedStore) FlushCtx(ctx store.Ctx, name string) error { return cs.cc.Flush(ctx, name) }
+
 // FlushAll writes back every dirty chunk in the cache.
 func (cs *CachedStore) FlushAll() error { return cs.cc.FlushAll(nil) }
 
 // Put uploads a whole payload as a (new) file through the cache.
 func (cs *CachedStore) Put(name string, data []byte) error {
-	if err := cs.Create(name, int64(len(data))); err != nil {
+	return cs.PutCtx(nil, name, data)
+}
+
+// PutCtx is Put under a caller-provided span context. Note the payload only
+// dirties the cache; pair with FlushCtx under the same context to trace the
+// data's trip to the benefactors.
+func (cs *CachedStore) PutCtx(ctx store.Ctx, name string, data []byte) error {
+	if err := cs.CreateCtx(ctx, name, int64(len(data))); err != nil {
 		return err
 	}
-	return cs.WriteAt(name, 0, data)
+	return cs.WriteAtCtx(ctx, name, 0, data)
 }
 
 // Get downloads a whole file through the cache.
 func (cs *CachedStore) Get(name string) ([]byte, error) {
-	size, err := cs.size(name)
+	return cs.GetCtx(nil, name)
+}
+
+// GetCtx is Get under a caller-provided span context.
+func (cs *CachedStore) GetCtx(ctx store.Ctx, name string) ([]byte, error) {
+	size, err := cs.size(ctx, name)
 	if err != nil {
 		return nil, err
 	}
 	buf := make([]byte, size)
-	if err := cs.ReadAt(name, 0, buf); err != nil {
+	if err := cs.ReadAtCtx(ctx, name, 0, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil

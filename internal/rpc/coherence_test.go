@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"time"
+
+	"nvmalloc/internal/store"
 )
 
 // TestRemapPatchesCachedMeta: a client's own Remap must leave its cached
@@ -40,7 +42,7 @@ func TestRemapPatchesCachedMeta(t *testing.T) {
 	if fresh[0] == old.Chunks[0] {
 		t.Fatalf("remap of a shared chunk returned the old ref %v", fresh[0])
 	}
-	cached, err := st.fileInfo("f")
+	cached, err := st.fileInfo(store.SpanInfo{}, "f")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
 	"nvmalloc/internal/benefactor"
 	"nvmalloc/internal/manager"
 	"nvmalloc/internal/obs"
+	"nvmalloc/internal/store"
 )
 
 // findEvent returns the first ring event matching comp+kind, or false.
@@ -257,5 +259,104 @@ func TestDisabledObsIsInert(t *testing.T) {
 	}
 	if cs := cache.Stats(); cs.Misses != 0 {
 		t.Fatalf("disabled obs still counted cache stats: %+v", cs)
+	}
+}
+
+// findSpan returns the first span with the given name, or false.
+func findSpan(spans []obs.Span, name string) (obs.Span, bool) {
+	for _, sp := range spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return obs.Span{}, false
+}
+
+// TestSpanTreeAcrossWire is the end-to-end span drill: a Put under an
+// explicit span context must leave a stitched tree — the client's rpc.*
+// children in its own ring, benefactor.*/ssd.* children in a benefactor's
+// ring, all under one trace with correct parent links — and Close must
+// export the client's spans to the manager so the collector can find them
+// after the client exits.
+func TestSpanTreeAcrossWire(t *testing.T) {
+	r := newRig(t, 2)
+	st, err := Open(r.mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := st.Obs().StartSpan("", "", "client.put")
+	root.SetVar("spanned")
+	ctx := store.WithSpan(nil, store.SpanInfo{Trace: root.Trace(), Parent: root.ID(), Var: "spanned"})
+	if err := st.PutCtx(ctx, "spanned", bytes.Repeat([]byte("s"), 2*testChunk)); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	tid := root.Trace()
+
+	cl := st.Obs().Spans.ByTrace(tid)
+	put, ok := findSpan(cl, "rpc.put_chunk")
+	if !ok {
+		t.Fatalf("client ring has no rpc.put_chunk span for %s (got %+v)", tid, cl)
+	}
+	if put.Parent == "" || put.Var != "spanned" {
+		t.Fatalf("client span not linked/attributed: %+v", put)
+	}
+
+	found := false
+	for _, bs := range r.bens {
+		spans := bs.Obs().Spans.ByTrace(tid)
+		bput, ok := findSpan(spans, "benefactor.put")
+		if !ok {
+			continue
+		}
+		found = true
+		if bput.Var != "spanned" {
+			t.Fatalf("benefactor span lost var attribution: %+v", bput)
+		}
+		ssd, ok := findSpan(spans, "ssd.write")
+		if !ok {
+			t.Fatal("benefactor recorded no ssd.write child span")
+		}
+		if ssd.Parent != bput.ID {
+			t.Fatalf("ssd.write parent %q != benefactor.put id %q", ssd.Parent, bput.ID)
+		}
+	}
+	if !found {
+		t.Fatalf("no benefactor ring has a benefactor.put span for %s", tid)
+	}
+
+	// An event-only convenience op must mint no spans anywhere: the wire
+	// carries a trace ID for ring events but no parent span.
+	if err := st.Put("plain", make([]byte, testChunk)); err != nil {
+		t.Fatal(err)
+	}
+	var plainTrace string
+	for _, ev := range st.Obs().Ring.Events() {
+		if ev.Comp == "rpc" && ev.Kind == "put" && strings.Contains(ev.Detail, `"plain"`) {
+			plainTrace = ev.Trace
+		}
+	}
+	if plainTrace == "" {
+		t.Fatal("client ring has no put event for the plain file")
+	}
+	for _, bs := range r.bens {
+		if got := bs.Obs().Spans.ByTrace(plainTrace); len(got) != 0 {
+			t.Fatalf("convenience Put minted server spans: %+v", got)
+		}
+	}
+
+	// Close exports the client's spans; the manager must have ingested the
+	// traced tree (stamped with the client's node identity, not its own).
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mgr := r.mgr.Obs().Spans.ByTrace(tid)
+	mput, ok := findSpan(mgr, "rpc.put_chunk")
+	if !ok {
+		t.Fatalf("manager did not ingest the client's spans for %s (got %+v)", tid, mgr)
+	}
+	if mput.Node != "client" {
+		t.Fatalf("ingested span node %q, want the exporting client's", mput.Node)
 	}
 }

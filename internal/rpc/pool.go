@@ -26,13 +26,16 @@ type connPool struct {
 	// the pool (Options.PoolSize) is the bottleneck, not the SSDs. May be
 	// nil (recording is then skipped).
 	wait *obs.Histogram
+	// obs mints pool.wait spans under traced requests, so pool contention
+	// shows up in the waterfall as its own layer. May be nil/disabled.
+	obs *obs.Obs
 }
 
-func newConnPool(addr string, size int, dial func(addr string) (*chunkConn, error), wait *obs.Histogram) *connPool {
+func newConnPool(addr string, size int, dial func(addr string) (*chunkConn, error), o *obs.Obs, wait *obs.Histogram) *connPool {
 	if size < 1 {
 		size = 1
 	}
-	p := &connPool{addr: addr, dial: dial, free: make(chan *chunkConn, size), wait: wait}
+	p := &connPool{addr: addr, dial: dial, free: make(chan *chunkConn, size), wait: wait, obs: o}
 	for i := 0; i < size; i++ {
 		p.free <- nil
 	}
@@ -49,8 +52,13 @@ func (p *connPool) call(req proto.ChunkReq) (proto.ChunkResp, error) {
 	case c = <-p.free: // free slot: no wait, nothing to record
 	default:
 		start := time.Now()
+		var sp *obs.ActiveSpan
+		if req.ParentSpanID != "" {
+			sp = p.obs.StartSpanAt(req.TraceID, req.ParentSpanID, "pool.wait", start.UnixNano())
+		}
 		c = <-p.free
 		p.wait.Observe(time.Since(start))
+		sp.End()
 	}
 	if c == nil {
 		var err error

@@ -241,7 +241,7 @@ var managerOps = []proto.Op{
 	proto.OpRegister, proto.OpBeat, proto.OpCreate, proto.OpLookup,
 	proto.OpDelete, proto.OpLink, proto.OpDerive, proto.OpSetTTL,
 	proto.OpExpire, proto.OpRemap, proto.OpStatus, proto.OpMarkDead,
-	proto.OpRepair,
+	proto.OpRepair, proto.OpReportSpans,
 }
 
 func newManagerMetrics(o *obs.Obs) managerMetrics {
@@ -523,11 +523,30 @@ func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		s.obs.Event("manager", "markdead", req.TraceID, fmt.Sprintf("benefactor %d declared dead", req.BenID))
 	case proto.OpRepair:
 		resp.Repaired, resp.RepairFailed, resp.Lost = s.repair(req.TraceID)
+	case proto.OpReportSpans:
+		// Client-exported spans are ingested (never re-exported — the
+		// sink must not fire, or an in-process client sharing this Obs
+		// would loop) so traces rooted in short-lived clients survive
+		// here for the collector. The manager's own slow threshold
+		// re-applies, feeding its flight recorder.
+		for _, ps := range req.Spans {
+			s.obs.IngestSpan(obs.Span(ps))
+		}
 	default:
 		resp.Err = fmt.Sprintf("manager: unknown op %q", req.Op)
 	}
 	s.mu.Unlock()
 	s.mm.opLat[req.Op].Observe(time.Since(opStart))
+	// A span-traced request (it names a parent span) gets a manager-side
+	// child span under the client's parent; event-only and untraced ones
+	// (heartbeats, status polls, convenience ops, older clients) record
+	// nothing.
+	if req.ParentSpanID != "" && req.Op != proto.OpReportSpans {
+		sp := s.obs.StartSpanAt(req.TraceID, req.ParentSpanID, "manager."+string(req.Op), opStart.UnixNano())
+		sp.SetVar(req.Name)
+		sp.SetErr(wireErr(resp.Err))
+		sp.End()
+	}
 	return enc.Encode(&resp)
 }
 
@@ -759,29 +778,63 @@ func (s *BenefactorServer) StopHeartbeat() {
 // Store exposes the underlying chunk store (for stats).
 func (s *BenefactorServer) Store() *benefactor.Store { return s.st }
 
+// spanUnder begins a child span of parent; a nil parent (untraced request
+// or disabled obs) yields a nil no-op span.
+func (s *BenefactorServer) spanUnder(parent *obs.ActiveSpan, name string) *obs.ActiveSpan {
+	if parent == nil {
+		return nil
+	}
+	return s.obs.StartSpan(parent.Trace(), parent.ID(), name)
+}
+
 func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 	var req proto.ChunkReq
 	if err := dec.Decode(&req); err != nil {
 		return err
 	}
 	opStart := time.Now()
+	// A span-traced request (it names a parent span) gets a benefactor-side
+	// child span (and a nested ssd.* span around the backend call);
+	// event-only and untraced ones record nothing.
+	var sp *obs.ActiveSpan
+	if req.ParentSpanID != "" {
+		sp = s.obs.StartSpanAt(req.TraceID, req.ParentSpanID, "benefactor."+string(req.Op), opStart.UnixNano())
+		sp.SetVar(req.VarName)
+	}
 	var resp proto.ChunkResp
 	switch req.Op {
 	case proto.OpGetChunk:
+		ssd := s.spanUnder(sp, "ssd.read")
 		d, err := s.st.GetChunk(req.ID)
+		ssd.SetErr(err)
+		ssd.AddBytes(int64(len(d)))
+		ssd.End()
 		resp.Data, resp.Err = d, errStr(err)
+		sp.AddBytes(int64(len(d)))
 		s.bm.readBytes.Add(int64(len(d)))
 		s.obs.Event("benefactor", "read", req.TraceID, fmt.Sprintf("chunk=%d bytes=%d", req.ID, len(d)))
 	case proto.OpPutChunk:
-		resp.Err = errStr(s.st.PutChunk(req.ID, req.Data))
+		ssd := s.spanUnder(sp, "ssd.write")
+		err := s.st.PutChunk(req.ID, req.Data)
+		ssd.SetErr(err)
+		ssd.AddBytes(int64(len(req.Data)))
+		ssd.End()
+		resp.Err = errStr(err)
+		sp.AddBytes(int64(len(req.Data)))
 		s.bm.writeBytes.Add(int64(len(req.Data)))
 		s.obs.Event("benefactor", "write", req.TraceID, fmt.Sprintf("chunk=%d bytes=%d", req.ID, len(req.Data)))
 	case proto.OpPutPages:
-		resp.Err = errStr(s.st.PutPages(req.ID, req.PageOffs, req.PageData))
 		var n int64
 		for _, pg := range req.PageData {
 			n += int64(len(pg))
 		}
+		ssd := s.spanUnder(sp, "ssd.write")
+		err := s.st.PutPages(req.ID, req.PageOffs, req.PageData)
+		ssd.SetErr(err)
+		ssd.AddBytes(n)
+		ssd.End()
+		resp.Err = errStr(err)
+		sp.AddBytes(n)
 		s.bm.writeBytes.Add(n)
 		s.obs.Event("benefactor", "write-pages", req.TraceID,
 			fmt.Sprintf("chunk=%d pages=%d bytes=%d", req.ID, len(req.PageOffs), n))
@@ -789,12 +842,18 @@ func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		resp.Err = errStr(s.st.DeleteChunk(req.ID))
 		s.obs.Event("benefactor", "delete", req.TraceID, fmt.Sprintf("chunk=%d", req.ID))
 	case proto.OpCopyChunk:
-		resp.Err = errStr(s.st.CopyChunk(req.ID, req.SrcID))
+		ssd := s.spanUnder(sp, "ssd.copy")
+		err := s.st.CopyChunk(req.ID, req.SrcID)
+		ssd.SetErr(err)
+		ssd.End()
+		resp.Err = errStr(err)
 		s.obs.Event("benefactor", "copy", req.TraceID, fmt.Sprintf("chunk=%d src=%d", req.ID, req.SrcID))
 	default:
 		resp.Err = fmt.Sprintf("benefactor: unknown op %q", req.Op)
 	}
 	s.bm.opLat[req.Op].Observe(time.Since(opStart))
+	sp.SetErr(wireErr(resp.Err))
+	sp.End()
 	return enc.Encode(&resp)
 }
 

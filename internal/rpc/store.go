@@ -10,6 +10,7 @@ import (
 
 	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
+	"nvmalloc/internal/store"
 )
 
 // Options tunes the client data path.
@@ -173,6 +174,13 @@ type Store struct {
 
 	obs *obs.Obs
 	m   storeMetrics
+
+	// pending batches locally completed spans for export to the manager
+	// (OpReportSpans), so traces rooted in this client survive the client
+	// process's exit and remain scrapeable by nvmctl.
+	pendingMu sync.Mutex
+	pending   []proto.Span
+	exports   sync.WaitGroup
 }
 
 // Open connects to the manager at addr with default Options.
@@ -201,7 +209,68 @@ func OpenWith(addr string, opts Options) (*Store, error) {
 		mc.Close()
 		return nil, err
 	}
+	s.obs.SetSpanSink(s.exportSpan)
 	return s, nil
+}
+
+// spanBatch is how many completed spans accumulate before a batch ships to
+// the manager.
+const spanBatch = 64
+
+// exportSpan is the client Obs's span sink: completed spans are batched and
+// shipped to the manager's span ring (best effort), where the nvmctl
+// collector finds them after this client exits. A full batch is sent on its
+// own goroutine so recording never blocks on a manager round trip.
+func (s *Store) exportSpan(sp obs.Span) {
+	s.pendingMu.Lock()
+	s.pending = append(s.pending, proto.Span(sp))
+	var batch []proto.Span
+	if len(s.pending) >= spanBatch {
+		batch = s.pending
+		s.pending = nil
+	}
+	s.pendingMu.Unlock()
+	if batch == nil {
+		return
+	}
+	s.exports.Add(1)
+	go func() {
+		defer s.exports.Done()
+		_, _ = s.mgr.call(proto.ManagerReq{Op: proto.OpReportSpans, Spans: batch})
+	}()
+}
+
+// flushSpans synchronously ships any batched spans (best effort).
+func (s *Store) flushSpans() {
+	s.pendingMu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.pendingMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	_, _ = s.mgr.call(proto.ManagerReq{Op: proto.OpReportSpans, Spans: batch})
+}
+
+// eventScope mints the correlation context of one public convenience op: a
+// fresh trace ID that stamps ring events on every machine the op touches,
+// but no spans. Span trees begin only at the library roots (core.Client's
+// malloc/free/checkpoint/restore) or at a caller-provided span context (the
+// *Ctx variants), so the untraced hot path pays for an ID and its events —
+// the pre-span cost — never for span minting or export.
+func eventScope(varName string) store.SpanInfo {
+	return store.SpanInfo{Trace: obs.NewTraceID(), Var: varName}
+}
+
+// startChild begins a span joined to sc, or nothing when sc carries no
+// parent span (an event-only convenience op).
+func (s *Store) startChild(sc store.SpanInfo, name string) *obs.ActiveSpan {
+	if !sc.Traced() {
+		return nil
+	}
+	sp := s.obs.StartSpan(sc.Trace, sc.Parent, name)
+	sp.SetVar(sc.Var)
+	return sp
 }
 
 // Refresh re-fetches the benefactor table (picking up new registrations).
@@ -228,8 +297,11 @@ func (s *Store) Refresh() error {
 	return nil
 }
 
-// Close drops every connection.
+// Close ships any unexported spans and drops every connection.
 func (s *Store) Close() error {
+	s.obs.SetSpanSink(nil)
+	s.exports.Wait()
+	s.flushSpans()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, p := range s.pools {
@@ -280,7 +352,7 @@ func (s *Store) pool(ref proto.ChunkRef) (*connPool, error) {
 	dial := func(a string) (*chunkConn, error) {
 		return dialChunk(a, s.opts.Dial, s.opts.DialTimeout, s.opts.CallTimeout)
 	}
-	p := newConnPool(addr, s.opts.PoolSize, dial, s.m.poolWait)
+	p := newConnPool(addr, s.opts.PoolSize, dial, s.obs, s.m.poolWait)
 	s.pools[ref.Benefactor] = p
 	return p, nil
 }
@@ -385,21 +457,23 @@ func replicaRefs(fi proto.FileInfo, idx int) []proto.ChunkRef {
 }
 
 // fileInfo returns (caching) a file's chunk map.
-func (s *Store) fileInfo(name string) (proto.FileInfo, error) {
+func (s *Store) fileInfo(sc store.SpanInfo, name string) (proto.FileInfo, error) {
 	s.mu.Lock()
 	fi, ok := s.meta[name]
 	s.mu.Unlock()
 	if ok {
 		return fi, nil
 	}
-	fi, err := s.mgr.Lookup(name)
+	resp, err := s.mgr.call(proto.ManagerReq{
+		Op: proto.OpLookup, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: name,
+	})
 	if err != nil {
-		return fi, err
+		return resp.File, err
 	}
 	s.mu.Lock()
-	s.meta[name] = fi
+	s.meta[name] = resp.File
 	s.mu.Unlock()
-	return fi, nil
+	return resp.File, nil
 }
 
 // invalidateMeta drops the cached chunk map of a file.
@@ -411,24 +485,26 @@ func (s *Store) invalidateMeta(name string) {
 
 // Create reserves a file of the given size.
 func (s *Store) Create(name string, size int64) error {
-	_, err := s.create(obs.NewTraceID(), name, size)
+	_, err := s.create(eventScope(name), name, size)
 	return err
 }
 
 // CreateInfo reserves a file and returns its chunk map.
 func (s *Store) CreateInfo(name string, size int64) (proto.FileInfo, error) {
-	return s.create(obs.NewTraceID(), name, size)
+	return s.create(eventScope(name), name, size)
 }
 
-// create allocates the file under an existing trace ID. The ID rides the
-// manager RPC, so the manager's event ring records the allocation under
-// the same trace as the client's.
-func (s *Store) create(tid, name string, size int64) (proto.FileInfo, error) {
-	resp, err := s.mgr.call(proto.ManagerReq{Op: proto.OpCreate, TraceID: tid, Name: name, Size: size})
+// create allocates the file under an existing span context. The trace and
+// parent span ride the manager RPC, so the manager records its allocation
+// span (and events) under the client's.
+func (s *Store) create(sc store.SpanInfo, name string, size int64) (proto.FileInfo, error) {
+	resp, err := s.mgr.call(proto.ManagerReq{
+		Op: proto.OpCreate, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: name, Size: size,
+	})
 	if err != nil {
 		return proto.FileInfo{}, err
 	}
-	s.obs.Event("rpc", "alloc", tid, fmt.Sprintf("file=%q size=%d chunks=%d", name, size, len(resp.File.Chunks)))
+	s.obs.Event("rpc", "alloc", sc.Trace, fmt.Sprintf("file=%q size=%d chunks=%d", name, size, len(resp.File.Chunks)))
 	s.mu.Lock()
 	s.meta[name] = resp.File
 	s.mu.Unlock()
@@ -440,13 +516,18 @@ func (s *Store) create(tid, name string, size int64) (proto.FileInfo, error) {
 // manager's post-link view; the parts' maps are untouched (linking does
 // not move their chunks).
 func (s *Store) Link(dst string, parts []string) (proto.FileInfo, error) {
-	tid := obs.NewTraceID()
-	resp, err := s.mgr.call(proto.ManagerReq{Op: proto.OpLink, TraceID: tid, Name: dst, Parts: parts})
+	return s.link(eventScope(dst), dst, parts)
+}
+
+func (s *Store) link(sc store.SpanInfo, dst string, parts []string) (proto.FileInfo, error) {
+	resp, err := s.mgr.call(proto.ManagerReq{
+		Op: proto.OpLink, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: dst, Parts: parts,
+	})
 	if err != nil {
 		s.invalidateMeta(dst)
 		return proto.FileInfo{}, err
 	}
-	s.obs.Event("rpc", "link", tid, fmt.Sprintf("dst=%q parts=%d chunks=%d", dst, len(parts), len(resp.File.Chunks)))
+	s.obs.Event("rpc", "link", sc.Trace, fmt.Sprintf("dst=%q parts=%d chunks=%d", dst, len(parts), len(resp.File.Chunks)))
 	s.mu.Lock()
 	s.meta[dst] = resp.File
 	s.mu.Unlock()
@@ -456,16 +537,19 @@ func (s *Store) Link(dst string, parts []string) (proto.FileInfo, error) {
 // Derive creates name sharing a chunk sub-range of src (checkpoint restore
 // without data movement) and caches the new file's chunk map.
 func (s *Store) Derive(name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
-	tid := obs.NewTraceID()
+	return s.derive(eventScope(name), name, src, fromChunk, nChunks, size)
+}
+
+func (s *Store) derive(sc store.SpanInfo, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
 	resp, err := s.mgr.call(proto.ManagerReq{
-		Op: proto.OpDerive, TraceID: tid, Name: name, Src: src,
+		Op: proto.OpDerive, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: name, Src: src,
 		FromChunk: fromChunk, NChunks: nChunks, Size: size,
 	})
 	if err != nil {
 		s.invalidateMeta(name)
 		return proto.FileInfo{}, err
 	}
-	s.obs.Event("rpc", "derive", tid, fmt.Sprintf("file=%q src=%q chunks=%d", name, src, nChunks))
+	s.obs.Event("rpc", "derive", sc.Trace, fmt.Sprintf("file=%q src=%q chunks=%d", name, src, nChunks))
 	s.mu.Lock()
 	s.meta[name] = resp.File
 	s.mu.Unlock()
@@ -478,8 +562,13 @@ func (s *Store) Derive(name, src string, fromChunk, nChunks int, size int64) (pr
 // reads and writes through this Store target the fresh chunk instead of
 // failing on the stale one.
 func (s *Store) Remap(name string, chunkIdx int) ([]proto.ChunkRef, error) {
-	tid := obs.NewTraceID()
-	resp, err := s.mgr.call(proto.ManagerReq{Op: proto.OpRemap, TraceID: tid, Name: name, ChunkIdx: chunkIdx})
+	return s.remap(eventScope(name), name, chunkIdx)
+}
+
+func (s *Store) remap(sc store.SpanInfo, name string, chunkIdx int) ([]proto.ChunkRef, error) {
+	resp, err := s.mgr.call(proto.ManagerReq{
+		Op: proto.OpRemap, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: name, ChunkIdx: chunkIdx,
+	})
 	if err != nil {
 		s.invalidateMeta(name)
 		return nil, err
@@ -488,7 +577,7 @@ func (s *Store) Remap(name string, chunkIdx int) ([]proto.ChunkRef, error) {
 	if len(fresh) == 0 {
 		fresh = []proto.ChunkRef{resp.NewRef}
 	}
-	s.obs.Event("rpc", "remap", tid, fmt.Sprintf("file=%q chunk=%d %v -> %v", name, chunkIdx, resp.OldRef, fresh[0]))
+	s.obs.Event("rpc", "remap", sc.Trace, fmt.Sprintf("file=%q chunk=%d %v -> %v", name, chunkIdx, resp.OldRef, fresh[0]))
 	s.mu.Lock()
 	if fi, ok := s.meta[name]; ok && chunkIdx < len(fi.Chunks) {
 		fi.Chunks = append([]proto.ChunkRef(nil), fi.Chunks...)
@@ -512,31 +601,52 @@ func (s *Store) SetTTL(name string, ttl time.Duration) error {
 
 // Delete removes a file.
 func (s *Store) Delete(name string) error {
-	tid := obs.NewTraceID()
+	return s.deleteFile(eventScope(name), name)
+}
+
+func (s *Store) deleteFile(sc store.SpanInfo, name string) error {
 	s.invalidateMeta(name)
-	_, err := s.mgr.call(proto.ManagerReq{Op: proto.OpDelete, TraceID: tid, Name: name})
+	_, err := s.mgr.call(proto.ManagerReq{
+		Op: proto.OpDelete, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: name,
+	})
 	if err == nil {
-		s.obs.Event("rpc", "delete", tid, fmt.Sprintf("file=%q", name))
+		s.obs.Event("rpc", "delete", sc.Trace, fmt.Sprintf("file=%q", name))
 	}
 	return err
 }
 
 // Stat returns a file's metadata.
 func (s *Store) Stat(name string) (proto.FileInfo, error) {
+	return s.stat(store.SpanInfo{}, name)
+}
+
+func (s *Store) stat(sc store.SpanInfo, name string) (proto.FileInfo, error) {
 	// Always consult the manager: another client may have remapped
 	// chunks.
 	s.invalidateMeta(name)
-	return s.fileInfo(name)
+	return s.fileInfo(sc, name)
 }
 
 // getChunk fetches one chunk payload, failing over across its replicas: a
 // replica whose benefactor is dead, wedged, or resetting connections costs
 // a bounded retry burst, then the next copy serves the read. ErrNoSuchChunk
 // is terminal — the chunk map is stale and only a re-lookup can help.
-func (s *Store) getChunk(tid string, refs []proto.ChunkRef) ([]byte, error) {
+func (s *Store) getChunk(sc store.SpanInfo, refs []proto.ChunkRef) ([]byte, error) {
+	sp := s.startChild(sc, "rpc.get_chunk")
+	data, err := s.getChunkSpanned(sp, sc, refs)
+	sp.AddBytes(int64(len(data)))
+	sp.SetErr(err)
+	sp.End()
+	return data, err
+}
+
+func (s *Store) getChunkSpanned(sp *obs.ActiveSpan, sc store.SpanInfo, refs []proto.ChunkRef) ([]byte, error) {
+	tid := sc.Trace
 	var firstErr error
 	for i, ref := range s.readOrder(refs) {
-		resp, err := s.callChunk(ref, proto.ChunkReq{Op: proto.OpGetChunk, TraceID: tid, ID: ref.ID})
+		resp, err := s.callChunk(ref, proto.ChunkReq{
+			Op: proto.OpGetChunk, TraceID: tid, ParentSpanID: sp.ID(), VarName: sc.Var, ID: ref.ID,
+		})
 		if err == nil {
 			if i > 0 {
 				s.m.failovers.Add(1)
@@ -563,7 +673,8 @@ func (s *Store) getChunk(tid string, refs []proto.ChunkRef) ([]byte, error) {
 // still fail degrade the write. The write succeeds if at least one copy
 // lands; reaching fewer than all replicas bumps DegradedWrites and repair
 // restores the missing copies later.
-func (s *Store) putRefs(tid string, refs []proto.ChunkRef, mkReq func(proto.ChunkRef) proto.ChunkReq) error {
+func (s *Store) putRefs(sp *obs.ActiveSpan, sc store.SpanInfo, refs []proto.ChunkRef, mkReq func(proto.ChunkRef) proto.ChunkReq) error {
+	tid := sc.Trace
 	liveThought := 0
 	for _, ref := range refs {
 		if s.benLive(ref.Benefactor) {
@@ -578,6 +689,8 @@ func (s *Store) putRefs(tid string, refs []proto.ChunkRef, mkReq func(proto.Chun
 		}
 		req := mkReq(ref)
 		req.TraceID = tid
+		req.ParentSpanID = sp.ID()
+		req.VarName = sc.Var
 		_, err := s.callChunk(ref, req)
 		if err != nil {
 			if errors.Is(err, proto.ErrNoSuchChunk) {
@@ -605,26 +718,36 @@ func (s *Store) putRefs(tid string, refs []proto.ChunkRef, mkReq func(proto.Chun
 }
 
 // putChunk stores one full chunk payload on all (live) replicas.
-func (s *Store) putChunk(tid string, refs []proto.ChunkRef, data []byte) error {
-	err := s.putRefs(tid, refs, func(ref proto.ChunkRef) proto.ChunkReq {
+func (s *Store) putChunk(sc store.SpanInfo, refs []proto.ChunkRef, data []byte) error {
+	sp := s.startChild(sc, "rpc.put_chunk")
+	sp.AddBytes(int64(len(data)))
+	err := s.putRefs(sp, sc, refs, func(ref proto.ChunkRef) proto.ChunkReq {
 		return proto.ChunkReq{Op: proto.OpPutChunk, ID: ref.ID, Data: data}
 	})
+	sp.SetErr(err)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	s.m.chunkPuts.Add(1)
 	s.m.ssdWriteBytes.Add(int64(len(data)))
-	s.obs.Event("rpc", "stripe-write", tid, fmt.Sprintf("%v %d bytes", refs[0], len(data)))
+	s.obs.Event("rpc", "stripe-write", sc.Trace, fmt.Sprintf("%v %d bytes", refs[0], len(data)))
 	return nil
 }
 
 // putPages ships only the dirty pages of a chunk (paper Table VII) to all
 // (live) replicas: the benefactor applies them server-side, so a sparsely
 // dirtied chunk costs its dirty bytes, not a whole-chunk transfer.
-func (s *Store) putPages(tid string, refs []proto.ChunkRef, offs []int64, pages [][]byte) error {
-	err := s.putRefs(tid, refs, func(ref proto.ChunkRef) proto.ChunkReq {
+func (s *Store) putPages(sc store.SpanInfo, refs []proto.ChunkRef, offs []int64, pages [][]byte) error {
+	sp := s.startChild(sc, "rpc.put_pages")
+	for _, pg := range pages {
+		sp.AddBytes(int64(len(pg)))
+	}
+	err := s.putRefs(sp, sc, refs, func(ref proto.ChunkRef) proto.ChunkReq {
 		return proto.ChunkReq{Op: proto.OpPutPages, ID: ref.ID, PageOffs: offs, PageData: pages}
 	})
+	sp.SetErr(err)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -708,8 +831,8 @@ func (s *Store) forEach(n int, do func(int) error) error {
 // fn fails with ErrNoSuchChunk the map was stale — a chunk was remapped or
 // the file recreated by another client — so the map is re-fetched from the
 // manager and fn retried once.
-func (s *Store) withMetaRetry(tid, name string, fn func(proto.FileInfo) error) error {
-	fi, err := s.fileInfo(name)
+func (s *Store) withMetaRetry(sc store.SpanInfo, name string, fn func(proto.FileInfo) error) error {
+	fi, err := s.fileInfo(sc, name)
 	if err != nil {
 		return err
 	}
@@ -717,9 +840,9 @@ func (s *Store) withMetaRetry(tid, name string, fn func(proto.FileInfo) error) e
 		return err
 	}
 	s.m.metaRetries.Add(1)
-	s.obs.Event("rpc", "meta-retry", tid, fmt.Sprintf("stale chunk map for %q, re-fetching", name))
+	s.obs.Event("rpc", "meta-retry", sc.Trace, fmt.Sprintf("stale chunk map for %q, re-fetching", name))
 	s.invalidateMeta(name)
-	if fi, err = s.fileInfo(name); err != nil {
+	if fi, err = s.fileInfo(sc, name); err != nil {
 		return err
 	}
 	return fn(fi)
@@ -728,20 +851,20 @@ func (s *Store) withMetaRetry(tid, name string, fn func(proto.FileInfo) error) e
 // ReadAt fills buf from the file at off. Chunk fetches fan out across the
 // connection pools, bounded by Options.Parallelism.
 func (s *Store) ReadAt(name string, off int64, buf []byte) error {
-	tid := obs.NewTraceID()
-	s.obs.Event("rpc", "read", tid, fmt.Sprintf("file=%q off=%d len=%d", name, off, len(buf)))
-	return s.readAt(tid, name, off, buf)
+	sc := eventScope(name)
+	s.obs.Event("rpc", "read", sc.Trace, fmt.Sprintf("file=%q off=%d len=%d", name, off, len(buf)))
+	return s.readAt(sc, name, off, buf)
 }
 
-func (s *Store) readAt(tid, name string, off int64, buf []byte) error {
-	return s.withMetaRetry(tid, name, func(fi proto.FileInfo) error {
+func (s *Store) readAt(sc store.SpanInfo, name string, off int64, buf []byte) error {
+	return s.withMetaRetry(sc, name, func(fi proto.FileInfo) error {
 		if off < 0 || off+int64(len(buf)) > fi.Size {
 			return fmt.Errorf("%w: read [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(buf)), name, fi.Size)
 		}
 		spans := chunkSpans(s.chunkSize, off, buf)
 		return s.forEach(len(spans), func(i int) error {
 			sp := spans[i]
-			data, err := s.getChunk(tid, replicaRefs(fi, sp.idx))
+			data, err := s.getChunk(sc, replicaRefs(fi, sp.idx))
 			if err != nil {
 				return err
 			}
@@ -757,13 +880,13 @@ func (s *Store) readAt(tid, name string, off int64, buf []byte) error {
 // WriteAt stores data into the file at off (read-modify-write for partial
 // chunks). Chunk transfers fan out like ReadAt's.
 func (s *Store) WriteAt(name string, off int64, data []byte) error {
-	tid := obs.NewTraceID()
-	s.obs.Event("rpc", "write", tid, fmt.Sprintf("file=%q off=%d len=%d", name, off, len(data)))
-	return s.writeAt(tid, name, off, data)
+	sc := eventScope(name)
+	s.obs.Event("rpc", "write", sc.Trace, fmt.Sprintf("file=%q off=%d len=%d", name, off, len(data)))
+	return s.writeAt(sc, name, off, data)
 }
 
-func (s *Store) writeAt(tid, name string, off int64, data []byte) error {
-	return s.withMetaRetry(tid, name, func(fi proto.FileInfo) error {
+func (s *Store) writeAt(sc store.SpanInfo, name string, off int64, data []byte) error {
+	return s.withMetaRetry(sc, name, func(fi proto.FileInfo) error {
 		if off < 0 || off+int64(len(data)) > fi.Size {
 			return fmt.Errorf("%w: write [%d,%d) of %q (%d bytes)", proto.ErrChunkOutOfRange, off, off+int64(len(data)), name, fi.Size)
 		}
@@ -772,39 +895,68 @@ func (s *Store) writeAt(tid, name string, off int64, data []byte) error {
 			sp := spans[i]
 			refs := replicaRefs(fi, sp.idx)
 			if sp.coff == 0 && int64(len(sp.buf)) == s.chunkSize {
-				return s.putChunk(tid, refs, sp.buf)
+				return s.putChunk(sc, refs, sp.buf)
 			}
-			cur, err := s.getChunk(tid, refs)
+			cur, err := s.getChunk(sc, refs)
 			if err != nil {
 				return err
 			}
 			copy(cur[sp.coff:], sp.buf)
-			return s.putChunk(tid, refs, cur)
+			return s.putChunk(sc, refs, cur)
 		})
 	})
 }
 
 // Put uploads a whole payload as a (new) file. The allocation and every
-// stripe write share one trace ID.
+// stripe write share one event trace ID.
 func (s *Store) Put(name string, data []byte) error {
-	tid := obs.NewTraceID()
-	s.obs.Event("rpc", "put", tid, fmt.Sprintf("file=%q len=%d", name, len(data)))
-	if _, err := s.create(tid, name, int64(len(data))); err != nil {
+	sc := eventScope(name)
+	s.obs.Event("rpc", "put", sc.Trace, fmt.Sprintf("file=%q len=%d", name, len(data)))
+	return s.put(sc, name, data)
+}
+
+// PutCtx is Put under a caller-provided span context (store.WithSpan): the
+// upload joins the caller's trace instead of rooting its own.
+func (s *Store) PutCtx(ctx store.Ctx, name string, data []byte) error {
+	sc := store.SpanOf(ctx)
+	if !sc.Traced() {
+		return s.Put(name, data)
+	}
+	s.obs.Event("rpc", "put", sc.Trace, fmt.Sprintf("file=%q len=%d", name, len(data)))
+	return s.put(sc, name, data)
+}
+
+func (s *Store) put(sc store.SpanInfo, name string, data []byte) error {
+	if _, err := s.create(sc, name, int64(len(data))); err != nil {
 		return err
 	}
-	return s.writeAt(tid, name, 0, data)
+	return s.writeAt(sc, name, 0, data)
 }
 
 // Get downloads a whole file.
 func (s *Store) Get(name string) ([]byte, error) {
-	tid := obs.NewTraceID()
-	s.obs.Event("rpc", "get", tid, fmt.Sprintf("file=%q", name))
-	fi, err := s.Stat(name)
+	sc := eventScope(name)
+	s.obs.Event("rpc", "get", sc.Trace, fmt.Sprintf("file=%q", name))
+	return s.get(sc, name)
+}
+
+// GetCtx is Get under a caller-provided span context.
+func (s *Store) GetCtx(ctx store.Ctx, name string) ([]byte, error) {
+	sc := store.SpanOf(ctx)
+	if !sc.Traced() {
+		return s.Get(name)
+	}
+	s.obs.Event("rpc", "get", sc.Trace, fmt.Sprintf("file=%q", name))
+	return s.get(sc, name)
+}
+
+func (s *Store) get(sc store.SpanInfo, name string) ([]byte, error) {
+	fi, err := s.stat(sc, name)
 	if err != nil {
 		return nil, err
 	}
 	buf := make([]byte, fi.Size)
-	if err := s.readAt(tid, name, 0, buf); err != nil {
+	if err := s.readAt(sc, name, 0, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil

@@ -3,7 +3,6 @@ package rpc
 import (
 	"time"
 
-	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
 	"nvmalloc/internal/store"
 )
@@ -13,9 +12,10 @@ import (
 // the core library (internal/core) run unchanged over live TCP daemons.
 // It is the real-path twin of simstore.Client.
 //
-// The execution context is ignored on this path — real goroutines carry no
-// simulated time. All methods are safe for concurrent use (the underlying
-// Store is).
+// The execution context carries no simulated time on this path, but it may
+// carry tracing span info (store.WithSpan): every call extracts it and
+// threads it down, so server-side spans nest under the caller's. All
+// methods are safe for concurrent use (the underlying Store is).
 type StoreClient struct {
 	st   *Store
 	node int
@@ -40,34 +40,34 @@ func (c *StoreClient) Node() int { return c.node }
 func (c *StoreClient) ChunkSize() int64 { return c.st.ChunkSize() }
 
 // Create implements store.Client.
-func (c *StoreClient) Create(_ store.Ctx, name string, size int64) (proto.FileInfo, error) {
-	return c.st.CreateInfo(name, size)
+func (c *StoreClient) Create(ctx store.Ctx, name string, size int64) (proto.FileInfo, error) {
+	return c.st.create(store.SpanOf(ctx), name, size)
 }
 
 // Lookup implements store.Client. It always consults the manager — another
 // client may have remapped chunks since the last view.
-func (c *StoreClient) Lookup(_ store.Ctx, name string) (proto.FileInfo, error) {
-	return c.st.Stat(name)
+func (c *StoreClient) Lookup(ctx store.Ctx, name string) (proto.FileInfo, error) {
+	return c.st.stat(store.SpanOf(ctx), name)
 }
 
 // Delete implements store.Client.
-func (c *StoreClient) Delete(_ store.Ctx, name string) error {
-	return c.st.Delete(name)
+func (c *StoreClient) Delete(ctx store.Ctx, name string) error {
+	return c.st.deleteFile(store.SpanOf(ctx), name)
 }
 
 // Link implements store.Client.
-func (c *StoreClient) Link(_ store.Ctx, dst string, parts []string) (proto.FileInfo, error) {
-	return c.st.Link(dst, parts)
+func (c *StoreClient) Link(ctx store.Ctx, dst string, parts []string) (proto.FileInfo, error) {
+	return c.st.link(store.SpanOf(ctx), dst, parts)
 }
 
 // Derive implements store.Client.
-func (c *StoreClient) Derive(_ store.Ctx, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
-	return c.st.Derive(name, src, fromChunk, nChunks, size)
+func (c *StoreClient) Derive(ctx store.Ctx, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+	return c.st.derive(store.SpanOf(ctx), name, src, fromChunk, nChunks, size)
 }
 
 // Remap implements store.Client.
-func (c *StoreClient) Remap(_ store.Ctx, name string, chunkIdx int) ([]proto.ChunkRef, error) {
-	return c.st.Remap(name, chunkIdx)
+func (c *StoreClient) Remap(ctx store.Ctx, name string, chunkIdx int) ([]proto.ChunkRef, error) {
+	return c.st.remap(store.SpanOf(ctx), name, chunkIdx)
 }
 
 // SetTTL implements store.Client.
@@ -77,20 +77,20 @@ func (c *StoreClient) SetTTL(_ store.Ctx, name string, ttl time.Duration) error 
 
 // GetChunk implements store.Client: it fetches one chunk payload, failing
 // over across the given replicas.
-func (c *StoreClient) GetChunk(_ store.Ctx, refs []proto.ChunkRef) ([]byte, error) {
-	return c.st.getChunk(obs.NewTraceID(), refs)
+func (c *StoreClient) GetChunk(ctx store.Ctx, refs []proto.ChunkRef) ([]byte, error) {
+	return c.st.getChunk(store.SpanOf(ctx), refs)
 }
 
 // PutChunk implements store.Client: it ships one whole chunk payload to
 // every live replica.
-func (c *StoreClient) PutChunk(_ store.Ctx, refs []proto.ChunkRef, data []byte) error {
-	return c.st.putChunk(obs.NewTraceID(), refs, data)
+func (c *StoreClient) PutChunk(ctx store.Ctx, refs []proto.ChunkRef, data []byte) error {
+	return c.st.putChunk(store.SpanOf(ctx), refs, data)
 }
 
 // PutPages implements store.Client: it ships only the dirty pages of a
 // chunk (paper Table VII).
-func (c *StoreClient) PutPages(_ store.Ctx, refs []proto.ChunkRef, pageOffs []int64, pages [][]byte) error {
-	return c.st.putPages(obs.NewTraceID(), refs, pageOffs, pages)
+func (c *StoreClient) PutPages(ctx store.Ctx, refs []proto.ChunkRef, pageOffs []int64, pages [][]byte) error {
+	return c.st.putPages(store.SpanOf(ctx), refs, pageOffs, pages)
 }
 
 // Status implements store.Client.

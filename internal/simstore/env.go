@@ -36,6 +36,10 @@ func (e simEnv) NewGroup() store.Group {
 	return &simGroup{eng: e.eng, wg: &simtime.WaitGroup{}}
 }
 
+// NowNanos reads the virtual clock, so spans recorded on the simulated
+// path carry simulated (deterministic) timestamps and durations.
+func (e simEnv) NowNanos(store.Ctx) int64 { return int64(e.eng.Now()) }
+
 type simFuture struct {
 	fut *simtime.Future[struct{}]
 }

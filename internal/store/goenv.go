@@ -1,6 +1,9 @@
 package store
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // GoEnv is the real-world Env: a sync.Mutex for state, goroutines for
 // tasks, channels for futures and gates. It is what the TCP deployment
@@ -39,6 +42,8 @@ func (e *GoEnv) NewGate(_ string, width int) Gate {
 }
 
 func (e *GoEnv) NewGroup() Group { return &wgGroup{} }
+
+func (e *GoEnv) NowNanos(Ctx) int64 { return time.Now().UnixNano() }
 
 type chanFuture struct {
 	once sync.Once

@@ -1,0 +1,52 @@
+package store
+
+// SpanInfo is the tracing context that rides the opaque Ctx across the
+// store boundary: the trace the current operation belongs to, the span the
+// next layer should parent its own span under, and the NVM variable (file)
+// the operation is attributed to. The zero value means "untraced".
+type SpanInfo struct {
+	Trace  string
+	Parent string
+	Var    string
+}
+
+// Traced reports whether the context carries an active span to parent new
+// spans under. A Trace alone is just an event-correlation ID (the seed-cheap
+// ring-event plumbing mints one per convenience op); span trees exist only
+// where a parent span does.
+func (s SpanInfo) Traced() bool { return s.Trace != "" && s.Parent != "" }
+
+// spanCtx wraps an adapter's base ctx (a *simtime.Proc on the simulated
+// path, nil on the TCP path) with span info. It is deliberately tiny: the
+// adapters unwrap it via BaseCtx, the instrumentation reads it via SpanOf.
+type spanCtx struct {
+	base Ctx
+	info SpanInfo
+}
+
+// WithSpan attaches span info to ctx. Wrapping an already-wrapped ctx
+// replaces the span info but keeps the original base ctx.
+func WithSpan(ctx Ctx, info SpanInfo) Ctx {
+	return spanCtx{base: BaseCtx(ctx), info: info}
+}
+
+// SpanOf extracts the span info from ctx; the zero SpanInfo when none is
+// attached.
+func SpanOf(ctx Ctx) SpanInfo {
+	if sc, ok := ctx.(spanCtx); ok {
+		return sc.info
+	}
+	return SpanInfo{}
+}
+
+// BaseCtx strips any span wrapper, returning the adapter-level ctx (the
+// *simtime.Proc on the simulated path, nil on the TCP path).
+func BaseCtx(ctx Ctx) Ctx {
+	for {
+		sc, ok := ctx.(spanCtx)
+		if !ok {
+			return ctx
+		}
+		ctx = sc.base
+	}
+}

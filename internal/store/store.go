@@ -103,6 +103,10 @@ type Env interface {
 	NewGate(name string, width int) Gate
 	// NewGroup returns a completion group for a batch of tasks.
 	NewGroup() Group
+	// NowNanos reads the substrate's clock: wall time on the real Env,
+	// virtual time on the simulated one. Span timing must come from here
+	// so simulated traces carry simulated durations.
+	NowNanos(ctx Ctx) int64
 }
 
 // Future is a one-shot completion signal: Set releases all current and
