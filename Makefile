@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet importgate build test race bench obs-bench
+.PHONY: check fmt vet importgate build test race bench obs-bench alloc-bench fuzz-smoke
 
 # Tier-1 gate: formatting, vet, import boundaries, build, and the full
 # suite under the race detector (the TCP data path is exercised by
@@ -50,3 +50,16 @@ bench:
 # modes must stay within noise of each other (<5%).
 obs-bench:
 	$(GO) test -run xxx -bench=RPCObsOverhead -benchtime 2s -count 3 ./internal/rpc
+
+# Allocation gate for the NVM1 binary data path: the frame codec and arena
+# must run allocation-free, and the cached TCP chunk read path must stay at
+# least 2x leaner than the legacy gob envelope. Run without -race — the race
+# runtime's instrumentation would drown the budgets.
+alloc-bench:
+	$(GO) test -count 1 -run 'TestFrameCodecZeroAlloc|TestArenaZeroAlloc' ./internal/proto
+	$(GO) test -count 1 -run TestAllocBudgetCachedChunkGet ./internal/rpc
+
+# Short coverage-guided smoke over the NVM1 frame decoder: any accepted
+# frame must survive a re-encode cycle, any rejected input must fail clean.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 15s ./internal/proto

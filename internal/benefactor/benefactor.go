@@ -32,6 +32,29 @@ type Backend interface {
 	Has(id proto.ChunkID) bool
 }
 
+// BufferPolicy is an optional Backend extension declaring payload buffer
+// ownership, letting the Store elide its defensive copies (DESIGN.md §13).
+// A backend that does not implement it gets the conservative defaults:
+// Put retains its argument and Get returns shared storage (both true for
+// Mem, which stores and hands out the very slices).
+type BufferPolicy interface {
+	// RetainsPut reports whether Put keeps a reference to the data slice
+	// after returning. When false the Store passes caller buffers to Put
+	// without copying.
+	RetainsPut() bool
+	// PrivateGet reports whether Get returns a buffer owned by the caller —
+	// free to mutate and recycle — rather than a view of backend storage.
+	PrivateGet() bool
+}
+
+// Recycler is an optional Backend extension for backends whose Get leases
+// buffers from a pool: a caller that is done with a Get result hands it
+// back here instead of leaving it to the garbage collector. Only meaningful
+// alongside PrivateGet() == true.
+type Recycler interface {
+	Recycle(b []byte)
+}
+
 // Mem is an in-memory Backend. It is safe for concurrent use: the TCP
 // transport serves each connection on its own goroutine.
 type Mem struct {
@@ -120,6 +143,14 @@ type Store struct {
 	// simulation keeps the lazy zero-fill semantics (strict off).
 	strict bool
 	tombs  map[proto.ChunkID]struct{}
+
+	// Buffer-ownership policy of the backend (resolved once at New):
+	// retainsPut forces the defensive copy before backend.Put; privGet
+	// means Get results are caller-owned, so sub-chunk updates may mutate
+	// them in place and recycle returns them to the backend's pool.
+	retainsPut bool
+	privGet    bool
+	recycle    func([]byte)
 }
 
 // New creates a benefactor store contributing capacity bytes of chunkSize
@@ -128,9 +159,32 @@ func New(id, node int, capacity, chunkSize int64, backend Backend) *Store {
 	if capacity < chunkSize {
 		panic(fmt.Sprintf("benefactor %d: capacity %d below one chunk", id, capacity))
 	}
-	return &Store{
+	st := &Store{
 		id: id, node: node, chunkSize: chunkSize, capacity: capacity,
 		backend: backend, tombs: make(map[proto.ChunkID]struct{}),
+		retainsPut: true,
+	}
+	if bp, ok := backend.(BufferPolicy); ok {
+		st.retainsPut = bp.RetainsPut()
+		st.privGet = bp.PrivateGet()
+	}
+	if rc, ok := backend.(Recycler); ok {
+		st.recycle = rc.Recycle
+	}
+	return st
+}
+
+// PrivateReads reports whether GetChunk results are caller-owned buffers
+// (mutable, recyclable) rather than views of backend storage. True only
+// when the backend declares PrivateGet — zero-fill reads of unmaterialized
+// chunks are always private either way.
+func (st *Store) PrivateReads() bool { return st.privGet }
+
+// Recycle returns a caller-owned GetChunk buffer to the backend's pool, if
+// it has one. Only valid when PrivateReads is true.
+func (st *Store) Recycle(b []byte) {
+	if st.recycle != nil {
+		st.recycle(b)
 	}
 }
 
@@ -191,9 +245,16 @@ func (st *Store) putChunkLocked(id proto.ChunkID, data []byte) error {
 	if fresh && st.used+st.chunkSize > st.capacity {
 		return proto.ErrNoSpace
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	if err := st.backend.Put(id, cp); err != nil {
+	// A backend that retains its Put argument (Mem stores the very slice)
+	// gets a private copy, because the caller keeps owning data. A
+	// non-retaining backend (the file backend) persists the bytes before
+	// returning, so the caller's buffer goes straight through.
+	if st.retainsPut {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		data = cp
+	}
+	if err := st.backend.Put(id, data); err != nil {
 		return err
 	}
 	if fresh {
@@ -255,6 +316,10 @@ func (st *Store) PutPages(id proto.ChunkID, pageOffs []int64, pages [][]byte) er
 		st.used += st.chunkSize
 	} else if err != nil {
 		return err
+	} else if st.privGet {
+		// The backend handed out a private buffer: patch it in place and
+		// write it back, no copy.
+		cur = prev
 	} else {
 		// Never mutate the stored payload in place: concurrent readers may
 		// still be serializing the slice the backend handed out.
@@ -270,7 +335,13 @@ func (st *Store) PutPages(id proto.ChunkID, pageOffs []int64, pages [][]byte) er
 		copy(cur[off:], pg)
 		vol += int64(len(pg))
 	}
-	if err := st.backend.Put(id, cur); err != nil {
+	err = st.backend.Put(id, cur)
+	if st.privGet && !st.retainsPut && st.recycle != nil {
+		// cur is ours (a private Get lease or a fresh zero-fill) and a
+		// non-retaining backend has persisted it: hand it back to the pool.
+		st.recycle(cur)
+	}
+	if err != nil {
 		return err
 	}
 	st.s.PagePuts++
@@ -288,7 +359,11 @@ func (st *Store) CopyChunk(dst, src proto.ChunkID) error {
 	if err != nil {
 		return err
 	}
-	return st.putChunkLocked(dst, d)
+	err = st.putChunkLocked(dst, d)
+	if st.privGet && !st.retainsPut && st.recycle != nil {
+		st.recycle(d)
+	}
+	return err
 }
 
 // DeleteChunk removes a chunk and releases its space. Deleting a chunk that

@@ -139,6 +139,13 @@ type ChunkCache struct {
 	env   store.Env
 	store store.Client
 	cfg   Config
+	// lender is non-nil when the store hands out caller-owned chunk buffers
+	// (store.BufferLender with PrivateChunks, i.e. the TCP adapter's pooled
+	// arena leases): fetch then adopts GetChunk results as entry data with
+	// no copy, and eviction returns the buffers to the store's pool. A nil
+	// lender keeps the copy-on-fetch path (simstore aliases its backing
+	// memory).
+	lender store.BufferLender
 
 	// All fields below are guarded by env's lock (a no-op under the
 	// cooperative simulation, a mutex under the TCP deployment).
@@ -184,6 +191,7 @@ func NewChunkCache(env store.Env, st store.Client, cfg Config) *ChunkCache {
 		s:        newCounters(cfg.Obs),
 		env:      env,
 		store:    st,
+		lender:   lenderOf(st),
 		cfg:      cfg,
 		entries:  make(map[chunkKey]*entry),
 		lru:      list.New(),
@@ -192,6 +200,25 @@ func NewChunkCache(env store.Env, st store.Client, cfg Config) *ChunkCache {
 		lastMiss: make(map[string]int),
 		virgin:   make(map[chunkKey]bool),
 		gate:     env.NewGate("fuse-daemon", conc),
+	}
+}
+
+// lenderOf returns st's buffer-lending interface when its GetChunk results
+// are caller-owned (nil otherwise — the cache then copies on fetch).
+func lenderOf(st store.Client) store.BufferLender {
+	if bl, ok := st.(store.BufferLender); ok && bl.PrivateChunks() {
+		return bl
+	}
+	return nil
+}
+
+// releaseEntry hands an entry's chunk buffer back to the lending store's
+// pool (no-op without a lender). The entry must already be off the cache
+// maps, or about to be.
+func (cc *ChunkCache) releaseEntry(e *entry) {
+	if cc.lender != nil && e.data != nil {
+		cc.lender.ReleaseChunk(e.data)
+		e.data = nil
 	}
 }
 
@@ -452,9 +479,18 @@ func (cc *ChunkCache) fetch(ctx store.Ctx, key chunkKey, refs []proto.ChunkRef, 
 		e.fut.Set()
 		return nil, err
 	}
-	// Own a private copy: benefactor backends may alias their storage.
-	e.data = make([]byte, len(data))
-	copy(e.data, data)
+	if cc.lender != nil && int64(len(data)) == cc.cfg.ChunkSize {
+		// The store lends caller-owned buffers: adopt the payload as the
+		// entry's data outright (no copy) and return it at eviction.
+		e.data = data
+	} else {
+		// Own a private copy: benefactor backends may alias their storage.
+		e.data = make([]byte, len(data))
+		copy(e.data, data)
+		if cc.lender != nil {
+			cc.lender.ReleaseChunk(data)
+		}
+	}
 	cc.s.ssdRead.Add(int64(len(data)))
 	if prefetch {
 		cc.s.prefetch.Add(int64(len(data)))
@@ -525,6 +561,7 @@ func (cc *ChunkCache) evict(ctx store.Ctx, e *entry) error {
 	}
 	delete(cc.entries, e.key)
 	cc.lru.Remove(e.lru)
+	cc.releaseEntry(e)
 	return nil
 }
 
@@ -809,6 +846,7 @@ func (cc *ChunkCache) Drop(ctx store.Ctx, file string) {
 	for _, e := range victims {
 		delete(cc.entries, e.key)
 		cc.lru.Remove(e.lru)
+		cc.releaseEntry(e)
 	}
 	delete(cc.meta, file)
 	delete(cc.cow, file)

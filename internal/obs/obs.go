@@ -68,6 +68,11 @@ func (o *Obs) Event(comp, kind, trace, detail string) {
 	o.Ring.Add(comp, kind, trace, detail)
 }
 
+// EventsEnabled reports whether Event calls actually record anywhere.
+// Hot paths check it before building an event's detail string, so a
+// disabled Obs costs neither the fmt.Sprintf nor its allocations.
+func (o *Obs) EventsEnabled() bool { return o != nil && o.Ring != nil }
+
 // traceSeq disambiguates trace IDs generated within one process.
 var traceSeq atomic.Uint64
 

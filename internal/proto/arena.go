@@ -1,0 +1,77 @@
+package proto
+
+import "sync"
+
+// Arena is a sync.Pool-backed lease pool for chunk-sized payload buffers.
+// The binary data path (internal/rpc) leases every payload it reads off the
+// wire from here and every layer that finishes with a leased buffer returns
+// it, so a steady-state transfer loop recycles the same few buffers instead
+// of allocating (and GC-scanning) one per chunk op.
+//
+// An arena is sized to one chunk geometry. Get(n) for n beyond the chunk
+// size falls through to a plain allocation, and Put ignores buffers with
+// foreign capacity, so mixing geometries is safe — merely unpooled.
+//
+// All methods are safe for concurrent use and nil-receiver safe (a nil
+// arena degrades to make + GC).
+type Arena struct {
+	size int
+	// bufs holds *[]byte whose capacity is exactly size. carriers holds
+	// emptied *[]byte headers so Get/Put recycle the pointer boxes too —
+	// without the second pool every Put would allocate a fresh slice header
+	// to escape into the interface, defeating the point.
+	bufs     sync.Pool
+	carriers sync.Pool
+}
+
+// NewArena returns an arena leasing buffers of chunkSize bytes.
+func NewArena(chunkSize int64) *Arena {
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	a := &Arena{size: int(chunkSize)}
+	a.bufs.New = func() any {
+		b := make([]byte, a.size)
+		return &b
+	}
+	a.carriers.New = func() any { return new([]byte) }
+	return a
+}
+
+// ChunkBytes returns the arena's buffer capacity (the chunk size it was
+// built for).
+func (a *Arena) ChunkBytes() int {
+	if a == nil {
+		return 0
+	}
+	return a.size
+}
+
+// Get leases a buffer of length n. Oversized requests (n > ChunkBytes) are
+// served by a plain allocation; Put later ignores them.
+func (a *Arena) Get(n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	if a == nil || n > a.size {
+		return make([]byte, n)
+	}
+	p := a.bufs.Get().(*[]byte)
+	b := (*p)[:n]
+	*p = nil
+	a.carriers.Put(p)
+	return b
+}
+
+// Put returns a leased buffer. The buffer must not be used after Put.
+// Buffers whose capacity does not match the arena's geometry (including
+// Get's oversized fallback allocations and nil) are silently left to the
+// garbage collector.
+func (a *Arena) Put(b []byte) {
+	if a == nil || cap(b) < a.size {
+		return
+	}
+	p := a.carriers.Get().(*[]byte)
+	*p = b[:a.size]
+	a.bufs.Put(p)
+}

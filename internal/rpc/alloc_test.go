@@ -1,0 +1,77 @@
+//go:build !race
+
+// The allocation gate is skipped under -race: the race runtime instruments
+// every allocation and the measured budgets stop meaning anything.
+
+package rpc
+
+import (
+	"runtime"
+	"testing"
+)
+
+// allocBytesPerGet measures process-wide heap bytes allocated per cached
+// one-chunk Get (client + in-process servers — the whole TCP chunk path).
+func allocBytesPerGet(t *testing.T, st *Store, name string, n int) float64 {
+	t.Helper()
+	payload := pattern(11, testChunk)
+	if err := st.Put(name, payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ { // warm connections, pools, and arenas
+		if _, err := st.Get(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		if _, err := st.Get(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+}
+
+// TestAllocBudgetCachedChunkGet is the PR's hard allocation gate ("make
+// alloc-bench"): the NVM1 binary framing must allocate at most half of what
+// the gob envelope does on the cached TCP chunk read path. A regression here
+// means a pooled buffer stopped being recycled or a staging copy crept back
+// into the data path.
+func TestAllocBudgetCachedChunkGet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is load-sensitive")
+	}
+	r := newRig(t, 1)
+	const n = 400
+
+	binSt, err := OpenWith(r.mgr.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer binSt.Close()
+	binary := allocBytesPerGet(t, binSt, "alloc-bin", n)
+
+	opts := fastOpts()
+	opts.ForceGob = true
+	gobSt, err := OpenWith(r.mgr.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gobSt.Close()
+	gob := allocBytesPerGet(t, gobSt, "alloc-gob", n)
+
+	t.Logf("alloc bytes per cached %d B chunk get: binary %.0f, gob %.0f (%.1fx)",
+		testChunk, binary, gob, gob/binary)
+	if gob < 2*binary {
+		t.Errorf("binary framing allocates %.0f B/op vs gob %.0f B/op — lost the 2x budget", binary, gob)
+	}
+	// Absolute ceiling: the binary path's per-op allocations are the caller's
+	// result buffer plus small per-call bookkeeping. Three chunk sizes of
+	// slack catches a pooled buffer silently falling out of reuse.
+	if binary > 3*testChunk {
+		t.Errorf("binary path allocates %.0f B/op, budget %d", binary, 3*testChunk)
+	}
+}

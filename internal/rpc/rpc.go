@@ -11,8 +11,11 @@
 package rpc
 
 import (
+	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
@@ -28,6 +31,11 @@ import (
 // FileBackend stores chunk payloads as files in a directory.
 type FileBackend struct {
 	dir string
+	// arena, when set (SetArena), pools the per-chunk read buffer: Get
+	// leases from it instead of allocating per call, and leases come back
+	// via Recycle once the server has written the response. Nil falls back
+	// to plain allocation.
+	arena *proto.Arena
 	// Device-level metrics (nil until SetObs): actual bytes moved to and
 	// from the backing files, and the time each transfer took. These sit a
 	// layer below the benefactor's RPC counters — the gap between them is
@@ -52,6 +60,23 @@ func (f *FileBackend) SetObs(o *obs.Obs) {
 	f.readLat = o.Reg.Histogram("ssd.read.latency")
 	f.writeLat = o.Reg.Histogram("ssd.write.latency")
 }
+
+// SetArena attaches a chunk-geometry buffer arena; Get then leases its
+// result buffers from it instead of allocating. Call before serving.
+func (f *FileBackend) SetArena(a *proto.Arena) { f.arena = a }
+
+// RetainsPut implements benefactor.BufferPolicy: Put persists the bytes
+// before returning and keeps no reference, so callers' buffers go straight
+// through without a defensive copy.
+func (f *FileBackend) RetainsPut() bool { return false }
+
+// PrivateGet implements benefactor.BufferPolicy: Get returns a fresh (or
+// arena-leased) buffer the caller owns outright.
+func (f *FileBackend) PrivateGet() bool { return true }
+
+// Recycle implements benefactor.Recycler: a finished Get buffer returns to
+// the arena (no-op without one).
+func (f *FileBackend) Recycle(b []byte) { f.arena.Put(b) }
 
 func (f *FileBackend) path(id proto.ChunkID) string {
 	return filepath.Join(f.dir, fmt.Sprintf("chunk-%016x", uint64(id)))
@@ -91,16 +116,39 @@ func (f *FileBackend) Put(id proto.ChunkID, data []byte) error {
 	return nil
 }
 
-// Get implements benefactor.Backend.
+// Get implements benefactor.Backend. With an arena attached the result is
+// a pooled lease (returned later via Recycle); without one it is a plain
+// per-call allocation.
 func (f *FileBackend) Get(id proto.ChunkID) ([]byte, error) {
 	start := time.Now()
-	d, err := os.ReadFile(f.path(id))
+	d, err := f.readChunk(id)
 	f.readLat.Observe(time.Since(start))
 	if os.IsNotExist(err) {
 		return nil, proto.ErrNoSuchChunk
 	}
 	f.readBytes.Add(int64(len(d)))
 	return d, err
+}
+
+func (f *FileBackend) readChunk(id proto.ChunkID) ([]byte, error) {
+	if f.arena == nil {
+		return os.ReadFile(f.path(id))
+	}
+	fh, err := os.Open(f.path(id))
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := f.arena.Get(int(st.Size()))
+	if _, err := io.ReadFull(fh, buf); err != nil {
+		f.arena.Put(buf)
+		return nil, err
+	}
+	return buf, nil
 }
 
 // Delete implements benefactor.Backend.
@@ -155,8 +203,8 @@ func (cs *connSet) closeAll() {
 	cs.mu.Unlock()
 }
 
-// serve accepts connections and dispatches each on its own goroutine.
-func serve(l net.Listener, cs *connSet, handle func(dec *gob.Decoder, enc *gob.Encoder) error) {
+// serve accepts connections and runs each on its own goroutine.
+func serve(l net.Listener, cs *connSet, handleConn func(conn net.Conn)) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -169,14 +217,20 @@ func serve(l net.Listener, cs *connSet, handle func(dec *gob.Decoder, enc *gob.E
 		go func() {
 			defer cs.remove(conn)
 			defer conn.Close()
-			dec := gob.NewDecoder(conn)
-			enc := gob.NewEncoder(conn)
-			for {
-				if err := handle(dec, enc); err != nil {
-					return
-				}
-			}
+			handleConn(conn)
 		}()
+	}
+}
+
+// serveGob runs one connection's request loop over the legacy gob
+// envelopes until the peer disconnects or the stream breaks.
+func serveGob(conn net.Conn, br *bufio.Reader, handle func(dec *gob.Decoder, enc *gob.Encoder) error) {
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(conn)
+	for {
+		if err := handle(dec, enc); err != nil {
+			return
+		}
 	}
 }
 
@@ -272,6 +326,9 @@ type ManagerServer struct {
 	stop      chan struct{}
 	conns     *connSet
 	closeOnce sync.Once
+	// arena leases payload buffers for server-driven chunk moves (COW
+	// copies, repair) over binary-framed benefactor connections.
+	arena *proto.Arena
 
 	obs *obs.Obs
 	mm  managerMetrics
@@ -301,6 +358,7 @@ func NewManagerServerWith(addr string, chunkSize int64, policy manager.Placement
 		start:    time.Now(),
 		stop:     make(chan struct{}),
 		conns:    newConnSet(),
+		arena:    proto.NewArena(chunkSize),
 		obs:      cfg.Obs,
 		mm:       newManagerMetrics(cfg.Obs),
 	}
@@ -325,8 +383,15 @@ func NewManagerServerWith(addr string, chunkSize int64, policy manager.Placement
 	if sweep > 0 {
 		go s.sweepLoop(sweep)
 	}
-	go serve(l, s.conns, s.handle)
+	go serve(l, s.conns, s.serveConn)
 	return s, nil
+}
+
+// serveConn runs one manager connection. Manager traffic is low-rate
+// metadata, so it stays on gob envelopes; only the benefactor data path
+// speaks NVM1 binary frames.
+func (s *ManagerServer) serveConn(conn net.Conn) {
+	serveGob(conn, bufio.NewReader(conn), s.handle)
 }
 
 // sweepLoop expires stale heartbeats on a clock tick, so benefactor death
@@ -411,7 +476,9 @@ func (s *ManagerServer) benConn(id int) (*chunkConn, error) {
 	if !ok || addr == "" {
 		return nil, proto.ErrBenefactorDead
 	}
-	c, err := dialChunk(addr, nil, serverDialTimeout, serverCallTimeout)
+	c, err := dialChunk(addr, nil, serverDialTimeout, serverCallTimeout, wireConfig{
+		arena: s.arena, maxPayload: maxPayloadFor(s.mgr.ChunkSize()),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -615,6 +682,7 @@ func (s *ManagerServer) copyChunk(old, fresh proto.ChunkRef) error {
 		return err
 	}
 	_, err = dst.call(proto.ChunkReq{Op: proto.OpPutChunk, ID: fresh.ID, Data: data.Data})
+	s.arena.Put(data.Data)
 	return err
 }
 
@@ -665,6 +733,13 @@ type BenefactorServer struct {
 	conns             *connSet
 	hbOnce, closeOnce sync.Once
 
+	// arena leases request payload buffers for the binary-framed loop (and
+	// backs a FileBackend's pooled reads). privReads records whether the
+	// store's GetChunk results are caller-owned, i.e. recyclable into the
+	// arena once the response frame is on the wire.
+	arena     *proto.Arena
+	privReads bool
+
 	obs *obs.Obs
 	bm  benMetrics
 	dbg *obs.DebugServer
@@ -684,8 +759,10 @@ func NewBenefactorServerWith(addr, managerAddr string, id, node int, capacity, c
 	if cfg.Obs == nil {
 		cfg.Obs = obs.New(fmt.Sprintf("benefactor-%d", id))
 	}
+	arena := proto.NewArena(chunkSize)
 	if fb, ok := backend.(*FileBackend); ok {
 		fb.SetObs(cfg.Obs)
+		fb.SetArena(arena)
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -696,9 +773,11 @@ func NewBenefactorServerWith(addr, managerAddr string, id, node int, capacity, c
 		l:     l,
 		stop:  make(chan struct{}),
 		conns: newConnSet(),
+		arena: arena,
 		obs:   cfg.Obs,
 		bm:    newBenMetrics(cfg.Obs),
 	}
+	s.privReads = s.st.PrivateReads()
 	if cfg.DebugAddr != "" {
 		dbg, err := obs.ServeDebug(cfg.DebugAddr, s.obs)
 		if err != nil {
@@ -711,7 +790,7 @@ func NewBenefactorServerWith(addr, managerAddr string, id, node int, capacity, c
 	// again can only be a stale client map: fail it so the client retries
 	// with fresh metadata.
 	s.st.SetStrictDelete(true)
-	go serve(l, s.conns, s.handle)
+	go serve(l, s.conns, s.serveConn)
 
 	mc, err := DialManager(managerAddr)
 	if err != nil {
@@ -787,11 +866,137 @@ func (s *BenefactorServer) spanUnder(parent *obs.ActiveSpan, name string) *obs.A
 	return s.obs.StartSpan(parent.Trace(), parent.ID(), name)
 }
 
+// maxPayloadFor is the frame payload bound for one chunk geometry: a frame
+// declaring more than 2× the chunk size is malformed and dropped without
+// reading (the largest legitimate payload is exactly one chunk).
+func maxPayloadFor(chunkSize int64) int { return int(2 * chunkSize) }
+
+// serveConn runs one benefactor connection, sniffing the first byte to
+// pick the wire protocol: a proto.Preamble byte announces an NVM1 binary
+// client (the preamble is consumed, echoed back as the accept, and the
+// binary frame loop runs); anything else is the start of a legacy gob
+// stream, served unchanged so old clients keep working.
+func (s *BenefactorServer) serveConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == proto.Preamble {
+		if _, err := br.Discard(1); err != nil {
+			return
+		}
+		if _, err := conn.Write([]byte{proto.Preamble}); err != nil {
+			return
+		}
+		s.serveBinary(conn, br)
+		return
+	}
+	serveGob(conn, br, s.handle)
+}
+
+// badFrame logs a malformed frame and tells the caller to drop the
+// connection: once framing is untrustworthy nothing after it can be
+// parsed safely.
+func (s *BenefactorServer) badFrame(conn net.Conn, err error) {
+	s.obs.Log.Warn("dropping connection on malformed frame",
+		"peer", conn.RemoteAddr().String(), "err", err.Error())
+	s.obs.Event("benefactor", "bad-frame", "", fmt.Sprintf("peer=%s err=%v", conn.RemoteAddr(), err))
+}
+
+// serveBinary runs one connection's NVM1 frame loop. Request payloads are
+// leased from the server arena and returned right after dispatch; response
+// payloads stream from the store's buffer via scatter-gather and, when the
+// store hands out private buffers (FileBackend), recycle into the arena
+// once written.
+func (s *BenefactorServer) serveBinary(conn net.Conn, br *bufio.Reader) {
+	var (
+		freq, fresp proto.Frame
+		scratch     []byte
+		wbufs       = make(net.Buffers, 0, 2)
+		pageData    [][]byte
+		maxPayload  = maxPayloadFor(s.st.ChunkSize())
+	)
+	for {
+		payload, err := proto.ReadFrame(br, &freq, s.arena, maxPayload)
+		if err != nil {
+			if errors.Is(err, proto.ErrBadFrame) {
+				s.badFrame(conn, err)
+			}
+			return
+		}
+		if freq.Resp {
+			s.arena.Put(payload)
+			s.badFrame(conn, fmt.Errorf("%w: response frame where request expected", proto.ErrBadFrame))
+			return
+		}
+		req := proto.ChunkReq{
+			Op: freq.Op.Op(), TraceID: freq.Trace, ParentSpanID: freq.Parent,
+			VarName: freq.Var, ID: freq.ID,
+		}
+		switch freq.Op {
+		case proto.FramePut:
+			req.Data = payload
+		case proto.FrameCopy:
+			req.SrcID = proto.ChunkID(freq.Aux)
+		case proto.FramePutPages:
+			req.PageOffs = freq.PageOffs
+			pageData = pageData[:0]
+			rest := payload
+			for _, ln := range freq.PageLens {
+				pageData = append(pageData, rest[:ln:ln])
+				rest = rest[ln:]
+			}
+			req.PageData = pageData
+		}
+		resp := s.dispatch(&req)
+		// The store has consumed (persisted or copied) the request payload.
+		s.arena.Put(payload)
+
+		fresp.Op, fresp.Resp = freq.Op, true
+		fresp.ID, fresp.Aux = freq.ID, 0
+		fresp.Trace, fresp.Parent, fresp.Var = "", "", ""
+		fresp.Err = resp.Err
+		fresp.PageOffs, fresp.PageLens = fresp.PageOffs[:0], fresp.PageLens[:0]
+		fresp.PayloadLen = len(resp.Data)
+		scratch = fresp.AppendTo(scratch[:0])
+		wbufs = wbufs[:0]
+		wbufs = append(wbufs, scratch)
+		if len(resp.Data) > 0 {
+			wbufs = append(wbufs, resp.Data)
+		}
+		wb := wbufs // WriteTo consumes its receiver; keep wbufs reusable
+		_, werr := wb.WriteTo(conn)
+		if s.privReads && resp.Data != nil {
+			s.arena.Put(resp.Data)
+		}
+		if werr != nil {
+			return
+		}
+	}
+}
+
 func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 	var req proto.ChunkReq
 	if err := dec.Decode(&req); err != nil {
 		return err
 	}
+	resp := s.dispatch(&req)
+	err := enc.Encode(&resp)
+	if s.privReads && resp.Data != nil {
+		// The encoder copied the payload onto the wire; a private (pooled)
+		// read buffer can go back to the arena.
+		s.arena.Put(resp.Data)
+	}
+	return err
+}
+
+// dispatch executes one chunk data op against the store, shared by the gob
+// and binary serve loops. Ownership: req.Data and req.PageData are only
+// read during the call; resp.Data (get responses) follows the store's
+// PrivateReads policy — the serve loops recycle it after writing when it
+// is private.
+func (s *BenefactorServer) dispatch(req *proto.ChunkReq) proto.ChunkResp {
 	opStart := time.Now()
 	// A span-traced request (it names a parent span) gets a benefactor-side
 	// child span (and a nested ssd.* span around the backend call);
@@ -812,7 +1017,9 @@ func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		resp.Data, resp.Err = d, errStr(err)
 		sp.AddBytes(int64(len(d)))
 		s.bm.readBytes.Add(int64(len(d)))
-		s.obs.Event("benefactor", "read", req.TraceID, fmt.Sprintf("chunk=%d bytes=%d", req.ID, len(d)))
+		if s.obs.EventsEnabled() {
+			s.obs.Event("benefactor", "read", req.TraceID, fmt.Sprintf("chunk=%d bytes=%d", req.ID, len(d)))
+		}
 	case proto.OpPutChunk:
 		ssd := s.spanUnder(sp, "ssd.write")
 		err := s.st.PutChunk(req.ID, req.Data)
@@ -822,7 +1029,9 @@ func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		resp.Err = errStr(err)
 		sp.AddBytes(int64(len(req.Data)))
 		s.bm.writeBytes.Add(int64(len(req.Data)))
-		s.obs.Event("benefactor", "write", req.TraceID, fmt.Sprintf("chunk=%d bytes=%d", req.ID, len(req.Data)))
+		if s.obs.EventsEnabled() {
+			s.obs.Event("benefactor", "write", req.TraceID, fmt.Sprintf("chunk=%d bytes=%d", req.ID, len(req.Data)))
+		}
 	case proto.OpPutPages:
 		var n int64
 		for _, pg := range req.PageData {
@@ -836,8 +1045,10 @@ func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		resp.Err = errStr(err)
 		sp.AddBytes(n)
 		s.bm.writeBytes.Add(n)
-		s.obs.Event("benefactor", "write-pages", req.TraceID,
-			fmt.Sprintf("chunk=%d pages=%d bytes=%d", req.ID, len(req.PageOffs), n))
+		if s.obs.EventsEnabled() {
+			s.obs.Event("benefactor", "write-pages", req.TraceID,
+				fmt.Sprintf("chunk=%d pages=%d bytes=%d", req.ID, len(req.PageOffs), n))
+		}
 	case proto.OpDeleteChunk:
 		resp.Err = errStr(s.st.DeleteChunk(req.ID))
 		s.obs.Event("benefactor", "delete", req.TraceID, fmt.Sprintf("chunk=%d", req.ID))
@@ -854,7 +1065,7 @@ func (s *BenefactorServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 	s.bm.opLat[req.Op].Observe(time.Since(opStart))
 	sp.SetErr(wireErr(resp.Err))
 	sp.End()
-	return enc.Encode(&resp)
+	return resp
 }
 
 // Timeouts for server-initiated benefactor calls (chunk deletion, COW
@@ -864,36 +1075,142 @@ const (
 	serverCallTimeout = 30 * time.Second
 )
 
-// chunkConn is a client connection to one benefactor.
+// chunkConn is a client connection to one benefactor, speaking either NVM1
+// binary frames (negotiated at dial) or the legacy gob envelopes.
 type chunkConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	dec  *gob.Decoder
-	enc  *gob.Encoder
+	br   *bufio.Reader
+	// gob mode (binary == false).
+	dec *gob.Decoder
+	enc *gob.Encoder
+	// binary mode: the wire arena leases response payloads, scratch holds
+	// the encoded request header+meta, and wbufs scatter-gathers header and
+	// caller payload onto the socket without a staging copy.
+	binary     bool
+	arena      *proto.Arena
+	maxPayload int
+	freq       proto.Frame
+	fresp      proto.Frame
+	scratch    []byte
+	wbufs      net.Buffers
 	// timeout bounds one request/response round trip (a deadline on the
 	// socket, so a wedged or black-holed benefactor cannot hang the caller
 	// forever). 0 means no deadline.
 	timeout time.Duration
-	// broken is set when the gob stream failed mid-call; the connection
-	// cannot be reused (request/response framing is lost).
+	// broken is set when the stream failed mid-call; the connection cannot
+	// be reused (request/response framing is lost).
 	broken bool
+}
+
+// wireConfig selects the benefactor wire protocol for dialed connections.
+type wireConfig struct {
+	// arena supplies response payload leases in binary mode; nil disables
+	// the binary handshake entirely (gob only).
+	arena *proto.Arena
+	// maxPayload bounds a response frame's declared payload (2× chunk).
+	maxPayload int
+	// gobOnly skips the NVM1 handshake: either the peer is already known to
+	// be a legacy server, or Options.ForceGob pinned the legacy protocol.
+	gobOnly bool
+	// fellBack is set on the result when the handshake was attempted and
+	// the peer turned out to be gob-only, so callers can cache the verdict
+	// per address instead of re-probing on every dial.
+	fellBack *bool
 }
 
 // dialChunk connects to a benefactor. dial overrides the transport (fault
 // injection); when nil a plain TCP dial with dialTimeout is used.
 // callTimeout becomes the per-RPC deadline of the resulting connection.
-func dialChunk(addr string, dial func(string) (net.Conn, error), dialTimeout, callTimeout time.Duration) (*chunkConn, error) {
-	var conn net.Conn
-	var err error
-	if dial != nil {
-		conn, err = dial(addr)
-	} else {
-		conn, err = net.DialTimeout("tcp", addr, dialTimeout)
+//
+// With wc.arena set (and not wc.gobOnly) the NVM1 preamble handshake runs
+// first: the preamble byte is sent and the server must echo it. A legacy
+// gob server instead chokes on the preamble and closes (its gob decoder
+// rejects 0xB1 as a message length), so a handshake failure redials the
+// address in gob mode — old servers keep working behind new clients.
+func dialChunk(addr string, dial func(string) (net.Conn, error), dialTimeout, callTimeout time.Duration, wc wireConfig) (*chunkConn, error) {
+	connect := func() (net.Conn, error) {
+		if dial != nil {
+			return dial(addr)
+		}
+		return net.DialTimeout("tcp", addr, dialTimeout)
 	}
+	conn, err := connect()
 	if err != nil {
 		return nil, err
 	}
-	return &chunkConn{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn), timeout: callTimeout}, nil
+	binary := false
+	if wc.arena != nil && !wc.gobOnly {
+		hsTimeout := dialTimeout
+		if callTimeout > 0 && (hsTimeout <= 0 || callTimeout < hsTimeout) {
+			hsTimeout = callTimeout
+		}
+		switch legacy, err := negotiateBinary(conn, hsTimeout); {
+		case err == nil:
+			binary = true
+		case legacy:
+			// The peer took the preamble and hung up — the signature of a
+			// legacy gob server whose decoder rejected 0xB1. Redial and
+			// speak gob to it.
+			conn.Close()
+			if conn, err = connect(); err != nil {
+				return nil, err
+			}
+			if wc.fellBack != nil {
+				*wc.fellBack = true
+			}
+		default:
+			// A transport fault (write failure, timeout), not a protocol
+			// verdict: fail the dial so the caller's transient-retry path
+			// redials and probes again, instead of misfiling the address
+			// as gob-only forever.
+			conn.Close()
+			return nil, err
+		}
+	}
+	c := &chunkConn{
+		conn: conn, br: bufio.NewReaderSize(conn, 64<<10),
+		binary: binary, arena: wc.arena, maxPayload: wc.maxPayload,
+		timeout: callTimeout,
+	}
+	if !binary {
+		c.dec = gob.NewDecoder(c.br)
+		c.enc = gob.NewEncoder(conn)
+	}
+	return c, nil
+}
+
+// negotiateBinary performs the client half of the NVM1 handshake: send the
+// preamble, require the echo. legacy reports the verdict on failure: true
+// means the peer accepted our preamble byte and then closed the connection
+// — exactly what a legacy gob server does when its decoder hits 0xB1 — so
+// the caller should redial and speak gob. false means the transport itself
+// failed (write error, timeout) and no protocol conclusion can be drawn.
+func negotiateBinary(conn net.Conn, timeout time.Duration) (legacy bool, err error) {
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if _, err := conn.Write([]byte{proto.Preamble}); err != nil {
+		return false, err
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return false, err
+		}
+		// EOF / connection reset after a delivered preamble: the legacy
+		// signature. A crashed modern server looks the same, but then the
+		// gob redial fails too, so misclassifying is harmless.
+		return true, err
+	}
+	if ack[0] != proto.Preamble {
+		return true, fmt.Errorf("rpc: unexpected NVM1 handshake ack 0x%02x", ack[0])
+	}
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Time{})
+	}
+	return false, nil
 }
 
 func (c *chunkConn) call(req proto.ChunkReq) (proto.ChunkResp, error) {
@@ -905,11 +1222,13 @@ func (c *chunkConn) call(req proto.ChunkReq) (proto.ChunkResp, error) {
 	}
 	// Encode/decode failures are transport-level: the round trip did not
 	// complete, so they are wrapped as transient (retryable) errors.
-	if err := c.enc.Encode(&req); err != nil {
-		c.broken = true
-		return resp, transient(err)
+	var err error
+	if c.binary {
+		resp, err = c.roundTripBinary(&req)
+	} else {
+		resp, err = c.roundTripGob(&req)
 	}
-	if err := c.dec.Decode(&resp); err != nil {
+	if err != nil {
 		c.broken = true
 		return resp, transient(err)
 	}
@@ -917,6 +1236,77 @@ func (c *chunkConn) call(req proto.ChunkReq) (proto.ChunkResp, error) {
 		_ = c.conn.SetDeadline(time.Time{})
 	}
 	return resp, wireErr(resp.Err)
+}
+
+func (c *chunkConn) roundTripGob(req *proto.ChunkReq) (proto.ChunkResp, error) {
+	var resp proto.ChunkResp
+	if err := c.enc.Encode(req); err != nil {
+		return resp, err
+	}
+	if err := c.dec.Decode(&resp); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// roundTripBinary ships one chunk op as an NVM1 frame. The payload goes out
+// straight from the caller's buffer (net.Buffers scatter-gather — no
+// staging copy) and the response payload comes back as an arena lease the
+// caller owns (Store.readAt and the chunk cache release it when done).
+func (c *chunkConn) roundTripBinary(req *proto.ChunkReq) (proto.ChunkResp, error) {
+	var resp proto.ChunkResp
+	fop, ok := proto.FrameOpOf(req.Op)
+	if !ok {
+		return resp, fmt.Errorf("rpc: op %q has no binary frame", req.Op)
+	}
+	f := &c.freq
+	f.Op, f.Resp = fop, false
+	f.ID, f.Aux = req.ID, 0
+	f.Trace, f.Parent, f.Var, f.Err = req.TraceID, req.ParentSpanID, req.VarName, ""
+	f.PageOffs, f.PageLens = f.PageOffs[:0], f.PageLens[:0]
+	c.wbufs = c.wbufs[:0]
+	c.wbufs = append(c.wbufs, nil) // header+meta placeholder
+	payloadLen := 0
+	switch req.Op {
+	case proto.OpPutChunk:
+		payloadLen = len(req.Data)
+		if payloadLen > 0 {
+			c.wbufs = append(c.wbufs, req.Data)
+		}
+	case proto.OpPutPages:
+		if len(req.PageOffs) != len(req.PageData) {
+			return resp, fmt.Errorf("rpc: %d page offsets but %d pages", len(req.PageOffs), len(req.PageData))
+		}
+		for i, pg := range req.PageData {
+			f.PageOffs = append(f.PageOffs, req.PageOffs[i])
+			f.PageLens = append(f.PageLens, len(pg))
+			payloadLen += len(pg)
+			if len(pg) > 0 {
+				c.wbufs = append(c.wbufs, pg)
+			}
+		}
+		f.Aux = uint64(len(req.PageData))
+	case proto.OpCopyChunk:
+		f.Aux = uint64(req.SrcID)
+	}
+	f.PayloadLen = payloadLen
+	c.scratch = f.AppendTo(c.scratch[:0])
+	c.wbufs[0] = c.scratch
+	wb := c.wbufs // WriteTo consumes its receiver; keep c.wbufs reusable
+	if _, err := wb.WriteTo(c.conn); err != nil {
+		return resp, err
+	}
+	payload, err := proto.ReadFrame(c.br, &c.fresp, c.arena, c.maxPayload)
+	if err != nil {
+		return resp, err
+	}
+	if !c.fresp.Resp {
+		c.arena.Put(payload)
+		return resp, fmt.Errorf("rpc: request frame where response expected")
+	}
+	resp.Err = c.fresp.Err
+	resp.Data = payload
+	return resp, nil
 }
 
 func (c *chunkConn) isBroken() bool {

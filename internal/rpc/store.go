@@ -39,6 +39,10 @@ type Options struct {
 	// Dial overrides the benefactor transport dialer (fault injection in
 	// tests). When nil, plain TCP with DialTimeout is used.
 	Dial func(addr string) (net.Conn, error)
+	// ForceGob pins benefactor connections to the legacy gob envelopes,
+	// skipping the NVM1 binary-framing handshake. A compatibility escape
+	// hatch — and the baseline side of the framing benchmarks.
+	ForceGob bool
 	// Obs receives the client's metrics (per-op latency histograms, pool
 	// wait time, data-path counters) and chunk-lifecycle events. Nil gets
 	// a fresh private obs.New instance; obs.Disabled() turns every
@@ -171,6 +175,14 @@ type Store struct {
 	suspectUntil map[int]time.Time
 	pools        map[int]*connPool
 	meta         map[string]proto.FileInfo
+	// arena pools chunk payload buffers for the binary data path: response
+	// payloads are leased from it by the wire layer and returned through
+	// ReleaseChunk (directly by readAt/writeAt, via store.BufferLender by
+	// the chunk cache). Sized to the store's chunk geometry at Open.
+	arena *proto.Arena
+	// gobAddrs caches benefactor addresses that failed the NVM1 handshake
+	// (legacy servers), so redials skip the probe.
+	gobAddrs map[string]bool
 
 	obs *obs.Obs
 	m   storeMetrics
@@ -202,6 +214,7 @@ func OpenWith(addr string, opts Options) (*Store, error) {
 		suspectUntil: make(map[int]time.Time),
 		pools:        make(map[int]*connPool),
 		meta:         make(map[string]proto.FileInfo),
+		gobAddrs:     make(map[string]bool),
 		obs:          opts.Obs,
 		m:            newStoreMetrics(opts.Obs),
 	}
@@ -209,6 +222,7 @@ func OpenWith(addr string, opts Options) (*Store, error) {
 		mc.Close()
 		return nil, err
 	}
+	s.arena = proto.NewArena(s.chunkSize)
 	s.obs.SetSpanSink(s.exportSpan)
 	return s, nil
 }
@@ -313,6 +327,14 @@ func (s *Store) Close() error {
 // ChunkSize returns the striping unit.
 func (s *Store) ChunkSize() int64 { return s.chunkSize }
 
+// ReleaseChunk returns a chunk payload obtained from GetChunk (or the
+// chunk-granular read path) to the store's buffer arena. The buffer must
+// not be used afterwards. Buffers of foreign geometry — including payloads
+// decoded from legacy gob connections before the arena existed, which are
+// private anyway — are accepted or ignored safely, so callers can release
+// unconditionally.
+func (s *Store) ReleaseChunk(buf []byte) { s.arena.Put(buf) }
+
 // Manager exposes the metadata client.
 func (s *Store) Manager() *ManagerClient { return s.mgr }
 
@@ -350,7 +372,22 @@ func (s *Store) pool(ref proto.ChunkRef) (*connPool, error) {
 		return nil, fmt.Errorf("%w: benefactor %d has no address", proto.ErrBenefactorDead, ref.Benefactor)
 	}
 	dial := func(a string) (*chunkConn, error) {
-		return dialChunk(a, s.opts.Dial, s.opts.DialTimeout, s.opts.CallTimeout)
+		s.mu.Lock()
+		gobOnly := s.opts.ForceGob || s.gobAddrs[a]
+		s.mu.Unlock()
+		var fellBack bool
+		c, err := dialChunk(a, s.opts.Dial, s.opts.DialTimeout, s.opts.CallTimeout, wireConfig{
+			arena: s.arena, maxPayload: maxPayloadFor(s.chunkSize),
+			gobOnly: gobOnly, fellBack: &fellBack,
+		})
+		if fellBack {
+			// The peer is a legacy gob server: remember, so later dials to
+			// this address skip the handshake probe.
+			s.mu.Lock()
+			s.gobAddrs[a] = true
+			s.mu.Unlock()
+		}
+		return c, err
 	}
 	p := newConnPool(addr, s.opts.PoolSize, dial, s.obs, s.m.poolWait)
 	s.pools[ref.Benefactor] = p
@@ -731,7 +768,9 @@ func (s *Store) putChunk(sc store.SpanInfo, refs []proto.ChunkRef, data []byte) 
 	}
 	s.m.chunkPuts.Add(1)
 	s.m.ssdWriteBytes.Add(int64(len(data)))
-	s.obs.Event("rpc", "stripe-write", sc.Trace, fmt.Sprintf("%v %d bytes", refs[0], len(data)))
+	if s.obs.EventsEnabled() {
+		s.obs.Event("rpc", "stripe-write", sc.Trace, fmt.Sprintf("%v %d bytes", refs[0], len(data)))
+	}
 	return nil
 }
 
@@ -869,9 +908,11 @@ func (s *Store) readAt(sc store.SpanInfo, name string, off int64, buf []byte) er
 				return err
 			}
 			if int64(len(data)) < sp.coff+int64(len(sp.buf)) {
+				s.arena.Put(data)
 				return fmt.Errorf("chunk %v: short payload %d bytes", fi.Chunks[sp.idx], len(data))
 			}
 			copy(sp.buf, data[sp.coff:])
+			s.arena.Put(data)
 			return nil
 		})
 	})
@@ -902,7 +943,9 @@ func (s *Store) writeAt(sc store.SpanInfo, name string, off int64, data []byte) 
 				return err
 			}
 			copy(cur[sp.coff:], sp.buf)
-			return s.putChunk(sc, refs, cur)
+			err = s.putChunk(sc, refs, cur)
+			s.arena.Put(cur) // the put has left the wire; the RMW staging buffer returns
+			return err
 		})
 	})
 }

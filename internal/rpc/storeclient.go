@@ -21,7 +21,10 @@ type StoreClient struct {
 	node int
 }
 
-var _ store.Client = (*StoreClient)(nil)
+var (
+	_ store.Client       = (*StoreClient)(nil)
+	_ store.BufferLender = (*StoreClient)(nil)
+)
 
 // NewStoreClient wraps st as a store.Client. node is the logical cluster
 // node the client claims to run on (informational; pass 0 for a
@@ -76,10 +79,21 @@ func (c *StoreClient) SetTTL(_ store.Ctx, name string, ttl time.Duration) error 
 }
 
 // GetChunk implements store.Client: it fetches one chunk payload, failing
-// over across the given replicas.
+// over across the given replicas. The result is a private buffer the
+// caller owns (see PrivateChunks) — hand it back via ReleaseChunk when
+// done to keep the data path allocation-free.
 func (c *StoreClient) GetChunk(ctx store.Ctx, refs []proto.ChunkRef) ([]byte, error) {
 	return c.st.getChunk(store.SpanOf(ctx), refs)
 }
+
+// PrivateChunks implements store.BufferLender: the TCP data path's GetChunk
+// results are arena leases (or gob-decoded private buffers), owned by the
+// caller — unlike simstore, whose results alias simulated device memory.
+func (c *StoreClient) PrivateChunks() bool { return true }
+
+// ReleaseChunk implements store.BufferLender: a finished GetChunk buffer
+// returns to the store's arena.
+func (c *StoreClient) ReleaseChunk(buf []byte) { c.st.ReleaseChunk(buf) }
 
 // PutChunk implements store.Client: it ships one whole chunk payload to
 // every live replica.

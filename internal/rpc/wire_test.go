@@ -1,0 +1,353 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"nvmalloc/internal/proto"
+)
+
+// legacyGobServer emulates a pre-NVM1 benefactor: a bare gob loop with no
+// preamble peek. Its decoder chokes on the 0xB1 handshake byte and closes
+// the connection, exactly as an old binary would. Every successful GetChunk
+// returns legacyPayload.
+var legacyPayload = []byte("served-by-legacy-gob")
+
+func startLegacyGobServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req proto.ChunkReq
+					if err := dec.Decode(&req); err != nil {
+						return // 0xB1 preamble lands here: decode error, close
+					}
+					var resp proto.ChunkResp
+					if req.Op == proto.OpGetChunk {
+						resp.Data = legacyPayload
+					}
+					if err := enc.Encode(&resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestLegacyServerFallback covers new client ↔ old server: the NVM1
+// handshake dies against a gob-only peer, the client redials in gob mode,
+// reports the fallback for per-address caching, and the call still works.
+func TestLegacyServerFallback(t *testing.T) {
+	addr := startLegacyGobServer(t)
+	fell := false
+	c, err := dialChunk(addr, nil, time.Second, 500*time.Millisecond, wireConfig{
+		arena:      proto.NewArena(testChunk),
+		maxPayload: maxPayloadFor(testChunk),
+		fellBack:   &fell,
+	})
+	if err != nil {
+		t.Fatalf("dial against legacy server: %v", err)
+	}
+	defer c.close()
+	if !fell {
+		t.Error("fallback not reported: client would re-probe this address forever")
+	}
+	if c.binary {
+		t.Fatal("connection claims binary mode against a gob-only server")
+	}
+	resp, err := c.call(proto.ChunkReq{Op: proto.OpGetChunk, ID: 1})
+	if err != nil {
+		t.Fatalf("gob call after fallback: %v", err)
+	}
+	if !bytes.Equal(resp.Data, legacyPayload) {
+		t.Fatalf("payload %q, want %q", resp.Data, legacyPayload)
+	}
+}
+
+// TestBinaryNegotiation covers new client ↔ new server at the connection
+// level: the handshake upgrades to NVM1 and semantic errors round-trip
+// through the binary error frame.
+func TestBinaryNegotiation(t *testing.T) {
+	r := newRig(t, 1)
+	fell := false
+	c, err := dialChunk(r.bens[0].Addr(), nil, time.Second, 500*time.Millisecond, wireConfig{
+		arena:      proto.NewArena(testChunk),
+		maxPayload: maxPayloadFor(testChunk),
+		fellBack:   &fell,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.close()
+	if !c.binary || fell {
+		t.Fatalf("binary=%v fellBack=%v, want true/false", c.binary, fell)
+	}
+	// Round trip data through the binary frames.
+	payload := pattern(3, testChunk)
+	if _, err := c.call(proto.ChunkReq{Op: proto.OpPutChunk, ID: 7, Data: payload}); err != nil {
+		t.Fatalf("binary put: %v", err)
+	}
+	resp, err := c.call(proto.ChunkReq{Op: proto.OpGetChunk, ID: 7})
+	if err != nil {
+		t.Fatalf("binary get: %v", err)
+	}
+	if !bytes.Equal(resp.Data, payload) {
+		t.Fatal("binary round trip corrupted payload")
+	}
+	// A semantic error must arrive as the mapped sentinel, not a transport
+	// failure: overfill the 64-chunk benefactor until it reports ErrNoSpace.
+	var semErr error
+	for id := proto.ChunkID(100); id < 300; id++ {
+		if _, semErr = c.call(proto.ChunkReq{Op: proto.OpPutChunk, ID: id, Data: payload}); semErr != nil {
+			break
+		}
+	}
+	if !errors.Is(semErr, proto.ErrNoSpace) {
+		t.Fatalf("overfill: err = %v, want ErrNoSpace", semErr)
+	}
+	if c.isBroken() {
+		t.Error("semantic error broke the connection")
+	}
+}
+
+// TestForceGobCompat covers old client ↔ new server: Options.ForceGob pins
+// the legacy protocol (no preamble ever sent), and the peeking server serves
+// the whole workload over gob.
+func TestForceGobCompat(t *testing.T) {
+	r := newRig(t, 2)
+	opts := fastOpts()
+	opts.ForceGob = true
+	st, err := OpenWith(r.mgr.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	payload := pattern(9, 3*testChunk+100)
+	if err := st.Put("compat", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("compat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("gob-pinned round trip mismatch")
+	}
+	if err := st.WriteAt("compat", 5000, []byte("PATCH")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if err := st.ReadAt("compat", 5000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "PATCH" {
+		t.Fatalf("patch read %q", buf)
+	}
+}
+
+// TestMixedProtocolClients runs a binary client and a gob-pinned client
+// against the same servers at once: both see each other's writes.
+func TestMixedProtocolClients(t *testing.T) {
+	r := newRig(t, 2)
+	newSt, err := OpenWith(r.mgr.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newSt.Close()
+	opts := fastOpts()
+	opts.ForceGob = true
+	oldSt, err := OpenWith(r.mgr.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldSt.Close()
+
+	wrote := pattern(1, 2*testChunk)
+	if err := newSt.Put("from-new", wrote); err != nil {
+		t.Fatal(err)
+	}
+	got, err := oldSt.Get("from-new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wrote) {
+		t.Fatal("gob client read of binary client's write mismatched")
+	}
+
+	wrote = pattern(2, 2*testChunk)
+	if err := oldSt.Put("from-old", wrote); err != nil {
+		t.Fatal(err)
+	}
+	got, err = newSt.Get("from-old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wrote) {
+		t.Fatal("binary client read of gob client's write mismatched")
+	}
+}
+
+// TestMalformedFramesDropped sends hostile frames at a benefactor after a
+// successful NVM1 handshake: the server must close the connection without
+// staging the declared payload, and must stay healthy for other clients.
+func TestMalformedFramesDropped(t *testing.T) {
+	r := newRig(t, 1)
+	addr := r.bens[0].Addr()
+
+	handshake := func(t *testing.T) net.Conn {
+		t.Helper()
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Write([]byte{proto.Preamble}); err != nil {
+			t.Fatal(err)
+		}
+		var ack [1]byte
+		if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != proto.Preamble {
+			t.Fatalf("handshake ack %x err %v", ack, err)
+		}
+		return conn
+	}
+	expectClosed := func(t *testing.T, conn net.Conn) {
+		t.Helper()
+		var b [1]byte
+		if _, err := io.ReadFull(conn, b[:]); err == nil {
+			t.Fatal("server kept the connection open after a malformed frame")
+		}
+	}
+
+	t.Run("garbage bytes", func(t *testing.T) {
+		conn := handshake(t)
+		if _, err := conn.Write(bytes.Repeat([]byte{0xFF}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		expectClosed(t, conn)
+	})
+
+	t.Run("oversized declared payload", func(t *testing.T) {
+		conn := handshake(t)
+		// A well-formed header whose payload claims 16 MiB against a 4 KiB
+		// chunk: the server must reject on the declared length alone — the
+		// bytes are never sent, so a blocking staged read would hang here.
+		f := proto.Frame{Op: proto.FramePut, ID: 1, PayloadLen: 16 << 20}
+		if _, err := conn.Write(f.AppendTo(nil)); err != nil {
+			t.Fatal(err)
+		}
+		expectClosed(t, conn)
+	})
+
+	t.Run("unsolicited response frame", func(t *testing.T) {
+		conn := handshake(t)
+		f := proto.Frame{Op: proto.FrameGet, Resp: true, ID: 1}
+		if _, err := conn.Write(f.AppendTo(nil)); err != nil {
+			t.Fatal(err)
+		}
+		expectClosed(t, conn)
+	})
+
+	// The server must shrug all of that off: a normal client still works.
+	st, err := OpenWith(r.mgr.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	payload := pattern(5, testChunk)
+	if err := st.Put("after-abuse", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("after-abuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip after malformed frames mismatched")
+	}
+}
+
+// TestHandshakeTransportFaultIsTransient pins the retry semantics the fault
+// tests rely on: a connection torn mid-handshake must surface as a dial
+// error (so the caller's transient-retry path redials), NOT silently mark
+// the address gob-only.
+func TestHandshakeTransportFaultIsTransient(t *testing.T) {
+	// A listener that accepts and immediately closes: the preamble write may
+	// succeed (buffered), but the ack read sees a reset/EOF — which IS the
+	// legacy signature, so this dial must fall back, not error.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	fell := false
+	c, err := dialChunk(l.Addr().String(), nil, time.Second, 200*time.Millisecond, wireConfig{
+		arena:      proto.NewArena(testChunk),
+		maxPayload: maxPayloadFor(testChunk),
+		fellBack:   &fell,
+	})
+	if err == nil {
+		// The gob redial connected (the listener closes conns, but dial
+		// itself succeeds) — acceptable; the point is the classification.
+		c.close()
+	}
+	if !fell {
+		t.Error("peer that closed after the preamble was not classified as legacy")
+	}
+
+	// A dial function that fails writes outright is a transport fault: no
+	// fallback, an error instead.
+	fell = false
+	failDial := func(string) (net.Conn, error) {
+		return &writeFailConn{}, nil
+	}
+	if _, err := dialChunk("ignored", failDial, time.Second, 200*time.Millisecond, wireConfig{
+		arena:      proto.NewArena(testChunk),
+		maxPayload: maxPayloadFor(testChunk),
+		fellBack:   &fell,
+	}); err == nil {
+		t.Fatal("dial succeeded through a conn that cannot write")
+	}
+	if fell {
+		t.Error("transport write failure misclassified as a legacy gob server")
+	}
+}
+
+// writeFailConn is a net.Conn whose writes always fail, emulating a torn
+// connection during the handshake.
+type writeFailConn struct{ net.TCPConn }
+
+func (c *writeFailConn) Write([]byte) (int, error)        { return 0, errors.New("injected write failure") }
+func (c *writeFailConn) Close() error                     { return nil }
+func (c *writeFailConn) SetDeadline(time.Time) error      { return nil }
+func (c *writeFailConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *writeFailConn) SetWriteDeadline(time.Time) error { return nil }

@@ -341,6 +341,12 @@ func (c *Client) liveBen(ref proto.ChunkRef) (*ben, error) {
 // back (paper §III-D: "the FUSE client makes a direct connection to the
 // appropriate benefactor"). refs[0] is the primary; when it is dead and
 // the store keeps replicas, the read fails over via the manager.
+//
+// Buffer ownership: the returned slice ALIASES simulated device memory —
+// this client deliberately does not implement store.BufferLender, so
+// callers (the FUSE chunk cache) copy before caching and never release.
+// Only the TCP path's arena-leased buffers are caller-owned (DESIGN.md
+// §13).
 func (c *Client) GetChunk(ctx store.Ctx, refs []proto.ChunkRef) ([]byte, error) {
 	p := cluster.ProcOf(ctx)
 	ref := refs[0]

@@ -72,6 +72,26 @@ type Client interface {
 	Status(ctx Ctx) ([]proto.BenefactorInfo, error)
 }
 
+// BufferLender is an optional Client extension implemented by transports
+// whose GetChunk results are private, pooled buffers (the TCP adapter's
+// NVM1 data path leases them from a chunk-sized arena — DESIGN.md §13).
+// Callers holding such a client may adopt GetChunk buffers outright —
+// retain them, mutate them — and hand them back through ReleaseChunk once
+// finished, closing the pool's lease/return loop.
+//
+// A client that does NOT implement BufferLender (or reports
+// PrivateChunks() == false, like simstore, whose GetChunk aliases the
+// simulated device memory) keeps the conservative contract: GetChunk
+// results must be treated as shared and read-only, and callers copy.
+type BufferLender interface {
+	// PrivateChunks reports whether GetChunk returns caller-owned buffers.
+	PrivateChunks() bool
+	// ReleaseChunk returns a GetChunk buffer to the transport's pool. The
+	// buffer must not be used afterwards. Buffers of foreign geometry are
+	// ignored (left to the garbage collector), so releasing is always safe.
+	ReleaseChunk(buf []byte)
+}
+
 // ReplicaRefs returns every copy of chunk idx of a file, primary first.
 // Metadata from an unreplicated manager carries no replica table; the
 // primary ref alone is the degenerate copy set.
