@@ -59,7 +59,9 @@ alloc-bench:
 	$(GO) test -count 1 -run 'TestFrameCodecZeroAlloc|TestArenaZeroAlloc' ./internal/proto
 	$(GO) test -count 1 -run TestAllocBudgetCachedChunkGet ./internal/rpc
 
-# Short coverage-guided smoke over the NVM1 frame decoder: any accepted
-# frame must survive a re-encode cycle, any rejected input must fail clean.
+# Short coverage-guided smoke over the NVM1 frame decoder and the NVC1
+# shard-snapshot decoder: any accepted input must be internally consistent
+# (round-trip / in-bounds index), any rejected input must fail clean.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 15s ./internal/proto
+	$(GO) test -run xxx -fuzz FuzzDecodeNVC1Index -fuzztime 15s ./internal/filecache

@@ -29,6 +29,7 @@
 //	-pool N      connections per benefactor (default 4)
 //	-parallel N  chunk transfers in flight per command (default 8)
 //	-cache BYTES client chunk cache; 0 disables (default 64 MB for get/put)
+//	-cache-dir D persistent file-backed second cache tier (warm restarts)
 //	-stats       print data-path and cache counters after the command
 //	-n N         events/spans per node for trace and slow (default 50)
 package main
@@ -61,29 +62,39 @@ func main() {
 	pool := flag.Int("pool", rpc.DefaultPoolSize, "connections per benefactor")
 	parallel := flag.Int("parallel", rpc.DefaultParallelism, "chunk transfers in flight")
 	cacheBytes := flag.Int64("cache", 64<<20, "client chunk cache bytes (0 disables)")
+	cacheDir := flag.String("cache-dir", "", "persistent file-backed cache tier directory (empty disables)")
 	showStats := flag.Bool("stats", false, "print data-path counters after the command")
 	traceN := flag.Int("n", 50, "events per node for the trace command")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-stats] status|put|get|stat|rm|link|repair|kill|ckpt-demo|metrics|top|trace|slow ...")
+		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-cache-dir dir] [-stats] status|put|get|stat|rm|link|repair|kill|ckpt-demo|metrics|top|trace|slow ...")
 		os.Exit(2)
 	}
 	st, err := rpc.OpenWith(*mgr, rpc.Options{PoolSize: *pool, Parallelism: *parallel})
 	if err != nil {
 		fatal(err)
 	}
-	defer st.Close()
 
 	// The data commands run behind the client chunk cache when enabled, so
 	// a partial overwrite ships only dirty pages (paper Table VII).
 	var cache *rpc.CachedStore
 	if *cacheBytes > 0 {
-		cache, err = rpc.NewCachedStore(st, rpc.CacheConfig{CacheBytes: *cacheBytes, ReadAheadChunks: 2})
+		cache, err = rpc.NewCachedStore(st, rpc.CacheConfig{CacheBytes: *cacheBytes, ReadAheadChunks: 2, CacheDir: *cacheDir})
 		if err != nil {
+			st.Close()
 			fatal(err)
 		}
 	}
+	// CachedStore.Close flushes, commits the file tier (-cache-dir), and
+	// closes st; with the cache disabled, close the store directly.
+	defer func() {
+		if cache != nil {
+			cache.Close()
+		} else {
+			st.Close()
+		}
+	}()
 
 	// Data commands run under one command-rooted span covering the whole
 	// path — for put with the cache enabled that is Create + WriteAt + Flush,
@@ -248,6 +259,10 @@ func main() {
 			c := cache.Stats()
 			fmt.Printf("cache: hits=%d misses=%d evictions=%d dirtyEvictions=%d flushes=%d readAhead=%dB\n",
 				c.Hits, c.Misses, c.Evictions, c.DirtyEvictions, c.Flushes, c.PrefetchBytes)
+			if f, ok := cache.FileTierStats(); ok {
+				fmt.Printf("file tier: hits=%d misses=%d spills=%d evictions=%d commits=%d rebuilds=%d corrupt=%d live=%dB/%d\n",
+					f.Hits, f.Misses, f.Puts, f.Evictions, f.Commits, f.Rebuilds, f.CorruptPayloads, f.LiveBytes, f.LiveEntries)
+			}
 		}
 	}
 }
@@ -607,6 +622,8 @@ func layerOf(name string) string {
 		return "client"
 	case "cache":
 		return "client cache"
+	case "filecache":
+		return "file cache"
 	case "pool":
 		return "pool wait"
 	case "rpc":
@@ -699,7 +716,7 @@ func renderWaterfall(spans []obs.Span) {
 		}
 		sum(root)
 		fmt.Println("  layer breakdown (exclusive time):")
-		order := []string{"client", "client cache", "pool wait", "wire", "manager", "benefactor", "ssd backend"}
+		order := []string{"client", "client cache", "file cache", "pool wait", "wire", "manager", "benefactor", "ssd backend"}
 		printed := make(map[string]bool)
 		printLayer := func(l string) {
 			ns, ok := excl[l]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nvmalloc/internal/core"
+	"nvmalloc/internal/filecache"
 	"nvmalloc/internal/fusecache"
 	"nvmalloc/internal/rpc"
 	"nvmalloc/internal/store"
@@ -36,6 +37,15 @@ type ConnectConfig struct {
 	// Parallelism bounds in-flight chunk transfers per operation (0 = rpc
 	// default).
 	Parallelism int
+	// CacheDir, when non-empty, enables the persistent file-backed second
+	// cache tier (internal/filecache): clean chunks evicted from the RAM
+	// cache spill to NVC1 shard files under this directory and are served
+	// from there across restarts ("warm restarts", README). One directory
+	// per client process.
+	CacheDir string
+	// FileCacheBytes caps the file tier's payload bytes (0 = filecache
+	// default, 1 GiB). Ignored without CacheDir.
+	FileCacheBytes int64
 }
 
 // Connect opens a Client against a live TCP store deployment (cmd/nvmstore
@@ -83,7 +93,21 @@ func Connect(managerAddr string, cfg ConnectConfig) (*Client, error) {
 		return nil, fmt.Errorf("nvmalloc: page size %d does not divide chunk size %d", cfg.PageSize, st.ChunkSize())
 	}
 	env := store.NewGoEnv()
-	cc := fusecache.NewChunkCache(env, rpc.NewStoreClient(st, 0), fusecache.Config{
+	var cl store.Client = rpc.NewStoreClient(st, 0)
+	var tier *filecache.Tier
+	if cfg.CacheDir != "" {
+		tier, err = filecache.NewTier(cl, filecache.Config{
+			Dir:      cfg.CacheDir,
+			MaxBytes: cfg.FileCacheBytes,
+			Obs:      st.Obs(),
+		})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		cl = tier
+	}
+	cc := fusecache.NewChunkCache(env, cl, fusecache.Config{
 		ChunkSize:       st.ChunkSize(),
 		PageSize:        cfg.PageSize,
 		CacheBytes:      cfg.CacheBytes,
@@ -95,9 +119,16 @@ func Connect(managerAddr string, cfg ConnectConfig) (*Client, error) {
 	c.OnClose(func() error {
 		ferr := cc.FlushAll(nil)
 		env.Quiesce()
+		var terr error
+		if tier != nil {
+			terr = tier.Close()
+		}
 		cerr := st.Close()
 		if ferr != nil {
 			return ferr
+		}
+		if terr != nil {
+			return terr
 		}
 		return cerr
 	})

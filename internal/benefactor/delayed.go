@@ -1,0 +1,57 @@
+package benefactor
+
+import (
+	"time"
+
+	"nvmalloc/internal/proto"
+)
+
+// Delayed wraps a Backend with a fixed per-access device service time on
+// the data ops — the emulated-SSD configuration the benchmarks use when
+// the interesting cost is the device, not the wire (cmd/nvmbench's
+// warm-restart scenario, the PR 1 serial/parallel rigs). Metadata ops
+// (Delete, Has) pass through undelayed.
+type Delayed struct {
+	Inner   Backend
+	Latency time.Duration
+}
+
+// Delay wraps inner with the given per-Get/Put service time.
+func Delay(inner Backend, latency time.Duration) Delayed {
+	return Delayed{Inner: inner, Latency: latency}
+}
+
+// Put implements Backend.
+func (d Delayed) Put(id proto.ChunkID, data []byte) error {
+	time.Sleep(d.Latency)
+	return d.Inner.Put(id, data)
+}
+
+// Get implements Backend.
+func (d Delayed) Get(id proto.ChunkID) ([]byte, error) {
+	time.Sleep(d.Latency)
+	return d.Inner.Get(id)
+}
+
+// Delete implements Backend.
+func (d Delayed) Delete(id proto.ChunkID) error { return d.Inner.Delete(id) }
+
+// Has implements Backend.
+func (d Delayed) Has(id proto.ChunkID) bool { return d.Inner.Has(id) }
+
+// RetainsPut/PrivateGet forward the inner backend's buffer-ownership
+// policy (conservative defaults when the inner backend declares none).
+func (d Delayed) RetainsPut() bool {
+	if bp, ok := d.Inner.(BufferPolicy); ok {
+		return bp.RetainsPut()
+	}
+	return true
+}
+
+// PrivateGet implements BufferPolicy; see RetainsPut.
+func (d Delayed) PrivateGet() bool {
+	if bp, ok := d.Inner.(BufferPolicy); ok {
+		return bp.PrivateGet()
+	}
+	return false
+}

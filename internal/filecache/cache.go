@@ -1,0 +1,591 @@
+package filecache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvmalloc/internal/obs"
+)
+
+// Config parameterizes Open.
+type Config struct {
+	// Dir is the cache directory; created if missing. One cache instance
+	// owns a directory — two live caches over the same directory corrupt
+	// each other (they will mutually rebuild; data is never wrong, just
+	// gone).
+	Dir string
+	// MaxBytes caps live payload bytes across all shards (default 1 GiB).
+	// Each shard gets an equal slice; oldest entries are evicted first.
+	MaxBytes int64
+	// Shards is the number of shard files (default 8). Chunk IDs map to
+	// shards by contiguous ID range so one allocation burst lands in one
+	// file; the per-shard capacity keeps every file well under the 4 GiB
+	// format limit.
+	Shards int
+	// ShardRange is the width of one contiguous chunk-ID bucket (default
+	// 1024): shard(key) = (key / ShardRange) mod Shards.
+	ShardRange uint64
+	// FlushInterval is the background snapshot-commit cadence (default
+	// 500ms). Negative disables the flusher: commits happen only via
+	// Commit and Close (tests use this for determinism).
+	FlushInterval time.Duration
+	// Obs receives counters and events; nil-safe.
+	Obs *obs.Obs
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits            int64
+	Misses          int64
+	HitBytes        int64
+	Puts            int64
+	PutBytes        int64
+	Invalidations   int64
+	Evictions       int64
+	Commits         int64
+	CommitErrors    int64
+	Rebuilds        int64
+	CorruptPayloads int64
+	LiveBytes       int64
+	LiveEntries     int64
+}
+
+// counters are the registry-backed metrics (names under "filecache.").
+type counters struct {
+	hits, misses, hitBytes        *obs.Counter
+	puts, putBytes, invalidations *obs.Counter
+	evictions, commits, commitErr *obs.Counter
+	rebuilds, corrupt             *obs.Counter
+}
+
+func newCounters(o *obs.Obs) counters {
+	var r *obs.Registry
+	if o != nil {
+		r = o.Reg
+	}
+	return counters{
+		hits:          r.Counter("filecache.hits"),
+		misses:        r.Counter("filecache.misses"),
+		hitBytes:      r.Counter("filecache.hit_bytes"),
+		puts:          r.Counter("filecache.puts"),
+		putBytes:      r.Counter("filecache.put_bytes"),
+		invalidations: r.Counter("filecache.invalidations"),
+		evictions:     r.Counter("filecache.evictions"),
+		commits:       r.Counter("filecache.commits"),
+		commitErr:     r.Counter("filecache.commit_errors"),
+		rebuilds:      r.Counter("filecache.rebuilds"),
+		corrupt:       r.Counter("filecache.corrupt_payloads"),
+	}
+}
+
+// markerName flags uncommitted invalidations: it is created (and synced)
+// before the first in-memory invalidation that is not yet reflected in a
+// snapshot, and removed only after a commit that no invalidation raced.
+// If a crash loses invalidations, the marker survives it, and the next
+// Open rebuilds from empty rather than risk serving stale chunks.
+const markerName = "dirty"
+
+// sentry is one live cache entry. Pending (uncommitted) entries carry
+// their payload in data; committed entries point into the shard's mmap.
+type sentry struct {
+	gen  uint64
+	size int
+	data []byte // non-nil ⇒ pending, not yet in the shard file
+	off  uint32 // committed payload offset (valid when data == nil)
+	crc  uint32 // committed payload CRC-32C (valid when data == nil)
+	el   *list.Element
+}
+
+// shard is one NVC1 file plus its in-memory index. All fields behind mu.
+type shard struct {
+	c        *Cache
+	path     string
+	capacity int64
+
+	mu        sync.Mutex
+	f         *os.File
+	mapped    []byte
+	unmap     func()
+	payload   []byte // view into mapped
+	commitSeq uint64
+	entries   map[uint64]*sentry
+	age       *list.List // front = newest; values are uint64 keys
+	bytes     int64      // payload bytes of live entries
+	dirty     bool       // state diverged from the last snapshot
+}
+
+// Cache is the sharded NVC1 chunk cache. All methods are safe for
+// concurrent use; Get/Put/Invalidate contend only per shard.
+type Cache struct {
+	cfg Config
+	shd []*shard
+	s   counters
+	o   *obs.Obs
+
+	markerMu sync.Mutex
+	markerOn bool
+	invalSeq atomic.Uint64
+
+	closed    atomic.Bool
+	stopOnce  sync.Once
+	stop      chan struct{}
+	flusherWG sync.WaitGroup
+}
+
+// Open opens (or creates) the cache under cfg.Dir. A directory carrying a
+// dirty marker, and any shard file that fails validation, is rebuilt from
+// empty — Open never fails on corrupt content, only on environmental
+// errors (unusable directory).
+func Open(cfg Config) (*Cache, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("filecache: Config.Dir is required")
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 1 << 30
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.ShardRange == 0 {
+		cfg.ShardRange = 1024
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 500 * time.Millisecond
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("filecache: %w", err)
+	}
+	c := &Cache{
+		cfg:  cfg,
+		s:    newCounters(cfg.Obs),
+		o:    cfg.Obs,
+		stop: make(chan struct{}),
+	}
+
+	// A surviving dirty marker means invalidations were lost in a crash:
+	// any shard content could be stale, so the whole directory is torn
+	// down. Stale commit temp files are litter from an interrupted rename.
+	names, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("filecache: %w", err)
+	}
+	dirtyMarker := false
+	for _, de := range names {
+		if de.Name() == markerName {
+			dirtyMarker = true
+		}
+		if strings.HasSuffix(de.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(cfg.Dir, de.Name()))
+		}
+	}
+	if dirtyMarker {
+		for _, de := range names {
+			if strings.HasSuffix(de.Name(), ".nvc") {
+				_ = os.Remove(filepath.Join(cfg.Dir, de.Name()))
+			}
+		}
+		_ = os.Remove(filepath.Join(cfg.Dir, markerName))
+		c.s.rebuilds.Inc()
+		c.o.Event("filecache", "rebuild", "", "reason=dirty-marker dir="+cfg.Dir)
+	}
+
+	perShard := cfg.MaxBytes / int64(cfg.Shards)
+	if perShard < 1 {
+		perShard = 1
+	}
+	c.shd = make([]*shard, cfg.Shards)
+	for i := range c.shd {
+		sh := &shard{
+			c:        c,
+			path:     filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d.nvc", i)),
+			capacity: perShard,
+			entries:  make(map[uint64]*sentry),
+			age:      list.New(),
+		}
+		if err := sh.load(); err != nil {
+			return nil, err
+		}
+		c.shd[i] = sh
+	}
+
+	if cfg.FlushInterval > 0 {
+		c.flusherWG.Add(1)
+		go c.flusher(cfg.FlushInterval)
+	}
+	return c, nil
+}
+
+func (c *Cache) shardFor(key uint64) *shard {
+	return c.shd[(key/c.cfg.ShardRange)%uint64(len(c.shd))]
+}
+
+// load opens the shard's file if present, validating the NVC1 image; any
+// defect resets the shard to empty (counted + logged, never an error).
+// Environmental failures (permission, I/O) do return errors.
+func (sh *shard) load() error {
+	f, err := os.Open(sh.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("filecache: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("filecache: %w", err)
+	}
+	if st.Size() > MaxShardBytes {
+		f.Close()
+		sh.rebuild(fmt.Errorf("filecache: shard exceeds 4 GiB (%d bytes)", st.Size()))
+		return nil
+	}
+	mapped, unmap, err := mapShard(f, st.Size())
+	if err != nil {
+		f.Close()
+		sh.rebuild(err)
+		return nil
+	}
+	h, idx, payload, err := decodeSnapshot(mapped)
+	if err != nil {
+		unmap()
+		f.Close()
+		sh.rebuild(err)
+		return nil
+	}
+	sh.f, sh.mapped, sh.unmap, sh.payload = f, mapped, unmap, payload
+	sh.commitSeq = h.commitSeq
+	for _, e := range idx {
+		se := &sentry{gen: e.gen, size: int(e.length), off: e.off, crc: e.crc}
+		se.el = sh.age.PushFront(e.key) // file order is oldest-first
+		sh.entries[e.key] = se
+		sh.bytes += int64(e.length)
+	}
+	// An oversized snapshot (capacity shrank between runs) trims oldest.
+	for sh.bytes > sh.capacity && sh.age.Len() > 1 {
+		sh.evictOldest()
+	}
+	return nil
+}
+
+// rebuild drops the shard file and resets in-memory state to empty.
+func (sh *shard) rebuild(cause error) {
+	if sh.unmap != nil {
+		sh.unmap()
+	}
+	if sh.f != nil {
+		sh.f.Close()
+	}
+	sh.f, sh.mapped, sh.unmap, sh.payload = nil, nil, nil, nil
+	sh.entries = make(map[uint64]*sentry)
+	sh.age.Init()
+	sh.bytes = 0
+	sh.dirty = false
+	_ = os.Remove(sh.path)
+	sh.c.s.rebuilds.Inc()
+	sh.c.o.Event("filecache", "rebuild", "", fmt.Sprintf("shard=%s cause=%v", filepath.Base(sh.path), cause))
+}
+
+// Get returns a private copy of the cached payload for key and the
+// generation it was stored under. Committed entries are CRC-verified
+// against the mmap before being served; a mismatch silently drops the
+// entry and reports a miss.
+func (c *Cache) Get(key uint64) (data []byte, gen uint64, ok bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	se, ok := sh.entries[key]
+	if !ok {
+		c.s.misses.Inc()
+		return nil, 0, false
+	}
+	buf := make([]byte, se.size)
+	if se.data != nil {
+		copy(buf, se.data)
+	} else {
+		view := sh.payload[se.off : int(se.off)+se.size]
+		if crc32Of(view) != se.crc {
+			sh.dropLocked(key, se)
+			sh.dirty = true
+			c.s.corrupt.Inc()
+			c.s.misses.Inc()
+			c.o.Event("filecache", "corrupt-payload", "", fmt.Sprintf("key=%d shard=%s", key, filepath.Base(sh.path)))
+			return nil, 0, false
+		}
+		copy(buf, view)
+	}
+	sh.age.MoveToFront(se.el)
+	c.s.hits.Inc()
+	c.s.hitBytes.Add(int64(se.size))
+	return buf, se.gen, true
+}
+
+// Put stores a private copy of data under key at generation gen,
+// replacing any prior entry. Oldest entries are evicted to stay within
+// the shard's capacity. Payloads beyond the shard capacity are dropped.
+func (c *Cache) Put(key uint64, gen uint64, data []byte) {
+	if c.closed.Load() {
+		return
+	}
+	sh := c.shardFor(key)
+	if int64(len(data)) > sh.capacity {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.entries[key]; ok {
+		sh.bytes -= int64(old.size)
+		sh.age.Remove(old.el)
+		delete(sh.entries, key)
+	}
+	se := &sentry{gen: gen, size: len(data), data: append([]byte(nil), data...)}
+	se.el = sh.age.PushFront(key)
+	sh.entries[key] = se
+	sh.bytes += int64(len(data))
+	sh.dirty = true
+	for sh.bytes > sh.capacity {
+		sh.evictOldest()
+	}
+	c.s.puts.Inc()
+	c.s.putBytes.Add(int64(len(data)))
+}
+
+// Invalidate removes key. The dirty marker is made durable BEFORE the
+// in-memory removal, so a crash that loses the removal (the shard file
+// still holds the stale entry) forces a rebuild at the next Open instead
+// of a stale read. Callers invalidate before overwriting a chunk on the
+// wire, never after.
+//
+// The shard lock is held across marker creation and removal: a commit
+// pass can therefore never snapshot the stale entry after the
+// invalidation sequence was sampled, which is what lets Commit clear the
+// marker safely when no invalidation raced it.
+func (c *Cache) Invalidate(key uint64) {
+	if c.closed.Load() {
+		return
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	se, ok := sh.entries[key]
+	if !ok {
+		// Nothing cached ⇒ nothing on disk either (Open loads every disk
+		// entry, commits only write live entries), so no crash risk.
+		return
+	}
+	c.invalSeq.Add(1)
+	if se.data == nil {
+		// Only a committed entry can survive a crash; pending entries die
+		// with the process, so they need no marker.
+		c.ensureMarker()
+	}
+	sh.dropLocked(key, se)
+	sh.dirty = true
+	c.s.invalidations.Inc()
+}
+
+func (sh *shard) dropLocked(key uint64, se *sentry) {
+	sh.bytes -= int64(se.size)
+	sh.age.Remove(se.el)
+	delete(sh.entries, key)
+}
+
+func (sh *shard) evictOldest() {
+	el := sh.age.Back()
+	if el == nil {
+		return
+	}
+	key := el.Value.(uint64)
+	sh.dropLocked(key, sh.entries[key])
+	sh.dirty = true
+	sh.c.s.evictions.Inc()
+}
+
+// ensureMarker creates the dirty-marker file (fsynced) if absent.
+func (c *Cache) ensureMarker() {
+	c.markerMu.Lock()
+	defer c.markerMu.Unlock()
+	if c.markerOn {
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(c.cfg.Dir, markerName), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+	c.markerOn = true
+}
+
+// Commit snapshots every dirty shard to disk (temp file + fsync + rename)
+// and clears the dirty marker if no invalidation raced the pass. Returns
+// the first commit error; failed shards stay pending in memory and retry
+// on the next pass.
+func (c *Cache) Commit() error {
+	seqBefore := c.invalSeq.Load()
+	var first error
+	for _, sh := range c.shd {
+		if err := sh.commit(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first == nil && c.invalSeq.Load() == seqBefore {
+		c.markerMu.Lock()
+		if c.markerOn {
+			_ = os.Remove(filepath.Join(c.cfg.Dir, markerName))
+			c.markerOn = false
+		}
+		c.markerMu.Unlock()
+	}
+	return first
+}
+
+// commit rewrites the shard file from the live entries. The shard lock is
+// held for the duration (snapshot-rewrite is the FMC1 model's simplicity
+// trade: no WAL, no partial updates; Get/Put on this shard stall during
+// the rewrite).
+func (sh *shard) commit() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.dirty {
+		return nil
+	}
+	entries := make([]snapshotEntry, 0, sh.age.Len())
+	for el := sh.age.Back(); el != nil; el = el.Prev() { // oldest first
+		key := el.Value.(uint64)
+		se := sh.entries[key]
+		payload := se.data
+		if payload == nil {
+			payload = sh.payload[se.off : int(se.off)+se.size]
+		}
+		entries = append(entries, snapshotEntry{key: key, gen: se.gen, data: payload})
+	}
+	img := encodeSnapshot(entries, sh.commitSeq+1)
+
+	tmp, err := os.CreateTemp(filepath.Dir(sh.path), filepath.Base(sh.path)+".*.tmp")
+	if err != nil {
+		return sh.commitFailed(err)
+	}
+	_, werr := tmp.Write(img)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), sh.path)
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return sh.commitFailed(werr)
+	}
+
+	// Swap the mmap to the new image and flip every entry to committed.
+	f, err := os.Open(sh.path)
+	if err != nil {
+		return sh.commitFailed(err)
+	}
+	mapped, unmap, err := mapShard(f, int64(len(img)))
+	if err != nil {
+		f.Close()
+		return sh.commitFailed(err)
+	}
+	if sh.unmap != nil {
+		sh.unmap()
+	}
+	if sh.f != nil {
+		sh.f.Close()
+	}
+	sh.f, sh.mapped, sh.unmap = f, mapped, unmap
+	sh.payload = mapped[payloadOff(uint32(len(entries))):]
+	sh.commitSeq++
+	off := uint32(0)
+	for _, e := range entries {
+		se := sh.entries[e.key]
+		se.data = nil
+		se.off = off
+		se.crc = crc32Of(sh.payload[off : off+uint32(se.size)])
+		off += uint32(se.size)
+	}
+	sh.dirty = false
+	sh.c.s.commits.Inc()
+	return nil
+}
+
+func (sh *shard) commitFailed(err error) error {
+	sh.c.s.commitErr.Inc()
+	sh.c.o.Event("filecache", "commit-error", "", fmt.Sprintf("shard=%s err=%v", filepath.Base(sh.path), err))
+	return fmt.Errorf("filecache: commit %s: %w", filepath.Base(sh.path), err)
+}
+
+func (c *Cache) flusher(interval time.Duration) {
+	defer c.flusherWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			_ = c.Commit()
+		}
+	}
+}
+
+// Close stops the flusher, commits a final snapshot, and unmaps the
+// shards. The cache must not be used afterwards (Get misses, Put/
+// Invalidate no-op).
+func (c *Cache) Close() error {
+	var err error
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.flusherWG.Wait()
+		err = c.Commit()
+		c.closed.Store(true)
+		for _, sh := range c.shd {
+			sh.mu.Lock()
+			if sh.unmap != nil {
+				sh.unmap()
+			}
+			if sh.f != nil {
+				sh.f.Close()
+			}
+			sh.f, sh.mapped, sh.unmap, sh.payload = nil, nil, nil, nil
+			sh.entries = make(map[uint64]*sentry)
+			sh.age.Init()
+			sh.bytes = 0
+			sh.mu.Unlock()
+		}
+	})
+	return err
+}
+
+// Stats snapshots the counters plus live occupancy.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:            c.s.hits.Load(),
+		Misses:          c.s.misses.Load(),
+		HitBytes:        c.s.hitBytes.Load(),
+		Puts:            c.s.puts.Load(),
+		PutBytes:        c.s.putBytes.Load(),
+		Invalidations:   c.s.invalidations.Load(),
+		Evictions:       c.s.evictions.Load(),
+		Commits:         c.s.commits.Load(),
+		CommitErrors:    c.s.commitErr.Load(),
+		Rebuilds:        c.s.rebuilds.Load(),
+		CorruptPayloads: c.s.corrupt.Load(),
+	}
+	for _, sh := range c.shd {
+		sh.mu.Lock()
+		st.LiveBytes += sh.bytes
+		st.LiveEntries += int64(len(sh.entries))
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,218 @@
+// Package filecache implements the persistent second-tier chunk cache of
+// the client data path: clean chunks evicted from the in-RAM FUSE cache
+// spill to node-local "NVC1" shard files, and later misses check those
+// files before going back to a benefactor over the wire. The cache makes
+// restarts warm and lets the client-side working set exceed RAM, while
+// staying a *throwaway* cache — any doubt about a shard's integrity is
+// resolved by silently rebuilding it from empty, never by failing an open
+// (DESIGN.md §14).
+//
+// The on-disk format is modeled on the fmcache "FMC1" layout: a fixed
+// 64-byte header, a fixed-size per-entry index section so lookups and
+// staleness filtering never touch payload bytes, payloads mmap'd for
+// reads, and snapshot-rewrite commits (a commit rewrites the whole shard
+// to a temp file and renames it into place — no WAL, no in-place update).
+// Offsets and lengths are uint32, so a shard file MUST stay under 4 GiB;
+// the cache shards by chunk-ID range to keep each file small.
+package filecache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// Magic opens every NVC1 shard file.
+	Magic = "NVC1"
+	// FormatVersion is the on-disk revision this implementation reads and
+	// writes. Any other version is rebuilt from empty.
+	FormatVersion = 1
+	// HeaderSize is the fixed shard-header length.
+	HeaderSize = 64
+	// IndexEntrySize is the fixed length of one index record. Lookups and
+	// generation checks read only this section, never payload bytes.
+	IndexEntrySize = 32
+	// MaxShardBytes bounds one shard file: payload offsets and lengths are
+	// uint32, so a conforming file MUST be smaller than 4 GiB.
+	MaxShardBytes = int64(1)<<32 - 1
+)
+
+// castagnoli is the CRC-32C polynomial used for the header, index, and
+// per-entry payload checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crc32Of is the payload checksum: CRC-32C over the exact payload bytes.
+func crc32Of(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// header is the decoded 64-byte shard header.
+//
+//	 0:4   magic "NVC1"
+//	 4:8   format version (uint32)
+//	 8:12  index entry count (uint32)
+//	12:16  payload section length in bytes (uint32)
+//	16:24  commit sequence number (uint64)
+//	24:28  CRC-32C of the index section (uint32)
+//	28:60  reserved, MUST be zero when written
+//	60:64  CRC-32C of header bytes [0:60] (uint32)
+type header struct {
+	count      uint32
+	payloadLen uint32
+	commitSeq  uint64
+	indexCRC   uint32
+}
+
+// indexEntry is one decoded 32-byte index record.
+//
+//	 0:8   chunk key (uint64, the store-wide chunk ID)
+//	 8:16  generation (uint64, the spiller's write generation of the key)
+//	16:20  payload offset within the payload section (uint32)
+//	20:24  payload length (uint32)
+//	24:28  CRC-32C of the payload bytes (uint32)
+//	28:32  reserved, MUST be zero when written
+type indexEntry struct {
+	key    uint64
+	gen    uint64
+	off    uint32
+	length uint32
+	crc    uint32
+}
+
+// indexOff/payloadOff locate the sections: the index starts right after
+// the header, the payload right after the index.
+func payloadOff(count uint32) int64 {
+	return HeaderSize + int64(count)*IndexEntrySize
+}
+
+func encodeHeader(dst []byte, h header) {
+	_ = dst[:HeaderSize]
+	copy(dst[0:4], Magic)
+	binary.LittleEndian.PutUint32(dst[4:8], FormatVersion)
+	binary.LittleEndian.PutUint32(dst[8:12], h.count)
+	binary.LittleEndian.PutUint32(dst[12:16], h.payloadLen)
+	binary.LittleEndian.PutUint64(dst[16:24], h.commitSeq)
+	binary.LittleEndian.PutUint32(dst[24:28], h.indexCRC)
+	for i := 28; i < 60; i++ {
+		dst[i] = 0
+	}
+	binary.LittleEndian.PutUint32(dst[60:64], crc32.Checksum(dst[:60], castagnoli))
+}
+
+func encodeIndexEntry(dst []byte, e indexEntry) {
+	_ = dst[:IndexEntrySize]
+	binary.LittleEndian.PutUint64(dst[0:8], e.key)
+	binary.LittleEndian.PutUint64(dst[8:16], e.gen)
+	binary.LittleEndian.PutUint32(dst[16:20], e.off)
+	binary.LittleEndian.PutUint32(dst[20:24], e.length)
+	binary.LittleEndian.PutUint32(dst[24:28], e.crc)
+	for i := 28; i < IndexEntrySize; i++ {
+		dst[i] = 0
+	}
+}
+
+func decodeIndexEntry(src []byte) indexEntry {
+	return indexEntry{
+		key:    binary.LittleEndian.Uint64(src[0:8]),
+		gen:    binary.LittleEndian.Uint64(src[8:16]),
+		off:    binary.LittleEndian.Uint32(src[16:20]),
+		length: binary.LittleEndian.Uint32(src[20:24]),
+		crc:    binary.LittleEndian.Uint32(src[24:28]),
+	}
+}
+
+// decodeSnapshot validates a whole shard image and returns its entries
+// and a view of the payload section. Every returned entry is in-bounds
+// (off+length within the payload view); payload CRCs are deliberately
+// NOT verified here — they are checked lazily at read time so opening a
+// large shard stays O(index), not O(payload).
+//
+// Any structural defect — short file, bad magic or version, header or
+// index CRC mismatch, section overflow, out-of-bounds or duplicate
+// entries, trailing garbage — returns an error; the caller responds by
+// rebuilding the shard from empty (throwaway-cache semantics), never by
+// serving doubtful data.
+func decodeSnapshot(data []byte) (header, []indexEntry, []byte, error) {
+	if len(data) < HeaderSize {
+		return header{}, nil, nil, fmt.Errorf("filecache: short shard: %d bytes", len(data))
+	}
+	if string(data[0:4]) != Magic {
+		return header{}, nil, nil, fmt.Errorf("filecache: bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != FormatVersion {
+		return header{}, nil, nil, fmt.Errorf("filecache: unsupported format version %d", v)
+	}
+	if got, want := crc32.Checksum(data[:60], castagnoli), binary.LittleEndian.Uint32(data[60:64]); got != want {
+		return header{}, nil, nil, fmt.Errorf("filecache: header CRC mismatch (%08x != %08x)", got, want)
+	}
+	h := header{
+		count:      binary.LittleEndian.Uint32(data[8:12]),
+		payloadLen: binary.LittleEndian.Uint32(data[12:16]),
+		commitSeq:  binary.LittleEndian.Uint64(data[16:24]),
+		indexCRC:   binary.LittleEndian.Uint32(data[24:28]),
+	}
+	pOff := payloadOff(h.count)
+	total := pOff + int64(h.payloadLen)
+	if total > MaxShardBytes || int64(len(data)) != total {
+		return header{}, nil, nil, fmt.Errorf("filecache: size mismatch: %d bytes, header implies %d", len(data), total)
+	}
+	index := data[HeaderSize:pOff]
+	if got := crc32.Checksum(index, castagnoli); got != h.indexCRC {
+		return header{}, nil, nil, fmt.Errorf("filecache: index CRC mismatch (%08x != %08x)", got, h.indexCRC)
+	}
+	payload := data[pOff:]
+	entries := make([]indexEntry, h.count)
+	seen := make(map[uint64]struct{}, h.count)
+	for i := range entries {
+		e := decodeIndexEntry(index[i*IndexEntrySize:])
+		if int64(e.off)+int64(e.length) > int64(h.payloadLen) {
+			return header{}, nil, nil, fmt.Errorf("filecache: entry %d [%d,+%d) overflows payload (%d bytes)", i, e.off, e.length, h.payloadLen)
+		}
+		if _, dup := seen[e.key]; dup {
+			return header{}, nil, nil, fmt.Errorf("filecache: duplicate key %d", e.key)
+		}
+		seen[e.key] = struct{}{}
+		entries[i] = e
+	}
+	return h, entries, payload, nil
+}
+
+// snapshotEntry is one entry of a snapshot about to be encoded.
+type snapshotEntry struct {
+	key  uint64
+	gen  uint64
+	data []byte
+}
+
+// encodeSnapshot builds a complete shard image: header, index, payload.
+// Entries appear in the given order (the cache writes oldest-first so a
+// reopened shard preserves eviction age); the format itself guarantees no
+// ordering.
+func encodeSnapshot(entries []snapshotEntry, commitSeq uint64) []byte {
+	var payloadLen int64
+	for _, e := range entries {
+		payloadLen += int64(len(e.data))
+	}
+	count := uint32(len(entries))
+	buf := make([]byte, payloadOff(count)+payloadLen)
+	off := uint32(0)
+	pos := payloadOff(count)
+	for i, e := range entries {
+		copy(buf[pos:], e.data)
+		encodeIndexEntry(buf[HeaderSize+int64(i)*IndexEntrySize:], indexEntry{
+			key:    e.key,
+			gen:    e.gen,
+			off:    off,
+			length: uint32(len(e.data)),
+			crc:    crc32.Checksum(e.data, castagnoli),
+		})
+		off += uint32(len(e.data))
+		pos += int64(len(e.data))
+	}
+	encodeHeader(buf, header{
+		count:      count,
+		payloadLen: uint32(payloadLen),
+		commitSeq:  commitSeq,
+		indexCRC:   crc32.Checksum(buf[HeaderSize:payloadOff(count)], castagnoli),
+	})
+	return buf
+}

@@ -1,0 +1,139 @@
+package filecache
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testEntries(n int) []snapshotEntry {
+	entries := make([]snapshotEntry, n)
+	for i := range entries {
+		data := make([]byte, 64+i*17)
+		for j := range data {
+			data[j] = byte(i*31 + j)
+		}
+		entries[i] = snapshotEntry{key: uint64(1000 + i), gen: uint64(i % 3), data: data}
+	}
+	return entries
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	entries := testEntries(5)
+	img := encodeSnapshot(entries, 7)
+	h, idx, payload, err := decodeSnapshot(img)
+	if err != nil {
+		t.Fatalf("decodeSnapshot: %v", err)
+	}
+	if h.commitSeq != 7 || int(h.count) != len(entries) {
+		t.Fatalf("header = %+v, want count=%d commitSeq=7", h, len(entries))
+	}
+	for i, e := range idx {
+		want := entries[i]
+		if e.key != want.key || e.gen != want.gen || int(e.length) != len(want.data) {
+			t.Fatalf("entry %d = %+v, want key=%d gen=%d len=%d", i, e, want.key, want.gen, len(want.data))
+		}
+		got := payload[e.off : e.off+e.length]
+		if !bytes.Equal(got, want.data) {
+			t.Fatalf("entry %d payload differs", i)
+		}
+		if crc32Of(got) != e.crc {
+			t.Fatalf("entry %d CRC mismatch", i)
+		}
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	img := encodeSnapshot(nil, 1)
+	if len(img) != HeaderSize {
+		t.Fatalf("empty snapshot is %d bytes, want %d", len(img), HeaderSize)
+	}
+	h, idx, _, err := decodeSnapshot(img)
+	if err != nil {
+		t.Fatalf("decodeSnapshot: %v", err)
+	}
+	if h.count != 0 || len(idx) != 0 {
+		t.Fatalf("empty snapshot decoded to %d entries", len(idx))
+	}
+}
+
+// TestDecodeRejectsEveryHeaderOrIndexCorruption flips every bit of the
+// header and index sections in turn: each corrupted image must be
+// rejected (CRCs cover both sections completely), and no flip anywhere —
+// payload included — may panic the decoder.
+func TestDecodeRejectsEveryHeaderOrIndexCorruption(t *testing.T) {
+	img := encodeSnapshot(testEntries(4), 3)
+	structured := int(payloadOff(4))
+	for pos := 0; pos < len(img); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), img...)
+			mut[pos] ^= 1 << bit
+			_, _, _, err := decodeSnapshot(mut)
+			if pos < structured && err == nil {
+				t.Fatalf("flip of byte %d bit %d (header/index) was not rejected", pos, bit)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsTruncationAndGrowth(t *testing.T) {
+	img := encodeSnapshot(testEntries(3), 1)
+	for _, n := range []int{0, 1, HeaderSize - 1, HeaderSize, len(img) - 1} {
+		if _, _, _, err := decodeSnapshot(img[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes was not rejected", n)
+		}
+	}
+	if _, _, _, err := decodeSnapshot(append(append([]byte(nil), img...), 0)); err == nil {
+		t.Fatal("trailing garbage was not rejected")
+	}
+}
+
+// FuzzDecodeNVC1Index feeds arbitrary and mutated shard images to the
+// decoder: it must never panic, and whenever it accepts an image every
+// entry must be in-bounds of the returned payload view (the "never serve
+// wrong payload" half is the payload CRC, exercised at Get).
+func FuzzDecodeNVC1Index(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeSnapshot(nil, 1))
+	f.Add(encodeSnapshot(testEntries(1), 1))
+	f.Add(encodeSnapshot(testEntries(6), 42))
+	long := encodeSnapshot(testEntries(9), 9)
+	for pos := 0; pos < len(long); pos += 13 {
+		mut := append([]byte(nil), long...)
+		mut[pos] ^= 0x40
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, idx, payload, err := decodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if int(h.count) != len(idx) {
+			t.Fatalf("count %d != %d entries", h.count, len(idx))
+		}
+		seen := make(map[uint64]bool, len(idx))
+		for i, e := range idx {
+			if int64(e.off)+int64(e.length) > int64(len(payload)) {
+				t.Fatalf("accepted entry %d overflows payload: off=%d len=%d payload=%d", i, e.off, e.length, len(payload))
+			}
+			if seen[e.key] {
+				t.Fatalf("accepted duplicate key %d", e.key)
+			}
+			seen[e.key] = true
+		}
+	})
+}
+
+// TestEncodeDecodeManySizes pins the section arithmetic across entry
+// counts and payload sizes, including zero-length payloads.
+func TestEncodeDecodeManySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 64} {
+		entries := make([]snapshotEntry, n)
+		for i := range entries {
+			entries[i] = snapshotEntry{key: uint64(i), gen: 1, data: make([]byte, i%5*11)}
+		}
+		img := encodeSnapshot(entries, uint64(n))
+		if _, idx, _, err := decodeSnapshot(img); err != nil || len(idx) != n {
+			t.Fatalf("n=%d: err=%v entries=%d", n, err, len(idx))
+		}
+	}
+}

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package filecache
+
+import "os"
+
+// mapShard on platforms without syscall.Mmap degrades to reading the
+// whole shard into a private heap buffer. Semantics are identical (the
+// cache only ever reads the view); only the memory residency differs.
+func mapShard(f *os.File, size int64) (data []byte, unmap func(), err error) {
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, nil, err
+	}
+	return buf, func() {}, nil
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package filecache
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapShard maps size bytes of f read-only. The returned view stays valid
+// until unmap is called; the cache serves Get copies straight out of it,
+// so payload reads never go through the page cache twice.
+func mapShard(f *os.File, size int64) (data []byte, unmap func(), err error) {
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() { _ = syscall.Munmap(b) }, nil
+}

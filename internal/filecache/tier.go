@@ -1,0 +1,176 @@
+package filecache
+
+import (
+	"sync"
+	"time"
+
+	"nvmalloc/internal/obs"
+	"nvmalloc/internal/proto"
+	"nvmalloc/internal/store"
+)
+
+// Tier layers the persistent file cache beneath another store.Client:
+// GetChunk serves file-tier hits without touching the wire, writes
+// invalidate before delegating, and SpillChunk (the store.ChunkSpiller
+// hook the RAM cache above calls on clean evictions) feeds the tier.
+//
+// Chunk identity is refs[0].ID: the manager never reuses chunk IDs, and
+// every replica of a chunk shares the ID, so one key survives failover
+// re-ordering of the ref list. Staleness is generation-based and local:
+// each write through this tier bumps the key's generation and invalidates
+// the cached entry before the wire write, so an entry can only ever be
+// re-admitted by a spill of newer data. Entries from a previous process
+// run carry generations this process never saw; they are trusted (that is
+// the warm restart) because the dirty-marker protocol guarantees a
+// generation gap can only exist for chunks whose invalidations all
+// reached a snapshot.
+type Tier struct {
+	inner  store.Client
+	lender store.BufferLender // inner's lender view, nil if not private
+	fc     *Cache
+	o      *obs.Obs
+
+	mu   sync.Mutex
+	gens map[uint64]uint64 // chunk key -> local write generation
+}
+
+var (
+	_ store.Client       = (*Tier)(nil)
+	_ store.ChunkSpiller = (*Tier)(nil)
+	_ store.BufferLender = (*Tier)(nil)
+)
+
+// NewTier opens the file cache under cfg and stacks it beneath inner.
+func NewTier(inner store.Client, cfg Config) (*Tier, error) {
+	fc, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tier{inner: inner, fc: fc, o: cfg.Obs, gens: make(map[uint64]uint64)}
+	if bl, ok := inner.(store.BufferLender); ok && bl.PrivateChunks() {
+		t.lender = bl
+	}
+	return t, nil
+}
+
+// Close commits and closes the file cache. The inner client is NOT
+// closed — the tier does not own it.
+func (t *Tier) Close() error { return t.fc.Close() }
+
+// Cache exposes the underlying file cache (stats, manual commits).
+func (t *Tier) Cache() *Cache { return t.fc }
+
+// Stats snapshots the file-tier counters.
+func (t *Tier) Stats() Stats { return t.fc.Stats() }
+
+func (t *Tier) Node() int        { return t.inner.Node() }
+func (t *Tier) ChunkSize() int64 { return t.inner.ChunkSize() }
+
+func (t *Tier) Create(ctx store.Ctx, name string, size int64) (proto.FileInfo, error) {
+	return t.inner.Create(ctx, name, size)
+}
+func (t *Tier) Lookup(ctx store.Ctx, name string) (proto.FileInfo, error) {
+	return t.inner.Lookup(ctx, name)
+}
+func (t *Tier) Delete(ctx store.Ctx, name string) error { return t.inner.Delete(ctx, name) }
+func (t *Tier) Link(ctx store.Ctx, dst string, parts []string) (proto.FileInfo, error) {
+	return t.inner.Link(ctx, dst, parts)
+}
+func (t *Tier) Derive(ctx store.Ctx, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+	return t.inner.Derive(ctx, name, src, fromChunk, nChunks, size)
+}
+func (t *Tier) Remap(ctx store.Ctx, name string, chunkIdx int) ([]proto.ChunkRef, error) {
+	// COW remap mints a fresh chunk ID; the old chunk's bytes are still
+	// valid under the old key (other files keep referencing it), so no
+	// invalidation is needed.
+	return t.inner.Remap(ctx, name, chunkIdx)
+}
+func (t *Tier) SetTTL(ctx store.Ctx, name string, ttl time.Duration) error {
+	return t.inner.SetTTL(ctx, name, ttl)
+}
+func (t *Tier) Status(ctx store.Ctx) ([]proto.BenefactorInfo, error) {
+	return t.inner.Status(ctx)
+}
+
+// GetChunk serves the chunk from the file tier when a fresh entry exists,
+// else falls through to the wire. File-tier buffers are freshly allocated
+// at chunk geometry, so the arena above pools them like lender buffers.
+func (t *Tier) GetChunk(ctx store.Ctx, refs []proto.ChunkRef) ([]byte, error) {
+	key := uint64(refs[0].ID)
+	if data, gen, ok := t.fc.Get(key); ok && t.genFresh(key, gen) {
+		if sc := store.SpanOf(ctx); sc.Traced() {
+			sp := t.o.StartSpan(sc.Trace, sc.Parent, "filecache.hit")
+			sp.SetVar(sc.Var)
+			sp.AddBytes(int64(len(data)))
+			sp.End()
+		}
+		return data, nil
+	}
+	return t.inner.GetChunk(ctx, refs)
+}
+
+// genFresh reports whether a cached generation may be served: unknown
+// keys are trusted (pre-restart spills), known keys must match the
+// current local write generation exactly.
+func (t *Tier) genFresh(key, gen uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, known := t.gens[key]
+	return !known || g == gen
+}
+
+// bumpGen advances the key's local write generation and returns it.
+func (t *Tier) bumpGen(key uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gens[key]++
+	return t.gens[key]
+}
+
+// PutChunk invalidates the file-tier entry — durably flagging the
+// staleness window via the dirty marker — BEFORE the wire write, so a
+// crash between the two can never leave a stale entry servable.
+func (t *Tier) PutChunk(ctx store.Ctx, refs []proto.ChunkRef, data []byte) error {
+	key := uint64(refs[0].ID)
+	t.bumpGen(key)
+	t.fc.Invalidate(key)
+	return t.inner.PutChunk(ctx, refs, data)
+}
+
+// PutPages is a partial overwrite; the cached full-chunk payload becomes
+// stale the same way.
+func (t *Tier) PutPages(ctx store.Ctx, refs []proto.ChunkRef, pageOffs []int64, pages [][]byte) error {
+	key := uint64(refs[0].ID)
+	t.bumpGen(key)
+	t.fc.Invalidate(key)
+	return t.inner.PutPages(ctx, refs, pageOffs, pages)
+}
+
+// SpillChunk (store.ChunkSpiller) admits a clean evicted payload. The
+// data is copied synchronously; the caller keeps buffer ownership.
+func (t *Tier) SpillChunk(ctx store.Ctx, refs []proto.ChunkRef, data []byte) {
+	key := uint64(refs[0].ID)
+	t.mu.Lock()
+	gen := t.gens[key]
+	t.mu.Unlock()
+	t.fc.Put(key, gen, data)
+	if sc := store.SpanOf(ctx); sc.Traced() {
+		sp := t.o.StartSpan(sc.Trace, sc.Parent, "filecache.spill")
+		sp.SetVar(sc.Var)
+		sp.AddBytes(int64(len(data)))
+		sp.End()
+	}
+}
+
+// PrivateChunks reports whether every GetChunk result is caller-owned.
+// File-tier hits always are (fresh allocations); wire misses are only
+// when the inner client lends private buffers. The conjunction decides.
+func (t *Tier) PrivateChunks() bool { return t.lender != nil }
+
+// ReleaseChunk forwards to the inner lender's pool; file-tier buffers
+// have identical chunk geometry, so they pool the same way.
+func (t *Tier) ReleaseChunk(buf []byte) {
+	if t.lender != nil {
+		t.lender.ReleaseChunk(buf)
+	}
+}

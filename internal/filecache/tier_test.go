@@ -1,0 +1,306 @@
+package filecache
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nvmalloc/internal/fusecache"
+	"nvmalloc/internal/obs"
+	"nvmalloc/internal/proto"
+	"nvmalloc/internal/store"
+)
+
+// TestCacheModelProperty drives the raw Cache with a random op sequence
+// against a model map: whatever the cache serves must be byte-identical
+// to the model at the stored generation, and a key the model does not
+// hold (invalidated) must never be served. Eviction may lose entries (the
+// cache is a subset of the model), never corrupt or resurrect them.
+func TestCacheModelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, MaxBytes: 64 * 300, Shards: 4, ShardRange: 8, FlushInterval: -1, Obs: obs.New("prop")}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type mentry struct {
+		gen  uint64
+		data []byte
+	}
+	model := make(map[uint64]mentry)
+	gens := make(map[uint64]uint64)
+
+	const ops = 4000
+	for i := 0; i < ops; i++ {
+		key := uint64(rng.Intn(120))
+		switch op := rng.Intn(10); {
+		case op < 4: // put at a fresh generation
+			gens[key]++
+			data := chunkPattern(key+gens[key]*1000, 32+rng.Intn(280))
+			c.Put(key, gens[key], data)
+			model[key] = mentry{gen: gens[key], data: data}
+		case op < 8: // get and check against the model
+			data, gen, ok := c.Get(key)
+			if !ok {
+				continue // miss is always legal (eviction, invalidation)
+			}
+			want, live := model[key]
+			if !live {
+				t.Fatalf("op %d: invalidated key %d was served", i, key)
+			}
+			if gen != want.gen {
+				t.Fatalf("op %d: key %d served stale generation %d, want %d", i, key, gen, want.gen)
+			}
+			if !bytes.Equal(data, want.data) {
+				t.Fatalf("op %d: key %d served wrong bytes", i, key)
+			}
+		case op < 9: // invalidate
+			c.Invalidate(key)
+			delete(model, key)
+		default: // commit, occasionally close + reopen (warm restart)
+			if err := c.Commit(); err != nil {
+				t.Fatalf("op %d: commit: %v", i, err)
+			}
+			if rng.Intn(4) == 0 {
+				if err := c.Close(); err != nil {
+					t.Fatalf("op %d: close: %v", i, err)
+				}
+				if c, err = Open(cfg); err != nil {
+					t.Fatalf("op %d: reopen: %v", i, err)
+				}
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Evictions == 0 || st.Invalidations == 0 || st.Commits == 0 {
+		t.Fatalf("property run did not exercise the cache: %+v", st)
+	}
+	if st.Rebuilds != 0 || st.CorruptPayloads != 0 {
+		t.Fatalf("clean property run saw rebuilds/corruption: %+v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// memClient is a minimal in-memory store.Client for the mixed-tier test:
+// a fake wire whose GetChunk/PutChunk/PutPages hit a shared chunk map.
+type memClient struct {
+	mu        sync.Mutex
+	chunkSize int64
+	files     map[string]proto.FileInfo
+	chunks    map[proto.ChunkID][]byte
+	nextID    proto.ChunkID
+	wireGets  int
+}
+
+func newMemClient(chunkSize int64) *memClient {
+	return &memClient{
+		chunkSize: chunkSize,
+		files:     make(map[string]proto.FileInfo),
+		chunks:    make(map[proto.ChunkID][]byte),
+		nextID:    1,
+	}
+}
+
+func (m *memClient) Node() int        { return 0 }
+func (m *memClient) ChunkSize() int64 { return m.chunkSize }
+
+func (m *memClient) Create(_ store.Ctx, name string, size int64) (proto.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := int((size + m.chunkSize - 1) / m.chunkSize)
+	fi := proto.FileInfo{Name: name, Size: size, Chunks: make([]proto.ChunkRef, n)}
+	for i := range fi.Chunks {
+		fi.Chunks[i] = proto.ChunkRef{Benefactor: 0, ID: m.nextID}
+		m.chunks[m.nextID] = make([]byte, m.chunkSize)
+		m.nextID++
+	}
+	m.files[name] = fi
+	return fi, nil
+}
+
+func (m *memClient) Lookup(_ store.Ctx, name string) (proto.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fi, ok := m.files[name]
+	if !ok {
+		return proto.FileInfo{}, proto.ErrNoSuchFile
+	}
+	return fi, nil
+}
+
+func (m *memClient) Delete(_ store.Ctx, name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+	return nil
+}
+
+func (m *memClient) Link(store.Ctx, string, []string) (proto.FileInfo, error) {
+	return proto.FileInfo{}, fmt.Errorf("memClient: Link unsupported")
+}
+func (m *memClient) Derive(store.Ctx, string, string, int, int, int64) (proto.FileInfo, error) {
+	return proto.FileInfo{}, fmt.Errorf("memClient: Derive unsupported")
+}
+func (m *memClient) Remap(_ store.Ctx, name string, idx int) ([]proto.ChunkRef, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return []proto.ChunkRef{m.files[name].Chunks[idx]}, nil
+}
+func (m *memClient) SetTTL(store.Ctx, string, time.Duration) error { return nil }
+func (m *memClient) Status(store.Ctx) ([]proto.BenefactorInfo, error) {
+	return nil, nil
+}
+
+func (m *memClient) GetChunk(_ store.Ctx, refs []proto.ChunkRef) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.chunks[refs[0].ID]
+	if !ok {
+		return nil, proto.ErrNoSuchChunk
+	}
+	m.wireGets++
+	return append([]byte(nil), d...), nil
+}
+
+func (m *memClient) PutChunk(_ store.Ctx, refs []proto.ChunkRef, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.chunks[refs[0].ID] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *memClient) PutPages(_ store.Ctx, refs []proto.ChunkRef, pageOffs []int64, pages [][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.chunks[refs[0].ID]
+	if !ok {
+		return proto.ErrNoSuchChunk
+	}
+	for i, off := range pageOffs {
+		copy(d[off:], pages[i])
+	}
+	return nil
+}
+
+// TestMixedTierEvictionReadbackProperty stacks the real RAM chunk cache
+// (fusecache) over the file tier over a fake wire, and runs a random
+// write/read/flush/restart workload against a model byte image. Every
+// read must be byte-identical to the model — across spills, file-tier
+// hits, overwrite invalidations, and simulated process restarts — and
+// the run must actually exercise the file tier (spills and hits > 0).
+func TestMixedTierEvictionReadbackProperty(t *testing.T) {
+	const (
+		chunkSize = 1024
+		pageSize  = 256
+		nChunks   = 16
+		fileSize  = chunkSize * nChunks
+	)
+	rng := rand.New(rand.NewSource(42))
+	wire := newMemClient(chunkSize)
+	dir := t.TempDir()
+	o := obs.New("mixed")
+
+	files := []string{"va", "vb"}
+	model := make(map[string][]byte)
+	for _, f := range files {
+		if _, err := wire.Create(nil, f, fileSize); err != nil {
+			t.Fatal(err)
+		}
+		model[f] = make([]byte, fileSize)
+	}
+
+	var (
+		tier *Tier
+		env  *store.GoEnv
+		cc   *fusecache.ChunkCache
+	)
+	openStack := func() {
+		var err error
+		tier, err = NewTier(wire, Config{Dir: dir, MaxBytes: 1 << 20, FlushInterval: -1, Obs: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env = store.NewGoEnv()
+		cc = fusecache.NewChunkCache(env, tier, fusecache.Config{
+			ChunkSize:  chunkSize,
+			PageSize:   pageSize,
+			CacheBytes: 4 * chunkSize, // tiny: constant eviction/spill churn
+			Obs:        o,
+		})
+	}
+	closeStack := func() {
+		if err := cc.FlushAll(nil); err != nil {
+			t.Fatal(err)
+		}
+		env.Quiesce()
+		if err := tier.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	openStack()
+
+	const ops = 3000
+	for i := 0; i < ops; i++ {
+		f := files[rng.Intn(len(files))]
+		off := int64(rng.Intn(fileSize - 1))
+		n := 1 + rng.Intn(int(min64(int64(fileSize)-off, 3*chunkSize)))
+		switch op := rng.Intn(10); {
+		case op < 4: // write random bytes
+			data := make([]byte, n)
+			rng.Read(data)
+			if err := cc.WriteRange(nil, f, off, data); err != nil {
+				t.Fatalf("op %d: write: %v", i, err)
+			}
+			copy(model[f][off:], data)
+		case op < 8: // read and verify
+			buf := make([]byte, n)
+			if err := cc.ReadRange(nil, f, off, buf); err != nil {
+				t.Fatalf("op %d: read: %v", i, err)
+			}
+			if !bytes.Equal(buf, model[f][off:off+int64(n)]) {
+				t.Fatalf("op %d: read [%d,+%d) of %s differs from model", i, off, n, f)
+			}
+		case op < 9: // flush one file
+			if err := cc.Flush(nil, f); err != nil {
+				t.Fatalf("op %d: flush: %v", i, err)
+			}
+		default: // simulated restart: flush, close the stack, reopen
+			closeStack()
+			openStack()
+		}
+	}
+	// Final sweep: every byte of both files must match the model.
+	for _, f := range files {
+		buf := make([]byte, fileSize)
+		if err := cc.ReadRange(nil, f, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, model[f]) {
+			t.Fatalf("final read of %s differs from model", f)
+		}
+	}
+	fstats := tier.Stats()
+	cstats := cc.Stats()
+	closeStack()
+	if cstats.Spills == 0 || fstats.Puts == 0 {
+		t.Fatalf("workload never spilled: fusecache=%+v filecache=%+v", cstats, fstats)
+	}
+	if fstats.Hits == 0 {
+		t.Fatalf("workload never hit the file tier: %+v", fstats)
+	}
+	t.Logf("mixed-tier run: spills=%d fileHits=%d fileMisses=%d invalidations=%d wireGets=%d",
+		cstats.Spills, fstats.Hits, fstats.Misses, fstats.Invalidations, wire.wireGets)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

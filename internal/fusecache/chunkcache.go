@@ -83,6 +83,7 @@ type Stats struct {
 	Waits          int64 // accesses that waited on an in-flight fetch/flush
 	Evictions      int64
 	DirtyEvictions int64
+	Spills         int64 // clean evicted chunks handed to the file tier
 	Remaps         int64 // copy-on-write remappings performed
 	Flushes        int64
 }
@@ -95,6 +96,7 @@ type counters struct {
 	ssdRead, ssdWrite, prefetch *obs.Counter
 	hits, misses, waits         *obs.Counter
 	evictions, dirtyEvictions   *obs.Counter
+	spills                      *obs.Counter
 	remaps, flushes             *obs.Counter
 }
 
@@ -111,6 +113,7 @@ func newCounters(o *obs.Obs) counters {
 		waits:          r.Counter("fusecache.waits"),
 		evictions:      r.Counter("fusecache.evictions"),
 		dirtyEvictions: r.Counter("fusecache.dirty_evictions"),
+		spills:         r.Counter("fusecache.spills"),
 		remaps:         r.Counter("fusecache.remaps"),
 		flushes:        r.Counter("fusecache.flushes"),
 	}
@@ -146,6 +149,10 @@ type ChunkCache struct {
 	// lender keeps the copy-on-fetch path (simstore aliases its backing
 	// memory).
 	lender store.BufferLender
+	// spiller is non-nil when the store stacks a local spill tier
+	// (store.ChunkSpiller, i.e. filecache.Tier): clean evictions hand
+	// their payload down so a later miss is served node-locally.
+	spiller store.ChunkSpiller
 
 	// All fields below are guarded by env's lock (a no-op under the
 	// cooperative simulation, a mutex under the TCP deployment).
@@ -192,6 +199,7 @@ func NewChunkCache(env store.Env, st store.Client, cfg Config) *ChunkCache {
 		env:      env,
 		store:    st,
 		lender:   lenderOf(st),
+		spiller:  spillerOf(st),
 		cfg:      cfg,
 		entries:  make(map[chunkKey]*entry),
 		lru:      list.New(),
@@ -208,6 +216,14 @@ func NewChunkCache(env store.Env, st store.Client, cfg Config) *ChunkCache {
 func lenderOf(st store.Client) store.BufferLender {
 	if bl, ok := st.(store.BufferLender); ok && bl.PrivateChunks() {
 		return bl
+	}
+	return nil
+}
+
+// spillerOf returns st's spill hook when it stacks a local file tier.
+func spillerOf(st store.Client) store.ChunkSpiller {
+	if sp, ok := st.(store.ChunkSpiller); ok {
+		return sp
 	}
 	return nil
 }
@@ -248,6 +264,7 @@ func (cc *ChunkCache) Stats() Stats {
 		Waits:          cc.s.waits.Load(),
 		Evictions:      cc.s.evictions.Load(),
 		DirtyEvictions: cc.s.dirtyEvictions.Load(),
+		Spills:         cc.s.spills.Load(),
 		Remaps:         cc.s.remaps.Load(),
 		Flushes:        cc.s.flushes.Load(),
 	}
@@ -258,7 +275,8 @@ func (cc *ChunkCache) ResetStats() {
 	for _, c := range []*obs.Counter{
 		cc.s.fuseRead, cc.s.fuseWrite, cc.s.ssdRead, cc.s.ssdWrite,
 		cc.s.prefetch, cc.s.hits, cc.s.misses, cc.s.waits,
-		cc.s.evictions, cc.s.dirtyEvictions, cc.s.remaps, cc.s.flushes,
+		cc.s.evictions, cc.s.dirtyEvictions, cc.s.spills,
+		cc.s.remaps, cc.s.flushes,
 	} {
 		c.Set(0)
 	}
@@ -557,6 +575,15 @@ func (cc *ChunkCache) evict(ctx store.Ctx, e *entry) error {
 		fut.Set()
 		if err != nil {
 			return err
+		}
+	}
+	// The victim is clean now; hand its payload to the spill tier (a
+	// synchronous copy) before the buffer goes back to the lender pool —
+	// the tier copies, it never adopts, so ownership is undisturbed.
+	if cc.spiller != nil && e.data != nil {
+		if fi, ok := cc.meta[e.key.file]; ok && e.key.idx < len(fi.Chunks) {
+			cc.s.spills.Inc()
+			cc.spiller.SpillChunk(ctx, refsCopy(*fi, e.key.idx), e.data)
 		}
 	}
 	delete(cc.entries, e.key)

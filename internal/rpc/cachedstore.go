@@ -3,6 +3,7 @@ package rpc
 import (
 	"fmt"
 
+	"nvmalloc/internal/filecache"
 	"nvmalloc/internal/fusecache"
 	"nvmalloc/internal/proto"
 	"nvmalloc/internal/store"
@@ -30,6 +31,15 @@ type CacheConfig struct {
 	// (the FUSE daemon's thread pool in the paper). 0 keeps the fusecache
 	// default.
 	FuseConcurrency int
+	// CacheDir, when non-empty, enables the persistent file-backed second
+	// tier (internal/filecache): clean chunks evicted from the RAM LRU
+	// spill to NVC1 shard files under this directory, and read misses
+	// check the files before going to a benefactor. The directory must be
+	// private to one client process at a time.
+	CacheDir string
+	// FileCacheBytes caps the file tier's payload bytes (0 = the
+	// filecache default, 1 GiB). Ignored without CacheDir.
+	FileCacheBytes int64
 }
 
 // CacheStats are a CachedStore's cumulative counters — a compatibility
@@ -60,6 +70,9 @@ type CachedStore struct {
 	st  *Store
 	env *store.GoEnv
 	cc  *fusecache.ChunkCache
+	// tier is the optional persistent file-backed second tier stacked
+	// between the chunk cache and the wire client (nil without CacheDir).
+	tier *filecache.Tier
 }
 
 // NewCachedStore wraps an open Store. Closing the CachedStore flushes the
@@ -75,7 +88,21 @@ func NewCachedStore(st *Store, cfg CacheConfig) (*CachedStore, error) {
 		cfg.CacheBytes = st.ChunkSize()
 	}
 	env := store.NewGoEnv()
-	cc := fusecache.NewChunkCache(env, NewStoreClient(st, 0), fusecache.Config{
+	var cl store.Client = NewStoreClient(st, 0)
+	var tier *filecache.Tier
+	if cfg.CacheDir != "" {
+		var err error
+		tier, err = filecache.NewTier(cl, filecache.Config{
+			Dir:      cfg.CacheDir,
+			MaxBytes: cfg.FileCacheBytes,
+			Obs:      st.obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl = tier
+	}
+	cc := fusecache.NewChunkCache(env, cl, fusecache.Config{
 		ChunkSize:       st.ChunkSize(),
 		PageSize:        cfg.PageSize,
 		CacheBytes:      cfg.CacheBytes,
@@ -84,7 +111,7 @@ func NewCachedStore(st *Store, cfg CacheConfig) (*CachedStore, error) {
 		FuseConcurrency: cfg.FuseConcurrency,
 		Obs:             st.obs,
 	})
-	return &CachedStore{st: st, env: env, cc: cc}, nil
+	return &CachedStore{st: st, env: env, cc: cc, tier: tier}, nil
 }
 
 // Store returns the underlying uncached client (for Manager access and
@@ -93,6 +120,15 @@ func (cs *CachedStore) Store() *Store { return cs.st }
 
 // Cache exposes the shared FUSE-layer chunk cache (for core.NewClient).
 func (cs *CachedStore) Cache() *fusecache.ChunkCache { return cs.cc }
+
+// FileTierStats snapshots the persistent file tier's counters; ok is
+// false when no CacheDir was configured.
+func (cs *CachedStore) FileTierStats() (filecache.Stats, bool) {
+	if cs.tier == nil {
+		return filecache.Stats{}, false
+	}
+	return cs.tier.Stats(), true
+}
 
 // ChunkSize returns the striping unit.
 func (cs *CachedStore) ChunkSize() int64 { return cs.st.ChunkSize() }
@@ -243,14 +279,21 @@ func (cs *CachedStore) GetCtx(ctx store.Ctx, name string) ([]byte, error) {
 // Resident returns how many chunks of file are currently cached.
 func (cs *CachedStore) Resident(name string) int { return cs.cc.Resident(nil, name) }
 
-// Close flushes all dirty pages, waits for read-ahead to settle, and
-// closes the underlying store.
+// Close flushes all dirty pages, waits for read-ahead to settle, commits
+// and closes the file tier (if any), and closes the underlying store.
 func (cs *CachedStore) Close() error {
 	ferr := cs.cc.FlushAll(nil)
 	cs.env.Quiesce()
+	var terr error
+	if cs.tier != nil {
+		terr = cs.tier.Close()
+	}
 	cerr := cs.st.Close()
 	if ferr != nil {
 		return ferr
+	}
+	if terr != nil {
+		return terr
 	}
 	return cerr
 }

@@ -389,7 +389,19 @@ func (s *Store) pool(ref proto.ChunkRef) (*connPool, error) {
 		}
 		return c, err
 	}
-	p := newConnPool(addr, s.opts.PoolSize, dial, s.obs, s.m.poolWait)
+	// When the pool's last live connection breaks, forget the address's
+	// gob verdict: the server may have been upgraded in place, and the
+	// next dial should probe NVM1 again instead of speaking gob forever.
+	onDrain := func() {
+		s.mu.Lock()
+		evicted := s.gobAddrs[addr]
+		delete(s.gobAddrs, addr)
+		s.mu.Unlock()
+		if evicted {
+			s.obs.Event("rpc", "gob-verdict-evict", "", "addr="+addr)
+		}
+	}
+	p := newConnPool(addr, s.opts.PoolSize, dial, s.obs, s.m.poolWait, onDrain)
 	s.pools[ref.Benefactor] = p
 	return p, nil
 }

@@ -6,9 +6,13 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
+	"nvmalloc/internal/benefactor"
+	"nvmalloc/internal/manager"
+	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
 )
 
@@ -351,3 +355,165 @@ func (c *writeFailConn) Close() error                     { return nil }
 func (c *writeFailConn) SetDeadline(time.Time) error      { return nil }
 func (c *writeFailConn) SetReadDeadline(time.Time) error  { return nil }
 func (c *writeFailConn) SetWriteDeadline(time.Time) error { return nil }
+
+// startStoppableLegacyServer is startLegacyGobServer with an explicit stop
+// that also severs accepted connections, emulating a legacy benefactor
+// being taken down for an in-place upgrade.
+func startStoppableLegacyServer(t *testing.T) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req proto.ChunkReq
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					var resp proto.ChunkResp
+					if req.Op == proto.OpGetChunk {
+						resp.Data = legacyPayload
+					}
+					if err := enc.Encode(&resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			l.Close()
+			mu.Lock()
+			for _, c := range conns {
+				c.Close()
+			}
+			mu.Unlock()
+		})
+	}
+	t.Cleanup(stop)
+	return l.Addr().String(), stop
+}
+
+// TestGobVerdictEvictedOnPoolDrain covers the in-place upgrade story: a
+// client learns an address is gob-only, the legacy server goes away (the
+// pool drains), and an NVM1 server comes back on the same address. The
+// drained pool must evict the cached gob verdict so the redial probes
+// NVM1 again, instead of pinning the upgraded server to gob forever.
+func TestGobVerdictEvictedOnPoolDrain(t *testing.T) {
+	addr, stopLegacy := startStoppableLegacyServer(t)
+
+	// A Store wired straight at the legacy address (no manager round trip:
+	// the test drives the per-benefactor pool directly). PoolSize 1 so a
+	// single broken connection drains the pool.
+	o := obs.New("client")
+	s := &Store{
+		opts:         Options{PoolSize: 1}.withDefaults(),
+		benAddrs:     map[int]string{1: addr},
+		benAlive:     map[int]bool{},
+		suspectUntil: map[int]time.Time{},
+		pools:        map[int]*connPool{},
+		meta:         map[string]proto.FileInfo{},
+		gobAddrs:     map[string]bool{},
+		obs:          o,
+		chunkSize:    testChunk,
+	}
+	s.m = newStoreMetrics(o)
+	s.arena = proto.NewArena(testChunk)
+
+	ref := proto.ChunkRef{Benefactor: 1, ID: 7}
+	p, err := s.pool(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.call(proto.ChunkReq{Op: proto.OpGetChunk, ID: 7})
+	if err != nil {
+		t.Fatalf("call against legacy server: %v", err)
+	}
+	if !bytes.Equal(resp.Data, legacyPayload) {
+		t.Fatalf("payload %q, want legacy payload", resp.Data)
+	}
+	s.mu.Lock()
+	pinned := s.gobAddrs[addr]
+	s.mu.Unlock()
+	if !pinned {
+		t.Fatal("legacy fallback did not cache the gob verdict")
+	}
+
+	// Take the legacy server down: the pooled connection breaks on the
+	// next call, the pool drains, and the verdict must be evicted.
+	stopLegacy()
+	for i := 0; i < 3; i++ {
+		if _, err := p.call(proto.ChunkReq{Op: proto.OpGetChunk, ID: 7}); err == nil {
+			t.Fatal("call succeeded against a stopped server")
+		}
+		s.mu.Lock()
+		pinned = s.gobAddrs[addr]
+		s.mu.Unlock()
+		if !pinned {
+			break
+		}
+	}
+	if pinned {
+		t.Fatal("pool drain did not evict the gob verdict")
+	}
+	found := false
+	for _, ev := range o.Ring.Events() {
+		if ev.Comp == "rpc" && ev.Kind == "gob-verdict-evict" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no gob-verdict-evict event recorded")
+	}
+
+	// The upgraded server comes back on the same address. The next dial
+	// must probe NVM1 (not speak gob), so the pooled connection upgrades.
+	ms, err := NewManagerServer("127.0.0.1:0", testChunk, manager.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	bs, err := NewBenefactorServer(addr, ms.Addr(), 1, 0, 64*testChunk, testChunk, benefactor.NewMem(), 0)
+	if err != nil {
+		t.Fatalf("restarting benefactor on %s: %v", addr, err)
+	}
+	defer bs.Close()
+
+	payload := pattern(9, testChunk)
+	if _, err := p.call(proto.ChunkReq{Op: proto.OpPutChunk, ID: 7, Data: payload}); err != nil {
+		t.Fatalf("put against upgraded server: %v", err)
+	}
+	c := <-p.free
+	if c == nil {
+		t.Fatal("no pooled connection after successful call")
+	}
+	binary := c.binary
+	p.free <- c
+	if !binary {
+		t.Fatal("upgraded server still spoken to over gob: verdict not re-probed")
+	}
+	resp, err = p.call(proto.ChunkReq{Op: proto.OpGetChunk, ID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Data, payload) {
+		t.Fatal("read through re-probed binary connection mismatched")
+	}
+}

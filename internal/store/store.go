@@ -92,6 +92,20 @@ type BufferLender interface {
 	ReleaseChunk(buf []byte)
 }
 
+// ChunkSpiller is an optional Client extension implemented by tiered
+// clients backed by a node-local spill cache (internal/filecache.Tier).
+// The chunk cache above hands clean evicted payloads here instead of
+// discarding them, so a later miss on the same chunk is served from the
+// local file tier rather than a benefactor over the wire.
+//
+// SpillChunk copies data before returning: the caller keeps ownership of
+// the buffer and still releases lender-leased buffers through the normal
+// BufferLender path afterwards. Spilling is advisory — the tier may drop
+// the payload (capacity, shutdown) without telling anyone.
+type ChunkSpiller interface {
+	SpillChunk(ctx Ctx, refs []proto.ChunkRef, data []byte)
+}
+
 // ReplicaRefs returns every copy of chunk idx of a file, primary first.
 // Metadata from an unreplicated manager carries no replica table; the
 // primary ref alone is the degenerate copy set.
