@@ -85,11 +85,21 @@ func newCounters(o *obs.Obs) counters {
 }
 
 // markerName flags uncommitted invalidations: it is created (and synced)
-// before the first in-memory invalidation that is not yet reflected in a
-// snapshot, and removed only after a commit that no invalidation raced.
-// If a crash loses invalidations, the marker survives it, and the next
-// Open rebuilds from empty rather than risk serving stale chunks.
+// before any invalidation of a key the last committed snapshot may still
+// hold, and removed only after a commit that no invalidation raced. If a
+// crash loses invalidations, the marker survives it, and the next Open
+// rebuilds from empty rather than risk serving stale chunks.
 const markerName = "dirty"
+
+// maxShardPayload caps one shard's payload capacity. The NVC1 format's
+// uint32 offsets bound a whole file (header + index + payload) to
+// MaxShardBytes; capping payload at 3 GiB leaves 1 GiB of index headroom
+// (2^25 entries) so no realistic configuration can encode an oversized
+// snapshot — without it, MaxBytes/Shards quotients past 4 GiB would
+// silently truncate offsets and produce shard images that fail CRC.
+// commit() additionally evicts down if a pathological tiny-entry count
+// would still push the image past the format limit.
+const maxShardPayload = int64(3) << 30
 
 // sentry is one live cache entry. Pending (uncommitted) entries carry
 // their payload in data; committed entries point into the shard's mmap.
@@ -118,6 +128,12 @@ type shard struct {
 	age       *list.List // front = newest; values are uint64 keys
 	bytes     int64      // payload bytes of live entries
 	dirty     bool       // state diverged from the last snapshot
+	// onDisk is the key set of the last committed snapshot — exactly what
+	// a crash-and-reopen would resurrect. It is what Invalidate consults
+	// for the dirty marker: a key can be on disk yet absent from entries
+	// (evicted since the commit) or shadowed by a pending Put, and both
+	// still need the marker.
+	onDisk map[uint64]struct{}
 }
 
 // Cache is the sharded NVC1 chunk cache. All methods are safe for
@@ -199,6 +215,9 @@ func Open(cfg Config) (*Cache, error) {
 	if perShard < 1 {
 		perShard = 1
 	}
+	if perShard > maxShardPayload {
+		perShard = maxShardPayload
+	}
 	c.shd = make([]*shard, cfg.Shards)
 	for i := range c.shd {
 		sh := &shard{
@@ -207,6 +226,7 @@ func Open(cfg Config) (*Cache, error) {
 			capacity: perShard,
 			entries:  make(map[uint64]*sentry),
 			age:      list.New(),
+			onDisk:   make(map[uint64]struct{}),
 		}
 		if err := sh.load(); err != nil {
 			return nil, err
@@ -265,6 +285,7 @@ func (sh *shard) load() error {
 		se := &sentry{gen: e.gen, size: int(e.length), off: e.off, crc: e.crc}
 		se.el = sh.age.PushFront(e.key) // file order is oldest-first
 		sh.entries[e.key] = se
+		sh.onDisk[e.key] = struct{}{} // trims below leave the file untouched
 		sh.bytes += int64(e.length)
 	}
 	// An oversized snapshot (capacity shrank between runs) trims oldest.
@@ -284,6 +305,7 @@ func (sh *shard) rebuild(cause error) {
 	}
 	sh.f, sh.mapped, sh.unmap, sh.payload = nil, nil, nil, nil
 	sh.entries = make(map[uint64]*sentry)
+	sh.onDisk = make(map[uint64]struct{})
 	sh.age.Init()
 	sh.bytes = 0
 	sh.dirty = false
@@ -362,8 +384,14 @@ func (c *Cache) Put(key uint64, gen uint64, data []byte) {
 // of a stale read. Callers invalidate before overwriting a chunk on the
 // wire, never after.
 //
-// The shard lock is held across marker creation and removal: a commit
-// pass can therefore never snapshot the stale entry after the
+// Whether the marker is needed depends on the last committed snapshot
+// (sh.onDisk), not on the in-memory entry: the key may sit in the shard
+// file while absent from memory (evicted since the commit) or while the
+// live entry is a pending Put that replaced the committed version — in
+// both cases a crash resurrects the stale on-disk copy.
+//
+// The shard lock is held across marker creation and the removal: a
+// commit pass can therefore never snapshot the stale entry after the
 // invalidation sequence was sampled, which is what lets Commit clear the
 // marker safely when no invalidation raced it.
 func (c *Cache) Invalidate(key uint64) {
@@ -374,19 +402,21 @@ func (c *Cache) Invalidate(key uint64) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	se, ok := sh.entries[key]
-	if !ok {
-		// Nothing cached ⇒ nothing on disk either (Open loads every disk
-		// entry, commits only write live entries), so no crash risk.
+	_, onDisk := sh.onDisk[key]
+	if !ok && !onDisk {
+		// Neither in memory nor in the last snapshot: nothing to lose.
 		return
 	}
-	c.invalSeq.Add(1)
-	if se.data == nil {
-		// Only a committed entry can survive a crash; pending entries die
-		// with the process, so they need no marker.
-		c.ensureMarker()
+	if onDisk {
+		c.markDirty()
+		// Force the next commit to rewrite the file without the key even
+		// when the in-memory state alone would not look dirty.
+		sh.dirty = true
 	}
-	sh.dropLocked(key, se)
-	sh.dirty = true
+	if ok {
+		sh.dropLocked(key, se)
+		sh.dirty = true
+	}
 	c.s.invalidations.Inc()
 }
 
@@ -407,25 +437,36 @@ func (sh *shard) evictOldest() {
 	sh.c.s.evictions.Inc()
 }
 
-// ensureMarker creates the dirty-marker file (fsynced) if absent.
-func (c *Cache) ensureMarker() {
+// markDirty creates the dirty-marker file (fsynced) if absent and bumps
+// the invalidation sequence. Both happen under markerMu so they are
+// atomic with respect to Commit's marker clear: a markDirty that
+// happens-before the clear is guaranteed to be seen by the clear's
+// sequence re-check, and a markDirty after it re-creates the marker.
+func (c *Cache) markDirty() {
 	c.markerMu.Lock()
 	defer c.markerMu.Unlock()
+	c.invalSeq.Add(1)
 	if c.markerOn {
 		return
 	}
 	f, err := os.OpenFile(filepath.Join(c.cfg.Dir, markerName), os.O_CREATE|os.O_WRONLY, 0o644)
-	if err == nil {
-		_ = f.Sync()
-		f.Close()
+	if err != nil {
+		// Leave markerOn false so the next invalidation retries the
+		// creation; crash protection is degraded until one succeeds.
+		c.o.Event("filecache", "marker-error", "", err.Error())
+		return
 	}
+	_ = f.Sync()
+	f.Close()
 	c.markerOn = true
 }
 
 // Commit snapshots every dirty shard to disk (temp file + fsync + rename)
-// and clears the dirty marker if no invalidation raced the pass. Returns
-// the first commit error; failed shards stay pending in memory and retry
-// on the next pass.
+// and clears the dirty marker if no invalidation raced the pass (the
+// sequence re-check and the removal sit inside markerMu — the same lock
+// markDirty bumps the sequence under — so an invalidation can never slip
+// between the check and the removal). Returns the first commit error;
+// failed shards stay pending in memory and retry on the next pass.
 func (c *Cache) Commit() error {
 	seqBefore := c.invalSeq.Load()
 	var first error
@@ -434,9 +475,9 @@ func (c *Cache) Commit() error {
 			first = err
 		}
 	}
-	if first == nil && c.invalSeq.Load() == seqBefore {
+	if first == nil {
 		c.markerMu.Lock()
-		if c.markerOn {
+		if c.markerOn && c.invalSeq.Load() == seqBefore {
 			_ = os.Remove(filepath.Join(c.cfg.Dir, markerName))
 			c.markerOn = false
 		}
@@ -454,6 +495,12 @@ func (sh *shard) commit() error {
 	defer sh.mu.Unlock()
 	if !sh.dirty {
 		return nil
+	}
+	// The uint32 offsets bound a shard image to MaxShardBytes; Open clamps
+	// the payload capacity, so only a pathological tiny-entry count can
+	// get here. Evict down rather than encode a truncated image.
+	for HeaderSize+int64(len(sh.entries))*IndexEntrySize+sh.bytes > MaxShardBytes && sh.age.Len() > 0 {
+		sh.evictOldest()
 	}
 	entries := make([]snapshotEntry, 0, sh.age.Len())
 	for el := sh.age.Back(); el != nil; el = el.Prev() { // oldest first
@@ -505,6 +552,7 @@ func (sh *shard) commit() error {
 	sh.f, sh.mapped, sh.unmap = f, mapped, unmap
 	sh.payload = mapped[payloadOff(uint32(len(entries))):]
 	sh.commitSeq++
+	sh.onDisk = make(map[uint64]struct{}, len(entries))
 	off := uint32(0)
 	for _, e := range entries {
 		se := sh.entries[e.key]
@@ -512,6 +560,7 @@ func (sh *shard) commit() error {
 		se.off = off
 		se.crc = crc32Of(sh.payload[off : off+uint32(se.size)])
 		off += uint32(se.size)
+		sh.onDisk[e.key] = struct{}{}
 	}
 	sh.dirty = false
 	sh.c.s.commits.Inc()
@@ -558,6 +607,7 @@ func (c *Cache) Close() error {
 			}
 			sh.f, sh.mapped, sh.unmap, sh.payload = nil, nil, nil, nil
 			sh.entries = make(map[uint64]*sentry)
+			sh.onDisk = make(map[uint64]struct{})
 			sh.age.Init()
 			sh.bytes = 0
 			sh.mu.Unlock()

@@ -3,9 +3,11 @@ package filecache
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -221,6 +223,162 @@ func TestOpenRebuildsOnDirtyMarker(t *testing.T) {
 	}
 	if st := c2.Stats(); st.Rebuilds != 1 {
 		t.Fatalf("Rebuilds = %d, want 1", st.Rebuilds)
+	}
+}
+
+// TestInvalidateEvictedOnDiskKeySetsMarker pins the marker protocol for a
+// key that is gone from memory but still sits in the last committed
+// snapshot: the eviction only dropped it from the entry map, so a crash
+// after the invalidation would otherwise resurrect the stale on-disk
+// copy at the next Open.
+func TestInvalidateEvictedOnDiskKeySetsMarker(t *testing.T) {
+	dir := t.TempDir()
+	cfg := manualConfig(dir)
+	cfg.MaxBytes = 4 * 256 // room for 4 entries
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(1, 1, chunkPattern(1, 256))
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Push key 1 out of memory without committing: the shard file keeps it.
+	for k := uint64(2); k <= 5; k++ {
+		c.Put(k, 1, chunkPattern(k, 256))
+	}
+	if _, _, ok := c.Get(1); ok {
+		t.Fatal("key 1 was not evicted")
+	}
+	c.Invalidate(1)
+	if _, err := os.Stat(filepath.Join(dir, markerName)); err != nil {
+		t.Fatalf("marker missing after invalidating an evicted on-disk key: %v", err)
+	}
+	// Crash (abandon without Close): the reopen must rebuild, not serve.
+	c2, err := Open(manualConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, ok := c2.Get(1); ok {
+		t.Fatal("stale on-disk entry served after crash")
+	}
+	if st := c2.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", st.Rebuilds)
+	}
+}
+
+// TestInvalidateReplacedCommittedKeySetsMarker pins the marker protocol
+// for a committed key shadowed by a pending Put: the live entry is
+// uncommitted, but the prior committed version still sits in the shard
+// file, and a crash after the invalidation would resurrect it.
+func TestInvalidateReplacedCommittedKeySetsMarker(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(manualConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(7, 1, chunkPattern(7, 128))
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(7, 2, chunkPattern(77, 128)) // pending replacement
+	c.Invalidate(7)
+	if _, err := os.Stat(filepath.Join(dir, markerName)); err != nil {
+		t.Fatalf("marker missing after invalidating a replaced committed key: %v", err)
+	}
+	c2, err := Open(manualConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, ok := c2.Get(7); ok {
+		t.Fatal("stale committed version served after crash")
+	}
+}
+
+// TestMarkerSurvivesCommitInvalidateRaces hammers Put/Invalidate against
+// a concurrent committer, then invalidates every key and simulates a
+// crash. A marker-clear racing an invalidation (the clear sampling the
+// sequence before the invalidation bumped it, then removing the marker
+// the invalidation just created) would leave a committed stale entry
+// servable after the reopen.
+func TestMarkerSurvivesCommitInvalidateRaces(t *testing.T) {
+	dir := t.TempDir()
+	cfg := manualConfig(dir)
+	cfg.Shards = 2
+	cfg.ShardRange = 4
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 32
+	stop := make(chan struct{})
+	committerDone := make(chan struct{})
+	go func() {
+		defer close(committerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Commit()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				k := uint64(rng.Intn(nKeys))
+				if rng.Intn(3) == 0 {
+					c.Invalidate(k)
+				} else {
+					c.Put(k, uint64(i), chunkPattern(k, 64+rng.Intn(64)))
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(stop)
+	<-committerDone
+	// Final sweep: drop everything, then crash before any further commit.
+	for k := uint64(0); k < nKeys; k++ {
+		c.Invalidate(k)
+	}
+	c2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for k := uint64(0); k < nKeys; k++ {
+		if _, _, ok := c2.Get(k); ok {
+			t.Fatalf("invalidated key %d served after crash", k)
+		}
+	}
+}
+
+// TestOpenClampsShardCapacity pins the 4 GiB NVC1 format guard: a config
+// whose MaxBytes/Shards quotient exceeds the uint32 offset space must get
+// per-shard capacities clamped, not shard files that silently truncate
+// offsets at commit time.
+func TestOpenClampsShardCapacity(t *testing.T) {
+	dir := t.TempDir()
+	cfg := manualConfig(dir)
+	cfg.MaxBytes = 64 << 30
+	cfg.Shards = 8 // 8 GiB per shard uncapped
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, sh := range c.shd {
+		if sh.capacity > maxShardPayload {
+			t.Fatalf("shard %d capacity %d exceeds the format-safe payload bound %d", i, sh.capacity, maxShardPayload)
+		}
 	}
 }
 

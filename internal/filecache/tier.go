@@ -30,8 +30,20 @@ type Tier struct {
 	fc     *Cache
 	o      *obs.Obs
 
-	mu   sync.Mutex
-	gens map[uint64]uint64 // chunk key -> local write generation
+	mu sync.Mutex
+	// gens maps chunk key -> local write generation. An entry exists only
+	// while it is needed to tell a stale payload from the current one:
+	// writes create it (bump + invalidate) and both the write and the
+	// spill paths prune it once no spill is in flight for the key, so the
+	// map is bounded by in-flight work, not by every key ever written.
+	gens map[uint64]uint64
+	// spilling counts in-flight SpillChunk calls per key. It is what makes
+	// the generation read in beginSpill atomic with the spill's admission:
+	// a concurrent writer may not prune gens while a spill is in flight,
+	// and the spill re-checks the generation after its Put (endSpill) so a
+	// racing write always either drops the spilled entry itself or makes
+	// the spill invalidate it.
+	spilling map[uint64]int
 }
 
 var (
@@ -46,7 +58,13 @@ func NewTier(inner store.Client, cfg Config) (*Tier, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tier{inner: inner, fc: fc, o: cfg.Obs, gens: make(map[uint64]uint64)}
+	t := &Tier{
+		inner:    inner,
+		fc:       fc,
+		o:        cfg.Obs,
+		gens:     make(map[uint64]uint64),
+		spilling: make(map[uint64]int),
+	}
 	if bl, ok := inner.(store.BufferLender); ok && bl.PrivateChunks() {
 		t.lender = bl
 	}
@@ -127,6 +145,48 @@ func (t *Tier) bumpGen(key uint64) uint64 {
 	return t.gens[key]
 }
 
+// pruneGen drops the key's generation tracking once no spill is in
+// flight: the write that called it already invalidated the cached entry,
+// so with no spill that could re-admit an older payload there is nothing
+// left for the generation to distinguish, and trust-unknown-keys is
+// correct again.
+func (t *Tier) pruneGen(key uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spilling[key] == 0 {
+		delete(t.gens, key)
+	}
+}
+
+// beginSpill registers an in-flight spill and snapshots the key's write
+// generation, atomically, so a concurrent writer can neither prune the
+// generation nor have its bump go unnoticed by endSpill's re-check.
+func (t *Tier) beginSpill(key uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spilling[key]++
+	return t.gens[key]
+}
+
+// endSpill deregisters the spill and reports whether a write raced it
+// (the generation moved since beginSpill) — if so the caller must
+// invalidate the entry it just admitted, because the payload may predate
+// the write. A quiet last spill also prunes the gens entry: the cached
+// payload is at the current generation, so the map entry distinguishes
+// nothing.
+func (t *Tier) endSpill(key, gen uint64) (stale bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	stale = t.gens[key] != gen
+	if t.spilling[key]--; t.spilling[key] <= 0 {
+		delete(t.spilling, key)
+		if !stale {
+			delete(t.gens, key)
+		}
+	}
+	return stale
+}
+
 // PutChunk invalidates the file-tier entry — durably flagging the
 // staleness window via the dirty marker — BEFORE the wire write, so a
 // crash between the two can never leave a stale entry servable.
@@ -134,7 +194,9 @@ func (t *Tier) PutChunk(ctx store.Ctx, refs []proto.ChunkRef, data []byte) error
 	key := uint64(refs[0].ID)
 	t.bumpGen(key)
 	t.fc.Invalidate(key)
-	return t.inner.PutChunk(ctx, refs, data)
+	err := t.inner.PutChunk(ctx, refs, data)
+	t.pruneGen(key)
+	return err
 }
 
 // PutPages is a partial overwrite; the cached full-chunk payload becomes
@@ -143,17 +205,24 @@ func (t *Tier) PutPages(ctx store.Ctx, refs []proto.ChunkRef, pageOffs []int64, 
 	key := uint64(refs[0].ID)
 	t.bumpGen(key)
 	t.fc.Invalidate(key)
-	return t.inner.PutPages(ctx, refs, pageOffs, pages)
+	err := t.inner.PutPages(ctx, refs, pageOffs, pages)
+	t.pruneGen(key)
+	return err
 }
 
 // SpillChunk (store.ChunkSpiller) admits a clean evicted payload. The
-// data is copied synchronously; the caller keeps buffer ownership.
+// data is copied synchronously; the caller keeps buffer ownership. A
+// write racing the spill is caught by endSpill's generation re-check and
+// the admitted entry invalidated — without it the stale payload would be
+// rejected in-process (genFresh) but could reach a committed snapshot,
+// where a restart, which trusts unknown generations, would serve it.
 func (t *Tier) SpillChunk(ctx store.Ctx, refs []proto.ChunkRef, data []byte) {
 	key := uint64(refs[0].ID)
-	t.mu.Lock()
-	gen := t.gens[key]
-	t.mu.Unlock()
+	gen := t.beginSpill(key)
 	t.fc.Put(key, gen, data)
+	if t.endSpill(key, gen) {
+		t.fc.Invalidate(key)
+	}
 	if sc := store.SpanOf(ctx); sc.Traced() {
 		sp := t.o.StartSpan(sc.Trace, sc.Parent, "filecache.spill")
 		sp.SetVar(sc.Var)

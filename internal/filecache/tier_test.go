@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -296,6 +298,162 @@ func TestMixedTierEvictionReadbackProperty(t *testing.T) {
 	}
 	t.Logf("mixed-tier run: spills=%d fileHits=%d fileMisses=%d invalidations=%d wireGets=%d",
 		cstats.Spills, fstats.Hits, fstats.Misses, fstats.Invalidations, wire.wireGets)
+}
+
+// raceTier builds a tier over a one-chunk file on a fresh memClient.
+func raceTier(t *testing.T, dir string) (*Tier, *memClient, []proto.ChunkRef) {
+	t.Helper()
+	wire := newMemClient(512)
+	fi, err := wire.Create(nil, "f", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reopenTier(t, dir, wire), wire, fi.Chunks
+}
+
+// reopenTier stacks a fresh tier (empty generation map, as after a
+// process restart) over an existing wire and cache directory.
+func reopenTier(t *testing.T, dir string, wire *memClient) *Tier {
+	t.Helper()
+	tier, err := NewTier(wire, Config{Dir: dir, FlushInterval: -1, Obs: obs.New("race")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tier
+}
+
+// TestSpillRacingWriteInvalidated pins the spill/write race with the
+// exact interleaving the generation re-check exists for: the spill
+// samples the generation, a full PutChunk (bump + invalidate + wire)
+// completes, and only then does the spill's Put land — with the
+// pre-overwrite payload. The steps mirror SpillChunk's begin/put/end
+// structure. The stale entry must be rejected in-process AND be absent
+// from the snapshot a restarted tier (which trusts unknown generations)
+// would serve from.
+func TestSpillRacingWriteInvalidated(t *testing.T) {
+	dir := t.TempDir()
+	tier, wire, refs := raceTier(t, dir)
+	key := uint64(refs[0].ID)
+	old, fresh := chunkPattern(1, 512), chunkPattern(2, 512)
+
+	gen := tier.beginSpill(key)
+	if err := tier.PutChunk(nil, refs, fresh); err != nil {
+		t.Fatal(err)
+	}
+	tier.fc.Put(key, gen, old)
+	if !tier.endSpill(key, gen) {
+		t.Fatal("endSpill did not flag the racing write")
+	}
+	tier.fc.Invalidate(key)
+
+	got, err := tier.GetChunk(nil, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fresh) {
+		t.Fatal("stale spilled payload served in-process")
+	}
+	// Warm restart: fresh tier, empty gens map — unknown generations are
+	// trusted, so the stale payload must not have survived into the file.
+	if err := tier.fc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tier2 := reopenTier(t, dir, wire)
+	defer tier2.Close()
+	got, err = tier2.GetChunk(nil, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fresh) {
+		t.Fatal("stale spilled payload served after restart")
+	}
+}
+
+// TestSpillRacingWriteCommittedSetsMarker extends the race with a commit
+// landing between the stale Put and its invalidation (the background
+// flusher can do exactly that): the entry reaches the shard file, so the
+// invalidation must set the dirty marker, and a crash before the next
+// commit must rebuild rather than serve the stale payload.
+func TestSpillRacingWriteCommittedSetsMarker(t *testing.T) {
+	dir := t.TempDir()
+	tier, _, refs := raceTier(t, dir)
+	key := uint64(refs[0].ID)
+	old, fresh := chunkPattern(1, 512), chunkPattern(2, 512)
+
+	gen := tier.beginSpill(key)
+	if err := tier.PutChunk(nil, refs, fresh); err != nil {
+		t.Fatal(err)
+	}
+	tier.fc.Put(key, gen, old)
+	if err := tier.fc.Commit(); err != nil { // flusher commits the stale entry
+		t.Fatal(err)
+	}
+	if !tier.endSpill(key, gen) {
+		t.Fatal("endSpill did not flag the racing write")
+	}
+	tier.fc.Invalidate(key)
+	if _, err := os.Stat(filepath.Join(dir, markerName)); err != nil {
+		t.Fatalf("marker missing after invalidating the committed stale spill: %v", err)
+	}
+	// Crash (abandon the tier without Close): the reopen must rebuild.
+	c2, err := Open(Config{Dir: dir, FlushInterval: -1, Obs: obs.New("race2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, ok := c2.Get(key); ok {
+		t.Fatal("stale spilled payload survived the crash")
+	}
+	if st := c2.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", st.Rebuilds)
+	}
+}
+
+// TestTierGenTrackingBounded pins that gens/spilling shrink back to empty
+// once writes and spills quiesce — the map must be bounded by in-flight
+// work, not grow with every key ever written through the tier.
+func TestTierGenTrackingBounded(t *testing.T) {
+	dir := t.TempDir()
+	wire := newMemClient(512)
+	tier, err := NewTier(wire, Config{Dir: dir, FlushInterval: -1, Obs: obs.New("bound")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	fi, err := wire.Create(nil, "f", 64*512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fi.Chunks {
+		refs := fi.Chunks[i : i+1]
+		data := chunkPattern(uint64(i), 512)
+		if err := tier.PutChunk(nil, refs, data); err != nil {
+			t.Fatal(err)
+		}
+		tier.SpillChunk(nil, refs, data)
+	}
+	tier.mu.Lock()
+	nGens, nSpilling := len(tier.gens), len(tier.spilling)
+	tier.mu.Unlock()
+	if nGens != 0 || nSpilling != 0 {
+		t.Fatalf("quiesced tier still tracks %d gens, %d spilling", nGens, nSpilling)
+	}
+	// The spilled payloads must still serve from the file tier.
+	for i := range fi.Chunks {
+		got, err := tier.GetChunk(nil, fi.Chunks[i:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, chunkPattern(uint64(i), 512)) {
+			t.Fatalf("chunk %d served wrong bytes", i)
+		}
+	}
+	if tier.Stats().Hits == 0 {
+		t.Fatal("readbacks never hit the file tier")
+	}
 }
 
 func min64(a, b int64) int64 {
