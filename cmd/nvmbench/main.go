@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"nvmalloc/internal/experiments"
@@ -40,11 +42,52 @@ type benchResult struct {
 	Reports []reportJSON `json:"reports"`
 }
 
+// benchHost identifies the machine a -json document was produced on, so
+// archived runs from different CI runners or laptops are comparable.
+type benchHost struct {
+	Hostname  string `json:"hostname"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+}
+
 // benchJSON is the top-level -json document.
 type benchJSON struct {
-	GeneratedUnixNanos int64         `json:"generated_unix_nanos"`
-	Quick              bool          `json:"quick"`
-	Benchmarks         []benchResult `json:"benchmarks"`
+	GeneratedUnixNanos int64  `json:"generated_unix_nanos"`
+	GeneratedUTC       string `json:"generated_utc"`
+	// GitRevision is the vcs revision the binary was built from ("-dirty"
+	// when the worktree had local changes; "unknown" for non-vcs builds
+	// such as `go run` from an exported tarball).
+	GitRevision string        `json:"git_revision"`
+	Host        benchHost     `json:"host"`
+	Quick       bool          `json:"quick"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+// gitRevision reads the build's vcs stamp via debug.ReadBuildInfo — no
+// exec of git, so it works in containers without the tool installed.
+func gitRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
 }
 
 func main() {
@@ -169,7 +212,18 @@ func main() {
 		fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", name, wall.Seconds())
 	}
 	if *jsonPath != "" {
-		doc.GeneratedUnixNanos = time.Now().UnixNano()
+		now := time.Now()
+		doc.GeneratedUnixNanos = now.UnixNano()
+		doc.GeneratedUTC = now.UTC().Format(time.RFC3339)
+		doc.GitRevision = gitRevision()
+		host, _ := os.Hostname()
+		doc.Host = benchHost{
+			Hostname:  host,
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+			CPUs:      runtime.NumCPU(),
+			GoVersion: runtime.Version(),
+		}
 		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fatal(fmt.Errorf("nvmbench: encoding -json: %w", err))

@@ -19,6 +19,9 @@
 //	nvmctl -manager host:7070 top -by-var               time/bytes attributed per NVM variable
 //	nvmctl -manager host:7070 trace [trace-id]          span waterfall + events across all nodes
 //	nvmctl -manager host:7070 slow                      slow-op flight recorder, cluster-wide
+//	nvmctl -manager host:7070 watch [-once] [-interval 2s] [-window 30s]
+//	                                                    live health view: windowed rates,
+//	                                                    cluster percentiles, alerts
 //
 // put and get print a `trace <id>` line; feed the id to `nvmctl trace` to
 // see the op's hierarchical waterfall (client -> cache -> wire -> manager/
@@ -68,7 +71,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-cache-dir dir] [-stats] status|put|get|stat|rm|link|repair|kill|ckpt-demo|metrics|top|trace|slow ...")
+		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-cache-dir dir] [-stats] status|put|get|stat|rm|link|repair|kill|ckpt-demo|metrics|top|trace|slow|watch ...")
 		os.Exit(2)
 	}
 	st, err := rpc.OpenWith(*mgr, rpc.Options{PoolSize: *pool, Parallelism: *parallel})
@@ -245,6 +248,8 @@ func main() {
 		runTrace(st, *mgr, id, *traceN)
 	case "slow":
 		runSlow(st, *mgr, *traceN)
+	case "watch":
+		runWatch(st, *mgr, args[1:])
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}

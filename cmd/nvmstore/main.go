@@ -5,19 +5,29 @@
 //	nvmstore manager  -listen :7070 [-chunk 262144] [-policy rr|least|wear]
 //	          [-replication 1] [-hbtimeout 5s] [-sweep 0]
 //	          [-debug-addr :7071] [-log info]
+//	          [-sample 1s] [-history 300] [-alert-for 30s] [-p99-budget 250ms] [-no-rules]
 //	nvmstore benefactor -manager host:7070 -id 0 [-listen :0] [-dir /ssd/nvm]
 //	          [-capacity 1073741824] [-chunk 262144] [-node 0] [-beat 2s]
 //	          [-debug-addr :0] [-log info]
+//	          [-sample 1s] [-history 300] [-alert-for 30s] [-p99-budget 250ms] [-no-rules]
 //
 // A benefactor contributes -capacity bytes of the file system at -dir
 // (mount the node-local SSD there) to the store managed by -manager.
 //
 // With -debug-addr either daemon serves its observability state over HTTP:
-// /metrics (JSON metrics snapshot), /healthz, /trace (recent events,
-// ?trace=ID filters), /spans (hierarchical spans, ?trace=ID filters,
-// ?slow=1 reads the slow-op flight recorder), and /debug/pprof. nvmctl's
-// metrics/top/trace/slow commands scrape these endpoints; -slow tunes which
-// root spans the flight recorder retains.
+// /metrics (JSON metrics snapshot), /metrics.prom (Prometheus text
+// exposition), /healthz (503 while an alert rule fires), /vitals (windowed
+// rates/percentiles + alert state), /trace (recent events, ?trace=ID
+// filters), /spans (hierarchical spans, ?trace=ID filters, ?slow=1 reads
+// the slow-op flight recorder), and /debug/pprof. nvmctl's
+// metrics/top/trace/slow/watch commands scrape these endpoints; -slow tunes
+// which root spans the flight recorder retains.
+//
+// Both daemons self-monitor: every -sample interval the metrics registry is
+// snapshotted into a bounded in-process time series (-history samples) and
+// the default alert rules are evaluated against it (-alert-for sustain,
+// -p99-budget latency budget; -no-rules disables evaluation, -sample 0
+// disables the monitor entirely).
 package main
 
 import (
@@ -62,6 +72,25 @@ func waitForInterrupt() {
 	<-ch
 }
 
+// monitorFlags registers the self-monitoring flags shared by both daemons
+// and returns a closure resolving them into a MonitorConfig once parsed.
+func monitorFlags(fs *flag.FlagSet) func(d obs.RuleDefaults) obs.MonitorConfig {
+	sample := fs.Duration("sample", time.Second, "self-monitoring sample interval (0 disables the time series and alert rules)")
+	history := fs.Int("history", obs.DefaultSeriesSamples, "time-series samples retained")
+	alertFor := fs.Duration("alert-for", 30*time.Second, "how long an alert condition must hold before it fires")
+	p99Budget := fs.Duration("p99-budget", 250*time.Millisecond, "op-latency p99 above this fires the latency alert")
+	noRules := fs.Bool("no-rules", false, "sample the time series but evaluate no alert rules")
+	return func(d obs.RuleDefaults) obs.MonitorConfig {
+		cfg := obs.MonitorConfig{SampleInterval: *sample, History: *history}
+		if !*noRules {
+			d.Sustain = *alertFor
+			d.P99Budget = *p99Budget
+			cfg.Rules = obs.DefaultRules(d)
+		}
+		return cfg
+	}
+}
+
 // newObs builds a daemon's observability bundle: metrics registry, event
 // ring, and a key=value logger on stderr at the requested level.
 func newObs(node, level string) *obs.Obs {
@@ -86,6 +115,7 @@ func runManager(args []string) {
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /trace, /spans, /debug/pprof on this address (empty disables)")
 	logLevel := fs.String("log", "info", "log level: debug|info|warn|error|off")
 	slow := fs.Duration("slow", obs.DefaultSlowThreshold, "root spans at least this long are copied to the slow-op flight recorder (0 disables)")
+	monitor := monitorFlags(fs)
 	fs.Parse(args)
 
 	pol := manager.RoundRobin
@@ -106,6 +136,7 @@ func runManager(args []string) {
 		SweepInterval:    *sweep,
 		DebugAddr:        *debugAddr,
 		Obs:              o,
+		Monitor:          monitor(obs.RuleDefaults{HeartbeatTimeout: *hbTimeout}),
 	})
 	if err != nil {
 		fatal(err)
@@ -135,6 +166,7 @@ func runBenefactor(args []string) {
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /trace, /spans, /debug/pprof on this address (empty disables)")
 	logLevel := fs.String("log", "info", "log level: debug|info|warn|error|off")
 	slow := fs.Duration("slow", obs.DefaultSlowThreshold, "root spans at least this long are copied to the slow-op flight recorder (0 disables)")
+	monitor := monitorFlags(fs)
 	fs.Parse(args)
 
 	backend, err := rpc.NewFileBackend(*dir)
@@ -146,6 +178,7 @@ func runBenefactor(args []string) {
 	srv, err := rpc.NewBenefactorServerWith(*listen, *mgr, *id, *node, *capacity, *chunk, backend, *beat, rpc.BenefactorConfig{
 		DebugAddr: *debugAddr,
 		Obs:       o,
+		Monitor:   monitor(obs.RuleDefaults{}),
 	})
 	if err != nil {
 		fatal(err)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
 )
 
@@ -151,6 +152,11 @@ type Store struct {
 	retainsPut bool
 	privGet    bool
 	recycle    func([]byte)
+
+	// Occupancy gauges (SetObs), kept current wherever used changes so a
+	// scrape sees the benefactor's fill level without an RPC round trip.
+	usedGauge *obs.Gauge
+	capGauge  *obs.Gauge
 }
 
 // New creates a benefactor store contributing capacity bytes of chunkSize
@@ -172,6 +178,22 @@ func New(id, node int, capacity, chunkSize int64, backend Backend) *Store {
 		st.recycle = rc.Recycle
 	}
 	return st
+}
+
+// SetObs registers the store's occupancy gauges (benefactor.used_bytes,
+// benefactor.capacity_bytes) in o's registry and keeps them current as
+// chunks materialize and die. Nil-safe: a nil o (or nil registry) leaves
+// the gauges as no-ops.
+func (st *Store) SetObs(o *obs.Obs) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if o == nil {
+		return
+	}
+	st.usedGauge = o.Reg.Gauge("benefactor.used_bytes")
+	st.capGauge = o.Reg.Gauge("benefactor.capacity_bytes")
+	st.usedGauge.Set(st.used)
+	st.capGauge.Set(st.capacity)
 }
 
 // PrivateReads reports whether GetChunk results are caller-owned buffers
@@ -259,6 +281,7 @@ func (st *Store) putChunkLocked(id proto.ChunkID, data []byte) error {
 	}
 	if fresh {
 		st.used += st.chunkSize
+		st.usedGauge.Set(st.used)
 	}
 	st.s.Puts++
 	st.s.BytesWritten += int64(len(data))
@@ -314,6 +337,7 @@ func (st *Store) PutPages(id proto.ChunkID, pageOffs []int64, pages [][]byte) er
 		}
 		cur = make([]byte, st.chunkSize)
 		st.used += st.chunkSize
+		st.usedGauge.Set(st.used)
 	} else if err != nil {
 		return err
 	} else if st.privGet {
@@ -383,6 +407,7 @@ func (st *Store) DeleteChunk(id proto.ChunkID) error {
 		return err
 	}
 	st.used -= st.chunkSize
+	st.usedGauge.Set(st.used)
 	return nil
 }
 

@@ -467,11 +467,21 @@ func (c *Cache) markDirty() {
 // markDirty bumps the sequence under — so an invalidation can never slip
 // between the check and the removal). Returns the first commit error;
 // failed shards stay pending in memory and retry on the next pass.
+//
+// A pass that actually rewrites at least one shard records a
+// filecache.commit root span, so snapshot stalls show up in the slow-op
+// flight recorder; the flusher's no-op passes record nothing.
 func (c *Cache) Commit() error {
 	seqBefore := c.invalSeq.Load()
 	var first error
+	committed := 0
+	start := time.Now()
 	for _, sh := range c.shd {
-		if err := sh.commit(); err != nil && first == nil {
+		did, err := sh.commit()
+		if did {
+			committed++
+		}
+		if err != nil && first == nil {
 			first = err
 		}
 	}
@@ -483,18 +493,25 @@ func (c *Cache) Commit() error {
 		}
 		c.markerMu.Unlock()
 	}
+	if committed > 0 || first != nil {
+		sp := c.o.StartSpanAt("", "", "filecache.commit", start.UnixNano())
+		sp.SetVar(fmt.Sprintf("shards=%d", committed))
+		sp.SetErr(first)
+		sp.End()
+	}
 	return first
 }
 
-// commit rewrites the shard file from the live entries. The shard lock is
-// held for the duration (snapshot-rewrite is the FMC1 model's simplicity
-// trade: no WAL, no partial updates; Get/Put on this shard stall during
-// the rewrite).
-func (sh *shard) commit() error {
+// commit rewrites the shard file from the live entries, reporting whether
+// it actually rewrote anything (a clean shard is a no-op). The shard lock
+// is held for the duration (snapshot-rewrite is the FMC1 model's
+// simplicity trade: no WAL, no partial updates; Get/Put on this shard
+// stall during the rewrite).
+func (sh *shard) commit() (bool, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if !sh.dirty {
-		return nil
+		return false, nil
 	}
 	// The uint32 offsets bound a shard image to MaxShardBytes; Open clamps
 	// the payload capacity, so only a pathological tiny-entry count can
@@ -516,7 +533,7 @@ func (sh *shard) commit() error {
 
 	tmp, err := os.CreateTemp(filepath.Dir(sh.path), filepath.Base(sh.path)+".*.tmp")
 	if err != nil {
-		return sh.commitFailed(err)
+		return false, sh.commitFailed(err)
 	}
 	_, werr := tmp.Write(img)
 	if werr == nil {
@@ -530,18 +547,18 @@ func (sh *shard) commit() error {
 	}
 	if werr != nil {
 		_ = os.Remove(tmp.Name())
-		return sh.commitFailed(werr)
+		return false, sh.commitFailed(werr)
 	}
 
 	// Swap the mmap to the new image and flip every entry to committed.
 	f, err := os.Open(sh.path)
 	if err != nil {
-		return sh.commitFailed(err)
+		return false, sh.commitFailed(err)
 	}
 	mapped, unmap, err := mapShard(f, int64(len(img)))
 	if err != nil {
 		f.Close()
-		return sh.commitFailed(err)
+		return false, sh.commitFailed(err)
 	}
 	if sh.unmap != nil {
 		sh.unmap()
@@ -564,7 +581,7 @@ func (sh *shard) commit() error {
 	}
 	sh.dirty = false
 	sh.c.s.commits.Inc()
-	return nil
+	return true, nil
 }
 
 func (sh *shard) commitFailed(err error) error {

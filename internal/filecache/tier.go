@@ -113,18 +113,38 @@ func (t *Tier) Status(ctx store.Ctx) ([]proto.BenefactorInfo, error) {
 // GetChunk serves the chunk from the file tier when a fresh entry exists,
 // else falls through to the wire. File-tier buffers are freshly allocated
 // at chunk geometry, so the arena above pools them like lender buffers.
+//
+// On a traced request the whole lookup runs under one filecache.get span
+// (parented beneath the RAM tier's span above): a hit records a
+// filecache.hit child; a miss re-parents the wire fetch under the get
+// span, so the waterfall shows how long the probe plus fallthrough took.
 func (t *Tier) GetChunk(ctx store.Ctx, refs []proto.ChunkRef) ([]byte, error) {
 	key := uint64(refs[0].ID)
+	sc := store.SpanOf(ctx)
+	var sp *obs.ActiveSpan
+	if sc.Traced() {
+		sp = t.o.StartSpan(sc.Trace, sc.Parent, "filecache.get")
+		sp.SetVar(sc.Var)
+		ctx = store.WithSpan(ctx, store.SpanInfo{Trace: sc.Trace, Parent: sp.ID(), Var: sc.Var})
+	}
 	if data, gen, ok := t.fc.Get(key); ok && t.genFresh(key, gen) {
-		if sc := store.SpanOf(ctx); sc.Traced() {
-			sp := t.o.StartSpan(sc.Trace, sc.Parent, "filecache.hit")
-			sp.SetVar(sc.Var)
+		if sp != nil {
+			hit := t.o.StartSpan(sp.Trace(), sp.ID(), "filecache.hit")
+			hit.SetVar(sc.Var)
+			hit.AddBytes(int64(len(data)))
+			hit.End()
 			sp.AddBytes(int64(len(data)))
 			sp.End()
 		}
 		return data, nil
 	}
-	return t.inner.GetChunk(ctx, refs)
+	data, err := t.inner.GetChunk(ctx, refs)
+	if sp != nil {
+		sp.AddBytes(int64(len(data)))
+		sp.SetErr(err)
+		sp.End()
+	}
+	return data, err
 }
 
 // genFresh reports whether a cached generation may be served: unknown

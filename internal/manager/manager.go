@@ -345,6 +345,42 @@ func (m *Manager) UnderReplicated() []proto.ChunkID {
 	return out
 }
 
+// UnderReplicatedCount returns the size of the repair backlog without
+// materializing the sorted ID list — the monitoring refresh path calls it
+// on every sweep tick, so it must not allocate per chunk.
+func (m *Manager) UnderReplicatedCount() int {
+	n := 0
+	for _, cm := range m.chunks {
+		live := 0
+		if m.Alive(cm.ref.Benefactor) {
+			live++
+		}
+		for _, ref := range cm.replicas {
+			if m.Alive(ref.Benefactor) {
+				live++
+			}
+		}
+		if live < m.Replication {
+			n++
+		}
+	}
+	return n
+}
+
+// CapacitySummary totals the live benefactors' occupancy — the cluster's
+// remaining headroom, exported as manager gauges for the monitoring
+// layer.
+func (m *Manager) CapacitySummary() (used, capacity int64) {
+	for _, b := range m.bens {
+		if !b.info.Alive {
+			continue
+		}
+		used += b.info.Used
+		capacity += b.info.Capacity
+	}
+	return used, capacity
+}
+
 // RepairOp instructs the caller to copy a chunk payload from Src to Dst to
 // restore redundancy.
 type RepairOp struct {

@@ -12,14 +12,19 @@ import (
 
 // DebugServer serves a daemon's observability state over HTTP:
 //
-//	/metrics     JSON Snapshot of the metrics registry
-//	/healthz     "ok" (liveness probe)
-//	/trace       JSON []Event from the ring; ?trace=ID filters by trace ID,
-//	             ?n=N keeps only the newest N events
-//	/spans       JSON []Span from the span ring; ?trace=ID filters by trace
-//	             ID, ?slow=1 reads the slow-op flight recorder instead,
-//	             ?n=N keeps only the newest N spans
-//	/debug/pprof the standard Go profiling endpoints
+//	/metrics      JSON Snapshot of the metrics registry
+//	/metrics.prom the same registry in Prometheus text exposition format
+//	/healthz      "ok" while no alert rule fires; 503 with a JSON body
+//	              naming the firing rules otherwise
+//	/vitals       JSON Vitals: windowed rates/percentiles from the
+//	              daemon's own time series plus alert state;
+//	              ?window=30s tunes the lookback
+//	/trace        JSON []Event from the ring; ?trace=ID filters by trace
+//	              ID, ?n=N keeps only the newest N events
+//	/spans        JSON []Span from the span ring; ?trace=ID filters by
+//	              trace ID, ?slow=1 reads the slow-op flight recorder
+//	              instead, ?n=N keeps only the newest N spans
+//	/debug/pprof  the standard Go profiling endpoints
 type DebugServer struct {
 	l   net.Listener
 	srv *http.Server
@@ -38,9 +43,34 @@ func ServeDebug(addr string, o *Obs) (*DebugServer, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(o.Reg.Snapshot())
 	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = WritePrometheus(w, o.Reg.Snapshot())
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprintln(w, "ok")
+		firing := o.FiringAlerts()
+		if len(firing) == 0 {
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(healthzBody{Status: "unhealthy", Firing: firing})
+	})
+	mux.HandleFunc("/vitals", func(w http.ResponseWriter, req *http.Request) {
+		window := DefaultVitalsWindow
+		if ws := req.URL.Query().Get("window"); ws != "" {
+			if d, err := time.ParseDuration(ws); err == nil && d > 0 {
+				window = d
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(o.Vitals(window))
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
 		q := req.URL.Query()
@@ -109,6 +139,15 @@ func (ds *DebugServer) Close() error {
 	return ds.srv.Close()
 }
 
+// DefaultVitalsWindow is the /vitals lookback when the scrape names none.
+const DefaultVitalsWindow = 30 * time.Second
+
+// healthzBody is the JSON payload of an unhealthy /healthz response.
+type healthzBody struct {
+	Status string  `json:"status"`
+	Firing []Alert `json:"firing"`
+}
+
 // scrapeClient bounds debug-endpoint scrapes so a wedged daemon cannot
 // hang an nvmctl invocation.
 var scrapeClient = &http.Client{Timeout: 5 * time.Second}
@@ -127,6 +166,48 @@ func FetchMetrics(addr string) (Snapshot, error) {
 	}
 	err = json.NewDecoder(resp.Body).Decode(&s)
 	return s, err
+}
+
+// FetchVitals scrapes one node's /vitals endpoint with the given
+// lookback window (0 keeps the server default).
+func FetchVitals(addr string, window time.Duration) (Vitals, error) {
+	var v Vitals
+	url := "http://" + addr + "/vitals"
+	if window > 0 {
+		url += "?window=" + window.String()
+	}
+	resp, err := scrapeClient.Get(url)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("obs: %s/vitals: %s", addr, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	return v, err
+}
+
+// FetchHealth probes one node's /healthz: healthy (200) or unhealthy
+// (503, firing names the rules). Any other status is an error.
+func FetchHealth(addr string) (healthy bool, firing []Alert, err error) {
+	resp, err := scrapeClient.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return false, nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil, nil
+	case http.StatusServiceUnavailable:
+		var body healthzBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return false, nil, err
+		}
+		return false, body.Firing, nil
+	default:
+		return false, nil, fmt.Errorf("obs: %s/healthz: %s", addr, resp.Status)
+	}
 }
 
 // FetchTrace scrapes one node's /trace endpoint. trace filters by trace ID

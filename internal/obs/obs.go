@@ -15,7 +15,9 @@ package obs
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Obs bundles one process's (or one component's) observability state: a
@@ -35,6 +37,15 @@ type Obs struct {
 
 	slowNanos atomic.Int64
 	sink      atomic.Value // spanSink
+
+	// Continuous-monitoring state (StartMonitor): the time series of
+	// periodic registry samples and the alert-rule evaluator whose firing
+	// state degrades /healthz.
+	ts      atomic.Pointer[Series]
+	rules   atomic.Pointer[RuleSet]
+	monMu   sync.Mutex
+	monStop chan struct{}
+	monWG   sync.WaitGroup
 }
 
 // DefaultRingEvents is the event capacity of rings made by New.
@@ -72,6 +83,141 @@ func (o *Obs) Event(comp, kind, trace, detail string) {
 // Hot paths check it before building an event's detail string, so a
 // disabled Obs costs neither the fmt.Sprintf nor its allocations.
 func (o *Obs) EventsEnabled() bool { return o != nil && o.Ring != nil }
+
+// MonitorConfig configures continuous self-monitoring: periodic registry
+// sampling into a bounded time series, plus optional alert-rule
+// evaluation on the same cadence.
+type MonitorConfig struct {
+	// SampleInterval is the snapshot cadence. Zero or negative disables
+	// the monitor entirely.
+	SampleInterval time.Duration
+	// History is the number of samples retained (default
+	// DefaultSeriesSamples).
+	History int
+	// Rules, when non-empty, are evaluated after every sample; firing
+	// rules degrade /healthz to 503.
+	Rules []Rule
+}
+
+// StartMonitor begins periodic registry sampling (and rule evaluation)
+// on a background goroutine. Sampling is entirely off the hot path: the
+// only cost visible to instrumented code is the atomic loads
+// Registry.Snapshot always did. No-op on a nil/disabled Obs, a
+// non-positive interval, or when a monitor is already running.
+func (o *Obs) StartMonitor(cfg MonitorConfig) {
+	if o == nil || o.Reg == nil || cfg.SampleInterval <= 0 {
+		return
+	}
+	o.monMu.Lock()
+	defer o.monMu.Unlock()
+	if o.monStop != nil {
+		return
+	}
+	o.ts.Store(NewSeries(cfg.History))
+	if len(cfg.Rules) > 0 {
+		o.rules.Store(NewRuleSet(cfg.Rules...))
+	}
+	stop := make(chan struct{})
+	o.monStop = stop
+	o.monWG.Add(1)
+	go func() {
+		defer o.monWG.Done()
+		t := time.NewTicker(cfg.SampleInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				o.Sample()
+			}
+		}
+	}()
+	o.Sample() // an immediate first sample so Window math has a base ASAP
+}
+
+// StopMonitor stops the sampling goroutine (idempotent). The series and
+// rule state stay readable — a final view of the daemon's last window.
+func (o *Obs) StopMonitor() {
+	if o == nil {
+		return
+	}
+	o.monMu.Lock()
+	stop := o.monStop
+	o.monStop = nil
+	o.monMu.Unlock()
+	if stop != nil {
+		close(stop)
+		o.monWG.Wait()
+	}
+}
+
+// Sample takes one registry snapshot into the time series and evaluates
+// the alert rules against it. The monitor goroutine calls it on its
+// tick; tests call it directly for deterministic sequences.
+func (o *Obs) Sample() Snapshot {
+	if o == nil || o.Reg == nil {
+		return Snapshot{}
+	}
+	snap := o.Reg.Snapshot()
+	ts := o.ts.Load()
+	ts.Add(snap)
+	o.rules.Load().Eval(ts, snap.UnixNanos)
+	return snap
+}
+
+// TimeSeries returns the monitor's sample series (nil before
+// StartMonitor).
+func (o *Obs) TimeSeries() *Series {
+	if o == nil {
+		return nil
+	}
+	return o.ts.Load()
+}
+
+// SetTimeSeries installs a series without starting the sampling
+// goroutine — tests drive Add/Sample themselves.
+func (o *Obs) SetTimeSeries(ts *Series) {
+	if o == nil {
+		return
+	}
+	o.ts.Store(ts)
+}
+
+// Rules returns the monitor's rule evaluator (nil when no rules are
+// installed).
+func (o *Obs) Rules() *RuleSet {
+	if o == nil {
+		return nil
+	}
+	return o.rules.Load()
+}
+
+// SetRules installs (or, with nil, removes) the rule evaluator.
+func (o *Obs) SetRules(rs *RuleSet) {
+	if o == nil {
+		return
+	}
+	if rs == nil {
+		o.rules.Store((*RuleSet)(nil))
+		return
+	}
+	o.rules.Store(rs)
+}
+
+// FiringAlerts returns the rules currently past their sustained
+// duration — the set that makes /healthz report 503. Nil-safe; empty
+// without rules.
+func (o *Obs) FiringAlerts() []Alert {
+	if o == nil {
+		return nil
+	}
+	rs := o.rules.Load()
+	if rs == nil {
+		return nil
+	}
+	return rs.Firing()
+}
 
 // traceSeq disambiguates trace IDs generated within one process.
 var traceSeq atomic.Uint64

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4), stdlib-only. The
+// naming scheme is mechanical and stable so dashboards survive refactors:
+//
+//   - every metric is prefixed "nvm_" and the registry's dotted name has
+//     [.-] mapped to "_" ("manager.under_replicated" →
+//     "nvm_manager_under_replicated")
+//   - counters get the conventional "_total" suffix
+//   - latency histograms are exported in base seconds with a "_seconds"
+//     suffix ("rpc.get_chunk.latency" →
+//     "nvm_rpc_get_chunk_latency_seconds" with _bucket/_sum/_count)
+//   - every sample carries the daemon's identity as a node="..." label
+//   - process uptime is a synthetic gauge, nvm_uptime_seconds
+//
+// Bucket upper bounds are the registry's fixed exponential nanosecond
+// bounds converted to seconds, so `le` values are identical across every
+// daemon and scrape — a hard requirement for PromQL histogram_quantile
+// aggregation across the fleet.
+
+// PromContentType is the Content-Type of the /metrics.prom endpoint.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes s in the Prometheus text exposition format.
+// Output is deterministic: metrics sort by name within each kind.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	label := fmt.Sprintf("{node=%q}", s.Node)
+
+	if _, err := fmt.Fprintf(w,
+		"# HELP nvm_uptime_seconds process uptime\n# TYPE nvm_uptime_seconds gauge\nnvm_uptime_seconds%s %s\n",
+		label, formatFloat(s.UptimeSeconds)); err != nil {
+		return err
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s counter %s\n# TYPE %s counter\n%s%s %d\n",
+			pn, name, pn, pn, label, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s gauge %s\n# TYPE %s gauge\n%s%s %d\n",
+			pn, name, pn, pn, label, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if err := writePromHistogram(w, s.Node, name, s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, node, name string, h HistogramSnapshot) error {
+	pn := promName(name) + "_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s histogram %s\n# TYPE %s histogram\n", pn, name, pn); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for i, bound := range h.BoundsNanos {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{node=%q,le=%q} %d\n",
+			pn, node, formatFloat(float64(bound)/1e9), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{node=%q,le=\"+Inf\"} %d\n%s_sum%s %s\n%s_count%s %d\n",
+		pn, node, h.Count,
+		pn, fmt.Sprintf("{node=%q}", node), formatFloat(float64(h.SumNanos)/1e9),
+		pn, fmt.Sprintf("{node=%q}", node), h.Count)
+	return err
+}
+
+// promName converts a registry metric name to a Prometheus-legal one.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("nvm_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the shortest way that round-trips, the
+// conventional exposition formatting ("1e-06", "0.25", "3").
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// promTestSnapshot builds a fully deterministic snapshot exercising every
+// exposition branch: counters (with dots and dashes in the name), gauges,
+// and a populated histogram.
+func promTestSnapshot() Snapshot {
+	h := newHistogram()
+	h.Observe(2 * time.Microsecond)   // bucket le=4.096e-06
+	h.Observe(3 * time.Microsecond)   // same bucket
+	h.Observe(500 * time.Microsecond) // bucket le=0.000512
+	return Snapshot{
+		Node:          "bench-node",
+		UnixNanos:     1700000000000000000,
+		UptimeSeconds: 12.5,
+		Counters: map[string]int64{
+			"benefactor.read_bytes":   4096,
+			"manager.chunks-repaired": 3,
+		},
+		Gauges: map[string]int64{
+			"manager.under_replicated": 2,
+		},
+		Histograms: map[string]HistogramSnapshot{
+			"rpc.get_chunk.latency": h.Snapshot(),
+			"rpc.idle.latency":      {}, // empty histogram still exports
+		},
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, promTestSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from %s (regenerate with -update-golden if intentional)\ngot:\n%s", golden, got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, promTestSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		// Uptime is a synthetic gauge.
+		"# TYPE nvm_uptime_seconds gauge",
+		`nvm_uptime_seconds{node="bench-node"} 12.5`,
+		// Counters: nvm_ prefix, [.-] -> _, _total suffix.
+		"# TYPE nvm_benefactor_read_bytes_total counter",
+		`nvm_benefactor_read_bytes_total{node="bench-node"} 4096`,
+		`nvm_manager_chunks_repaired_total{node="bench-node"} 3`,
+		// Gauges keep the bare name.
+		"# TYPE nvm_manager_under_replicated gauge",
+		`nvm_manager_under_replicated{node="bench-node"} 2`,
+		// Histograms: _seconds suffix, cumulative le buckets, +Inf, sum in
+		// seconds, count.
+		"# TYPE nvm_rpc_get_chunk_latency_seconds histogram",
+		`nvm_rpc_get_chunk_latency_seconds_bucket{node="bench-node",le="4e-06"} 2`,
+		`nvm_rpc_get_chunk_latency_seconds_bucket{node="bench-node",le="0.000512"} 3`,
+		`nvm_rpc_get_chunk_latency_seconds_bucket{node="bench-node",le="+Inf"} 3`,
+		`nvm_rpc_get_chunk_latency_seconds_sum{node="bench-node"} 0.000505`,
+		`nvm_rpc_get_chunk_latency_seconds_count{node="bench-node"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// le bounds must be cumulative and monotonic.
+	if strings.Contains(out, "-1") {
+		t.Error("negative value in exposition")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"manager.under_replicated": "nvm_manager_under_replicated",
+		"rpc.get-chunk.latency":    "nvm_rpc_get_chunk_latency",
+		"a b":                      "nvm_a_b",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -87,8 +87,9 @@ func (g *Gauge) Load() int64 {
 // use and live for the registry's lifetime, so hot paths look them up once
 // at construction and then touch only atomics.
 type Registry struct {
-	node  string
-	start time.Time
+	node       string
+	startNanos atomic.Int64
+	clock      atomic.Value // func() int64, wall-clock Unix nanos
 
 	mu       sync.RWMutex
 	counters map[string]*Counter
@@ -98,13 +99,42 @@ type Registry struct {
 
 // NewRegistry returns an empty registry identified as node in exports.
 func NewRegistry(node string) *Registry {
-	return &Registry{
+	r := &Registry{
 		node:     node,
-		start:    time.Now(),
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
+	r.startNanos.Store(time.Now().UnixNano())
+	return r
+}
+
+// SetClock installs the wall-clock source that stamps snapshots
+// (Snapshot.UnixNanos) — an Env.NowNanos-compatible func() int64. Tests
+// and the simulated substrate inject a deterministic clock through it;
+// nil restores time.Now. Uptime is rebased to the new clock so
+// UptimeSeconds stays monotonic from the moment of installation.
+func (r *Registry) SetClock(now func() int64) {
+	if r == nil {
+		return
+	}
+	if now == nil {
+		r.clock.Store((func() int64)(nil))
+		r.startNanos.Store(time.Now().UnixNano())
+		return
+	}
+	r.clock.Store(now)
+	r.startNanos.Store(now())
+}
+
+// nowNanos reads the registry's clock (injected or time.Now).
+func (r *Registry) nowNanos() int64 {
+	if v := r.clock.Load(); v != nil {
+		if f := v.(func() int64); f != nil {
+			return f()
+		}
+	}
+	return time.Now().UnixNano()
 }
 
 // Node returns the registry's export identity.
@@ -186,12 +216,13 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
+	now := r.nowNanos()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
 		Node:          r.node,
-		UnixNanos:     time.Now().UnixNano(),
-		UptimeSeconds: time.Since(r.start).Seconds(),
+		UnixNanos:     now,
+		UptimeSeconds: float64(now-r.startNanos.Load()) / 1e9,
 		Counters:      make(map[string]int64, len(r.counters)),
 		Gauges:        make(map[string]int64, len(r.gauges)),
 		Histograms:    make(map[string]HistogramSnapshot, len(r.hists)),

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// gaugeSeries builds a series whose newest sample carries the gauge value.
+func gaugeSeries(name string, v int64) *Series {
+	s := NewSeries(4)
+	s.Add(Snapshot{UnixNanos: 1, Gauges: map[string]int64{name: v}})
+	s.Add(Snapshot{UnixNanos: 2, Gauges: map[string]int64{name: v}})
+	return s
+}
+
+func TestRuleSustainedDuration(t *testing.T) {
+	rs := NewRuleSet(Rule{
+		Name:      "backlog",
+		Value:     GaugeValue("g"),
+		Op:        Above,
+		Threshold: 0,
+		For:       10 * time.Second,
+	})
+	breach := gaugeSeries("g", 5)
+
+	rs.Eval(breach, 1e9)
+	if !rs.Healthy() {
+		t.Fatal("firing immediately; must stay pending for the sustain window")
+	}
+	if st := rs.States(); len(st) != 1 || st[0].State != "pending" {
+		t.Fatalf("States after first breach = %+v, want one pending", st)
+	}
+
+	// Still inside the 10s sustain: pending, not firing.
+	rs.Eval(breach, 9e9)
+	if len(rs.Firing()) != 0 {
+		t.Fatal("fired before the sustain elapsed")
+	}
+
+	// 11s after the condition began: firing.
+	rs.Eval(breach, 12e9)
+	firing := rs.Firing()
+	if len(firing) != 1 || firing[0].State != "firing" || firing[0].Rule != "backlog" {
+		t.Fatalf("Firing = %+v, want the backlog rule firing", firing)
+	}
+	if rs.Healthy() {
+		t.Fatal("Healthy true while a rule fires")
+	}
+	if firing[0].SinceUnixNanos != 1e9 {
+		t.Fatalf("SinceUnixNanos = %d, want the first breach (1e9)", firing[0].SinceUnixNanos)
+	}
+}
+
+func TestRuleFlapClearsState(t *testing.T) {
+	rs := NewRuleSet(Rule{
+		Name:      "backlog",
+		Value:     GaugeValue("g"),
+		Op:        Above,
+		Threshold: 0,
+		For:       10 * time.Second,
+	})
+	breach, clear := gaugeSeries("g", 5), gaugeSeries("g", 0)
+
+	rs.Eval(breach, 1e9)
+	rs.Eval(clear, 5e9) // condition stopped holding: full reset
+	rs.Eval(breach, 6e9)
+	rs.Eval(breach, 12e9) // only 6s since the NEW breach began — not 11s
+	if len(rs.Firing()) != 0 {
+		t.Fatal("fired across a flap; the sustain clock must restart")
+	}
+	rs.Eval(breach, 17e9) // 11s since 6e9: fires now
+	if len(rs.Firing()) != 1 {
+		t.Fatal("did not fire after a full sustain window post-flap")
+	}
+	// Condition clears: firing state drops immediately.
+	rs.Eval(clear, 18e9)
+	if len(rs.Firing()) != 0 || !rs.Healthy() {
+		t.Fatal("firing state survived the condition clearing")
+	}
+	if len(rs.States()) != 0 {
+		t.Fatal("pending state survived the condition clearing")
+	}
+}
+
+func TestRuleNoDataNeverTriggers(t *testing.T) {
+	rs := NewRuleSet(Rule{
+		Name:      "nodata",
+		Value:     func(*Series) (float64, bool) { return 99, false },
+		Op:        Above,
+		Threshold: 0,
+	})
+	rs.Eval(NewSeries(2), 1e9)
+	if len(rs.States()) != 0 {
+		t.Fatal("a no-data rule produced an alert")
+	}
+}
+
+func TestRuleBelowAndZeroFor(t *testing.T) {
+	rs := NewRuleSet(Rule{
+		Name:      "hit-collapse",
+		Value:     GaugeValue("ratio"),
+		Op:        Below,
+		Threshold: 10,
+		// For == 0: fires on the first breach.
+	})
+	rs.Eval(gaugeSeries("ratio", 3), 1e9)
+	if len(rs.Firing()) != 1 {
+		t.Fatal("zero-For rule did not fire on first breach")
+	}
+	rs.Eval(gaugeSeries("ratio", 50), 2e9)
+	if len(rs.Firing()) != 0 {
+		t.Fatal("Below rule kept firing above threshold")
+	}
+}
+
+func TestNewRuleSetDropsNilValue(t *testing.T) {
+	rs := NewRuleSet(Rule{Name: "novalue"}, Rule{Name: "ok", Value: GaugeValue("g")})
+	if len(rs.rules) != 1 || rs.rules[0].Name != "ok" {
+		t.Fatalf("rules = %+v, want only the one with a Value", rs.rules)
+	}
+}
+
+func TestDefaultRulesUnderReplicated(t *testing.T) {
+	rules := DefaultRules(RuleDefaults{Sustain: 5 * time.Second})
+	rs := NewRuleSet(rules...)
+
+	under := NewSeries(4)
+	under.Add(Snapshot{UnixNanos: 1, Gauges: map[string]int64{"manager.under_replicated": 2}})
+	under.Add(Snapshot{UnixNanos: 2, Gauges: map[string]int64{"manager.under_replicated": 2}})
+
+	rs.Eval(under, 1e9)
+	rs.Eval(under, 7e9)
+	firing := rs.Firing()
+	if len(firing) != 1 || firing[0].Rule != "under-replicated" {
+		t.Fatalf("Firing = %+v, want under-replicated only", firing)
+	}
+	// A series with no manager metrics at all (a benefactor) stays quiet.
+	rs2 := NewRuleSet(DefaultRules(RuleDefaults{})...)
+	empty := NewSeries(4)
+	empty.Add(Snapshot{UnixNanos: 1})
+	empty.Add(Snapshot{UnixNanos: 2})
+	rs2.Eval(empty, 1e9)
+	if len(rs2.States()) != 0 {
+		t.Fatalf("default rules alerted on an empty registry: %+v", rs2.States())
+	}
+}
+
+func TestDefaultRulesHeartbeatStale(t *testing.T) {
+	rs := NewRuleSet(DefaultRules(RuleDefaults{HeartbeatTimeout: time.Second})...)
+	stale := NewSeries(4)
+	stale.Add(Snapshot{UnixNanos: 1, Gauges: map[string]int64{"manager.max_beat_age_nanos": 3e9}})
+	stale.Add(Snapshot{UnixNanos: 2, Gauges: map[string]int64{"manager.max_beat_age_nanos": 3e9}})
+	rs.Eval(stale, 1e9)
+	// heartbeat-stale has For == 0: one breach fires it.
+	firing := rs.Firing()
+	if len(firing) != 1 || firing[0].Rule != "heartbeat-stale" {
+		t.Fatalf("Firing = %+v, want heartbeat-stale", firing)
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import "time"
+
+// Vitals is one daemon's self-described windowed health view, served at
+// /vitals: per-second counter rates and windowed histograms computed from
+// the daemon's own time series (so a single scrape yields rates — no
+// client-side delta bookkeeping), the latest gauges, and the alert-rule
+// state. Windowed histograms merge across daemons with
+// HistogramSnapshot.Merge, which is how nvmctl watch renders cluster
+// percentiles over the last N seconds.
+type Vitals struct {
+	Node          string  `json:"node"`
+	UnixNanos     int64   `json:"unix_nanos"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// WindowSeconds is the actual span the rates and histograms cover: the
+	// requested window clipped to retained history, or the whole uptime
+	// when the daemon runs without a monitor (lifetime averages then).
+	WindowSeconds float64 `json:"window_seconds"`
+	// Samples is the number of time-series samples retained (0 means no
+	// monitor — the vitals degrade to lifetime averages).
+	Samples int                          `json:"samples"`
+	Rates   map[string]float64           `json:"rates"`
+	Gauges  map[string]int64             `json:"gauges"`
+	Hists   map[string]HistogramSnapshot `json:"hists"`
+	// Alerts are the rules whose condition currently holds, pending and
+	// firing both. Healthy is false only when at least one is firing.
+	Alerts  []Alert `json:"alerts,omitempty"`
+	Healthy bool    `json:"healthy"`
+}
+
+// Vitals computes the daemon's windowed view. With a running monitor the
+// rates/histograms cover the last `window` of the sample series; without
+// one they degrade to lifetime averages over a fresh snapshot, so the
+// endpoint is useful (if less sharp) on daemons running without sampling.
+func (o *Obs) Vitals(window time.Duration) Vitals {
+	v := Vitals{Healthy: true}
+	if o == nil || o.Reg == nil {
+		return v
+	}
+	if rs := o.rules.Load(); rs != nil {
+		v.Alerts = rs.States()
+		v.Healthy = rs.Healthy()
+	}
+	ts := o.ts.Load()
+	if older, newest, ok := ts.Window(window); ok {
+		v.Node = newest.Node
+		v.UnixNanos = newest.UnixNanos
+		v.UptimeSeconds = newest.UptimeSeconds
+		v.Samples = ts.Len()
+		v.WindowSeconds = float64(newest.UnixNanos-older.UnixNanos) / 1e9
+		v.Rates = make(map[string]float64, len(newest.Counters))
+		if v.WindowSeconds > 0 {
+			for name := range newest.Counters {
+				v.Rates[name] = float64(CounterDelta(older, newest, name)) / v.WindowSeconds
+			}
+		}
+		v.Gauges = newest.Gauges
+		v.Hists = make(map[string]HistogramSnapshot, len(newest.Histograms))
+		for name := range newest.Histograms {
+			if h := WindowHistogram(older, newest, name); h.Count > 0 {
+				v.Hists[name] = h
+			}
+		}
+		return v
+	}
+	// No series (or a single sample): lifetime averages over a live snapshot.
+	snap := o.Reg.Snapshot()
+	v.Node = snap.Node
+	v.UnixNanos = snap.UnixNanos
+	v.UptimeSeconds = snap.UptimeSeconds
+	v.Samples = ts.Len()
+	v.WindowSeconds = snap.UptimeSeconds
+	v.Rates = make(map[string]float64, len(snap.Counters))
+	if snap.UptimeSeconds > 0 {
+		for name, c := range snap.Counters {
+			v.Rates[name] = float64(c) / snap.UptimeSeconds
+		}
+	}
+	v.Gauges = snap.Gauges
+	v.Hists = make(map[string]HistogramSnapshot, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		if h.Count > 0 {
+			v.Hists[name] = h
+		}
+	}
+	return v
+}

@@ -129,12 +129,18 @@ func BenchmarkRPCStoreReadAt(b *testing.B) {
 // BenchmarkRPCObsOverhead isolates the cost of the observability layer:
 // the same striped read/write workload with default instrumentation
 // (counters + histograms + ring events) vs obs.Disabled() (every handle
-// nil, every call a no-op). Run with zero emulated device latency on
-// loopback — the worst case for relative overhead, since there is no SSD
-// service time to hide behind. The two modes should be within noise
-// (<5%); a regression here means someone put work on the hot path instead
-// of behind a nil-safe handle.
+// nil, every call a no-op). The servers run the continuous monitor in both
+// modes — periodic snapshots plus rule evaluation off the hot path — so
+// the comparison includes sampling, not just inline counters. Run with
+// zero emulated device latency on loopback — the worst case for relative
+// overhead, since there is no SSD service time to hide behind. The two
+// modes should be within noise (<5%); a regression here means someone put
+// work on the hot path instead of behind a nil-safe handle.
 func BenchmarkRPCObsOverhead(b *testing.B) {
+	monitor := obs.MonitorConfig{
+		SampleInterval: 100 * time.Millisecond,
+		Rules:          obs.DefaultRules(obs.RuleDefaults{}),
+	}
 	for _, mode := range []struct {
 		name string
 		opts Options
@@ -143,13 +149,15 @@ func BenchmarkRPCObsOverhead(b *testing.B) {
 		{"disabled", Options{Obs: obs.Disabled()}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			ms, err := NewManagerServer("127.0.0.1:0", testChunk, manager.RoundRobin)
+			ms, err := NewManagerServerWith("127.0.0.1:0", testChunk, manager.RoundRobin,
+				ManagerConfig{Monitor: monitor})
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.Cleanup(func() { ms.Close() })
 			for i := 0; i < 4; i++ {
-				bs, err := NewBenefactorServer("127.0.0.1:0", ms.Addr(), i, i, 2*benchFileChunks*testChunk, testChunk, benefactor.NewMem(), 0)
+				bs, err := NewBenefactorServerWith("127.0.0.1:0", ms.Addr(), i, i, 2*benchFileChunks*testChunk, testChunk,
+					benefactor.NewMem(), 0, BenefactorConfig{Monitor: monitor})
 				if err != nil {
 					b.Fatal(err)
 				}

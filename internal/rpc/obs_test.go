@@ -226,6 +226,97 @@ func TestDebugEndpoints(t *testing.T) {
 	}
 }
 
+// TestMonitorHealthzDegradesOnBenefactorLoss is the end-to-end alerting
+// drill: a replicated cluster with the monitor sampling loses a benefactor,
+// the manager's sweep raises manager.under_replicated, the under-replicated
+// rule sustains past its For window, and /healthz flips from 200 to 503
+// naming the rule — the exact path the CI obs-smoke lane exercises.
+func TestMonitorHealthzDegradesOnBenefactorLoss(t *testing.T) {
+	ms, err := NewManagerServerWith("127.0.0.1:0", testChunk, manager.RoundRobin,
+		ManagerConfig{
+			Replication:      2,
+			HeartbeatTimeout: 250 * time.Millisecond,
+			SweepInterval:    25 * time.Millisecond,
+			DebugAddr:        "127.0.0.1:0",
+			Monitor: obs.MonitorConfig{
+				SampleInterval: 10 * time.Millisecond,
+				Rules: []obs.Rule{{
+					Name:      "under-replicated",
+					Value:     obs.GaugeValue("manager.under_replicated"),
+					Op:        obs.Above,
+					Threshold: 0,
+					For:       50 * time.Millisecond,
+				}},
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	var bens []*BenefactorServer
+	for i := 0; i < 2; i++ {
+		bs, err := NewBenefactorServerWith("127.0.0.1:0", ms.Addr(), i, i, 64*testChunk, testChunk,
+			benefactor.NewMem(), 25*time.Millisecond, BenefactorConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer bs.Close()
+		bens = append(bens, bs)
+	}
+
+	st, err := OpenWith(ms.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Put("r", pattern(7, 2*testChunk)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fully replicated: health must start green.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		healthy, _, err := obs.FetchHealth(ms.DebugAddr())
+		if err == nil && healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("manager never reported healthy: healthy=%v err=%v", healthy, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Kill one replica holder; its heartbeats stop and the sweep marks the
+	// cluster under-replicated.
+	bens[0].Close()
+
+	for {
+		healthy, firing, err := obs.FetchHealth(ms.DebugAddr())
+		if err == nil && !healthy {
+			if len(firing) == 0 || firing[0].Rule != "under-replicated" {
+				t.Fatalf("firing = %+v, want the under-replicated rule", firing)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/healthz never degraded after losing a replica holder")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The windowed vitals must agree with the health endpoint.
+	v, err := obs.FetchVitals(ms.DebugAddr(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Healthy {
+		t.Fatal("/vitals healthy while under-replicated fires")
+	}
+	if v.Gauges["manager.under_replicated"] == 0 {
+		t.Fatal("/vitals missing the under_replicated gauge")
+	}
+}
+
 // TestDisabledObsIsInert: a store opened with obs.Disabled() must run the
 // full data path without panicking and report empty stats — the zero-cost
 // opt-out the benchmark relies on.

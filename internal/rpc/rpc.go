@@ -277,6 +277,11 @@ type ManagerConfig struct {
 	// Obs receives the manager's metrics and events. Nil gets a fresh
 	// obs.New("manager"); obs.Disabled() silences instrumentation.
 	Obs *obs.Obs
+	// Monitor configures continuous self-monitoring on the server's Obs:
+	// periodic registry sampling into a bounded time series, and alert
+	// rules whose firing state degrades /healthz from 200 to 503. The
+	// zero value disables it.
+	Monitor obs.MonitorConfig
 }
 
 // managerMetrics holds the manager server's registry handles, looked up
@@ -286,6 +291,8 @@ type managerMetrics struct {
 	underRepl  *obs.Gauge // chunks short of the replica target (refreshed per sweep/Status)
 	maxBeatAge *obs.Gauge // stalest live heartbeat in nanos (refreshed per sweep/Status)
 	liveBens   *obs.Gauge
+	usedBytes  *obs.Gauge // live benefactors' occupancy (refreshed per sweep)
+	capBytes   *obs.Gauge
 	deaths     *obs.Counter
 	repaired   *obs.Counter
 	repairFail *obs.Counter
@@ -304,6 +311,8 @@ func newManagerMetrics(o *obs.Obs) managerMetrics {
 		underRepl:  o.Reg.Gauge("manager.under_replicated"),
 		maxBeatAge: o.Reg.Gauge("manager.max_beat_age_nanos"),
 		liveBens:   o.Reg.Gauge("manager.live_benefactors"),
+		usedBytes:  o.Reg.Gauge("manager.used_bytes"),
+		capBytes:   o.Reg.Gauge("manager.capacity_bytes"),
 		deaths:     o.Reg.Counter("manager.benefactor_deaths"),
 		repaired:   o.Reg.Counter("manager.chunks_repaired"),
 		repairFail: o.Reg.Counter("manager.repair_failures"),
@@ -383,6 +392,7 @@ func NewManagerServerWith(addr string, chunkSize int64, policy manager.Placement
 	if sweep > 0 {
 		go s.sweepLoop(sweep)
 	}
+	s.obs.StartMonitor(cfg.Monitor)
 	go serve(l, s.conns, s.serveConn)
 	return s, nil
 }
@@ -432,7 +442,10 @@ func (s *ManagerServer) sweepLocked() {
 	}
 	s.mm.liveBens.Set(int64(live))
 	s.mm.maxBeatAge.Set(int64(maxAge))
-	s.mm.underRepl.Set(int64(len(s.mgr.UnderReplicated())))
+	s.mm.underRepl.Set(int64(s.mgr.UnderReplicatedCount()))
+	used, capacity := s.mgr.CapacitySummary()
+	s.mm.usedBytes.Set(used)
+	s.mm.capBytes.Set(capacity)
 }
 
 // Addr returns the listening address.
@@ -451,6 +464,7 @@ func (s *ManagerServer) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.stop)
+		s.obs.StopMonitor()
 		err = s.l.Close()
 		s.dbg.Close()
 		s.conns.closeAll()
@@ -582,7 +596,7 @@ func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 			}
 		}
 		resp.ChunkSize = s.mgr.ChunkSize()
-		resp.UnderReplicated = len(s.mgr.UnderReplicated())
+		resp.UnderReplicated = s.mgr.UnderReplicatedCount()
 		resp.DebugAddr = s.dbg.Addr()
 	case proto.OpMarkDead:
 		s.mgr.MarkDead(req.BenID)
@@ -655,7 +669,7 @@ func (s *ManagerServer) repair(tid string) (done, failed int, lost []proto.Chunk
 	if len(lost) > 0 {
 		s.obs.Event("manager", "data-loss", tid, fmt.Sprintf("%d chunks with no live copy", len(lost)))
 	}
-	s.mm.underRepl.Set(int64(len(s.mgr.UnderReplicated())))
+	s.mm.underRepl.Set(int64(s.mgr.UnderReplicatedCount()))
 	return done, failed, lost
 }
 
@@ -696,6 +710,9 @@ type BenefactorConfig struct {
 	// Obs receives the benefactor's metrics and events. Nil gets a fresh
 	// obs.New("benefactor-<id>"); obs.Disabled() silences instrumentation.
 	Obs *obs.Obs
+	// Monitor configures continuous self-monitoring on the server's Obs
+	// (periodic sampling + alert rules). The zero value disables it.
+	Monitor obs.MonitorConfig
 }
 
 // benMetrics holds the benefactor server's registry handles.
@@ -778,6 +795,7 @@ func NewBenefactorServerWith(addr, managerAddr string, id, node int, capacity, c
 		bm:    newBenMetrics(cfg.Obs),
 	}
 	s.privReads = s.st.PrivateReads()
+	s.st.SetObs(cfg.Obs)
 	if cfg.DebugAddr != "" {
 		dbg, err := obs.ServeDebug(cfg.DebugAddr, s.obs)
 		if err != nil {
@@ -821,6 +839,7 @@ func NewBenefactorServerWith(addr, managerAddr string, id, node int, capacity, c
 			}
 		}()
 	}
+	s.obs.StartMonitor(cfg.Monitor)
 	return s, nil
 }
 
@@ -840,6 +859,7 @@ func (s *BenefactorServer) Close() error {
 	s.StopHeartbeat()
 	var err error
 	s.closeOnce.Do(func() {
+		s.obs.StopMonitor()
 		err = s.l.Close()
 		s.dbg.Close()
 		s.conns.closeAll()
