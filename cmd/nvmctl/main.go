@@ -1,5 +1,11 @@
 // nvmctl is the command-line client for a TCP aggregate NVM store.
 //
+// On a sharded metadata plane -manager takes every shard's address,
+// comma-separated (or any one of them — the rest is discovered from the
+// piggybacked shard map). status/repair/kill and the observability
+// commands aggregate across all shards; put/get/stat/rm/link route by the
+// consistent-hash shard map.
+//
 // Usage:
 //
 //	nvmctl -manager host:7070 status
@@ -61,7 +67,7 @@ func fatal(err error) {
 }
 
 func main() {
-	mgr := flag.String("manager", "localhost:7070", "manager address")
+	mgr := flag.String("manager", "localhost:7070", "manager address(es); on a sharded plane list every shard, comma-separated")
 	pool := flag.Int("pool", rpc.DefaultPoolSize, "connections per benefactor")
 	parallel := flag.Int("parallel", rpc.DefaultParallelism, "chunk transfers in flight")
 	cacheBytes := flag.Int64("cache", 64<<20, "client chunk cache bytes (0 disables)")
@@ -145,7 +151,7 @@ func main() {
 
 	switch args[0] {
 	case "status":
-		runStatus(st, *mgr)
+		runStatus(st)
 	case "put":
 		if len(args) != 3 {
 			fatal(fmt.Errorf("put <name> <local-file>"))
@@ -197,15 +203,29 @@ func main() {
 		if len(args) < 3 {
 			fatal(fmt.Errorf("link <dst> <part> [part...]"))
 		}
-		fi, err := st.Manager().Link(args[1], args[2:])
+		// The Store's own link routes by the shard map and orchestrates the
+		// cross-shard retain/link protocol when parts live on other shards.
+		fi, err := st.Link(args[1], args[2:])
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s now spans %d chunks (%d bytes)\n", fi.Name, len(fi.Chunks), fi.Size)
 	case "repair":
-		res, err := st.Manager().Repair()
-		if err != nil {
-			fatal(err)
+		// Every shard repairs its own chunk table; results aggregate.
+		var res rpc.RepairResult
+		for i := range st.ShardAddrs() {
+			mc, err := st.ShardManager(i)
+			if err != nil {
+				fatal(fmt.Errorf("shard %d: %w", i, err))
+			}
+			r, err := mc.Repair()
+			if err != nil {
+				fatal(fmt.Errorf("shard %d: %w", i, err))
+			}
+			res.Repaired += r.Repaired
+			res.Failed += r.Failed
+			res.UnderReplicated += r.UnderReplicated
+			res.Lost = append(res.Lost, r.Lost...)
 		}
 		fmt.Printf("repaired %d replica copies, %d failed, backlog %d\n", res.Repaired, res.Failed, res.UnderReplicated)
 		for _, id := range res.Lost {
@@ -222,8 +242,15 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("kill: bad benefactor id %q", args[1]))
 		}
-		if err := st.Manager().MarkDead(id); err != nil {
-			fatal(err)
+		// A benefactor is registered with every shard; fence it everywhere.
+		for i := range st.ShardAddrs() {
+			mc, err := st.ShardManager(i)
+			if err != nil {
+				fatal(fmt.Errorf("shard %d: %w", i, err))
+			}
+			if err := mc.MarkDead(id); err != nil {
+				fatal(fmt.Errorf("shard %d: %w", i, err))
+			}
 		}
 		fmt.Printf("benefactor %d marked dead; reads fail over, writes degrade until repair\n", id)
 	case "ckpt-demo":
@@ -233,23 +260,23 @@ func main() {
 		if len(args) == 2 {
 			addr = args[1]
 		}
-		runMetrics(st, *mgr, addr)
+		runMetrics(st, addr)
 	case "top":
 		if len(args) >= 2 && (args[1] == "-by-var" || args[1] == "--by-var") {
-			runTopByVar(st, *mgr)
+			runTopByVar(st)
 		} else {
-			runTop(st, *mgr)
+			runTop(st)
 		}
 	case "trace":
 		id := ""
 		if len(args) == 2 {
 			id = args[1]
 		}
-		runTrace(st, *mgr, id, *traceN)
+		runTrace(st, id, *traceN)
 	case "slow":
-		runSlow(st, *mgr, *traceN)
+		runSlow(st, *traceN)
 	case "watch":
-		runWatch(st, *mgr, args[1:])
+		runWatch(st, args[1:])
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}
@@ -362,42 +389,93 @@ func fixHost(debugAddr, rpcAddr string) string {
 	return debugAddr
 }
 
-// discover lists the cluster's debug endpoints: the manager first, then
-// every registered benefactor.
-func discover(st *rpc.Store, mgrAddr string) ([]node, []proto.BenefactorInfo, error) {
-	resp, err := st.Manager().StatusDetail()
-	if err != nil {
-		return nil, nil, err
+// shardInfo is one metadata shard's reachability and status snapshot.
+type shardInfo struct {
+	addr  string
+	debug string // debug endpoint, "" when the daemon has none
+	epoch int64  // membership epoch the shard reported (0 pre-shard)
+	under int    // under-replicated backlog on this shard
+	err   error  // non-nil when the shard could not be reached
+}
+
+// mgrName labels shard i's manager node ("manager" when unsharded).
+func mgrName(i, n int) string {
+	if n <= 1 {
+		return "manager"
 	}
-	nodes := []node{{name: "manager", addr: fixHost(resp.DebugAddr, mgrAddr)}}
-	for _, b := range resp.Bens {
+	return fmt.Sprintf("manager-%d", i)
+}
+
+// discover lists the cluster's debug endpoints — every manager shard, then
+// every registered benefactor (merged across shards) — plus each shard's
+// status snapshot. It succeeds as long as at least one shard answers, so
+// the observability commands keep working with a shard down.
+func discover(st *rpc.Store) ([]node, []shardInfo, []proto.BenefactorInfo, error) {
+	addrs := st.ShardAddrs()
+	shards := make([]shardInfo, len(addrs))
+	nodes := make([]node, 0, len(addrs))
+	reachable := 0
+	for i, addr := range addrs {
+		si := shardInfo{addr: addr}
+		mc, err := st.ShardManager(i)
+		if err == nil {
+			var resp proto.ManagerResp
+			if resp, err = mc.StatusDetail(); err == nil {
+				si.debug = fixHost(resp.DebugAddr, addr)
+				si.epoch = resp.ShardEpoch
+				si.under = resp.UnderReplicated
+				reachable++
+			}
+		}
+		si.err = err
+		shards[i] = si
+		nodes = append(nodes, node{name: mgrName(i, len(addrs)), addr: si.debug})
+	}
+	if reachable == 0 {
+		return nil, shards, nil, fmt.Errorf("no manager shard reachable")
+	}
+	bens, err := st.Status()
+	if err != nil {
+		return nil, shards, nil, err
+	}
+	for _, b := range bens {
 		nodes = append(nodes, node{
 			name: fmt.Sprintf("benefactor-%d", b.ID),
 			addr: fixHost(b.DebugAddr, b.Addr),
 		})
 	}
-	return nodes, resp.Bens, nil
+	return nodes, shards, bens, nil
 }
 
 const noDebug = "n/a (daemon has no -debug-addr)"
 
-func runStatus(st *rpc.Store, mgrAddr string) {
-	nodes, bens, err := discover(st, mgrAddr)
+func runStatus(st *rpc.Store) {
+	nodes, shards, bens, err := discover(st)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("chunk size: %d bytes\n", st.ChunkSize())
+	fmt.Printf("chunk size: %d bytes, %d metadata shard(s)\n", st.ChunkSize(), len(shards))
+	for i, si := range shards {
+		if si.err != nil {
+			fmt.Printf("%s @ %s: UNREACHABLE (%v)\n", mgrName(i, len(shards)), si.addr, si.err)
+		} else if len(shards) > 1 {
+			fmt.Printf("%s @ %s epoch=%d under_replicated=%d\n",
+				mgrName(i, len(shards)), si.addr, si.epoch, si.under)
+		}
+	}
 	for i, b := range bens {
 		state := "alive"
 		if !b.Alive {
 			state = "DEAD"
 		}
+		// Used and Capacity are the device totals, summed back from each
+		// shard's capacity split by the merged Status.
 		fmt.Printf("benefactor %d @ %s node=%d used=%d/%d written=%d %s beat_age=%s\n",
 			b.ID, b.Addr, b.Node, b.Used, b.Capacity, b.WriteVolume, state,
 			time.Duration(b.BeatAgeNanos).Round(time.Millisecond))
 		// Server-side device traffic from the benefactor's own registry —
 		// the authoritative view, unlike client-side counters.
-		if addr := nodes[i+1].addr; addr != "" {
+		if addr := nodes[len(shards)+i].addr; addr != "" {
 			if snap, err := obs.FetchMetrics(addr); err == nil {
 				fmt.Printf("  ssd: read=%dB written=%dB (server-side)\n",
 					snap.Counters["ssd.read_bytes"], snap.Counters["ssd.write_bytes"])
@@ -408,28 +486,42 @@ func runStatus(st *rpc.Store, mgrAddr string) {
 			fmt.Printf("  ssd: %s\n", noDebug)
 		}
 	}
-	if under, err := st.Manager().UnderReplicated(); err == nil && under > 0 {
+	under := 0
+	for _, si := range shards {
+		under += si.under
+	}
+	if under > 0 {
 		fmt.Printf("WARNING: %d under-replicated chunks (run `nvmctl repair`)\n", under)
 	}
-	if addr := nodes[0].addr; addr != "" {
-		if snap, err := obs.FetchMetrics(addr); err == nil {
-			fmt.Printf("manager: repaired=%d repair_failures=%d benefactor_deaths=%d\n",
-				snap.Counters["manager.chunks_repaired"],
-				snap.Counters["manager.repair_failures"],
-				snap.Counters["manager.benefactor_deaths"])
+	for i, si := range shards {
+		name := mgrName(i, len(shards))
+		if si.debug != "" {
+			if snap, err := obs.FetchMetrics(si.debug); err == nil {
+				fmt.Printf("%s: repaired=%d repair_failures=%d benefactor_deaths=%d\n",
+					name,
+					snap.Counters["manager.chunks_repaired"],
+					snap.Counters["manager.repair_failures"],
+					snap.Counters["manager.benefactor_deaths"])
+			}
+		} else if si.err == nil {
+			fmt.Printf("%s: repair counters %s\n", name, noDebug)
 		}
-	} else {
-		fmt.Printf("manager: repair counters %s\n", noDebug)
 	}
 }
 
-func runMetrics(st *rpc.Store, mgrAddr, addr string) {
+func runMetrics(st *rpc.Store, addr string) {
 	if addr == "" {
-		nodes, _, err := discover(st, mgrAddr)
+		_, shards, _, err := discover(st)
 		if err != nil {
 			fatal(err)
 		}
-		if addr = nodes[0].addr; addr == "" {
+		for _, si := range shards {
+			if si.debug != "" {
+				addr = si.debug
+				break
+			}
+		}
+		if addr == "" {
 			fatal(fmt.Errorf("metrics: manager %s", noDebug))
 		}
 	}
@@ -462,8 +554,8 @@ func printSnapshot(snap obs.Snapshot) {
 // runTop aggregates every node's registry into one cluster view: counters
 // sum, histograms merge bucket-wise (so the percentiles are cluster-wide,
 // not an average of per-node percentiles).
-func runTop(st *rpc.Store, mgrAddr string) {
-	nodes, _, err := discover(st, mgrAddr)
+func runTop(st *rpc.Store) {
+	nodes, _, _, err := discover(st)
 	if err != nil {
 		fatal(err)
 	}
@@ -539,8 +631,8 @@ func runTop(st *rpc.Store, mgrAddr string) {
 // renders it as a waterfall with the critical path marked, followed by the
 // trace's raw events. Without an id it dumps recent events only (spans of
 // many unrelated traces do not merge into a meaningful waterfall).
-func runTrace(st *rpc.Store, mgrAddr, id string, n int) {
-	nodes, _, err := discover(st, mgrAddr)
+func runTrace(st *rpc.Store, id string, n int) {
+	nodes, _, _, err := discover(st)
 	if err != nil {
 		fatal(err)
 	}
@@ -820,8 +912,8 @@ func fmtVar(v string) string {
 // runSlow lists the cluster's slow-op flight recorders: root spans that
 // exceeded the daemons' -slow threshold, retained even after the main span
 // ring wrapped. Slowest first.
-func runSlow(st *rpc.Store, mgrAddr string, n int) {
-	nodes, _, err := discover(st, mgrAddr)
+func runSlow(st *rpc.Store, n int) {
+	nodes, _, _, err := discover(st)
 	if err != nil {
 		fatal(err)
 	}
@@ -849,8 +941,8 @@ func runSlow(st *rpc.Store, mgrAddr string, n int) {
 
 // runTopByVar attributes trace time to NVM variables: every root span
 // retained in the cluster's rings, aggregated by the variable it worked on.
-func runTopByVar(st *rpc.Store, mgrAddr string) {
-	nodes, _, err := discover(st, mgrAddr)
+func runTopByVar(st *rpc.Store) {
+	nodes, _, _, err := discover(st)
 	if err != nil {
 		fatal(err)
 	}

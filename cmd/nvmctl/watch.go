@@ -19,7 +19,7 @@ import (
 // alerts currently pending or firing. -once prints a single frame and
 // exits; the exit status is 0 even with alerts firing (watch observes, CI
 // asserts on its output or on /healthz directly).
-func runWatch(st *rpc.Store, mgrAddr string, args []string) {
+func runWatch(st *rpc.Store, args []string) {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	once := fs.Bool("once", false, "print one frame and exit")
 	interval := fs.Duration("interval", 2*time.Second, "refresh cadence")
@@ -27,7 +27,7 @@ func runWatch(st *rpc.Store, mgrAddr string, args []string) {
 	fs.Parse(args)
 
 	for {
-		frame := renderFrame(st, mgrAddr, *window)
+		frame := renderFrame(st, *window)
 		if *once {
 			fmt.Print(frame)
 			return
@@ -45,9 +45,9 @@ type nodeVitals struct {
 	err error
 }
 
-func renderFrame(st *rpc.Store, mgrAddr string, window time.Duration) string {
+func renderFrame(st *rpc.Store, window time.Duration) string {
 	var b strings.Builder
-	nodes, bens, err := discover(st, mgrAddr)
+	nodes, shards, bens, err := discover(st)
 	if err != nil {
 		return fmt.Sprintf("watch: discover: %v\n", err)
 	}
@@ -198,13 +198,35 @@ func renderFrame(st *rpc.Store, mgrAddr string, window time.Duration) string {
 			usedPct, rd, wr, health)
 	}
 
-	// Manager occupancy + replication backlog from its own gauges.
-	if v, err := vitalsFor("manager"); err == nil {
-		used, capacity := v.Gauges["manager.used_bytes"], v.Gauges["manager.capacity_bytes"]
-		fmt.Fprintf(&b, "\nmanager: live=%d under_replicated=%d used=%s/%s\n",
-			v.Gauges["manager.live_benefactors"],
-			v.Gauges["manager.under_replicated"],
-			fmtBytes(used), fmtBytes(capacity))
+	// Per-shard manager lines: occupancy and replication backlog from each
+	// shard's own gauges (each shard accounts its slice of the capacity
+	// split), plus the membership epoch. A shard whose epoch differs from
+	// the client's cached map is flagged — the next routed op there will
+	// pay one stale-map retry to resync.
+	b.WriteString("\nmanagers:\n")
+	cachedEpochs := st.ShardEpochs()
+	for i, si := range shards {
+		name := mgrName(i, len(shards))
+		if si.err != nil {
+			fmt.Fprintf(&b, "  %-12s @ %s UNREACHABLE (%v)\n", name, si.addr, si.err)
+			continue
+		}
+		skew := ""
+		if i < len(cachedEpochs) && si.epoch != cachedEpochs[i] {
+			skew = fmt.Sprintf("  EPOCH SKEW (client map at %d)", cachedEpochs[i])
+		}
+		if v, err := vitalsFor(name); err == nil {
+			fmt.Fprintf(&b, "  %-12s live=%d under_replicated=%d used=%s/%s epoch=%d%s\n",
+				name,
+				v.Gauges["manager.live_benefactors"],
+				v.Gauges["manager.under_replicated"],
+				fmtBytes(v.Gauges["manager.used_bytes"]),
+				fmtBytes(v.Gauges["manager.capacity_bytes"]),
+				si.epoch, skew)
+		} else {
+			fmt.Fprintf(&b, "  %-12s under_replicated=%d epoch=%d%s\n",
+				name, si.under, si.epoch, skew)
+		}
 	}
 
 	// Alerts across the whole cluster, firing first.

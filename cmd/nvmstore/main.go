@@ -4,15 +4,23 @@
 //
 //	nvmstore manager  -listen :7070 [-chunk 262144] [-policy rr|least|wear]
 //	          [-replication 1] [-hbtimeout 5s] [-sweep 0]
+//	          [-shard 0/2 -peers host:7070,host:7072]
 //	          [-debug-addr :7071] [-log info]
 //	          [-sample 1s] [-history 300] [-alert-for 30s] [-p99-budget 250ms] [-no-rules]
-//	nvmstore benefactor -manager host:7070 -id 0 [-listen :0] [-dir /ssd/nvm]
+//	nvmstore benefactor -manager host:7070[,host:7072] -id 0 [-listen :0] [-dir /ssd/nvm]
 //	          [-capacity 1073741824] [-chunk 262144] [-node 0] [-beat 2s]
 //	          [-debug-addr :0] [-log info]
 //	          [-sample 1s] [-history 300] [-alert-for 30s] [-p99-budget 250ms] [-no-rules]
 //
 // A benefactor contributes -capacity bytes of the file system at -dir
 // (mount the node-local SSD there) to the store managed by -manager.
+//
+// A sharded metadata plane runs one manager per shard: start shard i of n
+// with -shard i/n and -peers listing every shard's client-facing address in
+// shard order (-peers[i] must be this manager). Benefactors then register
+// with every shard (-manager takes the same comma-separated list) and
+// clients connect with the list — or any one address; the rest is
+// discovered from the piggybacked shard map.
 //
 // With -debug-addr either daemon serves its observability state over HTTP:
 // /metrics (JSON metrics snapshot), /metrics.prom (Prometheus text
@@ -40,6 +48,7 @@ import (
 	"nvmalloc/internal/manager"
 	"nvmalloc/internal/obs"
 	"nvmalloc/internal/rpc"
+	"nvmalloc/internal/shardmap"
 )
 
 func main() {
@@ -70,6 +79,28 @@ func waitForInterrupt() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
+}
+
+// parseShard resolves the -shard i/n and -peers flags into the manager's
+// shard identity. Empty -shard is the unsharded deployment.
+func parseShard(shard, peers string) (idx, cnt int, peerList []string, err error) {
+	if shard == "" {
+		if peers != "" {
+			return 0, 0, nil, fmt.Errorf("-peers requires -shard i/n")
+		}
+		return 0, 0, nil, nil
+	}
+	if _, err := fmt.Sscanf(shard, "%d/%d", &idx, &cnt); err != nil {
+		return 0, 0, nil, fmt.Errorf("-shard %q: want i/n (e.g. 0/2)", shard)
+	}
+	if cnt < 1 || idx < 0 || idx >= cnt {
+		return 0, 0, nil, fmt.Errorf("-shard %q: index out of range", shard)
+	}
+	peerList = shardmap.SplitAddrs(peers)
+	if cnt > 1 && len(peerList) != cnt {
+		return 0, 0, nil, fmt.Errorf("-peers lists %d addresses for %d shards", len(peerList), cnt)
+	}
+	return idx, cnt, peerList, nil
 }
 
 // monitorFlags registers the self-monitoring flags shared by both daemons
@@ -112,12 +143,18 @@ func runManager(args []string) {
 	replication := fs.Int("replication", 1, "copies kept of each chunk (on distinct benefactors)")
 	hbTimeout := fs.Duration("hbtimeout", 0, "heartbeat staleness before a benefactor is declared dead (0 = 5s default)")
 	sweep := fs.Duration("sweep", 0, "death-sweep clock tick (0 = half of hbtimeout, negative disables)")
+	shard := fs.String("shard", "", "shard position i/n on a sharded metadata plane (e.g. 0/2; empty = unsharded)")
+	peers := fs.String("peers", "", "comma-separated manager addresses of every shard, in shard order (required with -shard)")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /trace, /spans, /debug/pprof on this address (empty disables)")
 	logLevel := fs.String("log", "info", "log level: debug|info|warn|error|off")
 	slow := fs.Duration("slow", obs.DefaultSlowThreshold, "root spans at least this long are copied to the slow-op flight recorder (0 disables)")
 	monitor := monitorFlags(fs)
 	fs.Parse(args)
 
+	shardIdx, shardCnt, peerList, err := parseShard(*shard, *peers)
+	if err != nil {
+		fatal(err)
+	}
 	pol := manager.RoundRobin
 	switch *policy {
 	case "rr":
@@ -137,17 +174,26 @@ func runManager(args []string) {
 		DebugAddr:        *debugAddr,
 		Obs:              o,
 		Monitor:          monitor(obs.RuleDefaults{HeartbeatTimeout: *hbTimeout}),
+		ShardIndex:       shardIdx,
+		ShardCount:       shardCnt,
+		Peers:            peerList,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("nvmstore manager listening on %s (chunk=%d, policy=%s, replication=%d)\n",
-		srv.Addr(), *chunk, *policy, *replication)
+	if shardCnt > 1 {
+		fmt.Printf("nvmstore manager shard %d/%d listening on %s (chunk=%d, policy=%s, replication=%d)\n",
+			shardIdx, shardCnt, srv.Addr(), *chunk, *policy, *replication)
+	} else {
+		fmt.Printf("nvmstore manager listening on %s (chunk=%d, policy=%s, replication=%d)\n",
+			srv.Addr(), *chunk, *policy, *replication)
+	}
 	if srv.DebugAddr() != "" {
 		fmt.Printf("nvmstore manager debug endpoint on %s\n", srv.DebugAddr())
 	}
 	o.Log.Info("manager started", "addr", srv.Addr(), "debug", srv.DebugAddr(),
-		"chunk", *chunk, "policy", *policy, "replication", *replication)
+		"chunk", *chunk, "policy", *policy, "replication", *replication,
+		"shard", shardIdx, "shards", shardCnt)
 	waitForInterrupt()
 	o.Log.Info("manager shutting down")
 	srv.Close()
@@ -156,7 +202,7 @@ func runManager(args []string) {
 func runBenefactor(args []string) {
 	fs := flag.NewFlagSet("benefactor", flag.ExitOnError)
 	listen := fs.String("listen", ":0", "listen address")
-	mgr := fs.String("manager", "localhost:7070", "manager address")
+	mgr := fs.String("manager", "localhost:7070", "manager address(es); on a sharded plane list every shard, comma-separated")
 	id := fs.Int("id", 0, "benefactor id (unique across the store)")
 	node := fs.Int("node", 0, "hosting node id")
 	dir := fs.String("dir", "./nvm-chunks", "chunk directory (node-local SSD mount)")

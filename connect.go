@@ -50,10 +50,14 @@ type ConnectConfig struct {
 
 // Connect opens a Client against a live TCP store deployment (cmd/nvmstore
 // daemons): the manager at managerAddr hands out chunk placements and the
-// client moves data directly to and from benefactors. The returned Client
-// is the same library code the simulation runs — Malloc, views, Checkpoint
-// with real chunk linking and copy-on-write remap, Restore, Free — with a
-// nil execution context in place of a simulation Proc:
+// client moves data directly to and from benefactors. On a sharded
+// metadata plane, managerAddr is a comma-separated list of manager
+// addresses in shard order ("host:port,host:port"); giving any one shard
+// also works — the client discovers the rest from the piggybacked shard
+// map. The returned Client is the same library code the simulation runs —
+// Malloc, views, Checkpoint with real chunk linking and copy-on-write
+// remap, Restore, Free — with a nil execution context in place of a
+// simulation Proc:
 //
 //	c, err := nvmalloc.Connect("localhost:7070", nvmalloc.ConnectConfig{})
 //	r, err := c.Malloc(nil, 1<<20, nvmalloc.WithName("state"))

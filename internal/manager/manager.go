@@ -67,9 +67,24 @@ type file struct {
 // chunkMeta tracks a physical chunk.
 type chunkMeta struct {
 	ref  proto.ChunkRef
-	refs int // number of files referencing the chunk
+	refs int // local file references + remote holds (refs >= remote)
+	// remote is how many of refs are holds taken by other shards' files
+	// (OpRetainRefs). The chunk survives local deletion until every remote
+	// hold is released.
+	remote int
 	// replicas are additional copies on other benefactors (fault-
 	// tolerance extension; the primary is ref).
+	replicas []proto.ChunkRef
+}
+
+// foreignMeta tracks a chunk owned by another shard but referenced by
+// files on this shard (cross-shard Link/Derive). The owning shard holds
+// the authoritative refcount; refs here counts local file references, each
+// matched by one remote hold the client retained at the owner.
+type foreignMeta struct {
+	refs int
+	// replicas is the chunk's copy set at link time, primary first, so
+	// lookups on this shard still ship failover refs for foreign chunks.
 	replicas []proto.ChunkRef
 }
 
@@ -87,12 +102,24 @@ type Manager struct {
 	// paper leaves open.
 	Replication int
 
+	// Shard identity (§16): this manager owns the variable names that
+	// shardmap.ShardFor routes to shardIndex, and mints chunk IDs congruent
+	// to shardIndex+1 modulo shardCount so ownership of any chunk is
+	// computable from its ID alone. shardCount <= 1 is the unsharded plane.
+	shardIndex int
+	shardCount int
+	// epoch is the shard's membership epoch: it starts at 1 and bumps on
+	// every benefactor registration, death, or fenced rejoin. Requests
+	// stamped with an older epoch are fenced by the transport layer.
+	epoch int64
+
 	nextChunk proto.ChunkID
 	files     map[string]*file
 	bens      map[int]*benefactor
 	benOrder  []int // registration order, for deterministic round-robin
 	rr        int
 	chunks    map[proto.ChunkID]*chunkMeta
+	foreign   map[proto.ChunkID]*foreignMeta
 }
 
 // New returns a manager striping files into chunkSize chunks.
@@ -105,23 +132,89 @@ func New(chunkSize int64, policy PlacementPolicy) *Manager {
 		policy:           policy,
 		HeartbeatTimeout: 5 * time.Second,
 		Replication:      1,
+		epoch:            1,
 		files:            make(map[string]*file),
 		bens:             make(map[int]*benefactor),
 		chunks:           make(map[proto.ChunkID]*chunkMeta),
+		foreign:          make(map[proto.ChunkID]*foreignMeta),
 	}
 }
 
 // ChunkSize returns the striping unit.
 func (m *Manager) ChunkSize() int64 { return m.chunkSize }
 
-// Register adds (or re-registers) a benefactor.
-func (m *Manager) Register(info proto.BenefactorInfo, addr string, now time.Duration) {
-	if _, ok := m.bens[info.ID]; !ok {
+// SetShard assigns this manager its position in an n-shard metadata plane.
+// It must be called before any chunk is allocated: chunk IDs are strided by
+// shard so ownership stays computable from the ID.
+func (m *Manager) SetShard(index, count int) {
+	if count > 1 && (index < 0 || index >= count) {
+		panic(fmt.Sprintf("manager: shard %d/%d out of range", index, count))
+	}
+	if m.nextChunk != 0 || len(m.chunks) > 0 {
+		panic("manager: SetShard after chunk allocation")
+	}
+	m.shardIndex, m.shardCount = index, count
+}
+
+// Shard returns this manager's shard index and the shard count (0, 1 when
+// unsharded).
+func (m *Manager) Shard() (index, count int) { return m.shardIndex, m.shardCount }
+
+// Epoch returns the shard's membership epoch. It starts at 1 and only
+// increases, so a zero epoch (legacy clients) is never fenced.
+func (m *Manager) Epoch() int64 { return m.epoch }
+
+// Owner returns the shard index that minted (and therefore owns) a chunk
+// ID. Shard i allocates IDs congruent to i+1 modulo the shard count.
+func (m *Manager) Owner(id proto.ChunkID) int {
+	if m.shardCount <= 1 {
+		return 0
+	}
+	return int((id - 1) % proto.ChunkID(m.shardCount))
+}
+
+// Owns reports whether this shard owns a chunk ID.
+func (m *Manager) Owns(id proto.ChunkID) bool {
+	return m.shardCount <= 1 || m.Owner(id) == m.shardIndex
+}
+
+// allocID mints the next chunk ID this shard owns: shard i of n produces
+// i+1, i+1+n, i+1+2n, ... (the unsharded plane keeps the historical
+// 1, 2, 3, ...), so IDs never collide across shards.
+func (m *Manager) allocID() proto.ChunkID {
+	if m.nextChunk == 0 {
+		m.nextChunk = proto.ChunkID(m.shardIndex) + 1
+		return m.nextChunk
+	}
+	stride := proto.ChunkID(1)
+	if m.shardCount > 1 {
+		stride = proto.ChunkID(m.shardCount)
+	}
+	m.nextChunk += stride
+	return m.nextChunk
+}
+
+// Register adds (or re-registers) a benefactor and bumps the membership
+// epoch. It reports whether the benefactor was previously known and dead —
+// the rejoin case the transport layer must fence (FenceRejoin) before the
+// rejoiner serves reads. Re-registration preserves the manager-side
+// accounting (Used, and WriteVolume unless the caller reports a fresher
+// value): the benefactor does not know what the manager reserved on it.
+func (m *Manager) Register(info proto.BenefactorInfo, addr string, now time.Duration) (wasDead bool) {
+	if old, ok := m.bens[info.ID]; ok {
+		wasDead = !old.info.Alive
+		info.Used = old.info.Used
+		if info.WriteVolume == 0 {
+			info.WriteVolume = old.info.WriteVolume
+		}
+	} else {
 		m.benOrder = append(m.benOrder, info.ID)
 	}
 	info.Alive = true
 	info.Addr = addr
 	m.bens[info.ID] = &benefactor{info: info, lastBeat: now, addr: addr}
+	m.epoch++
+	return wasDead
 }
 
 // Addr returns the registered transport address of a benefactor (TCP mode).
@@ -133,19 +226,23 @@ func (m *Manager) Addr(benID int) (string, bool) {
 	return b.addr, true
 }
 
-// Heartbeat refreshes a benefactor's liveness and wear counter.
+// Heartbeat refreshes a benefactor's liveness and wear counter. A
+// benefactor the manager has declared dead cannot heartbeat itself back to
+// life: its pre-partition replica claims must first be fenced through
+// re-registration (§9/§16), so the beat is rejected with
+// ErrBenefactorDead and the benefactor re-registers.
 func (m *Manager) Heartbeat(benID int, writeVolume int64, now time.Duration) error {
 	b, ok := m.bens[benID]
-	if !ok {
+	if !ok || !b.info.Alive {
 		return proto.ErrBenefactorDead
 	}
 	b.lastBeat = now
-	b.info.Alive = true
 	b.info.WriteVolume = writeVolume
 	return nil
 }
 
 // Sweep marks benefactors with stale heartbeats dead and returns their IDs.
+// Any death is a membership change, so it bumps the epoch.
 func (m *Manager) Sweep(now time.Duration) []int {
 	var died []int
 	for _, id := range m.benOrder {
@@ -155,14 +252,89 @@ func (m *Manager) Sweep(now time.Duration) []int {
 			died = append(died, id)
 		}
 	}
+	if len(died) > 0 {
+		m.epoch++
+	}
 	return died
 }
 
 // MarkDead forcibly declares a benefactor dead (failure injection).
 func (m *Manager) MarkDead(benID int) {
-	if b, ok := m.bens[benID]; ok {
+	if b, ok := m.bens[benID]; ok && b.info.Alive {
 		b.info.Alive = false
+		m.epoch++
 	}
+}
+
+// FenceRejoin invalidates a rejoining benefactor's pre-partition replica
+// claims (closing the DESIGN.md §9 hole): every chunk copy it holds that
+// has at least one other LIVE copy is dropped from the metadata — the
+// survivors may have taken writes the rejoiner missed, so its stale copy
+// must never satisfy a read again. Copies that are the chunk's only one
+// are kept (replication=1 stores would otherwise lose data that was merely
+// partitioned, not diverged). When a dropped copy was the primary, a live
+// survivor is promoted and every file entry referencing the old primary is
+// rewritten. Returns the dropped refs, sorted, so the transport layer can
+// order the rejoiner to delete those payloads before it serves reads.
+func (m *Manager) FenceRejoin(benID int) []proto.ChunkRef {
+	var dropped []proto.ChunkRef
+	rewrite := make(map[proto.ChunkRef]proto.ChunkRef)
+	for id, cm := range m.chunks {
+		holds := cm.ref.Benefactor == benID
+		var liveOthers []proto.ChunkRef
+		if !holds && m.Alive(cm.ref.Benefactor) {
+			liveOthers = append(liveOthers, cm.ref)
+		}
+		for _, r := range cm.replicas {
+			if r.Benefactor == benID {
+				holds = true
+			} else if m.Alive(r.Benefactor) {
+				liveOthers = append(liveOthers, r)
+			}
+		}
+		if !holds || len(liveOthers) == 0 {
+			continue
+		}
+		if cm.ref.Benefactor == benID {
+			// Promote the first live survivor to primary.
+			next := liveOthers[0]
+			reps := cm.replicas[:0]
+			for _, r := range cm.replicas {
+				if r != next && r.Benefactor != benID {
+					reps = append(reps, r)
+				}
+			}
+			rewrite[cm.ref] = next
+			cm.ref = next
+			cm.replicas = reps
+		} else {
+			reps := cm.replicas[:0]
+			for _, r := range cm.replicas {
+				if r.Benefactor != benID {
+					reps = append(reps, r)
+				}
+			}
+			cm.replicas = reps
+		}
+		if b, ok := m.bens[benID]; ok {
+			b.info.Used -= m.chunkSize
+		}
+		dropped = append(dropped, proto.ChunkRef{Benefactor: benID, ID: id})
+	}
+	if len(rewrite) > 0 {
+		for _, f := range m.files {
+			for i, r := range f.chunks {
+				if next, ok := rewrite[r]; ok {
+					f.chunks[i] = next
+				}
+			}
+		}
+	}
+	if len(dropped) > 0 {
+		m.epoch++
+		sort.Slice(dropped, func(i, j int) bool { return dropped[i].ID < dropped[j].ID })
+	}
+	return dropped
 }
 
 // Alive reports whether a benefactor is currently considered alive.
@@ -253,13 +425,27 @@ func (m *Manager) allocChunk() (proto.ChunkRef, error) {
 	if err != nil {
 		return proto.ChunkRef{}, err
 	}
-	m.nextChunk++
-	ref := proto.ChunkRef{Benefactor: b.info.ID, ID: m.nextChunk}
+	ref := proto.ChunkRef{Benefactor: b.info.ID, ID: m.allocID()}
 	b.info.Used += m.chunkSize
 	cm := &chunkMeta{ref: ref, refs: 1}
 	m.chunks[ref.ID] = cm
 	m.replicate(cm)
 	return ref, nil
+}
+
+// allocChunkAt allocates a chunk preferring a specific benefactor (so a
+// copy-on-write payload can be copied server-side), falling back to policy
+// placement when it is full or dead.
+func (m *Manager) allocChunkAt(prefer int) (proto.ChunkRef, error) {
+	if b := m.bens[prefer]; b != nil && b.info.Alive && b.info.Used+m.chunkSize <= b.info.Capacity {
+		ref := proto.ChunkRef{Benefactor: b.info.ID, ID: m.allocID()}
+		b.info.Used += m.chunkSize
+		cm := &chunkMeta{ref: ref, refs: 1}
+		m.chunks[ref.ID] = cm
+		m.replicate(cm)
+		return ref, nil
+	}
+	return m.allocChunk()
 }
 
 // replicate tops a chunk up to the configured copy count, best effort
@@ -301,23 +487,28 @@ func (m *Manager) releaseChunk(id proto.ChunkID) ([]proto.ChunkRef, bool) {
 	return freed, true
 }
 
-// Replicas returns every copy of a chunk (primary first).
+// Replicas returns every copy of a chunk (primary first). For a chunk
+// owned by another shard it returns the copy set recorded at link time, so
+// lookups still ship failover refs for foreign chunks.
 func (m *Manager) Replicas(id proto.ChunkID) []proto.ChunkRef {
-	cm, ok := m.chunks[id]
-	if !ok {
-		return nil
+	if cm, ok := m.chunks[id]; ok {
+		return append([]proto.ChunkRef{cm.ref}, cm.replicas...)
 	}
-	return append([]proto.ChunkRef{cm.ref}, cm.replicas...)
+	if fm, ok := m.foreign[id]; ok {
+		return append([]proto.ChunkRef(nil), fm.replicas...)
+	}
+	return nil
 }
 
 // LiveRef resolves a chunk to a copy on a live benefactor (failover
-// reads).
+// reads). Foreign chunks resolve through their link-time copy set — the
+// benefactors register with every shard, so liveness is known here too.
 func (m *Manager) LiveRef(id proto.ChunkID) (proto.ChunkRef, error) {
-	cm, ok := m.chunks[id]
-	if !ok {
+	refs := m.Replicas(id)
+	if refs == nil {
 		return proto.ChunkRef{}, proto.ErrNoSuchChunk
 	}
-	for _, ref := range append([]proto.ChunkRef{cm.ref}, cm.replicas...) {
+	for _, ref := range refs {
 		if m.Alive(ref.Benefactor) {
 			return ref, nil
 		}
@@ -502,18 +693,57 @@ func (m *Manager) Exists(name string) bool { _, ok := m.files[name]; return ok }
 // physically deleted (refcount reached zero). Chunks still referenced by
 // other files — e.g. a checkpoint that linked them — survive.
 func (m *Manager) Delete(name string) ([]proto.ChunkRef, error) {
+	freed, _, err := m.DeleteFull(name)
+	return freed, err
+}
+
+// DeleteFull is Delete plus the cross-shard accounting: foreignFreed lists
+// references to chunks owned by OTHER shards that this file held; the
+// caller must release them at the owning shards (OpReleaseRefs).
+func (m *Manager) DeleteFull(name string) (freed, foreignFreed []proto.ChunkRef, err error) {
 	f, ok := m.files[name]
 	if !ok {
-		return nil, proto.ErrNoSuchFile
+		return nil, nil, proto.ErrNoSuchFile
 	}
-	var freed []proto.ChunkRef
 	for _, r := range f.chunks {
+		if !m.Owns(r.ID) {
+			m.dropForeign(r)
+			foreignFreed = append(foreignFreed, r)
+			continue
+		}
 		if refs, gone := m.releaseChunk(r.ID); gone {
 			freed = append(freed, refs...)
 		}
 	}
 	delete(m.files, name)
-	return freed, nil
+	return freed, foreignFreed, nil
+}
+
+// dropForeign releases one local file reference to a foreign chunk.
+func (m *Manager) dropForeign(r proto.ChunkRef) {
+	if fm, ok := m.foreign[r.ID]; ok {
+		fm.refs--
+		if fm.refs <= 0 {
+			delete(m.foreign, r.ID)
+		}
+	}
+}
+
+// addRef adds one local file reference to a chunk: owned chunks bump their
+// refcount; foreign chunks bump the foreign-hold count, and the ref is
+// returned so the caller can retain a matching hold at the owning shard.
+func (m *Manager) addRef(r proto.ChunkRef) (foreign bool) {
+	if m.Owns(r.ID) {
+		m.chunks[r.ID].refs++
+		return false
+	}
+	fm := m.foreign[r.ID]
+	if fm == nil {
+		fm = &foreignMeta{replicas: []proto.ChunkRef{r}}
+		m.foreign[r.ID] = fm
+	}
+	fm.refs++
+	return true
 }
 
 // SetTTL gives a file a lifetime deadline; ExpireSweep reclaims it once
@@ -530,6 +760,13 @@ func (m *Manager) SetTTL(name string, expiresAt time.Duration) error {
 // ExpireSweep deletes every file whose lifetime has passed, returning the
 // expired names and the physically freed chunks.
 func (m *Manager) ExpireSweep(now time.Duration) (expired []string, freed []proto.ChunkRef) {
+	expired, freed, _ = m.ExpireSweepFull(now)
+	return expired, freed
+}
+
+// ExpireSweepFull is ExpireSweep plus the foreign references the expired
+// files held (to be released at their owning shards).
+func (m *Manager) ExpireSweepFull(now time.Duration) (expired []string, freed, foreignFreed []proto.ChunkRef) {
 	var names []string
 	for n, f := range m.files {
 		if f.expiresAt != 0 && now > f.expiresAt {
@@ -538,35 +775,50 @@ func (m *Manager) ExpireSweep(now time.Duration) (expired []string, freed []prot
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fr, err := m.Delete(n)
+		fr, ff, err := m.DeleteFull(n)
 		if err == nil {
 			expired = append(expired, n)
 			freed = append(freed, fr...)
+			foreignFreed = append(foreignFreed, ff...)
 		}
 	}
-	return expired, freed
+	return expired, freed, foreignFreed
 }
 
 // Link appends the chunks of each part file to dst, incrementing their
 // refcounts — the zero-copy merge that ssdcheckpoint() uses to include
 // NVM-resident variables in a checkpoint file (paper §III-E).
 func (m *Manager) Link(dst string, parts []string) (proto.FileInfo, error) {
+	fi, _, err := m.LinkFull(dst, parts)
+	return fi, err
+}
+
+// LinkFull is Link plus the cross-shard accounting: foreignHeld lists the
+// references to other shards' chunks this link acquired; the caller must
+// retain them at the owning shards (OpRetainRefs).
+func (m *Manager) LinkFull(dst string, parts []string) (proto.FileInfo, []proto.ChunkRef, error) {
 	d, ok := m.files[dst]
 	if !ok {
-		return proto.FileInfo{}, proto.ErrNoSuchFile
+		return proto.FileInfo{}, nil, proto.ErrNoSuchFile
 	}
+	// Validate every part before mutating anything.
 	for _, pn := range parts {
-		p, ok := m.files[pn]
-		if !ok {
-			return proto.FileInfo{}, fmt.Errorf("%w: link part %q", proto.ErrNoSuchFile, pn)
+		if _, ok := m.files[pn]; !ok {
+			return proto.FileInfo{}, nil, fmt.Errorf("%w: link part %q", proto.ErrNoSuchFile, pn)
 		}
+	}
+	var held []proto.ChunkRef
+	for _, pn := range parts {
+		p := m.files[pn]
 		for _, r := range p.chunks {
-			m.chunks[r.ID].refs++
+			if m.addRef(r) {
+				held = append(held, r)
+			}
 			d.chunks = append(d.chunks, r)
 		}
 		d.size += p.size
 	}
-	return m.info(d), nil
+	return m.info(d), held, nil
 }
 
 // Derive creates a new file whose chunks are a sub-range of src's chunks
@@ -574,23 +826,32 @@ func (m *Manager) Link(dst string, parts []string) (proto.FileInfo, error) {
 // this: the restored variable references the checkpoint's chunks without
 // copying them, and goes copy-on-write from there.
 func (m *Manager) Derive(name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+	fi, _, err := m.DeriveFull(name, src, fromChunk, nChunks, size)
+	return fi, err
+}
+
+// DeriveFull is Derive plus the cross-shard accounting (see LinkFull).
+func (m *Manager) DeriveFull(name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, []proto.ChunkRef, error) {
 	if _, ok := m.files[name]; ok {
-		return proto.FileInfo{}, proto.ErrFileExists
+		return proto.FileInfo{}, nil, proto.ErrFileExists
 	}
 	s, ok := m.files[src]
 	if !ok {
-		return proto.FileInfo{}, proto.ErrNoSuchFile
+		return proto.FileInfo{}, nil, proto.ErrNoSuchFile
 	}
 	if fromChunk < 0 || nChunks < 0 || fromChunk+nChunks > len(s.chunks) {
-		return proto.FileInfo{}, proto.ErrChunkOutOfRange
+		return proto.FileInfo{}, nil, proto.ErrChunkOutOfRange
 	}
 	f := &file{name: name, size: size}
+	var held []proto.ChunkRef
 	for _, r := range s.chunks[fromChunk : fromChunk+nChunks] {
-		m.chunks[r.ID].refs++
+		if m.addRef(r) {
+			held = append(held, r)
+		}
 		f.chunks = append(f.chunks, r)
 	}
 	m.files[name] = f
-	return m.info(f), nil
+	return m.info(f), held, nil
 }
 
 // Remap implements copy-on-write: called before modifying chunk chunkIdx of
@@ -599,43 +860,197 @@ func (m *Manager) Derive(name, src string, fromChunk, nChunks int, size int64) (
 // installs it in the file, and returns both refs. If the chunk is
 // unshared, Remap reports shared=false and the caller writes in place.
 func (m *Manager) Remap(name string, chunkIdx int) (old, fresh proto.ChunkRef, shared bool, err error) {
+	old, fresh, shared, _, err = m.RemapFull(name, chunkIdx)
+	return old, fresh, shared, err
+}
+
+// RemapFull is Remap plus the cross-shard accounting: a foreign chunk is
+// always treated as shared (its owner's refcount is not visible here, and
+// cross-shard references exist precisely because the chunk is shared), so
+// the write always copies onto a fresh locally-owned chunk; the released
+// foreign reference comes back in foreignFreed for the caller to drop at
+// the owning shard.
+func (m *Manager) RemapFull(name string, chunkIdx int) (old, fresh proto.ChunkRef, shared bool, foreignFreed []proto.ChunkRef, err error) {
 	f, ok := m.files[name]
 	if !ok {
-		return old, fresh, false, proto.ErrNoSuchFile
+		return old, fresh, false, nil, proto.ErrNoSuchFile
 	}
 	if chunkIdx < 0 || chunkIdx >= len(f.chunks) {
-		return old, fresh, false, proto.ErrChunkOutOfRange
+		return old, fresh, false, nil, proto.ErrChunkOutOfRange
 	}
 	old = f.chunks[chunkIdx]
+	if !m.Owns(old.ID) {
+		// Allocate on the same benefactor for a server-side copy; fall
+		// back to policy placement if it is full or dead.
+		fresh, err = m.allocChunkAt(old.Benefactor)
+		if err != nil {
+			return old, fresh, false, nil, err
+		}
+		m.dropForeign(old)
+		f.chunks[chunkIdx] = fresh
+		return old, fresh, true, []proto.ChunkRef{old}, nil
+	}
 	cm := m.chunks[old.ID]
 	if cm.refs == 1 {
-		return old, old, false, nil
+		return old, old, false, nil, nil
 	}
-	// Allocate on the same benefactor for a server-side copy; fall back to
-	// policy placement if it is full or dead.
-	b := m.bens[old.Benefactor]
-	if b != nil && b.info.Alive && b.info.Used+m.chunkSize <= b.info.Capacity {
-		m.nextChunk++
-		fresh = proto.ChunkRef{Benefactor: b.info.ID, ID: m.nextChunk}
-		b.info.Used += m.chunkSize
-		cm := &chunkMeta{ref: fresh, refs: 1}
-		m.chunks[fresh.ID] = cm
-		m.replicate(cm)
-	} else {
-		fresh, err = m.allocChunk()
-		if err != nil {
-			return old, fresh, false, err
-		}
+	fresh, err = m.allocChunkAt(old.Benefactor)
+	if err != nil {
+		return old, fresh, false, nil, err
 	}
 	cm.refs--
 	f.chunks[chunkIdx] = fresh
-	return old, fresh, true, nil
+	return old, fresh, true, nil, nil
+}
+
+// ExportRange returns the refs, replica sets, and byte size of a chunk
+// sub-range of a file — the read-only first leg of a cross-shard link: the
+// client exports from the shard owning the source file, retains the refs
+// at their owning shards (OpRetainRefs), then links them into the
+// destination shard (OpLinkRefs). Export takes no locks beyond the call
+// itself and holds nothing: if a racing delete frees a chunk before the
+// client retains it, RetainRefs fails with ErrNoSuchChunk and the client
+// aborts cleanly.
+func (m *Manager) ExportRange(name string, fromChunk, nChunks int) (proto.FileInfo, error) {
+	f, ok := m.files[name]
+	if !ok {
+		return proto.FileInfo{}, proto.ErrNoSuchFile
+	}
+	if fromChunk < 0 || nChunks < 0 || fromChunk+nChunks > len(f.chunks) {
+		return proto.FileInfo{}, proto.ErrChunkOutOfRange
+	}
+	sub := f.chunks[fromChunk : fromChunk+nChunks]
+	fi := proto.FileInfo{Name: f.name, Chunks: append([]proto.ChunkRef(nil), sub...)}
+	fi.Replicas = make([][]proto.ChunkRef, len(sub))
+	for i, r := range sub {
+		fi.Replicas[i] = m.Replicas(r.ID)
+	}
+	// Size is the byte span the range covers; the trailing chunk may be
+	// partial (a whole-file export reports the file size).
+	start := int64(fromChunk) * m.chunkSize
+	end := int64(fromChunk+nChunks) * m.chunkSize
+	if end > f.size {
+		end = f.size
+	}
+	if start > end {
+		start = end
+	}
+	fi.Size = end - start
+	return fi, nil
+}
+
+// RetainRefs adds one remote hold per listed chunk on behalf of another
+// shard's file. Validation is all-or-nothing: if any chunk is unknown (or
+// not owned by this shard) nothing is bumped, so a client abort never
+// leaves partial holds.
+func (m *Manager) RetainRefs(ids []proto.ChunkID) error {
+	for _, id := range ids {
+		if !m.Owns(id) {
+			return fmt.Errorf("%w: retain of chunk %d not owned by shard %d", proto.ErrNoSuchChunk, id, m.shardIndex)
+		}
+		if _, ok := m.chunks[id]; !ok {
+			return fmt.Errorf("%w: retain chunk %d", proto.ErrNoSuchChunk, id)
+		}
+	}
+	for _, id := range ids {
+		cm := m.chunks[id]
+		cm.refs++
+		cm.remote++
+	}
+	return nil
+}
+
+// ReleaseRefs drops one remote hold per listed chunk, physically freeing
+// chunks whose refcount reaches zero (the refs are returned so the caller
+// can delete the payloads). Unknown chunks and chunks with no outstanding
+// remote holds are skipped — release is the cleanup leg of a client-
+// orchestrated protocol and must tolerate replays without corrupting
+// local accounting.
+func (m *Manager) ReleaseRefs(ids []proto.ChunkID) (freed []proto.ChunkRef) {
+	for _, id := range ids {
+		cm, ok := m.chunks[id]
+		if !ok || cm.remote <= 0 {
+			continue
+		}
+		cm.remote--
+		if refs, gone := m.releaseChunk(id); gone {
+			freed = append(freed, refs...)
+		}
+	}
+	return freed
+}
+
+// LinkRefs appends an explicit ref list — produced by ExportRange on
+// another shard — to a file on this shard, creating the file first when
+// create is set (cross-shard Derive). Refs this shard owns simply gain a
+// local reference; foreign refs are recorded in the foreign table with
+// their replica sets (the client retains matching holds at the owners).
+// size is added to the file's length (or becomes it, when creating).
+func (m *Manager) LinkRefs(name string, refs []proto.ChunkRef, replicas [][]proto.ChunkRef, size int64, create bool) (proto.FileInfo, error) {
+	f, ok := m.files[name]
+	if create && ok {
+		return proto.FileInfo{}, proto.ErrFileExists
+	}
+	if !create && !ok {
+		return proto.FileInfo{}, proto.ErrNoSuchFile
+	}
+	// Validate owned refs before mutating anything.
+	for _, r := range refs {
+		if m.Owns(r.ID) {
+			if _, ok := m.chunks[r.ID]; !ok {
+				return proto.FileInfo{}, fmt.Errorf("%w: link ref %v", proto.ErrNoSuchChunk, r)
+			}
+		}
+	}
+	if create {
+		f = &file{name: name}
+		m.files[name] = f
+	}
+	for i, r := range refs {
+		if m.Owns(r.ID) {
+			cm := m.chunks[r.ID]
+			cm.refs++
+			f.chunks = append(f.chunks, cm.ref)
+			continue
+		}
+		fm := m.foreign[r.ID]
+		if fm == nil {
+			reps := []proto.ChunkRef{r}
+			if i < len(replicas) && len(replicas[i]) > 0 {
+				reps = append([]proto.ChunkRef(nil), replicas[i]...)
+			}
+			fm = &foreignMeta{replicas: reps}
+			m.foreign[r.ID] = fm
+		}
+		fm.refs++
+		f.chunks = append(f.chunks, r)
+	}
+	f.size += size
+	return m.info(f), nil
 }
 
 // Refcount returns a chunk's current reference count (0 if unknown).
 func (m *Manager) Refcount(id proto.ChunkID) int {
 	if cm, ok := m.chunks[id]; ok {
 		return cm.refs
+	}
+	return 0
+}
+
+// RemoteHolds returns how many of a chunk's references are holds taken by
+// other shards (0 if unknown).
+func (m *Manager) RemoteHolds(id proto.ChunkID) int {
+	if cm, ok := m.chunks[id]; ok {
+		return cm.remote
+	}
+	return 0
+}
+
+// ForeignRefs returns how many local file references this shard holds on a
+// chunk owned by another shard (0 if none).
+func (m *Manager) ForeignRefs(id proto.ChunkID) int {
+	if fm, ok := m.foreign[id]; ok {
+		return fm.refs
 	}
 	return 0
 }
@@ -655,12 +1070,22 @@ func (m *Manager) TotalChunks() int { return len(m.chunks) }
 
 // CheckInvariants verifies internal consistency: every file chunk exists
 // with a positive refcount, refcounts equal the number of referencing file
-// entries, and per-benefactor usage equals chunkSize times its chunk count.
-// Tests call it after random operation sequences.
+// entries plus remote holds, foreign-table counts equal the file
+// references to other shards' chunks, chunk-ID ownership matches the
+// shard's stride, and per-benefactor usage equals chunkSize times its
+// (owned) chunk count. Tests call it after random operation sequences.
 func (m *Manager) CheckInvariants() error {
 	refs := make(map[proto.ChunkID]int)
+	foreignRefs := make(map[proto.ChunkID]int)
 	for _, f := range m.files {
 		for _, r := range f.chunks {
+			if !m.Owns(r.ID) {
+				if _, ok := m.foreign[r.ID]; !ok {
+					return fmt.Errorf("file %q references foreign chunk %d with no foreign-table entry", f.name, r.ID)
+				}
+				foreignRefs[r.ID]++
+				continue
+			}
 			cm, ok := m.chunks[r.ID]
 			if !ok {
 				return fmt.Errorf("file %q references missing chunk %d", f.name, r.ID)
@@ -672,11 +1097,28 @@ func (m *Manager) CheckInvariants() error {
 		}
 	}
 	for id, cm := range m.chunks {
-		if refs[id] != cm.refs {
-			return fmt.Errorf("chunk %d refcount %d but %d file references", id, cm.refs, refs[id])
+		if !m.Owns(id) {
+			return fmt.Errorf("chunk %d in local table but owned by shard %d (this is shard %d)", id, m.Owner(id), m.shardIndex)
+		}
+		if cm.remote < 0 {
+			return fmt.Errorf("chunk %d has negative remote holds %d", id, cm.remote)
+		}
+		if refs[id]+cm.remote != cm.refs {
+			return fmt.Errorf("chunk %d refcount %d but %d file references + %d remote holds", id, cm.refs, refs[id], cm.remote)
 		}
 		if cm.refs <= 0 {
 			return fmt.Errorf("chunk %d has nonpositive refcount", id)
+		}
+	}
+	for id, fm := range m.foreign {
+		if m.Owns(id) {
+			return fmt.Errorf("foreign-table entry %d is owned by this shard", id)
+		}
+		if fm.refs <= 0 {
+			return fmt.Errorf("foreign chunk %d has nonpositive hold count", id)
+		}
+		if foreignRefs[id] != fm.refs {
+			return fmt.Errorf("foreign chunk %d hold count %d but %d file references", id, fm.refs, foreignRefs[id])
 		}
 	}
 	used := make(map[int]int64)

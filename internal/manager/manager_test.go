@@ -221,10 +221,21 @@ func TestHeartbeatAndSweep(t *testing.T) {
 			t.Fatal("placed chunk on dead benefactor")
 		}
 	}
-	// A heartbeat revives it.
-	m.Heartbeat(1, 0, 7*time.Second)
+	// A heartbeat does NOT revive it: a dead benefactor may hold stale
+	// pre-partition copies, so it must come back through Register (which
+	// fences its claims, §9/§16), not a silent beat.
+	if err := m.Heartbeat(1, 0, 7*time.Second); err == nil {
+		t.Fatal("heartbeat on a dead benefactor should be rejected")
+	}
+	if m.Alive(1) {
+		t.Fatal("heartbeat must not revive a dead benefactor")
+	}
+	// Re-registration is the only road back.
+	if wasDead := m.Register(proto.BenefactorInfo{ID: 1, Capacity: 64 * cs}, "", 8*time.Second); !wasDead {
+		t.Fatal("re-register of a dead benefactor should report wasDead")
+	}
 	if !m.Alive(1) {
-		t.Fatal("heartbeat should revive")
+		t.Fatal("register should revive")
 	}
 }
 

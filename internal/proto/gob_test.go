@@ -84,6 +84,51 @@ type prespanChunkReq struct {
 	ChunkSize int64
 }
 
+// preshardManagerReq is the request envelope as it existed before the
+// metadata plane was sharded (no MapEpoch, IDs, Refs, RefReplicas,
+// CreateDst). Frozen so pre-shard daemons and clients stay interoperable
+// with sharded ones in both directions.
+type preshardManagerReq struct {
+	Op             proto.Op
+	TraceID        string
+	ParentSpanID   string
+	Spans          []proto.Span
+	BenID          int
+	BenNode        int
+	BenAddr        string
+	BenDebugAddr   string
+	Capacity       int64
+	Name           string
+	Size           int64
+	Parts          []string
+	ChunkIdx       int
+	Src            string
+	FromChunk      int
+	NChunks        int
+	ExpiresAtNanos int64
+	TTLNanos       int64
+	WriteVolume    int64
+}
+
+// preshardManagerResp predates the shard-map piggyback (ShardEpoch,
+// ShardIndex, ShardCount, ShardPeers) and the cross-shard refcount fields
+// (FenceChunks, ForeignFreed, ForeignHeld).
+type preshardManagerResp struct {
+	Err             string
+	File            proto.FileInfo
+	OldRef          proto.ChunkRef
+	NewRef          proto.ChunkRef
+	NewRefs         []proto.ChunkRef
+	Bens            []proto.BenefactorInfo
+	ChunkSize       int64
+	Expired         []string
+	UnderReplicated int
+	Repaired        int
+	RepairFailed    int
+	Lost            []proto.ChunkID
+	DebugAddr       string
+}
+
 // transcode gob-encodes src and decodes the stream into dst.
 func transcode(t *testing.T, src, dst any) {
 	t.Helper()
@@ -236,5 +281,88 @@ func TestGobCurrentResponseDecodesIntoOld(t *testing.T) {
 	}
 	if old.File.Name != "f" || old.File.Size != 42 || len(old.File.Chunks) != 1 {
 		t.Fatalf("FileInfo lost: %+v", old.File)
+	}
+}
+
+// TestGobPreshardReqDecodesIntoCurrent: a pre-shard client's request must
+// decode on a sharded manager with MapEpoch zero — the epoch fence is
+// skipped for legacy traffic, so old clients keep working against shard 0
+// of a sharded deployment.
+func TestGobPreshardReqDecodesIntoCurrent(t *testing.T) {
+	old := preshardManagerReq{
+		Op: proto.OpCreate, TraceID: "t7", Name: "var", Size: 4096,
+		TTLNanos: int64(2 * time.Second),
+	}
+	var cur proto.ManagerReq
+	transcode(t, &old, &cur)
+	if cur.Op != proto.OpCreate || cur.Name != "var" || cur.Size != 4096 || cur.TraceID != "t7" {
+		t.Fatalf("pre-shard fields lost: %+v", cur)
+	}
+	if cur.MapEpoch != 0 {
+		t.Fatalf("MapEpoch = %d from a pre-shard stream, want 0 (never fenced)", cur.MapEpoch)
+	}
+	if cur.IDs != nil || cur.Refs != nil || cur.RefReplicas != nil || cur.CreateDst {
+		t.Fatalf("cross-shard fields nonzero from a pre-shard stream: %+v", cur)
+	}
+}
+
+// TestGobCurrentReqDecodesIntoPreshard: a sharded client's epoch-stamped
+// request (even an OpLinkRefs with explicit refs) must not break a
+// pre-shard manager — unknown fields are skipped, the rest lands.
+func TestGobCurrentReqDecodesIntoPreshard(t *testing.T) {
+	cur := proto.ManagerReq{
+		Op: proto.OpLinkRefs, TraceID: "t8", Name: "ckpt", Size: 8192,
+		MapEpoch: 7,
+		IDs:      []proto.ChunkID{3, 5},
+		Refs:     []proto.ChunkRef{{Benefactor: 1, ID: 3}},
+		RefReplicas: [][]proto.ChunkRef{
+			{{Benefactor: 1, ID: 3}, {Benefactor: 2, ID: 3}},
+		},
+		CreateDst: true,
+	}
+	var old preshardManagerReq
+	transcode(t, &cur, &old)
+	if old.Op != proto.OpLinkRefs || old.Name != "ckpt" || old.Size != 8192 || old.TraceID != "t8" {
+		t.Fatalf("shared fields lost decoding into pre-shard struct: %+v", old)
+	}
+}
+
+// TestGobPreshardRespDecodesIntoCurrent: a pre-shard manager's response
+// must decode on a sharded client with ShardEpoch zero — the client's
+// absorb path treats epoch 0 as "unsharded peer" and leaves its map alone.
+func TestGobPreshardRespDecodesIntoCurrent(t *testing.T) {
+	old := preshardManagerResp{
+		File:      proto.FileInfo{Name: "f", Size: 42, Chunks: []proto.ChunkRef{{Benefactor: 0, ID: 3}}},
+		ChunkSize: 1 << 16,
+	}
+	var cur proto.ManagerResp
+	transcode(t, &old, &cur)
+	if cur.File.Name != "f" || cur.File.Size != 42 || cur.ChunkSize != 1<<16 {
+		t.Fatalf("pre-shard response fields lost: %+v", cur)
+	}
+	if cur.ShardEpoch != 0 || cur.ShardIndex != 0 || cur.ShardCount != 0 || cur.ShardPeers != nil {
+		t.Fatalf("shard-map fields nonzero from a pre-shard stream: %+v", cur)
+	}
+	if cur.FenceChunks != nil || cur.ForeignFreed != nil || cur.ForeignHeld != nil {
+		t.Fatalf("cross-shard fields nonzero from a pre-shard stream: %+v", cur)
+	}
+}
+
+// TestGobCurrentRespDecodesIntoPreshard: a sharded manager's stamped
+// response (epoch, roster, fence list) must stay decodable by a pre-shard
+// client — the stamp is invisible to it, the payload lands.
+func TestGobCurrentRespDecodesIntoPreshard(t *testing.T) {
+	cur := proto.ManagerResp{
+		File:       proto.FileInfo{Name: "f", Size: 42},
+		ShardEpoch: 9, ShardIndex: 1, ShardCount: 2,
+		ShardPeers:   []string{"a:1", "b:2"},
+		FenceChunks:  []proto.ChunkRef{{Benefactor: 0, ID: 7}},
+		ForeignFreed: []proto.ChunkRef{{Benefactor: 1, ID: 8}},
+		ForeignHeld:  []proto.ChunkRef{{Benefactor: 2, ID: 9}},
+	}
+	var old preshardManagerResp
+	transcode(t, &cur, &old)
+	if old.File.Name != "f" || old.File.Size != 42 {
+		t.Fatalf("shared fields lost decoding into pre-shard struct: %+v", old)
 	}
 }

@@ -61,6 +61,11 @@ var (
 	ErrBenefactorDead  = fmt.Errorf("nvm store: benefactor unavailable")
 	ErrNoBenefactors   = fmt.Errorf("nvm store: no registered benefactors")
 	ErrChunkOutOfRange = fmt.Errorf("nvm store: chunk index out of range")
+	// ErrStaleShardMap rejects a request carrying an out-of-date shard-map
+	// epoch, or a name-routed request that landed on the wrong shard. The
+	// response piggybacks the fresh map (ShardEpoch/ShardIndex/ShardCount/
+	// ShardPeers) so the client installs it and retries once.
+	ErrStaleShardMap = fmt.Errorf("nvm store: stale shard map")
 )
 
 // Request/response messages for the TCP transport. Every request carries an
@@ -93,6 +98,18 @@ const (
 	// manager's span ring, so traces rooted in short-lived client
 	// processes survive for the nvmctl collector to scrape.
 	OpReportSpans Op = "spans"
+	// Cross-shard refcount protocol (client-orchestrated; manager shards
+	// never talk to each other). OpExportRange reads a chunk sub-range of
+	// a file (refs + replica sets + byte size) from the shard owning the
+	// file; OpRetainRefs bumps refcounts at a chunk's owning shard on
+	// behalf of a remote file reference; OpLinkRefs appends an explicit
+	// ref list (possibly foreign-owned) to — or creates — a file on the
+	// destination shard; OpReleaseRefs drops remote holds, physically
+	// deleting chunks whose refcount reaches zero.
+	OpExportRange Op = "exportrange"
+	OpRetainRefs  Op = "retainrefs"
+	OpLinkRefs    Op = "linkrefs"
+	OpReleaseRefs Op = "releaserefs"
 )
 
 // Benefactor ops.
@@ -160,6 +177,21 @@ type ManagerReq struct {
 	TTLNanos int64
 	// Heartbeat
 	WriteVolume int64
+	// MapEpoch is the shard-map epoch the client believes this shard is
+	// at. A mismatch is rejected with ErrStaleShardMap and the fresh map
+	// piggybacked on the response. Zero from pre-shard clients (gob
+	// leaves missing fields zero): legacy traffic is never epoch-fenced.
+	MapEpoch int64
+	// IDs carries the chunk IDs of OpRetainRefs/OpReleaseRefs.
+	IDs []ChunkID
+	// Refs and RefReplicas carry the explicit chunk list of OpLinkRefs
+	// (refs to append to Name, with each ref's full copy set, primary
+	// first) as produced by OpExportRange on the source shard.
+	Refs        []ChunkRef
+	RefReplicas [][]ChunkRef
+	// CreateDst makes OpLinkRefs create Name instead of appending to an
+	// existing file (cross-shard Derive).
+	CreateDst bool
 }
 
 // ManagerResp is the manager-side response envelope.
@@ -184,6 +216,29 @@ type ManagerResp struct {
 	// DebugAddr is the manager's own observability endpoint (Status);
 	// empty when the daemon runs without -debug-addr.
 	DebugAddr string
+	// Shard-map piggyback: every response from a sharded manager carries
+	// its membership epoch, its own shard index, the shard count, and the
+	// peer address list, so a client rejected with ErrStaleShardMap (or
+	// simply observing a newer epoch) installs the fresh map without an
+	// extra round trip. All zero from a pre-shard manager.
+	ShardEpoch int64
+	ShardIndex int
+	ShardCount int
+	ShardPeers []string
+	// FenceChunks (Register response) lists the chunk copies this shard
+	// dropped from the rejoining benefactor's pre-partition claims. The
+	// benefactor must delete them locally before serving reads, so a
+	// client with a stale chunk map can never read written-around data.
+	FenceChunks []ChunkRef
+	// ForeignFreed (Delete/Remap/Expire responses) lists references to
+	// chunks owned by OTHER shards that this op released; the client
+	// forwards them to the owning shards via OpReleaseRefs.
+	ForeignFreed []ChunkRef
+	// ForeignHeld (Link/Derive responses) lists references to chunks owned
+	// by other shards that this op acquired; the client forwards them to
+	// the owning shards via OpRetainRefs. (OpExportRange reuses File:
+	// Chunks/Replicas/Size describe the exported range.)
+	ForeignHeld []ChunkRef
 }
 
 // ChunkReq is the benefactor-side request envelope.

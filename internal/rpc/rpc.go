@@ -19,6 +19,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"nvmalloc/internal/manager"
 	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
+	"nvmalloc/internal/shardmap"
 )
 
 // FileBackend stores chunk payloads as files in a directory.
@@ -249,10 +251,15 @@ func wireErr(s string) error {
 	for _, sentinel := range []error{
 		proto.ErrNoSuchFile, proto.ErrFileExists, proto.ErrNoSpace,
 		proto.ErrNoSuchChunk, proto.ErrBenefactorDead, proto.ErrNoBenefactors,
-		proto.ErrChunkOutOfRange,
+		proto.ErrChunkOutOfRange, proto.ErrStaleShardMap,
 	} {
 		if s == sentinel.Error() {
 			return sentinel
+		}
+		// Servers wrap sentinels with context ("%w: detail"); keep the
+		// detail but restore the sentinel for errors.Is across the wire.
+		if rest, ok := strings.CutPrefix(s, sentinel.Error()+":"); ok {
+			return fmt.Errorf("%w:%s", sentinel, rest)
 		}
 	}
 	return fmt.Errorf("%s", s)
@@ -282,6 +289,16 @@ type ManagerConfig struct {
 	// rules whose firing state degrades /healthz from 200 to 503. The
 	// zero value disables it.
 	Monitor obs.MonitorConfig
+	// ShardIndex/ShardCount place this manager in an N-shard metadata
+	// plane (§16): it owns the variable names shardmap.ShardFor routes to
+	// ShardIndex and mints chunk IDs congruent to ShardIndex+1 mod
+	// ShardCount. ShardCount <= 1 is the unsharded default.
+	ShardIndex int
+	ShardCount int
+	// Peers lists every shard's manager address, indexed by shard, so
+	// clients learn the whole plane from any one shard's responses. May be
+	// empty (clients then dial only the addresses they were given).
+	Peers []string
 }
 
 // managerMetrics holds the manager server's registry handles, looked up
@@ -303,6 +320,7 @@ var managerOps = []proto.Op{
 	proto.OpDelete, proto.OpLink, proto.OpDerive, proto.OpSetTTL,
 	proto.OpExpire, proto.OpRemap, proto.OpStatus, proto.OpMarkDead,
 	proto.OpRepair, proto.OpReportSpans,
+	proto.OpExportRange, proto.OpRetainRefs, proto.OpLinkRefs, proto.OpReleaseRefs,
 }
 
 func newManagerMetrics(o *obs.Obs) managerMetrics {
@@ -338,6 +356,9 @@ type ManagerServer struct {
 	// arena leases payload buffers for server-driven chunk moves (COW
 	// copies, repair) over binary-framed benefactor connections.
 	arena *proto.Arena
+	// peers is the shard address list stamped on every response so clients
+	// discover the whole metadata plane from any one shard.
+	peers []string
 
 	obs *obs.Obs
 	mm  managerMetrics
@@ -353,6 +374,14 @@ func NewManagerServer(addr string, chunkSize int64, policy manager.PlacementPoli
 // NewManagerServerWith starts a manager on addr with explicit replication
 // and failure-detection settings.
 func NewManagerServerWith(addr string, chunkSize int64, policy manager.PlacementPolicy, cfg ManagerConfig) (*ManagerServer, error) {
+	if cfg.ShardCount > 1 {
+		if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount {
+			return nil, fmt.Errorf("rpc: shard %d/%d out of range", cfg.ShardIndex, cfg.ShardCount)
+		}
+		if len(cfg.Peers) != 0 && len(cfg.Peers) != cfg.ShardCount {
+			return nil, fmt.Errorf("rpc: %d peer addresses for %d shards", len(cfg.Peers), cfg.ShardCount)
+		}
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -368,8 +397,12 @@ func NewManagerServerWith(addr string, chunkSize int64, policy manager.Placement
 		stop:     make(chan struct{}),
 		conns:    newConnSet(),
 		arena:    proto.NewArena(chunkSize),
+		peers:    append([]string(nil), cfg.Peers...),
 		obs:      cfg.Obs,
 		mm:       newManagerMetrics(cfg.Obs),
+	}
+	if cfg.ShardCount > 1 {
+		s.mgr.SetShard(cfg.ShardIndex, cfg.ShardCount)
 	}
 	if cfg.Replication > 1 {
 		s.mgr.Replication = cfg.Replication
@@ -451,6 +484,21 @@ func (s *ManagerServer) sweepLocked() {
 // Addr returns the listening address.
 func (s *ManagerServer) Addr() string { return s.l.Addr().String() }
 
+// SetPeers installs the shard address roster stamped on every response
+// (one address per shard, indexed by shard). Deployments that bind
+// ephemeral ports — test rigs in particular — call it once every shard's
+// listener is up, before clients connect.
+func (s *ManagerServer) SetPeers(peers []string) error {
+	_, n := s.mgr.Shard()
+	if len(peers) != 0 && n > 1 && len(peers) != n {
+		return fmt.Errorf("rpc: %d peer addresses for %d shards", len(peers), n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers = append([]string(nil), peers...)
+	return nil
+}
+
 // DebugAddr returns the observability endpoint's address ("" when the
 // server runs without one).
 func (s *ManagerServer) DebugAddr() string { return s.dbg.Addr() }
@@ -500,6 +548,48 @@ func (s *ManagerServer) benConn(id int) (*chunkConn, error) {
 	return c, nil
 }
 
+// routedByName reports whether an op's Name field is routed by
+// shardmap.ShardFor — i.e. landing on the wrong shard means the client's
+// shard map is stale (or it mis-hashed), and the request must be fenced
+// rather than answered with a misleading ErrNoSuchFile.
+func routedByName(op proto.Op) bool {
+	switch op {
+	case proto.OpCreate, proto.OpLookup, proto.OpDelete, proto.OpLink,
+		proto.OpDerive, proto.OpSetTTL, proto.OpRemap,
+		proto.OpExportRange, proto.OpLinkRefs:
+		return true
+	}
+	return false
+}
+
+// fenceLocked rejects a request whose view of this shard is stale: a
+// mismatched membership epoch (MapEpoch 0 — legacy clients — is never
+// fenced), or a name-routed op whose name this shard does not own. The
+// fresh map rides back on the response either way, so the client installs
+// it and retries once without an extra round trip.
+func (s *ManagerServer) fenceLocked(req *proto.ManagerReq, resp *proto.ManagerResp) bool {
+	if req.MapEpoch != 0 && req.MapEpoch != s.mgr.Epoch() {
+		resp.Err = errStr(proto.ErrStaleShardMap)
+		return true
+	}
+	if _, n := s.mgr.Shard(); n > 1 && routedByName(req.Op) {
+		if idx, _ := s.mgr.Shard(); shardmap.ShardFor(req.Name, n) != idx {
+			resp.Err = errStr(proto.ErrStaleShardMap)
+			return true
+		}
+	}
+	return false
+}
+
+// stampShardLocked piggybacks the shard map on every response (§16):
+// membership epoch, this shard's index, the shard count, and the peer
+// address list. Pre-shard clients ignore the fields (gob drops unknowns).
+func (s *ManagerServer) stampShardLocked(resp *proto.ManagerResp) {
+	resp.ShardEpoch = s.mgr.Epoch()
+	resp.ShardIndex, resp.ShardCount = s.mgr.Shard()
+	resp.ShardPeers = s.peers
+}
+
 func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 	var req proto.ManagerReq
 	if err := dec.Decode(&req); err != nil {
@@ -508,13 +598,30 @@ func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 	opStart := time.Now()
 	s.mu.Lock()
 	var resp proto.ManagerResp
+	if s.fenceLocked(&req, &resp) {
+		s.stampShardLocked(&resp)
+		s.mu.Unlock()
+		s.mm.opLat[req.Op].Observe(time.Since(opStart))
+		return enc.Encode(&resp)
+	}
 	switch req.Op {
 	case proto.OpRegister:
-		s.mgr.Register(proto.BenefactorInfo{
+		wasDead := s.mgr.Register(proto.BenefactorInfo{
 			ID: req.BenID, Node: req.BenNode, Capacity: req.Capacity,
 			DebugAddr: req.BenDebugAddr,
 		}, req.BenAddr, s.now())
 		delete(s.benConns, req.BenID) // re-registration may change the address
+		if wasDead {
+			// A rejoin after a declared death: drop every replica claim
+			// that has a live survivor (the survivors may have taken
+			// writes the rejoiner missed) and ship the dropped refs back —
+			// the benefactor deletes those payloads before serving reads.
+			resp.FenceChunks = s.mgr.FenceRejoin(req.BenID)
+			if len(resp.FenceChunks) > 0 {
+				s.obs.Event("manager", "fence-rejoin", req.TraceID,
+					fmt.Sprintf("benefactor %d: %d stale copies fenced", req.BenID, len(resp.FenceChunks)))
+			}
+		}
 		s.obs.Event("manager", "register", req.TraceID,
 			fmt.Sprintf("benefactor %d node=%d addr=%s capacity=%d", req.BenID, req.BenNode, req.BenAddr, req.Capacity))
 	case proto.OpBeat:
@@ -530,17 +637,17 @@ func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		fi, err := s.mgr.Lookup(req.Name)
 		resp.File, resp.Err = fi, errStr(err)
 	case proto.OpDelete:
-		freed, err := s.mgr.Delete(req.Name)
+		freed, foreignFreed, err := s.mgr.DeleteFull(req.Name)
 		if err == nil {
 			err = s.deleteChunks(freed)
 		}
-		resp.Err = errStr(err)
+		resp.ForeignFreed, resp.Err = foreignFreed, errStr(err)
 	case proto.OpLink:
-		fi, err := s.mgr.Link(req.Name, req.Parts)
-		resp.File, resp.Err = fi, errStr(err)
+		fi, held, err := s.mgr.LinkFull(req.Name, req.Parts)
+		resp.File, resp.ForeignHeld, resp.Err = fi, held, errStr(err)
 	case proto.OpDerive:
-		fi, err := s.mgr.Derive(req.Name, req.Src, req.FromChunk, req.NChunks, req.Size)
-		resp.File, resp.Err = fi, errStr(err)
+		fi, held, err := s.mgr.DeriveFull(req.Name, req.Src, req.FromChunk, req.NChunks, req.Size)
+		resp.File, resp.ForeignHeld, resp.Err = fi, held, errStr(err)
 	case proto.OpSetTTL:
 		deadline := time.Duration(req.ExpiresAtNanos)
 		if req.TTLNanos > 0 {
@@ -548,11 +655,12 @@ func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		}
 		resp.Err = errStr(s.mgr.SetTTL(req.Name, deadline))
 	case proto.OpExpire:
-		expired, freed := s.mgr.ExpireSweep(s.now())
-		resp.Expired = expired
+		expired, freed, foreignFreed := s.mgr.ExpireSweepFull(s.now())
+		resp.Expired, resp.ForeignFreed = expired, foreignFreed
 		resp.Err = errStr(s.deleteChunks(freed))
 	case proto.OpRemap:
-		old, fresh, shared, err := s.mgr.Remap(req.Name, req.ChunkIdx)
+		old, fresh, shared, foreignFreed, err := s.mgr.RemapFull(req.Name, req.ChunkIdx)
+		resp.ForeignFreed = foreignFreed
 		var freshRefs []proto.ChunkRef
 		if err == nil {
 			freshRefs = s.mgr.Replicas(fresh.ID)
@@ -613,9 +721,21 @@ func (s *ManagerServer) handle(dec *gob.Decoder, enc *gob.Encoder) error {
 		for _, ps := range req.Spans {
 			s.obs.IngestSpan(obs.Span(ps))
 		}
+	case proto.OpExportRange:
+		fi, err := s.mgr.ExportRange(req.Name, req.FromChunk, req.NChunks)
+		resp.File, resp.Err = fi, errStr(err)
+	case proto.OpRetainRefs:
+		resp.Err = errStr(s.mgr.RetainRefs(req.IDs))
+	case proto.OpLinkRefs:
+		fi, err := s.mgr.LinkRefs(req.Name, req.Refs, req.RefReplicas, req.Size, req.CreateDst)
+		resp.File, resp.Err = fi, errStr(err)
+	case proto.OpReleaseRefs:
+		freed := s.mgr.ReleaseRefs(req.IDs)
+		resp.Err = errStr(s.deleteChunks(freed))
 	default:
 		resp.Err = fmt.Sprintf("manager: unknown op %q", req.Op)
 	}
+	s.stampShardLocked(&resp)
 	s.mu.Unlock()
 	s.mm.opLat[req.Op].Observe(time.Since(opStart))
 	// A span-traced request (it names a parent span) gets a manager-side
@@ -749,6 +869,14 @@ type BenefactorServer struct {
 	stop              chan struct{}
 	conns             *connSet
 	hbOnce, closeOnce sync.Once
+	// mcs are the manager-shard connections (one in the unsharded plane);
+	// regCap is the per-shard capacity announced at registration (the
+	// device's contribution divided across the shards, so their combined
+	// reservations never exceed it). regNode carries the node ID for
+	// re-registration after a fenced rejoin.
+	mcs     []*ManagerClient
+	regCap  int64
+	regNode int
 
 	// arena leases request payload buffers for the binary-framed loop (and
 	// backs a FileBackend's pooled reads). privReads records whether the
@@ -808,39 +936,101 @@ func NewBenefactorServerWith(addr, managerAddr string, id, node int, capacity, c
 	// again can only be a stale client map: fail it so the client retries
 	// with fresh metadata.
 	s.st.SetStrictDelete(true)
+
+	// managerAddr may name every shard of the metadata plane
+	// ("host:port,host:port,..."). The benefactor registers with all of
+	// them: each shard places chunks independently, so the contributed
+	// capacity is divided evenly — handing every shard the full device
+	// would overcommit it N times.
+	addrs := shardmap.SplitAddrs(managerAddr)
+	if len(addrs) == 0 {
+		s.dbg.Close()
+		l.Close()
+		return nil, fmt.Errorf("rpc: benefactor %d has no manager address", id)
+	}
+	s.regCap = capacity / int64(len(addrs))
+	s.regNode = node
+	fail := func(err error) (*BenefactorServer, error) {
+		for _, mc := range s.mcs {
+			mc.Close()
+		}
+		s.dbg.Close()
+		l.Close()
+		return nil, err
+	}
+	for _, a := range addrs {
+		mc, err := DialManager(a)
+		if err != nil {
+			return fail(err)
+		}
+		s.mcs = append(s.mcs, mc)
+	}
+	// Register with every shard BEFORE accepting connections: a rejoining
+	// benefactor may be told to fence stale pre-partition copies
+	// (FenceChunks), and those payloads must be gone before any client
+	// with a stale chunk map can read them (§16).
+	for _, mc := range s.mcs {
+		if err := s.registerWith(mc); err != nil {
+			return fail(err)
+		}
+	}
 	go serve(l, s.conns, s.serveConn)
 
-	mc, err := DialManager(managerAddr)
-	if err != nil {
-		s.dbg.Close()
-		l.Close()
-		return nil, err
-	}
-	if _, err := mc.call(proto.ManagerReq{
-		Op: proto.OpRegister, BenID: id, BenNode: node,
-		BenAddr: s.l.Addr().String(), BenDebugAddr: s.dbg.Addr(),
-		Capacity: capacity,
-	}); err != nil {
-		s.dbg.Close()
-		l.Close()
-		return nil, err
-	}
 	if beat > 0 {
-		go func() {
-			t := time.NewTicker(beat)
-			defer t.Stop()
-			for {
-				select {
-				case <-s.stop:
-					return
-				case <-t.C:
-					_ = mc.Heartbeat(id, s.st.Stats().BytesWritten)
-				}
-			}
-		}()
+		for _, mc := range s.mcs {
+			go s.heartbeatLoop(mc, beat)
+		}
 	}
 	s.obs.StartMonitor(cfg.Monitor)
 	return s, nil
+}
+
+// registerWith announces the benefactor to one manager shard and deletes
+// any chunk copies the shard fenced (stale pre-partition claims written
+// around during the benefactor's absence). DeleteChunk tombstones the IDs,
+// so even a racing stale read cannot resurrect the old payload.
+func (s *BenefactorServer) registerWith(mc *ManagerClient) error {
+	resp, err := mc.call(proto.ManagerReq{
+		Op: proto.OpRegister, BenID: s.st.ID(), BenNode: s.regNode,
+		BenAddr: s.l.Addr().String(), BenDebugAddr: s.dbg.Addr(),
+		Capacity: s.regCap,
+	})
+	if err != nil {
+		return err
+	}
+	for _, ref := range resp.FenceChunks {
+		if derr := s.st.DeleteChunk(ref.ID); derr != nil {
+			return fmt.Errorf("rpc: benefactor %d fencing chunk %d: %w", s.st.ID(), ref.ID, derr)
+		}
+	}
+	if len(resp.FenceChunks) > 0 {
+		s.obs.Event("benefactor", "fenced", "",
+			fmt.Sprintf("deleted %d stale copies on rejoin", len(resp.FenceChunks)))
+	}
+	return nil
+}
+
+// heartbeatLoop beats one manager shard. A beat rejected with
+// ErrBenefactorDead means the shard declared this benefactor dead while it
+// was partitioned; heartbeats cannot revive it (§16), so the loop
+// re-registers — which fences whatever stale copies the shard wrote
+// around — and resumes beating.
+func (s *BenefactorServer) heartbeatLoop(mc *ManagerClient, beat time.Duration) {
+	t := time.NewTicker(beat)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			err := mc.Heartbeat(s.st.ID(), s.st.Stats().BytesWritten)
+			if errors.Is(err, proto.ErrBenefactorDead) {
+				if rerr := s.registerWith(mc); rerr != nil {
+					s.obs.Event("benefactor", "rejoin-failed", "", rerr.Error())
+				}
+			}
+		}
+	}
 }
 
 // Addr returns the listening address.
@@ -863,6 +1053,9 @@ func (s *BenefactorServer) Close() error {
 		err = s.l.Close()
 		s.dbg.Close()
 		s.conns.closeAll()
+		for _, mc := range s.mcs {
+			mc.Close()
+		}
 	})
 	return err
 }
@@ -1403,7 +1596,11 @@ func (c *ManagerClient) dropLocked() {
 func retryableOp(op proto.Op) bool {
 	switch op {
 	case proto.OpRegister, proto.OpBeat, proto.OpLookup, proto.OpStatus,
-		proto.OpSetTTL, proto.OpExpire, proto.OpRepair, proto.OpMarkDead:
+		proto.OpSetTTL, proto.OpExpire, proto.OpRepair, proto.OpMarkDead,
+		proto.OpExportRange:
+		// ExportRange is read-only. RetainRefs/LinkRefs/ReleaseRefs are
+		// NOT retryable: a lost response may have committed the refcount
+		// change, and a blind replay would double-count a hold.
 		return true
 	}
 	return false

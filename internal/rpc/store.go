@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nvmalloc/internal/obs"
 	"nvmalloc/internal/proto"
+	"nvmalloc/internal/shardmap"
 	"nvmalloc/internal/store"
 )
 
@@ -93,6 +95,7 @@ type Stats struct {
 	SSDReadBytes   int64 // chunk payload bytes fetched from benefactors
 	SSDWriteBytes  int64 // payload bytes shipped to benefactors
 	MetaRetries    int64 // ops retried after a stale chunk map
+	MapRetries     int64 // ops retried after a stale shard map (epoch fence)
 	InFlightPeak   int64 // max simultaneous chunk RPCs observed
 	Retries        int64 // chunk RPC attempts beyond the first (transient failures)
 	Failovers      int64 // chunk reads served by a non-primary replica
@@ -105,7 +108,7 @@ type Stats struct {
 type storeMetrics struct {
 	chunkGets, chunkPuts, pagePuts     *obs.Counter
 	ssdReadBytes, ssdWriteBytes        *obs.Counter
-	metaRetries                        *obs.Counter
+	metaRetries, mapRetries            *obs.Counter
 	retries, failovers, degradedWrites *obs.Counter
 	inFlight, inFlightPeak             *obs.Gauge
 	getLat, putLat, pagePutLat         *obs.Histogram
@@ -121,6 +124,7 @@ func newStoreMetrics(o *obs.Obs) storeMetrics {
 		ssdReadBytes:   r.Counter("rpc.ssd_read_bytes"),
 		ssdWriteBytes:  r.Counter("rpc.ssd_write_bytes"),
 		metaRetries:    r.Counter("rpc.meta_retries"),
+		mapRetries:     r.Counter("rpc.map_retries"),
 		retries:        r.Counter("rpc.retries"),
 		failovers:      r.Counter("rpc.failovers"),
 		degradedWrites: r.Counter("rpc.degraded_writes"),
@@ -160,7 +164,13 @@ func (m *storeMetrics) opLatency(op proto.Op) *obs.Histogram {
 // bandwidth aggregates over its contributors (paper §III-D) instead of
 // serializing on a single socket. All methods are safe for concurrent use.
 type Store struct {
-	mgr       *ManagerClient
+	// shards holds one metadata client per manager shard, indexed by shard
+	// (file names route by shardmap.ShardFor over len(shards); chunk IDs by
+	// their mint stride). Unsharded deployments have exactly one entry. The
+	// roster is rebuilt in place when a piggybacked shard map reveals more
+	// shards than the client was configured with; entries learned that way
+	// dial lazily on first use. Guarded by mu.
+	shards    []*shardState
 	opts      Options
 	mu        sync.Mutex
 	chunkSize int64
@@ -195,19 +205,33 @@ type Store struct {
 	exports   sync.WaitGroup
 }
 
-// Open connects to the manager at addr with default Options.
+// shardState is the client's cached view of one manager shard: its
+// metadata connection (dialed lazily for shards learned from a piggybacked
+// peer list) and the last membership epoch observed from it. Requests
+// stamp the cached epoch; a fence (ErrStaleShardMap) or any stamped
+// response refreshes it.
+type shardState struct {
+	addr  string
+	mc    *ManagerClient
+	epoch int64
+}
+
+// Open connects to the manager (or comma-separated manager shards) at addr
+// with default Options.
 func Open(addr string) (*Store, error) { return OpenWith(addr, Options{}) }
 
-// OpenWith connects to the manager at addr and discovers the store's
-// geometry and benefactors.
+// OpenWith connects to the manager at addr — "host:port[,host:port...]",
+// one address per shard, in shard order — and discovers the store's
+// geometry and benefactors. Connecting to a subset of a sharded cluster
+// works too: the first response piggybacks the full shard roster and the
+// client dials the missing peers on demand.
 func OpenWith(addr string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	mc, err := DialManagerTimeout(addr, opts.CallTimeout)
-	if err != nil {
-		return nil, err
+	addrs := shardmap.SplitAddrs(addr)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("nvm store: no manager address")
 	}
 	s := &Store{
-		mgr:          mc,
 		opts:         opts,
 		benAddrs:     make(map[int]string),
 		benAlive:     make(map[int]bool),
@@ -218,13 +242,45 @@ func OpenWith(addr string, opts Options) (*Store, error) {
 		obs:          opts.Obs,
 		m:            newStoreMetrics(opts.Obs),
 	}
+	// Dial every listed shard, but tolerate unreachable ones as long as at
+	// least one answers — the surviving shards' keyspaces must stay
+	// reachable with a shard down. A nil client is redialed on demand.
+	var firstErr error
+	dialed := 0
+	for i, a := range addrs {
+		mc, err := DialManagerTimeout(a, opts.CallTimeout)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("manager shard %d (%s): %w", i, a, err)
+			}
+			s.shards = append(s.shards, &shardState{addr: a})
+			continue
+		}
+		dialed++
+		s.shards = append(s.shards, &shardState{addr: a, mc: mc})
+	}
+	if dialed == 0 {
+		s.closeShards()
+		return nil, firstErr
+	}
 	if err := s.Refresh(); err != nil {
-		mc.Close()
+		s.closeShards()
 		return nil, err
 	}
 	s.arena = proto.NewArena(s.chunkSize)
 	s.obs.SetSpanSink(s.exportSpan)
 	return s, nil
+}
+
+// closeShards drops every manager connection.
+func (s *Store) closeShards() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.shards {
+		if st.mc != nil {
+			st.mc.Close()
+		}
+	}
 }
 
 // spanBatch is how many completed spans accumulate before a batch ships to
@@ -250,7 +306,7 @@ func (s *Store) exportSpan(sp obs.Span) {
 	s.exports.Add(1)
 	go func() {
 		defer s.exports.Done()
-		_, _ = s.mgr.call(proto.ManagerReq{Op: proto.OpReportSpans, Spans: batch})
+		_, _ = s.callShard(0, proto.ManagerReq{Op: proto.OpReportSpans, Spans: batch})
 	}()
 }
 
@@ -263,7 +319,7 @@ func (s *Store) flushSpans() {
 	if len(batch) == 0 {
 		return
 	}
-	_, _ = s.mgr.call(proto.ManagerReq{Op: proto.OpReportSpans, Spans: batch})
+	_, _ = s.callShard(0, proto.ManagerReq{Op: proto.OpReportSpans, Spans: batch})
 }
 
 // eventScope mints the correlation context of one public convenience op: a
@@ -287,16 +343,266 @@ func (s *Store) startChild(sc store.SpanInfo, name string) *obs.ActiveSpan {
 	return sp
 }
 
-// Refresh re-fetches the benefactor table (picking up new registrations).
-func (s *Store) Refresh() error {
-	resp, err := s.mgr.call(proto.ManagerReq{Op: proto.OpStatus})
+// nShards returns the number of manager shards the client currently knows.
+func (s *Store) nShards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shards)
+}
+
+// shardFor returns the shard owning a file name under the cached map.
+func (s *Store) shardFor(name string) int {
+	return shardmap.ShardFor(name, s.nShards())
+}
+
+// ownerOf returns the shard that minted (and owns) a chunk: shard i mints
+// IDs congruent to i+1 modulo the shard count.
+func (s *Store) ownerOf(id proto.ChunkID) int {
+	n := s.nShards()
+	if n <= 1 {
+		return 0
+	}
+	return int((uint64(id) - 1) % uint64(n))
+}
+
+// shardClient returns the metadata client and cached epoch for shard i,
+// dialing the shard on first use (shards learned from a piggybacked peer
+// list start undialed).
+func (s *Store) shardClient(i int) (*ManagerClient, int64, error) {
+	s.mu.Lock()
+	if i < 0 || i >= len(s.shards) {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("nvm store: no shard %d (shard map has %d)", i, len(s.shards))
+	}
+	st := s.shards[i]
+	if st.mc != nil {
+		mc, ep := st.mc, st.epoch
+		s.mu.Unlock()
+		return mc, ep, nil
+	}
+	addr := st.addr
+	s.mu.Unlock()
+	mc, err := DialManagerTimeout(addr, s.opts.CallTimeout)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.chunkSize = resp.ChunkSize
-	for _, b := range resp.Bens {
+	// Another caller may have raced the dial, or the roster may have been
+	// rebuilt underneath us; an installed client wins.
+	if i < len(s.shards) && s.shards[i].addr == addr {
+		if s.shards[i].mc == nil {
+			s.shards[i].mc = mc
+		} else {
+			mc.Close()
+		}
+		return s.shards[i].mc, s.shards[i].epoch, nil
+	}
+	mc.Close()
+	return nil, 0, fmt.Errorf("nvm store: shard map changed while dialing shard %d", i)
+}
+
+// absorbShardStamp installs the shard-map piggyback of a manager response:
+// the responding shard's membership epoch and — when the response carries a
+// peer list that differs from the client's roster — the full shard roster
+// (new shards dial lazily on first use). force installs the epoch even
+// backwards: a fence proved the cached epoch wrong in an unknown direction
+// (a restarted shard's epoch is LOWER than the cache). Pre-shard managers
+// stamp nothing (all zero) and are ignored.
+func (s *Store) absorbShardStamp(resp proto.ManagerResp, force bool) {
+	if resp.ShardEpoch == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if resp.ShardCount > 1 && len(resp.ShardPeers) == resp.ShardCount {
+		stale := len(s.shards) != resp.ShardCount
+		if !stale {
+			for i, st := range s.shards {
+				if st.addr != resp.ShardPeers[i] {
+					stale = true
+					break
+				}
+			}
+		}
+		if stale {
+			byAddr := make(map[string]*shardState, len(s.shards))
+			for _, st := range s.shards {
+				byAddr[st.addr] = st
+			}
+			next := make([]*shardState, resp.ShardCount)
+			for i, addr := range resp.ShardPeers {
+				if st, ok := byAddr[addr]; ok {
+					delete(byAddr, addr)
+					next[i] = st
+				} else {
+					next[i] = &shardState{addr: addr}
+				}
+			}
+			for _, st := range byAddr {
+				if st.mc != nil {
+					st.mc.Close()
+				}
+			}
+			s.shards = next
+			s.obs.Event("rpc", "shard-map", "",
+				fmt.Sprintf("installed %d-shard roster %v", resp.ShardCount, resp.ShardPeers))
+		}
+	}
+	if resp.ShardIndex >= 0 && resp.ShardIndex < len(s.shards) {
+		if st := s.shards[resp.ShardIndex]; force || resp.ShardEpoch > st.epoch {
+			st.epoch = resp.ShardEpoch
+		}
+	}
+}
+
+// callShardOnce issues one metadata RPC to shard i, stamping the client's
+// cached membership epoch and absorbing the epoch (and any shard roster)
+// the response piggybacks.
+func (s *Store) callShardOnce(i int, req proto.ManagerReq) (proto.ManagerResp, error) {
+	mc, epoch, err := s.shardClient(i)
+	if err != nil {
+		return proto.ManagerResp{}, err
+	}
+	req.MapEpoch = epoch
+	resp, err := mc.call(req)
+	if err == nil || errors.Is(err, proto.ErrStaleShardMap) {
+		s.absorbShardStamp(resp, errors.Is(err, proto.ErrStaleShardMap))
+	}
+	return resp, err
+}
+
+// callShard is callShardOnce plus the stale-map protocol: a fence
+// (ErrStaleShardMap) means the shard rejected the request BEFORE touching
+// any state and piggybacked its fresh map, so one retry under the
+// installed map is safe for every op — including the create-once ones the
+// transport layer must never blindly replay.
+func (s *Store) callShard(i int, req proto.ManagerReq) (proto.ManagerResp, error) {
+	resp, err := s.callShardOnce(i, req)
+	if !errors.Is(err, proto.ErrStaleShardMap) {
+		return resp, err
+	}
+	s.m.mapRetries.Add(1)
+	s.obs.Event("rpc", "map-retry", req.TraceID,
+		fmt.Sprintf("%s shard=%d: stale shard map, retrying under fresh epoch", req.Op, i))
+	return s.callShardOnce(i, req)
+}
+
+// callRouted routes a name-addressed metadata RPC to the shard owning
+// req.Name, re-routing once when a fence reveals a fresh shard map — the
+// name may hash to a different shard under the installed roster.
+func (s *Store) callRouted(req proto.ManagerReq) (proto.ManagerResp, error) {
+	resp, err := s.callShardOnce(s.shardFor(req.Name), req)
+	if !errors.Is(err, proto.ErrStaleShardMap) {
+		return resp, err
+	}
+	s.m.mapRetries.Add(1)
+	s.obs.Event("rpc", "map-retry", req.TraceID,
+		fmt.Sprintf("%s %q: stale shard map, re-routing", req.Op, req.Name))
+	return s.callShardOnce(s.shardFor(req.Name), req)
+}
+
+// statusAll fans OpStatus out to every shard and returns the responses of
+// the reachable ones. A shard that cannot be reached is skipped — a killed
+// shard must not take the survivors' keyspaces down with it — but at least
+// one shard must answer.
+func (s *Store) statusAll() ([]proto.ManagerResp, error) {
+	n := s.nShards()
+	resps := make([]proto.ManagerResp, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = s.callShard(i, proto.ManagerReq{Op: proto.OpStatus})
+		}(i)
+	}
+	wg.Wait()
+	var ok []proto.ManagerResp
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		ok = append(ok, resps[i])
+	}
+	if len(ok) == 0 {
+		return nil, firstErr
+	}
+	return ok, nil
+}
+
+// mergeBens merges per-shard benefactor tables into one cluster view:
+// every shard sees the same benefactors (they register everywhere), but a
+// benefactor splits its capacity across the shards (capacity/N announced
+// to each) so no shard can overcommit the device — Capacity and Used
+// therefore SUM across shards back to the device totals. Liveness and
+// addressing come from the shard that heard the benefactor most recently;
+// WriteVolume is the largest reported value (each shard tracks the same
+// device counter).
+func mergeBens(resps []proto.ManagerResp) []proto.BenefactorInfo {
+	merged := make(map[int]proto.BenefactorInfo)
+	used := make(map[int]int64)
+	capacity := make(map[int]int64)
+	for _, r := range resps {
+		for _, b := range r.Bens {
+			used[b.ID] += b.Used
+			capacity[b.ID] += b.Capacity
+			prev, seen := merged[b.ID]
+			if !seen {
+				merged[b.ID] = b
+				continue
+			}
+			if b.WriteVolume > prev.WriteVolume {
+				prev.WriteVolume = b.WriteVolume
+			}
+			if b.BeatAgeNanos < prev.BeatAgeNanos {
+				prev.Alive, prev.Addr, prev.DebugAddr = b.Alive, b.Addr, b.DebugAddr
+				prev.BeatAgeNanos = b.BeatAgeNanos
+			}
+			merged[b.ID] = prev
+		}
+	}
+	out := make([]proto.BenefactorInfo, 0, len(merged))
+	for id, b := range merged {
+		b.Used = used[id]
+		b.Capacity = capacity[id]
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Status returns the merged benefactor table across every reachable
+// manager shard (see mergeBens for the merge rules).
+func (s *Store) Status() ([]proto.BenefactorInfo, error) {
+	resps, err := s.statusAll()
+	if err != nil {
+		return nil, err
+	}
+	return mergeBens(resps), nil
+}
+
+// Refresh re-fetches the benefactor table (picking up new registrations),
+// fanning out to every manager shard and merging their views.
+func (s *Store) Refresh() error {
+	resps, err := s.statusAll()
+	if err != nil {
+		return err
+	}
+	bens := mergeBens(resps)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range resps {
+		if r.ChunkSize > 0 {
+			s.chunkSize = r.ChunkSize
+		}
+	}
+	for _, b := range bens {
 		if prev, ok := s.benAddrs[b.ID]; ok && prev != b.Addr {
 			if p, ok := s.pools[b.ID]; ok {
 				p.close()
@@ -321,7 +627,15 @@ func (s *Store) Close() error {
 	for _, p := range s.pools {
 		p.close()
 	}
-	return s.mgr.Close()
+	var err error
+	for _, st := range s.shards {
+		if st.mc != nil {
+			if cerr := st.mc.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
 }
 
 // ChunkSize returns the striping unit.
@@ -335,8 +649,46 @@ func (s *Store) ChunkSize() int64 { return s.chunkSize }
 // unconditionally.
 func (s *Store) ReleaseChunk(buf []byte) { s.arena.Put(buf) }
 
-// Manager exposes the metadata client.
-func (s *Store) Manager() *ManagerClient { return s.mgr }
+// Manager exposes the shard-0 metadata client — the whole cluster on an
+// unsharded deployment. Name-routed metadata on a sharded cluster should go
+// through the Store's own methods, which route by the cached shard map.
+func (s *Store) Manager() *ManagerClient {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shards[0].mc
+}
+
+// ShardAddrs returns the manager address of every shard in the client's
+// current map, in shard order.
+func (s *Store) ShardAddrs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.shards))
+	for i, st := range s.shards {
+		out[i] = st.addr
+	}
+	return out
+}
+
+// ShardEpochs returns the client's cached membership epoch per shard (0
+// for a shard no response has stamped yet).
+func (s *Store) ShardEpochs() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.shards))
+	for i, st := range s.shards {
+		out[i] = st.epoch
+	}
+	return out
+}
+
+// ShardManager returns the metadata client for one shard, dialing it on
+// demand — unlike Manager it reaches past shard 0. Calls made through it
+// carry no map epoch, so they are never fenced (admin traffic).
+func (s *Store) ShardManager(i int) (*ManagerClient, error) {
+	mc, _, err := s.shardClient(i)
+	return mc, err
+}
 
 // Stats returns a snapshot of the data-path counters. It is a
 // compatibility shim over the Obs metrics registry (all zeros when the
@@ -349,6 +701,7 @@ func (s *Store) Stats() Stats {
 		SSDReadBytes:   s.m.ssdReadBytes.Load(),
 		SSDWriteBytes:  s.m.ssdWriteBytes.Load(),
 		MetaRetries:    s.m.metaRetries.Load(),
+		MapRetries:     s.m.mapRetries.Load(),
 		InFlightPeak:   s.m.inFlightPeak.Load(),
 		Retries:        s.m.retries.Load(),
 		Failovers:      s.m.failovers.Load(),
@@ -513,7 +866,7 @@ func (s *Store) fileInfo(sc store.SpanInfo, name string) (proto.FileInfo, error)
 	if ok {
 		return fi, nil
 	}
-	resp, err := s.mgr.call(proto.ManagerReq{
+	resp, err := s.callRouted(proto.ManagerReq{
 		Op: proto.OpLookup, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: name,
 	})
 	if err != nil {
@@ -547,7 +900,7 @@ func (s *Store) CreateInfo(name string, size int64) (proto.FileInfo, error) {
 // parent span ride the manager RPC, so the manager records its allocation
 // span (and events) under the client's.
 func (s *Store) create(sc store.SpanInfo, name string, size int64) (proto.FileInfo, error) {
-	resp, err := s.mgr.call(proto.ManagerReq{
+	resp, err := s.callRouted(proto.ManagerReq{
 		Op: proto.OpCreate, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: name, Size: size,
 	})
 	if err != nil {
@@ -569,7 +922,10 @@ func (s *Store) Link(dst string, parts []string) (proto.FileInfo, error) {
 }
 
 func (s *Store) link(sc store.SpanInfo, dst string, parts []string) (proto.FileInfo, error) {
-	resp, err := s.mgr.call(proto.ManagerReq{
+	if s.nShards() > 1 {
+		return s.linkSharded(sc, dst, parts)
+	}
+	resp, err := s.callRouted(proto.ManagerReq{
 		Op: proto.OpLink, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: dst, Parts: parts,
 	})
 	if err != nil {
@@ -583,6 +939,124 @@ func (s *Store) link(sc store.SpanInfo, dst string, parts []string) (proto.FileI
 	return resp.File, nil
 }
 
+// linkSharded is the cross-shard link: the destination and the parts may
+// live on different manager shards, and the parts' chunks on yet others.
+// The client orchestrates — shards never talk to each other (§16):
+//
+//  1. look each part up at its owning shard (fresh refs, replica sets,
+//     sizes);
+//  2. take one remote hold per chunk not owned by the destination shard at
+//     the chunk's owner (OpRetainRefs — all-or-nothing per owner, rolled
+//     back on failure, so an abort leaves no stray holds);
+//  3. append the explicit ref list to dst at its shard (OpLinkRefs); on
+//     failure the holds from step 2 are released.
+//
+// Holds are taken BEFORE the destination commits, so a crash mid-protocol
+// strands at worst surplus holds (leaked space, reclaimed by releasing),
+// never a file referencing chunks its owners feel free to delete.
+func (s *Store) linkSharded(sc store.SpanInfo, dst string, parts []string) (proto.FileInfo, error) {
+	dstShard := s.shardFor(dst)
+	var refs []proto.ChunkRef
+	var reps [][]proto.ChunkRef
+	var size int64
+	for _, p := range parts {
+		look, err := s.callRouted(proto.ManagerReq{
+			Op: proto.OpLookup, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: p,
+		})
+		if err != nil {
+			return proto.FileInfo{}, fmt.Errorf("link part %q: %w", p, err)
+		}
+		for i := range look.File.Chunks {
+			refs = append(refs, look.File.Chunks[i])
+			reps = append(reps, replicaRefs(look.File, i))
+		}
+		size += look.File.Size
+	}
+	held, err := s.retainRemote(sc, dstShard, refs)
+	if err != nil {
+		return proto.FileInfo{}, err
+	}
+	resp, err := s.callRouted(proto.ManagerReq{
+		Op: proto.OpLinkRefs, TraceID: sc.Trace, ParentSpanID: sc.Parent,
+		Name: dst, Refs: refs, RefReplicas: reps, Size: size,
+	})
+	if err != nil {
+		s.releaseRemote(sc, held)
+		s.invalidateMeta(dst)
+		return proto.FileInfo{}, err
+	}
+	s.obs.Event("rpc", "link", sc.Trace,
+		fmt.Sprintf("dst=%q parts=%d chunks=%d held=%d (cross-shard)", dst, len(parts), len(resp.File.Chunks), len(held)))
+	s.mu.Lock()
+	s.meta[dst] = resp.File
+	s.mu.Unlock()
+	return resp.File, nil
+}
+
+// retainRemote groups refs by owning shard and takes one remote hold per
+// ref at each owner, skipping refs dstShard owns (the destination bumps
+// those locally as part of OpLinkRefs). On failure every hold already
+// taken is rolled back. Returns the refs actually held, for a later
+// releaseRemote by the caller's abort path.
+func (s *Store) retainRemote(sc store.SpanInfo, dstShard int, refs []proto.ChunkRef) ([]proto.ChunkRef, error) {
+	var held []proto.ChunkRef
+	byOwner := make(map[int][]proto.ChunkID)
+	var order []int // deterministic call order
+	for _, r := range refs {
+		o := s.ownerOf(r.ID)
+		if o == dstShard {
+			continue
+		}
+		if _, ok := byOwner[o]; !ok {
+			order = append(order, o)
+		}
+		byOwner[o] = append(byOwner[o], r.ID)
+		held = append(held, r)
+	}
+	for idx, o := range order {
+		if _, err := s.callShard(o, proto.ManagerReq{
+			Op: proto.OpRetainRefs, TraceID: sc.Trace, ParentSpanID: sc.Parent, IDs: byOwner[o],
+		}); err != nil {
+			for _, prev := range order[:idx] {
+				s.releaseAt(sc, prev, byOwner[prev])
+			}
+			return nil, fmt.Errorf("retain refs at shard %d: %w", o, err)
+		}
+	}
+	return held, nil
+}
+
+// releaseRemote drops remote holds at their owning shards. Best effort:
+// the op that shed them has already committed, so an unreachable owner
+// costs leaked holds (logged; space, never correctness).
+func (s *Store) releaseRemote(sc store.SpanInfo, refs []proto.ChunkRef) {
+	if len(refs) == 0 {
+		return
+	}
+	byOwner := make(map[int][]proto.ChunkID)
+	var order []int
+	for _, r := range refs {
+		o := s.ownerOf(r.ID)
+		if _, ok := byOwner[o]; !ok {
+			order = append(order, o)
+		}
+		byOwner[o] = append(byOwner[o], r.ID)
+	}
+	for _, o := range order {
+		s.releaseAt(sc, o, byOwner[o])
+	}
+}
+
+// releaseAt drops remote holds at one owning shard (best effort).
+func (s *Store) releaseAt(sc store.SpanInfo, owner int, ids []proto.ChunkID) {
+	if _, err := s.callShard(owner, proto.ManagerReq{
+		Op: proto.OpReleaseRefs, TraceID: sc.Trace, ParentSpanID: sc.Parent, IDs: ids,
+	}); err != nil {
+		s.obs.Event("rpc", "release-failed", sc.Trace,
+			fmt.Sprintf("shard=%d chunks=%d err=%v (holds leak until re-released)", owner, len(ids), err))
+	}
+}
+
 // Derive creates name sharing a chunk sub-range of src (checkpoint restore
 // without data movement) and caches the new file's chunk map.
 func (s *Store) Derive(name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
@@ -590,7 +1064,10 @@ func (s *Store) Derive(name, src string, fromChunk, nChunks int, size int64) (pr
 }
 
 func (s *Store) derive(sc store.SpanInfo, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
-	resp, err := s.mgr.call(proto.ManagerReq{
+	if s.nShards() > 1 {
+		return s.deriveSharded(sc, name, src, fromChunk, nChunks, size)
+	}
+	resp, err := s.callRouted(proto.ManagerReq{
 		Op: proto.OpDerive, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: name, Src: src,
 		FromChunk: fromChunk, NChunks: nChunks, Size: size,
 	})
@@ -599,6 +1076,49 @@ func (s *Store) derive(sc store.SpanInfo, name, src string, fromChunk, nChunks i
 		return proto.FileInfo{}, err
 	}
 	s.obs.Event("rpc", "derive", sc.Trace, fmt.Sprintf("file=%q src=%q chunks=%d", name, src, nChunks))
+	s.mu.Lock()
+	s.meta[name] = resp.File
+	s.mu.Unlock()
+	return resp.File, nil
+}
+
+// deriveSharded is the cross-shard derive (checkpoint restore): the new
+// file and its source may hash to different shards. Like linkSharded, the
+// client exports the chunk sub-range from the source's shard
+// (OpExportRange — read-only, holds nothing), retains the refs at their
+// owners, then creates the new file from the explicit ref list at its own
+// shard (OpLinkRefs with CreateDst). A racing delete between export and
+// retain fails the retain with ErrNoSuchChunk and the derive aborts
+// cleanly.
+func (s *Store) deriveSharded(sc store.SpanInfo, name, src string, fromChunk, nChunks int, size int64) (proto.FileInfo, error) {
+	dstShard := s.shardFor(name)
+	ex, err := s.callRouted(proto.ManagerReq{
+		Op: proto.OpExportRange, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: src,
+		FromChunk: fromChunk, NChunks: nChunks,
+	})
+	if err != nil {
+		return proto.FileInfo{}, err
+	}
+	refs := ex.File.Chunks
+	reps := make([][]proto.ChunkRef, len(refs))
+	for i := range refs {
+		reps[i] = replicaRefs(ex.File, i)
+	}
+	held, err := s.retainRemote(sc, dstShard, refs)
+	if err != nil {
+		return proto.FileInfo{}, err
+	}
+	resp, err := s.callRouted(proto.ManagerReq{
+		Op: proto.OpLinkRefs, TraceID: sc.Trace, ParentSpanID: sc.Parent,
+		Name: name, Refs: refs, RefReplicas: reps, Size: size, CreateDst: true,
+	})
+	if err != nil {
+		s.releaseRemote(sc, held)
+		s.invalidateMeta(name)
+		return proto.FileInfo{}, err
+	}
+	s.obs.Event("rpc", "derive", sc.Trace,
+		fmt.Sprintf("file=%q src=%q chunks=%d held=%d (cross-shard)", name, src, nChunks, len(held)))
 	s.mu.Lock()
 	s.meta[name] = resp.File
 	s.mu.Unlock()
@@ -615,13 +1135,16 @@ func (s *Store) Remap(name string, chunkIdx int) ([]proto.ChunkRef, error) {
 }
 
 func (s *Store) remap(sc store.SpanInfo, name string, chunkIdx int) ([]proto.ChunkRef, error) {
-	resp, err := s.mgr.call(proto.ManagerReq{
+	resp, err := s.callRouted(proto.ManagerReq{
 		Op: proto.OpRemap, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: name, ChunkIdx: chunkIdx,
 	})
 	if err != nil {
 		s.invalidateMeta(name)
 		return nil, err
 	}
+	// A remap of a foreign-owned chunk copied onto a locally-owned one and
+	// shed the foreign reference; drop the matching hold at the owner.
+	s.releaseRemote(sc, resp.ForeignFreed)
 	fresh := resp.NewRefs
 	if len(fresh) == 0 {
 		fresh = []proto.ChunkRef{resp.NewRef}
@@ -643,9 +1166,11 @@ func (s *Store) remap(sc store.SpanInfo, name string, chunkIdx int) ([]proto.Chu
 	return fresh, nil
 }
 
-// SetTTL assigns a relative lifetime to a file on the manager's clock.
+// SetTTL assigns a relative lifetime to a file on its manager shard's
+// clock.
 func (s *Store) SetTTL(name string, ttl time.Duration) error {
-	return s.mgr.SetTTLIn(name, ttl)
+	_, err := s.callRouted(proto.ManagerReq{Op: proto.OpSetTTL, Name: name, TTLNanos: int64(ttl)})
+	return err
 }
 
 // Delete removes a file.
@@ -655,10 +1180,13 @@ func (s *Store) Delete(name string) error {
 
 func (s *Store) deleteFile(sc store.SpanInfo, name string) error {
 	s.invalidateMeta(name)
-	_, err := s.mgr.call(proto.ManagerReq{
+	resp, err := s.callRouted(proto.ManagerReq{
 		Op: proto.OpDelete, TraceID: sc.Trace, ParentSpanID: sc.Parent, Name: name,
 	})
 	if err == nil {
+		// The file may have referenced chunks owned by other shards (from a
+		// cross-shard link or derive); drop the matching holds at the owners.
+		s.releaseRemote(sc, resp.ForeignFreed)
 		s.obs.Event("rpc", "delete", sc.Trace, fmt.Sprintf("file=%q", name))
 	}
 	return err

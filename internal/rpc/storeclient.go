@@ -107,7 +107,8 @@ func (c *StoreClient) PutPages(ctx store.Ctx, refs []proto.ChunkRef, pageOffs []
 	return c.st.putPages(store.SpanOf(ctx), refs, pageOffs, pages)
 }
 
-// Status implements store.Client.
+// Status implements store.Client: the benefactor table merged across every
+// reachable manager shard.
 func (c *StoreClient) Status(_ store.Ctx) ([]proto.BenefactorInfo, error) {
-	return c.st.mgr.Status()
+	return c.st.Status()
 }

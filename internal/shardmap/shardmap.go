@@ -1,0 +1,96 @@
+// Package shardmap partitions the metadata plane: variable names are
+// routed to manager shards by rendezvous (highest-random-weight) hashing,
+// and clients cache an epoch-stamped map of the shard set so a stale view
+// is detected by the shard itself (proto.ErrStaleShardMap) rather than
+// silently serving another shard's keyspace.
+//
+// The hash is deterministic across processes and Go versions (FNV-1a over
+// the name and the shard index), so every client, manager, and tool
+// computes the same name→shard assignment from the shard count alone —
+// there is no routing table to distribute, only the count and the peer
+// addresses. Ties break toward the lowest shard index, which makes the
+// assignment total and stable.
+package shardmap
+
+import "strings"
+
+// Map is a client's view of the metadata plane: how many shards exist,
+// which one this map came from, its membership epoch, and where the
+// shards listen. A single-manager deployment is the degenerate Map{N: 1}.
+type Map struct {
+	// Epoch is the issuing shard's membership epoch. Every benefactor
+	// registration, death, or fenced rejoin bumps it; a request stamped
+	// with an older epoch is rejected with proto.ErrStaleShardMap and the
+	// fresh map piggybacked on the response.
+	Epoch int64
+	// Index is the issuing shard's position in [0, N).
+	Index int
+	// N is the shard count. 0 or 1 means an unsharded metadata plane.
+	N int
+	// Peers holds the manager addresses indexed by shard. May be empty on
+	// an unsharded deployment.
+	Peers []string
+}
+
+// Unsharded reports whether the map describes a single-manager plane.
+func (m Map) Unsharded() bool { return m.N <= 1 }
+
+// Clone returns a deep copy (the Peers slice is shared state otherwise).
+func (m Map) Clone() Map {
+	m.Peers = append([]string(nil), m.Peers...)
+	return m
+}
+
+// fnv1a64 is FNV-1a over s, seeded so the shard index perturbs the whole
+// hash (plain concatenation would let "a"+shard collide with "a"+shard').
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnv1a64(s string, seed uint64) uint64 {
+	h := uint64(fnvOffset) ^ seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// weight is the rendezvous weight of (name, shard): each shard hashes the
+// name with its own seed and the highest weight wins.
+func weight(name string, shard int) uint64 {
+	// Seed the shard index through one FNV round so adjacent indices
+	// produce uncorrelated weights.
+	seed := (uint64(shard) + 1) * fnvPrime
+	return fnv1a64(name, seed)
+}
+
+// ShardFor returns the shard owning a variable name under an n-shard
+// plane, by rendezvous hashing with a deterministic lowest-index
+// tiebreak. n <= 1 always yields shard 0, the unsharded degenerate case.
+func ShardFor(name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	best, bestW := 0, weight(name, 0)
+	for i := 1; i < n; i++ {
+		if w := weight(name, i); w > bestW { // strict: ties keep the lowest index
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// SplitAddrs parses a comma-separated manager address list (the form
+// nvmalloc.Connect, nvmctl -manager, and nvmstore benefactor -manager all
+// accept), dropping empty elements and surrounding space.
+func SplitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

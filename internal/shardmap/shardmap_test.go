@@ -1,0 +1,115 @@
+package shardmap
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardForStable pins that routing is a pure function of (name, n):
+// the same name always lands on the same shard, and adding names never
+// moves existing ones.
+func TestShardForStable(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for i := 0; i < 100; i++ {
+			name := fmt.Sprintf("nvmvar.r%d.%d", i%7, i)
+			a := ShardFor(name, n)
+			b := ShardFor(name, n)
+			if a != b {
+				t.Fatalf("ShardFor(%q, %d) unstable: %d then %d", name, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("ShardFor(%q, %d) = %d out of range", name, n, a)
+			}
+		}
+	}
+}
+
+// TestShardForUnsharded: n <= 1 is the degenerate single-manager plane.
+func TestShardForUnsharded(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if got := ShardFor("anything", n); got != 0 {
+			t.Fatalf("ShardFor(n=%d) = %d, want 0", n, got)
+		}
+	}
+}
+
+// TestShardForDistribution: rendezvous hashing must spread a realistic
+// variable-name population roughly evenly — no shard may be starved or
+// hot by more than 2x of fair share across 10k names.
+func TestShardForDistribution(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7} {
+		counts := make([]int, n)
+		const names = 10000
+		for i := 0; i < names; i++ {
+			counts[ShardFor(fmt.Sprintf("nvmvar.r%d.var-%d", i%64, i), n)]++
+		}
+		fair := names / n
+		for s, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Fatalf("n=%d: shard %d got %d of %d names (fair share %d): %v",
+					n, s, c, names, fair, counts)
+			}
+		}
+	}
+}
+
+// TestShardForGrowthMovesBoundedKeys: the rendezvous property — growing
+// from n to n+1 shards relocates only names won by the new shard (~1/(n+1)
+// of them); every other name keeps its shard. This is what makes a future
+// reshard incremental instead of a full remap.
+func TestShardForGrowthMovesBoundedKeys(t *testing.T) {
+	const names = 5000
+	for _, n := range []int{2, 4} {
+		moved := 0
+		for i := 0; i < names; i++ {
+			name := fmt.Sprintf("var-%d", i)
+			was, is := ShardFor(name, n), ShardFor(name, n+1)
+			if was != is {
+				moved++
+				if is != n {
+					t.Fatalf("name %q moved %d -> %d when shard %d joined (only the new shard may win)", name, was, is, n)
+				}
+			}
+		}
+		// Expect ~names/(n+1) moved; allow a 2x band.
+		expect := names / (n + 1)
+		if moved > 2*expect {
+			t.Fatalf("n=%d->%d moved %d names, want <= %d", n, n+1, moved, 2*expect)
+		}
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"127.0.0.1:7070", []string{"127.0.0.1:7070"}},
+		{"a:1,b:2", []string{"a:1", "b:2"}},
+		{" a:1 , b:2 ,", []string{"a:1", "b:2"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := SplitAddrs(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitAddrs(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitAddrs(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMapClone(t *testing.T) {
+	m := Map{Epoch: 3, Index: 1, N: 2, Peers: []string{"a", "b"}}
+	c := m.Clone()
+	c.Peers[0] = "mutated"
+	if m.Peers[0] != "a" {
+		t.Fatal("Clone shares the Peers slice")
+	}
+	if m.Unsharded() || !(Map{N: 1}).Unsharded() {
+		t.Fatal("Unsharded misreports")
+	}
+}
