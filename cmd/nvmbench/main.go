@@ -20,10 +20,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/debug"
 	"time"
 
 	"nvmalloc/internal/experiments"
+	"nvmalloc/internal/obs"
 )
 
 // reportJSON mirrors experiments.Report for the -json output.
@@ -58,36 +58,13 @@ type benchJSON struct {
 	GeneratedUTC       string `json:"generated_utc"`
 	// GitRevision is the vcs revision the binary was built from ("-dirty"
 	// when the worktree had local changes; "unknown" for non-vcs builds
-	// such as `go run` from an exported tarball).
+	// such as `go run` from an exported tarball) — the same build identity
+	// every daemon exports as the nvm_build_info metric, so archived runs
+	// join against Prometheus scrapes on the revision label.
 	GitRevision string        `json:"git_revision"`
 	Host        benchHost     `json:"host"`
 	Quick       bool          `json:"quick"`
 	Benchmarks  []benchResult `json:"benchmarks"`
-}
-
-// gitRevision reads the build's vcs stamp via debug.ReadBuildInfo — no
-// exec of git, so it works in containers without the tool installed.
-func gitRevision() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	rev, dirty := "", false
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
-		}
-	}
-	if rev == "" {
-		return "unknown"
-	}
-	if dirty {
-		rev += "-dirty"
-	}
-	return rev
 }
 
 func main() {
@@ -215,7 +192,7 @@ func main() {
 		now := time.Now()
 		doc.GeneratedUnixNanos = now.UnixNano()
 		doc.GeneratedUTC = now.UTC().Format(time.RFC3339)
-		doc.GitRevision = gitRevision()
+		doc.GitRevision = obs.BuildRevision()
 		host, _ := os.Hostname()
 		doc.Host = benchHost{
 			Hostname:  host,

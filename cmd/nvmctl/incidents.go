@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"nvmalloc/internal/obs"
+	"nvmalloc/internal/rpc"
+)
+
+// incidentNodes lists the scrapeable cluster members that can hold
+// incident bundles (every daemon with a debug endpoint).
+func incidentNodes(st *rpc.Store) []node {
+	nodes, _, _, err := discover(st)
+	if err != nil {
+		fatal(err)
+	}
+	out := nodes[:0]
+	for _, n := range nodes {
+		if n.addr != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// runCapture asks every daemon to snapshot an incident bundle now.
+func runCapture(st *rpc.Store, args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	reason := fs.String("reason", "manual", "reason recorded in the bundles")
+	force := fs.Bool("force", false, "capture even inside a daemon's cooldown window")
+	fs.Parse(args)
+
+	for _, n := range incidentNodes(st) {
+		meta, captured, err := obs.CaptureIncident(n.addr, *reason, *force)
+		switch {
+		case err != nil:
+			fmt.Printf("%-16s capture failed: %v\n", n.name, err)
+		case captured:
+			fmt.Printf("%-16s captured %s\n", n.name, meta.ID)
+		default:
+			fmt.Printf("%-16s within cooldown, existing bundle %s\n", n.name, meta.ID)
+		}
+	}
+}
+
+// runIncidents lists every daemon's on-disk incident bundles.
+func runIncidents(st *rpc.Store) {
+	rows := 0
+	for _, n := range incidentNodes(st) {
+		list, err := obs.FetchIncidents(n.addr)
+		if err != nil {
+			fmt.Printf("%-16s %v\n", n.name, err)
+			continue
+		}
+		for _, m := range list {
+			age := time.Since(time.Unix(0, m.UnixNanos)).Round(time.Second)
+			shard := ""
+			if m.Identity.NShards > 0 {
+				shard = fmt.Sprintf("shard %d/%d epoch %d", m.Identity.Shard, m.Identity.NShards, m.Identity.Epoch)
+			}
+			fmt.Printf("%-16s %-42s %-24s age %-8s %s\n", n.name, m.ID, m.Reason, age, shard)
+			rows++
+		}
+	}
+	if rows == 0 {
+		fmt.Println("no incident bundles (daemons need -incident-dir, and an alert must have fired or `nvmctl capture` been run)")
+	}
+}
+
+// runBundle fetches the named bundle plus every other daemon's bundle
+// from the same incident window and merges them into one tar.gz: each
+// daemon's files land under a <node>/ prefix.
+func runBundle(st *rpc.Store, args []string) {
+	fs := flag.NewFlagSet("bundle", flag.ExitOnError)
+	out := fs.String("o", "incident.tar.gz", "output archive path")
+	tolerance := fs.Duration("tolerance", 2*time.Minute, "bundles captured within this of the named one are part of the same incident")
+	// stdlib flag stops at the first positional, so `bundle <id> -o out`
+	// would swallow -o as an operand; lift a leading id out before parsing
+	// to accept flags on either side of it.
+	id := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if id == "" {
+		if fs.NArg() != 1 {
+			fatal(fmt.Errorf("bundle <incident-id> [-o out.tar.gz] [-tolerance 2m]"))
+		}
+		id = fs.Arg(0)
+	} else if fs.NArg() != 0 {
+		fatal(fmt.Errorf("bundle <incident-id> [-o out.tar.gz] [-tolerance 2m]"))
+	}
+
+	// Pass 1: find the anchor bundle's capture time and each node's list.
+	type nodeList struct {
+		n    node
+		list []obs.IncidentMeta
+	}
+	var lists []nodeList
+	var t0 int64
+	found := false
+	for _, n := range incidentNodes(st) {
+		list, err := obs.FetchIncidents(n.addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmctl: %s: %v (skipping)\n", n.name, err)
+			continue
+		}
+		for _, m := range list {
+			if m.ID == id {
+				t0 = m.UnixNanos
+				found = true
+			}
+		}
+		lists = append(lists, nodeList{n, list})
+	}
+	if !found {
+		fatal(fmt.Errorf("bundle %q not found on any reachable daemon (try `nvmctl incidents`)", id))
+	}
+
+	// Pass 2: per node, pick the bundle closest to the anchor within the
+	// tolerance (bundle IDs differ per node; time correlates them).
+	var parts []obs.BundlePart
+	var names []string
+	for _, nl := range lists {
+		best := ""
+		bestDelta := int64(1 << 62)
+		for _, m := range nl.list {
+			delta := m.UnixNanos - t0
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta <= int64(*tolerance) && delta < bestDelta {
+				best, bestDelta = m.ID, delta
+			}
+		}
+		if best == "" {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := obs.FetchIncidentBundle(nl.n.addr, best, &buf); err != nil {
+			fmt.Fprintf(os.Stderr, "nvmctl: %s: %v (skipping)\n", nl.n.name, err)
+			continue
+		}
+		parts = append(parts, obs.BundlePart{Node: nl.n.name, R: &buf})
+		names = append(names, fmt.Sprintf("%s (%s)", nl.n.name, best))
+	}
+	if len(parts) == 0 {
+		fatal(fmt.Errorf("no bundles fetched for incident %q", id))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.MergeBundles(f, parts); err != nil {
+		f.Close()
+		os.Remove(*out)
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	sort.Strings(names)
+	fmt.Printf("wrote %s: %d daemon bundle(s)\n", *out, len(parts))
+	fmt.Printf("  %s\n", strings.Join(names, "\n  "))
+}

@@ -29,6 +29,16 @@
 //	                                                    live health view: windowed rates,
 //	                                                    cluster percentiles, alerts
 //
+// Incident commands (daemons must also run with -incident-dir):
+//
+//	nvmctl -manager host:7070 incidents                 list incident bundles cluster-wide
+//	nvmctl -manager host:7070 capture [-reason why] [-force]
+//	                                                    snapshot a bundle on every daemon now
+//	nvmctl -manager host:7070 bundle <id> [-o out.tar.gz] [-tolerance 2m]
+//	                                                    fetch every daemon's bundle from the
+//	                                                    same incident window, merged into one
+//	                                                    archive (<node>/... entries)
+//
 // put and get print a `trace <id>` line; feed the id to `nvmctl trace` to
 // see the op's hierarchical waterfall (client -> cache -> wire -> manager/
 // benefactor -> SSD) with the critical path marked.
@@ -77,7 +87,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-cache-dir dir] [-stats] status|put|get|stat|rm|link|repair|kill|ckpt-demo|metrics|top|trace|slow|watch ...")
+		fmt.Fprintln(os.Stderr, "usage: nvmctl [-manager addr] [-pool n] [-parallel n] [-cache bytes] [-cache-dir dir] [-stats] status|put|get|stat|rm|link|repair|kill|ckpt-demo|metrics|top|trace|slow|watch|capture|incidents|bundle ...")
 		os.Exit(2)
 	}
 	st, err := rpc.OpenWith(*mgr, rpc.Options{PoolSize: *pool, Parallelism: *parallel})
@@ -277,6 +287,12 @@ func main() {
 		runSlow(st, *traceN)
 	case "watch":
 		runWatch(st, args[1:])
+	case "capture":
+		runCapture(st, args[1:])
+	case "incidents":
+		runIncidents(st)
+	case "bundle":
+		runBundle(st, args[1:])
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nvmalloc/internal/obs"
+	"nvmalloc/internal/proto"
 	"nvmalloc/internal/rpc"
 )
 
@@ -45,13 +46,20 @@ type nodeVitals struct {
 	err error
 }
 
+// renderFrame discovers the live cluster and renders one dashboard frame.
 func renderFrame(st *rpc.Store, window time.Duration) string {
-	var b strings.Builder
 	nodes, shards, bens, err := discover(st)
 	if err != nil {
 		return fmt.Sprintf("watch: discover: %v\n", err)
 	}
+	return renderFrameData(nodes, shards, bens, st.ShardEpochs(), window)
+}
 
+// renderFrameData renders a dashboard frame from an explicit cluster
+// view — the seam the rendering unit test drives with fake /vitals
+// servers, no live cluster required.
+func renderFrameData(nodes []node, shards []shardInfo, bens []proto.BenefactorInfo, cachedEpochs []int64, window time.Duration) string {
+	var b strings.Builder
 	all := make([]nodeVitals, 0, len(nodes))
 	healthy := true
 	scraped := 0
@@ -204,7 +212,6 @@ func renderFrame(st *rpc.Store, window time.Duration) string {
 	// the client's cached map is flagged — the next routed op there will
 	// pay one stale-map retry to resync.
 	b.WriteString("\nmanagers:\n")
-	cachedEpochs := st.ShardEpochs()
 	for i, si := range shards {
 		name := mgrName(i, len(shards))
 		if si.err != nil {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nvmalloc/internal/obs"
+	"nvmalloc/internal/proto"
+)
+
+// fakeVitals serves v at /vitals the way a daemon's debug server would,
+// returning the host:port the watch scraper dials.
+func fakeVitals(t *testing.T, v obs.Vitals) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/vitals", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(v)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// TestWatchRenderFrame drives the dashboard renderer against fake
+// /vitals servers: a healthy benefactor, a manager with a firing alert,
+// and an unreachable second shard. This is the -once frame CI and
+// operators read, so the load-bearing strings are pinned here.
+func TestWatchRenderFrame(t *testing.T) {
+	now := time.Now().UnixNano()
+	mgrAddr := fakeVitals(t, obs.Vitals{
+		Node:          "manager-0",
+		UnixNanos:     now,
+		WindowSeconds: 30,
+		Samples:       120,
+		Rates:         map[string]float64{"manager.chunks_allocated": 4},
+		Gauges: map[string]int64{
+			"manager.live_benefactors": 1,
+			"manager.under_replicated": 3,
+			"manager.used_bytes":       1 << 20,
+			"manager.capacity_bytes":   1 << 30,
+		},
+		Hists: map[string]obs.HistogramSnapshot{
+			"manager.op.create.latency": {Count: 120, P50Nanos: 1e6, P99Nanos: 9e6},
+		},
+		Alerts: []obs.Alert{{
+			Rule:                 "under-replicated",
+			State:                "firing",
+			Value:                3,
+			Op:                   ">",
+			Threshold:            0,
+			SinceUnixNanos:       now - int64(10*time.Second),
+			FiringSinceUnixNanos: now - int64(5*time.Second),
+		}},
+		Healthy: false,
+	})
+	benAddr := fakeVitals(t, obs.Vitals{
+		Node:          "benefactor-0",
+		UnixNanos:     now,
+		WindowSeconds: 30,
+		Samples:       120,
+		Rates: map[string]float64{
+			"benefactor.read_bytes":  2048,
+			"benefactor.write_bytes": 4096,
+		},
+		Hists: map[string]obs.HistogramSnapshot{
+			"benefactor.op.get.latency": {Count: 60, P50Nanos: 2e5, P99Nanos: 4e6},
+		},
+		Healthy: true,
+	})
+
+	nodes := []node{
+		{name: "manager-0", addr: mgrAddr},
+		{name: "benefactor-0", addr: benAddr},
+	}
+	shards := []shardInfo{
+		{addr: "127.0.0.1:7070", debug: mgrAddr, epoch: 5, under: 3},
+		{addr: "127.0.0.1:7071", err: errors.New("dial tcp: connection refused")},
+	}
+	bens := []proto.BenefactorInfo{{
+		ID: 0, Node: 0, Alive: true,
+		Capacity: 1 << 30, Used: 1 << 28,
+		BeatAgeNanos: int64(40 * time.Millisecond),
+	}}
+
+	frame := renderFrameData(nodes, shards, bens, []int64{4, 0}, 30*time.Second)
+
+	for _, want := range []string{
+		// A firing alert anywhere degrades the cluster header.
+		"nvmalloc cluster  UNHEALTHY",
+		"nodes 2/2 scraped",
+		// The merged op table carries both daemons' histograms.
+		"manager.op.create.latency",
+		"benefactor.op.get.latency",
+		// The healthy benefactor row.
+		"alive",
+		// Manager lines: shard 0's gauges (with the skew flag — its epoch 5
+		// is ahead of the client's cached 4), shard 1 unreachable.
+		"manager-0    live=1 under_replicated=3",
+		"epoch=5  EPOCH SKEW (client map at 4)",
+		"manager-1    @ 127.0.0.1:7071 UNREACHABLE",
+		// The alert table names the firing rule on its node.
+		"FIRING  manager-0        under-replicated",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "scrape failed") {
+		t.Fatalf("healthy scrapes reported as failed:\n%s", frame)
+	}
+}
+
+// TestWatchRenderFrameNoEndpoints pins the degenerate frame: a cluster
+// where no daemon exposes a debug endpoint still renders, with a hint
+// instead of empty tables.
+func TestWatchRenderFrameNoEndpoints(t *testing.T) {
+	nodes := []node{{name: "manager", addr: ""}}
+	frame := renderFrameData(nodes, nil, nil, nil, 30*time.Second)
+	if !strings.Contains(frame, "nodes 0/1 scraped") ||
+		!strings.Contains(frame, "no node exposes a debug endpoint") {
+		t.Fatalf("degenerate frame:\n%s", frame)
+	}
+}

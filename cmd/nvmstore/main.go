@@ -7,10 +7,12 @@
 //	          [-shard 0/2 -peers host:7070,host:7072]
 //	          [-debug-addr :7071] [-log info]
 //	          [-sample 1s] [-history 300] [-alert-for 30s] [-p99-budget 250ms] [-no-rules]
+//	          [-incident-dir /var/lib/nvm/incidents] [-incident-max 8] [-incident-cpu 5s]
 //	nvmstore benefactor -manager host:7070[,host:7072] -id 0 [-listen :0] [-dir /ssd/nvm]
 //	          [-capacity 1073741824] [-chunk 262144] [-node 0] [-beat 2s]
 //	          [-debug-addr :0] [-log info]
 //	          [-sample 1s] [-history 300] [-alert-for 30s] [-p99-budget 250ms] [-no-rules]
+//	          [-incident-dir /var/lib/nvm/incidents] [-incident-max 8] [-incident-cpu 5s]
 //
 // A benefactor contributes -capacity bytes of the file system at -dir
 // (mount the node-local SSD there) to the store managed by -manager.
@@ -36,6 +38,12 @@
 // the default alert rules are evaluated against it (-alert-for sustain,
 // -p99-budget latency budget; -no-rules disables evaluation, -sample 0
 // disables the monitor entirely).
+//
+// With -incident-dir, any alert rule's pending→firing edge snapshots an
+// incident bundle into that directory (goroutine dump, heap + CPU profiles,
+// span ring, slow-op flight recorder, recent time-series samples, firing
+// rules, shard identity), keeping at most -incident-max bundles. nvmctl's
+// capture/incidents/bundle commands drive the same recorder over HTTP.
 package main
 
 import (
@@ -122,6 +130,18 @@ func monitorFlags(fs *flag.FlagSet) func(d obs.RuleDefaults) obs.MonitorConfig {
 	}
 }
 
+// incidentFlags registers the incident-recorder flags shared by both
+// daemons and returns a closure resolving them into an IncidentConfig
+// once parsed (zero config when -incident-dir is unset).
+func incidentFlags(fs *flag.FlagSet) func() obs.IncidentConfig {
+	dir := fs.String("incident-dir", "", "write alert-triggered incident bundles into this directory (empty disables)")
+	maxB := fs.Int("incident-max", 0, "incident bundles retained on disk before the oldest is pruned (0 = 8)")
+	cpu := fs.Duration("incident-cpu", 0, "CPU-profile duration inside each bundle (0 = 5s, negative skips)")
+	return func() obs.IncidentConfig {
+		return obs.IncidentConfig{Dir: *dir, MaxBundles: *maxB, CPUProfile: *cpu}
+	}
+}
+
 // newObs builds a daemon's observability bundle: metrics registry, event
 // ring, and a key=value logger on stderr at the requested level.
 func newObs(node, level string) *obs.Obs {
@@ -149,6 +169,7 @@ func runManager(args []string) {
 	logLevel := fs.String("log", "info", "log level: debug|info|warn|error|off")
 	slow := fs.Duration("slow", obs.DefaultSlowThreshold, "root spans at least this long are copied to the slow-op flight recorder (0 disables)")
 	monitor := monitorFlags(fs)
+	incidents := incidentFlags(fs)
 	fs.Parse(args)
 
 	shardIdx, shardCnt, peerList, err := parseShard(*shard, *peers)
@@ -177,6 +198,7 @@ func runManager(args []string) {
 		ShardIndex:       shardIdx,
 		ShardCount:       shardCnt,
 		Peers:            peerList,
+		Incidents:        incidents(),
 	})
 	if err != nil {
 		fatal(err)
@@ -213,6 +235,7 @@ func runBenefactor(args []string) {
 	logLevel := fs.String("log", "info", "log level: debug|info|warn|error|off")
 	slow := fs.Duration("slow", obs.DefaultSlowThreshold, "root spans at least this long are copied to the slow-op flight recorder (0 disables)")
 	monitor := monitorFlags(fs)
+	incidents := incidentFlags(fs)
 	fs.Parse(args)
 
 	backend, err := rpc.NewFileBackend(*dir)
@@ -225,6 +248,7 @@ func runBenefactor(args []string) {
 		DebugAddr: *debugAddr,
 		Obs:       o,
 		Monitor:   monitor(obs.RuleDefaults{}),
+		Incidents: incidents(),
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build identity, read once from the binary itself (debug.ReadBuildInfo):
+// the VCS revision ("-dirty" when the working tree was modified) and the
+// Go toolchain version. Exposed as the nvm_build_info gauge so a scrape
+// can correlate a regression with the exact build serving it, and reused
+// by nvmbench to stamp result JSON.
+
+var (
+	buildOnce sync.Once
+	buildRev  string
+	buildGo   string
+)
+
+func loadBuildInfo() {
+	buildOnce.Do(func() {
+		buildRev = "unknown"
+		buildGo = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "-dirty"
+			}
+			buildRev = rev
+		}
+	})
+}
+
+// BuildRevision returns the binary's VCS revision (short hash, "-dirty"
+// suffix when built from a modified tree) or "unknown" when the binary
+// carries no VCS stamp (go test, go run without a repo).
+func BuildRevision() string {
+	loadBuildInfo()
+	return buildRev
+}
+
+// buildGoVersion returns the Go toolchain version the binary was built
+// with.
+func buildGoVersion() string {
+	loadBuildInfo()
+	return buildGo
+}
+
+// setBuildInfoForTest pins the build identity so golden-file tests are
+// deterministic across toolchains; restore returns it to the real values.
+func setBuildInfoForTest(rev, gover string) (restore func()) {
+	loadBuildInfo()
+	oldRev, oldGo := buildRev, buildGo
+	buildRev, buildGo = rev, gover
+	return func() { buildRev, buildGo = oldRev, oldGo }
+}

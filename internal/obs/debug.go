@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"strconv"
 	"time"
 )
@@ -54,11 +57,16 @@ func ServeDebug(addr string, o *Obs) (*DebugServer, error) {
 			fmt.Fprintln(w, "ok")
 			return
 		}
+		id := o.Identity()
+		body := healthzBody{Status: "unhealthy", Node: id.Node, Epoch: id.Epoch, Firing: firing}
+		if id.NShards > 0 {
+			body.Shard = fmt.Sprintf("%d/%d", id.Shard, id.NShards)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(healthzBody{Status: "unhealthy", Firing: firing})
+		_ = enc.Encode(body)
 	})
 	mux.HandleFunc("/vitals", func(w http.ResponseWriter, req *http.Request) {
 		window := DefaultVitalsWindow
@@ -112,6 +120,55 @@ func ServeDebug(addr string, o *Obs) (*DebugServer, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(spans)
 	})
+	mux.HandleFunc("/incidents", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		list := o.Incidents().List()
+		if list == nil {
+			list = []IncidentMeta{}
+		}
+		_ = enc.Encode(list)
+	})
+	mux.HandleFunc("/incidents/capture", func(w http.ResponseWriter, req *http.Request) {
+		ir := o.Incidents()
+		if ir == nil {
+			http.Error(w, "no incident recorder configured (-incident-dir)", http.StatusNotImplemented)
+			return
+		}
+		q := req.URL.Query()
+		reason := q.Get("reason")
+		if reason == "" {
+			reason = "manual"
+		}
+		force := q.Get("force") != "" && q.Get("force") != "0"
+		meta, fresh, err := ir.Capture(reason, force)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(captureResult{Captured: fresh, Incident: meta})
+	})
+	mux.HandleFunc("/incidents/bundle", func(w http.ResponseWriter, req *http.Request) {
+		ir := o.Incidents()
+		if ir == nil {
+			http.Error(w, "no incident recorder configured (-incident-dir)", http.StatusNotImplemented)
+			return
+		}
+		id := req.URL.Query().Get("id")
+		// Buffer the archive so a missing bundle can still 404: bundles are
+		// bounded (profiles + JSON rings), not bulk data.
+		var buf bytes.Buffer
+		if err := ir.WriteTar(&buf, id); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/gzip")
+		_, _ = w.Write(buf.Bytes())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -142,9 +199,15 @@ func (ds *DebugServer) Close() error {
 // DefaultVitalsWindow is the /vitals lookback when the scrape names none.
 const DefaultVitalsWindow = 30 * time.Second
 
-// healthzBody is the JSON payload of an unhealthy /healthz response.
+// healthzBody is the JSON payload of an unhealthy /healthz response. Node,
+// Shard ("i/n", present only on sharded daemons) and Epoch name which
+// keyspace is degraded, so a 503 from a sharded fleet is actionable on
+// its own.
 type healthzBody struct {
 	Status string  `json:"status"`
+	Node   string  `json:"node,omitempty"`
+	Shard  string  `json:"shard,omitempty"`
+	Epoch  int64   `json:"epoch,omitempty"`
 	Firing []Alert `json:"firing"`
 }
 
@@ -258,4 +321,68 @@ func FetchSpans(addr, trace string, slow bool, n int) ([]Span, error) {
 	var spans []Span
 	err = json.NewDecoder(resp.Body).Decode(&spans)
 	return spans, err
+}
+
+// captureResult is the /incidents/capture response: Captured=false means
+// the cooldown handed back an existing bundle instead of writing a new
+// one.
+type captureResult struct {
+	Captured bool         `json:"captured"`
+	Incident IncidentMeta `json:"incident"`
+}
+
+// FetchIncidents scrapes one node's /incidents list (newest first).
+func FetchIncidents(addr string) ([]IncidentMeta, error) {
+	resp, err := scrapeClient.Get("http://" + addr + "/incidents")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: %s/incidents: %s", addr, resp.Status)
+	}
+	var list []IncidentMeta
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	return list, err
+}
+
+// CaptureIncident asks one node to capture a bundle now. captured=false
+// with a nil error means the node's cooldown returned an existing bundle
+// (force skips the cooldown).
+func CaptureIncident(addr, reason string, force bool) (meta IncidentMeta, captured bool, err error) {
+	u := "http://" + addr + "/incidents/capture?reason=" + url.QueryEscape(reason)
+	if force {
+		u += "&force=1"
+	}
+	resp, err := scrapeClient.Get(u)
+	if err != nil {
+		return IncidentMeta{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return IncidentMeta{}, false, fmt.Errorf("obs: %s/incidents/capture: %s", addr, resp.Status)
+	}
+	var res captureResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return IncidentMeta{}, false, err
+	}
+	return res.Incident, res.Captured, nil
+}
+
+// FetchIncidentBundle streams one node's bundle id as tar.gz into w.
+// Bundle fetches get a longer deadline than metric scrapes: profiles are
+// bigger than gauges.
+var bundleClient = &http.Client{Timeout: 60 * time.Second}
+
+func FetchIncidentBundle(addr, id string, w io.Writer) error {
+	resp, err := bundleClient.Get("http://" + addr + "/incidents/bundle?id=" + url.QueryEscape(id))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("obs: %s/incidents/bundle?id=%s: %s", addr, id, resp.Status)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
 }

@@ -46,6 +46,98 @@ type Obs struct {
 	monMu   sync.Mutex
 	monStop chan struct{}
 	monWG   sync.WaitGroup
+
+	// identity names this process's place in the cluster (shard i/n,
+	// membership epoch) for /healthz bodies and incident bundles; a func so
+	// the epoch stays live across membership bumps.
+	identity atomic.Value // func() Identity
+	// incidents is the optional incident recorder: rule firing edges (and
+	// the /incidents/capture endpoint) snapshot diagnostic bundles to disk.
+	incidents atomic.Pointer[IncidentRecorder]
+	// onFiring is the optional user hook observing pending→firing edges
+	// (called after the incident recorder triggers).
+	onFiring atomic.Value // func(Alert)
+}
+
+// Identity names a daemon's place in the cluster: the node name, its
+// metadata shard (Shard of NShards; NShards 0 means the process serves no
+// shard) and the membership epoch it is operating under. It rides on
+// unhealthy /healthz bodies so a 503 from a sharded fleet names which
+// keyspace is degraded, and it stamps incident bundles.
+type Identity struct {
+	Node    string `json:"node,omitempty"`
+	Shard   int    `json:"shard"`
+	NShards int    `json:"n_shards,omitempty"`
+	Epoch   int64  `json:"epoch,omitempty"`
+}
+
+// SetIdentityFunc installs the provider of this process's cluster
+// identity. The func is called on every /healthz response and incident
+// capture, so a manager can report its current membership epoch rather
+// than the one at boot. Nil-safe.
+func (o *Obs) SetIdentityFunc(fn func() Identity) {
+	if o == nil {
+		return
+	}
+	o.identity.Store(fn)
+}
+
+// Identity returns the process's cluster identity. Without an installed
+// provider it degrades to the registry's node name.
+func (o *Obs) Identity() Identity {
+	if o == nil {
+		return Identity{}
+	}
+	if v := o.identity.Load(); v != nil {
+		if fn := v.(func() Identity); fn != nil {
+			return fn()
+		}
+	}
+	if o.Reg != nil {
+		return Identity{Node: o.Reg.Node()}
+	}
+	return Identity{}
+}
+
+// SetIncidents installs (or with nil removes) the incident recorder.
+// Once installed, every rule's pending→firing edge triggers an
+// asynchronous bundle capture (deduplicated by the recorder's cooldown).
+func (o *Obs) SetIncidents(ir *IncidentRecorder) {
+	if o == nil {
+		return
+	}
+	o.incidents.Store(ir)
+}
+
+// Incidents returns the installed incident recorder (nil without one).
+func (o *Obs) Incidents() *IncidentRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.incidents.Load()
+}
+
+// SetOnFiring installs a hook observing every rule's pending→firing edge
+// (after the incident recorder, if any, has been triggered). The hook
+// runs on the monitor goroutine and must not block.
+func (o *Obs) SetOnFiring(fn func(Alert)) {
+	if o == nil {
+		return
+	}
+	o.onFiring.Store(fn)
+}
+
+// firingEdge dispatches one pending→firing transition to the incident
+// recorder and the user hook. Installed into every RuleSet the Obs runs.
+func (o *Obs) firingEdge(a Alert) {
+	if ir := o.incidents.Load(); ir != nil {
+		ir.TriggerAsync("rule:" + a.Rule)
+	}
+	if v := o.onFiring.Load(); v != nil {
+		if fn := v.(func(Alert)); fn != nil {
+			fn(a)
+		}
+	}
 }
 
 // DefaultRingEvents is the event capacity of rings made by New.
@@ -115,7 +207,9 @@ func (o *Obs) StartMonitor(cfg MonitorConfig) {
 	}
 	o.ts.Store(NewSeries(cfg.History))
 	if len(cfg.Rules) > 0 {
-		o.rules.Store(NewRuleSet(cfg.Rules...))
+		rs := NewRuleSet(cfg.Rules...)
+		rs.SetOnFiring(o.firingEdge)
+		o.rules.Store(rs)
 	}
 	stop := make(chan struct{})
 	o.monStop = stop
@@ -202,6 +296,7 @@ func (o *Obs) SetRules(rs *RuleSet) {
 		o.rules.Store((*RuleSet)(nil))
 		return
 	}
+	rs.SetOnFiring(o.firingEdge)
 	o.rules.Store(rs)
 }
 

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Default prober cadence: frequent enough that a 30s SLO window holds a
+// meaningful sample count, rare enough to be invisible next to real
+// traffic.
+const (
+	DefaultProbeInterval = 2 * time.Second
+	// DefaultProbeJitter is the fraction of the interval each cycle is
+	// randomly advanced or delayed by, so a fleet of probers never
+	// synchronizes into a thundering herd against the managers.
+	DefaultProbeJitter = 0.2
+)
+
+// ProbeTarget is one synthetic check the prober runs each cycle: Run
+// performs a tiny end-to-end operation (a canary put/get/delete against
+// one manager shard, a liveness round-trip to one benefactor) and returns
+// nil on success. Name keys the per-target metrics, so it must be stable
+// and metric-safe ("shard0", "ben3").
+type ProbeTarget struct {
+	Name string
+	Run  func() error
+}
+
+// ProberConfig configures StartProber.
+type ProberConfig struct {
+	// Interval is the probe cadence (default DefaultProbeInterval).
+	Interval time.Duration
+	// Jitter is the random fraction of Interval each cycle shifts by
+	// (default DefaultProbeJitter; negative disables jitter).
+	Jitter float64
+	// Targets returns the current probe set; called once per cycle so the
+	// set tracks cluster membership (benefactors joining and dying).
+	Targets func() []ProbeTarget
+}
+
+// Prober runs synthetic canary operations on a jittered interval and
+// records their outcomes into an Obs registry:
+//
+//	probe.ok / probe.err                  aggregate success and failure counters
+//	probe.latency                         aggregate round-trip histogram
+//	probe.<name>.ok / probe.<name>.err    per-target counters
+//	probe.<name>.latency                  per-target histogram
+//
+// The aggregate counters are what the probe-slo-burn rule consumes; the
+// per-target series tell the operator which shard or benefactor is the
+// one failing.
+type Prober struct {
+	cfg  ProberConfig
+	o    *Obs
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	ok   *Counter
+	err  *Counter
+	lat  *Histogram
+	perT map[string]*probeHandles
+}
+
+type probeHandles struct {
+	ok  *Counter
+	err *Counter
+	lat *Histogram
+}
+
+// StartProber launches the probe loop on a background goroutine. Returns
+// nil (a safe no-op Prober) when o is nil/disabled, cfg.Targets is nil,
+// or the interval resolves non-positive.
+func StartProber(o *Obs, cfg ProberConfig) *Prober {
+	if o == nil || o.Reg == nil || cfg.Targets == nil {
+		return nil
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultProbeInterval
+	}
+	if cfg.Interval < 0 {
+		return nil
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = DefaultProbeJitter
+	}
+	p := &Prober{
+		cfg:  cfg,
+		o:    o,
+		stop: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(rand.Int63())),
+		ok:   o.Reg.Counter("probe.ok"),
+		err:  o.Reg.Counter("probe.err"),
+		lat:  o.Reg.Histogram("probe.latency"),
+		perT: make(map[string]*probeHandles),
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Prober) loop() {
+	defer p.wg.Done()
+	for {
+		t := time.NewTimer(p.nextDelay())
+		select {
+		case <-p.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		p.RunOnce()
+	}
+}
+
+// nextDelay returns the interval shifted by ±Jitter.
+func (p *Prober) nextDelay() time.Duration {
+	d := p.cfg.Interval
+	if p.cfg.Jitter <= 0 {
+		return d
+	}
+	p.mu.Lock()
+	f := 1 + p.cfg.Jitter*(2*p.rng.Float64()-1)
+	p.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// RunOnce executes one probe cycle — every target, sequentially —
+// recording outcome counters and latencies. Exported so tests (and the
+// loop) share one code path. Nil-safe.
+func (p *Prober) RunOnce() {
+	if p == nil {
+		return
+	}
+	for _, tgt := range p.cfg.Targets() {
+		if tgt.Run == nil {
+			continue
+		}
+		h := p.handles(tgt.Name)
+		start := time.Now()
+		err := tgt.Run()
+		el := time.Since(start)
+		p.lat.Observe(el)
+		h.lat.Observe(el)
+		if err != nil {
+			p.err.Add(1)
+			h.err.Add(1)
+			p.o.Log.Warn("probe failed", "target", tgt.Name, "err", err)
+			continue
+		}
+		p.ok.Add(1)
+		h.ok.Add(1)
+	}
+}
+
+// handles returns (creating on first use) the per-target metric handles.
+func (p *Prober) handles(name string) *probeHandles {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.perT[name]
+	if !ok {
+		h = &probeHandles{
+			ok:  p.o.Reg.Counter("probe." + name + ".ok"),
+			err: p.o.Reg.Counter("probe." + name + ".err"),
+			lat: p.o.Reg.Histogram("probe." + name + ".latency"),
+		}
+		p.perT[name] = h
+	}
+	return h
+}
+
+// Stop halts the probe loop and waits for any in-flight cycle to finish.
+// Idempotent and nil-safe.
+func (p *Prober) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	select {
+	case <-p.stop:
+		p.mu.Unlock()
+		return
+	default:
+		close(p.stop)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -19,7 +19,9 @@ import (
 //     suffix ("rpc.get_chunk.latency" →
 //     "nvm_rpc_get_chunk_latency_seconds" with _bucket/_sum/_count)
 //   - every sample carries the daemon's identity as a node="..." label
-//   - process uptime is a synthetic gauge, nvm_uptime_seconds
+//   - process uptime is a synthetic gauge, nvm_uptime_seconds, and the
+//     binary's build identity is nvm_build_info (value 1, revision and
+//     goversion labels)
 //
 // Bucket upper bounds are the registry's fixed exponential nanosecond
 // bounds converted to seconds, so `le` values are identical across every
@@ -37,6 +39,11 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	if _, err := fmt.Fprintf(w,
 		"# HELP nvm_uptime_seconds process uptime\n# TYPE nvm_uptime_seconds gauge\nnvm_uptime_seconds%s %s\n",
 		label, formatFloat(s.UptimeSeconds)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP nvm_build_info build identity of this binary\n# TYPE nvm_build_info gauge\nnvm_build_info{node=%q,revision=%q,goversion=%q} 1\n",
+		s.Node, BuildRevision(), buildGoVersion()); err != nil {
 		return err
 	}
 

@@ -38,6 +38,7 @@ func promTestSnapshot() Snapshot {
 }
 
 func TestWritePrometheusGolden(t *testing.T) {
+	defer setBuildInfoForTest("c0ffee123456", "go1.99.0")()
 	var b strings.Builder
 	if err := WritePrometheus(&b, promTestSnapshot()); err != nil {
 		t.Fatal(err)
@@ -63,6 +64,7 @@ func TestWritePrometheusGolden(t *testing.T) {
 }
 
 func TestWritePrometheusFormat(t *testing.T) {
+	defer setBuildInfoForTest("c0ffee123456", "go1.99.0")()
 	var b strings.Builder
 	if err := WritePrometheus(&b, promTestSnapshot()); err != nil {
 		t.Fatal(err)
@@ -72,6 +74,9 @@ func TestWritePrometheusFormat(t *testing.T) {
 		// Uptime is a synthetic gauge.
 		"# TYPE nvm_uptime_seconds gauge",
 		`nvm_uptime_seconds{node="bench-node"} 12.5`,
+		// Build identity rides every exposition as a value-1 info gauge.
+		"# TYPE nvm_build_info gauge",
+		`nvm_build_info{node="bench-node",revision="c0ffee123456",goversion="go1.99.0"} 1`,
 		// Counters: nvm_ prefix, [.-] -> _, _total suffix.
 		"# TYPE nvm_benefactor_read_bytes_total counter",
 		`nvm_benefactor_read_bytes_total{node="bench-node"} 4096`,

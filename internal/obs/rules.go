@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -86,6 +88,20 @@ type RuleSet struct {
 	mu    sync.Mutex
 	rules []Rule
 	st    []ruleState
+
+	// onFiring observes every pending→firing transition (incident capture,
+	// paging hooks). Called outside the lock, on the Eval caller's
+	// goroutine, once per edge.
+	onFiring atomic.Value // func(Alert)
+}
+
+// SetOnFiring installs a hook invoked once for each rule's pending→firing
+// transition, after the evaluation that crossed the edge completes.
+func (rs *RuleSet) SetOnFiring(fn func(Alert)) {
+	if rs == nil {
+		return
+	}
+	rs.onFiring.Store(fn)
 }
 
 // NewRuleSet returns an evaluator over rules. Rules without a Value func
@@ -106,8 +122,8 @@ func (rs *RuleSet) Eval(ts *Series, nowNanos int64) {
 	if rs == nil {
 		return
 	}
+	var edges []Alert
 	rs.mu.Lock()
-	defer rs.mu.Unlock()
 	for i, r := range rs.rules {
 		st := &rs.st[i]
 		val, ok := r.Value(ts)
@@ -121,6 +137,26 @@ func (rs *RuleSet) Eval(ts *Series, nowNanos int64) {
 		}
 		if st.firingSince == 0 && nowNanos-st.condSince >= r.For.Nanoseconds() {
 			st.firingSince = nowNanos
+			edges = append(edges, Alert{
+				Rule:                 r.Name,
+				State:                "firing",
+				Detail:               r.Detail,
+				Value:                val,
+				Op:                   r.Op.String(),
+				Threshold:            r.Threshold,
+				SinceUnixNanos:       st.condSince,
+				FiringSinceUnixNanos: st.firingSince,
+			})
+		}
+	}
+	rs.mu.Unlock()
+	if len(edges) > 0 {
+		if v := rs.onFiring.Load(); v != nil {
+			if fn := v.(func(Alert)); fn != nil {
+				for _, a := range edges {
+					fn(a)
+				}
+			}
 		}
 	}
 }
@@ -223,6 +259,109 @@ func HitRatio(hits, misses string, window time.Duration, minEvents int64) func(*
 	}
 }
 
+// SLO is the error-budget form of a health condition: "fraction Target of
+// events must succeed". It compiles (via Rule) into a multi-window
+// burn-rate rule over a good-event counter and a bad-event counter: the
+// burn rate over a window is the observed error fraction divided by the
+// budget (1−Target), so burn 1 exhausts the budget exactly at the SLO
+// period's end, and burn 14 torches ~1.6% of a 30-day budget in an hour —
+// page-worthy. Requiring BOTH a fast and a slow window above the
+// threshold (the standard SRE multi-window test) makes the rule reset
+// quickly once the outage ends while staying deaf to one-sample blips.
+type SLO struct {
+	// Name and Detail carry through to the generated Rule.
+	Name   string
+	Detail string
+	// Good and Bad are counter names: successes and failures of the
+	// guarded operation (e.g. probe.ok / probe.err).
+	Good string
+	Bad  string
+	// Target is the availability objective in (0,1), e.g. 0.999.
+	Target float64
+	// SlowWindow is the long lookback; FastWindow the short one
+	// (default SlowWindow/12, echoing the 1h/5m pairing).
+	SlowWindow time.Duration
+	FastWindow time.Duration
+	// BurnThreshold is the burn rate both windows must exceed
+	// (default 14).
+	BurnThreshold float64
+	// MinEvents is the minimum good+bad events inside the fast window
+	// before the rule has data (default 20) — an idle service isn't out
+	// of budget.
+	MinEvents int64
+	// For is the sustained duration before firing (zero fires on the
+	// first breached evaluation — the windows already debounce).
+	For time.Duration
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.Target <= 0 || s.Target >= 1 {
+		s.Target = 0.999
+	}
+	if s.SlowWindow <= 0 {
+		s.SlowWindow = time.Hour
+	}
+	if s.FastWindow <= 0 {
+		s.FastWindow = s.SlowWindow / 12
+	}
+	if s.BurnThreshold <= 0 {
+		s.BurnThreshold = 14
+	}
+	if s.MinEvents <= 0 {
+		s.MinEvents = 20
+	}
+	return s
+}
+
+// burnOver computes the burn rate over one window: error fraction divided
+// by the error budget. ok=false when the window lacks samples or events.
+func (s SLO) burnOver(ts *Series, window time.Duration) (float64, bool) {
+	o, n, ok := ts.Window(window)
+	if !ok {
+		return 0, false
+	}
+	good := CounterDelta(o, n, s.Good)
+	bad := CounterDelta(o, n, s.Bad)
+	if good+bad < s.MinEvents {
+		return 0, false
+	}
+	frac := float64(bad) / float64(good+bad)
+	return frac / (1 - s.Target), true
+}
+
+// Rule compiles the SLO into a threshold Rule whose value is
+// min(burn(fast), burn(slow)): with Op Above, the rule triggers only when
+// BOTH windows burn past the threshold.
+func (s SLO) Rule() Rule {
+	s = s.withDefaults()
+	detail := s.Detail
+	if detail == "" {
+		detail = fmt.Sprintf("%s SLO %.4g%% burning >%.3gx over %s and %s windows",
+			s.Name, s.Target*100, s.BurnThreshold, s.FastWindow, s.SlowWindow)
+	}
+	return Rule{
+		Name:   s.Name,
+		Detail: detail,
+		Value: func(ts *Series) (float64, bool) {
+			fast, ok := s.burnOver(ts, s.FastWindow)
+			if !ok {
+				return 0, false
+			}
+			slow, ok := s.burnOver(ts, s.SlowWindow)
+			if !ok {
+				return 0, false
+			}
+			if slow < fast {
+				return slow, true
+			}
+			return fast, true
+		},
+		Op:        Above,
+		Threshold: s.BurnThreshold,
+		For:       s.For,
+	}
+}
+
 // RuleDefaults parameterizes DefaultRules.
 type RuleDefaults struct {
 	// HeartbeatTimeout is the manager's liveness bound; the
@@ -317,5 +456,21 @@ func DefaultRules(d RuleDefaults) []Rule {
 			Op:        Above,
 			Threshold: 0,
 		},
+		SLO{
+			Name:       "probe-slo-burn",
+			Detail:     "canary probes are burning the 99.9% availability budget across both windows",
+			Good:       "probe.ok",
+			Bad:        "probe.err",
+			Target:     0.999,
+			SlowWindow: d.Window,
+		}.Rule(),
+		SLO{
+			Name:       "repair-slo-burn",
+			Detail:     "re-replication repairs are burning the 99% success budget across both windows",
+			Good:       "manager.chunks_repaired",
+			Bad:        "manager.repair_failures",
+			Target:     0.99,
+			SlowWindow: d.Window,
+		}.Rule(),
 	}
 }

@@ -299,6 +299,11 @@ type ManagerConfig struct {
 	// clients learn the whole plane from any one shard's responses. May be
 	// empty (clients then dial only the addresses they were given).
 	Peers []string
+	// Incidents configures the on-disk incident recorder: when Dir is
+	// non-empty, every alert rule's pending→firing edge (and the
+	// /incidents/capture debug endpoint) snapshots a diagnostic bundle
+	// there. The zero value disables it.
+	Incidents obs.IncidentConfig
 }
 
 // managerMetrics holds the manager server's registry handles, looked up
@@ -410,6 +415,29 @@ func NewManagerServerWith(addr string, chunkSize int64, policy manager.Placement
 	if cfg.HeartbeatTimeout > 0 {
 		s.mgr.HeartbeatTimeout = cfg.HeartbeatTimeout
 	}
+	// Identity rides 503 healthz bodies and incident bundles: which
+	// keyspace is degraded, under which membership epoch. Shard placement
+	// is fixed at startup, but the epoch is live manager state, so the
+	// provider takes the server lock.
+	node := s.obs.Identity().Node
+	idx, n := s.mgr.Shard()
+	if n <= 1 {
+		idx, n = 0, 1
+	}
+	s.obs.SetIdentityFunc(func() obs.Identity {
+		s.mu.Lock()
+		epoch := s.mgr.Epoch()
+		s.mu.Unlock()
+		return obs.Identity{Node: node, Shard: idx, NShards: n, Epoch: epoch}
+	})
+	if cfg.Incidents.Dir != "" {
+		ir, err := obs.NewIncidentRecorder(s.obs, cfg.Incidents)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		s.obs.SetIncidents(ir)
+	}
 	if cfg.DebugAddr != "" {
 		dbg, err := obs.ServeDebug(cfg.DebugAddr, s.obs)
 		if err != nil {
@@ -513,6 +541,7 @@ func (s *ManagerServer) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		s.obs.StopMonitor()
+		s.obs.Incidents().Wait() // finish any in-flight bundle capture
 		err = s.l.Close()
 		s.dbg.Close()
 		s.conns.closeAll()
@@ -833,6 +862,9 @@ type BenefactorConfig struct {
 	// Monitor configures continuous self-monitoring on the server's Obs
 	// (periodic sampling + alert rules). The zero value disables it.
 	Monitor obs.MonitorConfig
+	// Incidents configures the on-disk incident recorder (see
+	// ManagerConfig.Incidents). The zero value disables it.
+	Incidents obs.IncidentConfig
 }
 
 // benMetrics holds the benefactor server's registry handles.
@@ -924,6 +956,14 @@ func NewBenefactorServerWith(addr, managerAddr string, id, node int, capacity, c
 	}
 	s.privReads = s.st.PrivateReads()
 	s.st.SetObs(cfg.Obs)
+	if cfg.Incidents.Dir != "" {
+		ir, err := obs.NewIncidentRecorder(s.obs, cfg.Incidents)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		s.obs.SetIncidents(ir)
+	}
 	if cfg.DebugAddr != "" {
 		dbg, err := obs.ServeDebug(cfg.DebugAddr, s.obs)
 		if err != nil {
@@ -1050,6 +1090,7 @@ func (s *BenefactorServer) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		s.obs.StopMonitor()
+		s.obs.Incidents().Wait() // finish any in-flight bundle capture
 		err = s.l.Close()
 		s.dbg.Close()
 		s.conns.closeAll()

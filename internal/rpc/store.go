@@ -50,6 +50,15 @@ type Options struct {
 	// a fresh private obs.New instance; obs.Disabled() turns every
 	// recording call into a no-op (and zeroes Stats).
 	Obs *obs.Obs
+	// ProbeInterval enables the canary prober: every interval (jittered)
+	// the client runs a tiny synthetic put/get/delete against each manager
+	// shard and a liveness round trip against a sampled benefactor set,
+	// recording probe.* metrics into Obs. Zero disables probing (the
+	// default — probes are an opt-in background load).
+	ProbeInterval time.Duration
+	// ProbeBens is how many benefactors each probe cycle samples,
+	// round-robin over the known set. 0 means DefaultProbeBens.
+	ProbeBens int
 }
 
 // Defaults for Options fields left zero.
@@ -203,6 +212,13 @@ type Store struct {
 	pendingMu sync.Mutex
 	pending   []proto.Span
 	exports   sync.WaitGroup
+
+	// Canary-prober state (Options.ProbeInterval): the background prober,
+	// a per-store token keeping canary names collision-free across
+	// clients, and the round-robin cursor over benefactor targets.
+	prober     *obs.Prober
+	probeToken string
+	probeRR    atomic.Int64
 }
 
 // shardState is the client's cached view of one manager shard: its
@@ -269,6 +285,8 @@ func OpenWith(addr string, opts Options) (*Store, error) {
 	}
 	s.arena = proto.NewArena(s.chunkSize)
 	s.obs.SetSpanSink(s.exportSpan)
+	s.probeToken = obs.NewTraceID()
+	s.startProber()
 	return s, nil
 }
 
@@ -617,8 +635,10 @@ func (s *Store) Refresh() error {
 	return nil
 }
 
-// Close ships any unexported spans and drops every connection.
+// Close stops the prober, ships any unexported spans, and drops every
+// connection.
 func (s *Store) Close() error {
+	s.prober.Stop()
 	s.obs.SetSpanSink(nil)
 	s.exports.Wait()
 	s.flushSpans()
